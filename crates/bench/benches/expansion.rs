@@ -1,0 +1,38 @@
+//! Expansion-engine latency: the paper's closing challenge is that
+//! "query expansion techniques are expected to respond in real time".
+//! Measures the cycle-based expander (bounded-neighbourhood cycle
+//! enumeration + ranking) against the direct-link baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use querygraph_core::expansion::{CycleExpander, DirectLinkExpander, Expander};
+use querygraph_wiki::synth::{generate, SynthWiki, SynthWikiConfig};
+use std::hint::black_box;
+
+fn world() -> SynthWiki {
+    let mut cfg = SynthWikiConfig::small();
+    cfg.num_topics = 10;
+    cfg.articles_per_topic = 25;
+    generate(&cfg)
+}
+
+fn bench_expanders(c: &mut Criterion) {
+    let wiki = world();
+    let hub = wiki.topics[0].hub;
+    let sat = wiki.topics[0].articles[3];
+    let query = [hub, sat];
+
+    let cycles = CycleExpander::default();
+    let links = DirectLinkExpander { max_features: 10 };
+
+    let mut group = c.benchmark_group("expansion");
+    group.bench_function("cycle_expander", |b| {
+        b.iter(|| black_box(cycles.expand(&wiki.kb, black_box(&query))).len());
+    });
+    group.bench_function("direct_link_expander", |b| {
+        b.iter(|| black_box(links.expand(&wiki.kb, black_box(&query))).len());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_expanders);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Ground-truth hill-climb benchmark (§2.2): the full ADD/REMOVE/SWAP
+//! search for one query, the dominant cost of building the paper's
+//! ground truth.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use querygraph_core::experiment::{Experiment, ExperimentConfig};
+use querygraph_link::EntityLinker;
+use std::hint::black_box;
+
+fn bench_hill_climb(c: &mut Criterion) {
+    let exp = Experiment::build(&ExperimentConfig::tiny());
+    let linker = EntityLinker::new(&exp.wiki.kb);
+    let mut group = c.benchmark_group("ground_truth");
+    group.sample_size(10);
+    group.bench_function("analyze_one_query", |b| {
+        b.iter(|| {
+            let a = exp.analyze_query(black_box(&linker), 0);
+            black_box(a.ground_truth.evaluations)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hill_climb);
+criterion_main!(benches);

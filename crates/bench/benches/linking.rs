@@ -1,0 +1,54 @@
+//! Entity-linking throughput (§2.1): dictionary construction and the
+//! greedy longest-substring scan with and without the synonym pass.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use querygraph_corpus::imageclef::linking_text;
+use querygraph_corpus::synth::{generate_corpus, SynthCorpusConfig};
+use querygraph_link::EntityLinker;
+use querygraph_wiki::synth::{generate, SynthWiki, SynthWikiConfig};
+use std::hint::black_box;
+
+fn world() -> (SynthWiki, Vec<String>) {
+    let wiki = generate(&SynthWikiConfig::small());
+    let sc = generate_corpus(&wiki, &SynthCorpusConfig::small());
+    let texts: Vec<String> = sc.corpus.iter().map(|(_, d)| linking_text(d)).collect();
+    (wiki, texts)
+}
+
+fn bench_dictionary_build(c: &mut Criterion) {
+    let (wiki, _) = world();
+    c.bench_function("linking/dictionary_build", |b| {
+        b.iter(|| black_box(EntityLinker::new(black_box(&wiki.kb))).dictionary().len());
+    });
+}
+
+fn bench_link_documents(c: &mut Criterion) {
+    let (wiki, texts) = world();
+    let total_bytes: u64 = texts.iter().map(|t| t.len() as u64).sum();
+    let linker = EntityLinker::new(&wiki.kb);
+    let linker_nosyn = EntityLinker::new(&wiki.kb).without_synonyms();
+    let mut group = c.benchmark_group("linking/documents");
+    group.throughput(Throughput::Bytes(total_bytes));
+    group.bench_function("with_synonyms", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for t in &texts {
+                n += linker.link_articles(black_box(t)).len();
+            }
+            black_box(n)
+        });
+    });
+    group.bench_function("without_synonyms", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for t in &texts {
+                n += linker_nosyn.link_articles(black_box(t)).len();
+            }
+            black_box(n)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dictionary_build, bench_link_documents);
+criterion_main!(benches);

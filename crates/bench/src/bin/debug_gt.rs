@@ -1,0 +1,36 @@
+//! Developer diagnostics: per-query ground-truth behaviour at quick
+//! scale. Not part of the reproduction surface.
+
+use querygraph_bench::quick_config;
+use querygraph_core::experiment::Experiment;
+use querygraph_link::EntityLinker;
+
+fn main() {
+    let cfg = quick_config();
+    let exp = Experiment::build(&cfg);
+    let linker = EntityLinker::new(&exp.wiki.kb);
+    for qi in 0..exp.corpus.queries.len() {
+        let a = exp.analyze_query(&linker, qi);
+        let far_topic = (qi + exp.wiki.topics.len() / 2) % exp.wiki.topics.len();
+        let far_in_a = a
+            .ground_truth
+            .expansion
+            .iter()
+            .filter(|x| exp.wiki.topics[far_topic].articles.contains(x))
+            .count();
+        println!(
+            "q{:<3} |L(q.k)|={} |L(q.D)|={:<3} |A'|={:<3} far_in_A'={} base={:.3} gt={:.3} prec={:?} nodes={} size%={:.2} cycles={}",
+            a.query_id,
+            a.lqk.len(),
+            a.lqd_size,
+            a.ground_truth.expansion.len(),
+            far_in_a,
+            a.ground_truth.baseline_quality,
+            a.ground_truth.quality,
+            a.ground_truth.precisions.map(|p| (p * 100.0).round() / 100.0),
+            a.lcc.total_nodes,
+            a.lcc.size_ratio,
+            a.cycles.len(),
+        );
+    }
+}

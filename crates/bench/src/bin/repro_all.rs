@@ -1,0 +1,23 @@
+//! Regenerate every table and figure of the paper in one run.
+//!
+//! ```text
+//! cargo run --release -p querygraph-bench --bin repro_all [-- --quick] [-- --json out.json]
+//! ```
+//!
+//! Prints paper-vs-measured for Tables 2–4, Figs. 5, 6, 7a, 7b, 9 and
+//! the §3 scalar statistics. With `--json <path>` the full
+//! machine-readable [`querygraph_core::Report`] is also written.
+
+fn main() {
+    let report = querygraph_bench::report_for(&querygraph_bench::config_from_args());
+    print!("{}", report.render_all());
+
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--json") {
+        if let Some(path) = args.get(pos + 1) {
+            let json = serde_json::to_string_pretty(&report).expect("report serializes");
+            std::fs::write(path, json).expect("write report JSON");
+            eprintln!("# wrote {path}");
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerate Fig. 5: average retrieval contribution (%) of cycles by
+//! cycle length.
+//!
+//! `cargo run --release -p querygraph-bench --bin repro_fig5 [-- --quick]`
+
+fn main() {
+    let report = querygraph_bench::report_for(&querygraph_bench::config_from_args());
+    print!("{}", report.fig5().render());
+}

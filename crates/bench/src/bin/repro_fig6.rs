@@ -1,0 +1,9 @@
+//! Regenerate Fig. 6: average number of cycles per query graph by cycle
+//! length.
+//!
+//! `cargo run --release -p querygraph-bench --bin repro_fig6 [-- --quick]`
+
+fn main() {
+    let report = querygraph_bench::report_for(&querygraph_bench::config_from_args());
+    print!("{}", report.fig6().render());
+}

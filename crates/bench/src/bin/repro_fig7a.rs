@@ -1,0 +1,9 @@
+//! Regenerate Fig. 7a: average category ratio of cycles by cycle
+//! length.
+//!
+//! `cargo run --release -p querygraph-bench --bin repro_fig7a [-- --quick]`
+
+fn main() {
+    let report = querygraph_bench::report_for(&querygraph_bench::config_from_args());
+    print!("{}", report.fig7a().render());
+}

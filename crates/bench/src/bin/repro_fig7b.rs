@@ -1,0 +1,9 @@
+//! Regenerate Fig. 7b: average density of extra edges of cycles by
+//! cycle length (the paper's M(C) formula).
+//!
+//! `cargo run --release -p querygraph-bench --bin repro_fig7b [-- --quick]`
+
+fn main() {
+    let report = querygraph_bench::report_for(&querygraph_bench::config_from_args());
+    print!("{}", report.fig7b().render());
+}

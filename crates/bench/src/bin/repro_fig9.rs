@@ -1,0 +1,10 @@
+//! Regenerate Fig. 9: density of extra edges vs average contribution,
+//! with the OLS trend line (the paper reports a positive trend: "the
+//! denser the cycle, the better its contribution").
+//!
+//! `cargo run --release -p querygraph-bench --bin repro_fig9 [-- --quick]`
+
+fn main() {
+    let report = querygraph_bench::report_for(&querygraph_bench::config_from_args());
+    print!("{}", report.fig9().render());
+}

@@ -1,0 +1,14 @@
+//! Regenerate the §3/§4 scalar statistics: mean TPR of the largest
+//! components (paper ≈ 0.3), link reciprocity (paper 11.47 %), average
+//! query-graph size (paper 208.22 nodes) and per-query analysis time
+//! (paper ≈ 6 minutes on their graph database).
+//!
+//! `cargo run --release -p querygraph-bench --bin repro_stats [-- --quick]`
+
+fn main() {
+    let report = querygraph_bench::report_for(&querygraph_bench::config_from_args());
+    print!("{}", report.scalar_stats().render());
+    if let Some((p, s)) = report.mean_correlation() {
+        println!("§4 article frequency↔goodness correlation: pearson {p:.3}, spearman {s:.3}");
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerate Table 2: ground-truth precision statistics (min,
+//! quartiles, max of top-1/5/10/15 precision over all queries).
+//!
+//! `cargo run --release -p querygraph-bench --bin repro_table2 [-- --quick]`
+
+fn main() {
+    let report = querygraph_bench::report_for(&querygraph_bench::config_from_args());
+    print!("{}", report.table2().render());
+}

@@ -1,0 +1,10 @@
+//! Regenerate Table 3: largest-connected-component statistics of the
+//! query graphs (%size, %query nodes, %articles, %categories,
+//! expansion ratio).
+//!
+//! `cargo run --release -p querygraph-bench --bin repro_table3 [-- --quick]`
+
+fn main() {
+    let report = querygraph_bench::report_for(&querygraph_bench::config_from_args());
+    print!("{}", report.table3().render());
+}

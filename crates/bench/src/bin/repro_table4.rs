@@ -1,0 +1,10 @@
+//! Regenerate Table 4: average precision when the articles of cycles of
+//! given lengths (2 / 3 / 4 / 5 and their unions) are used as expansion
+//! features.
+//!
+//! `cargo run --release -p querygraph-bench --bin repro_table4 [-- --quick]`
+
+fn main() {
+    let report = querygraph_bench::report_for(&querygraph_bench::config_from_args());
+    print!("{}", report.table4().render());
+}

@@ -1,0 +1,75 @@
+//! # querygraph-bench
+//!
+//! The reproduction harness: one `repro_*` binary per table and figure
+//! of the paper (see DESIGN.md §3 for the index), plus Criterion
+//! micro-benchmarks for the performance-critical kernels (`benches/`).
+//!
+//! All binaries run the same standard experiment
+//! ([`standard_report`]) so their numbers are mutually consistent;
+//! `repro_all` prints everything at once and is what EXPERIMENTS.md is
+//! generated from.
+
+use querygraph_core::experiment::{Experiment, ExperimentConfig, Report};
+use std::time::Instant;
+
+/// Build the paper-scale experiment and analyze all 50 queries using
+/// all available cores. Prints provenance (seeds, sizes, timing) to
+/// stderr so stdout stays clean table output.
+pub fn standard_report() -> Report {
+    report_for(&ExperimentConfig::default_paper())
+}
+
+/// Build and run an experiment for an explicit configuration.
+pub fn report_for(config: &ExperimentConfig) -> Report {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    eprintln!(
+        "# querygraph reproduction: wiki seed {:#x}, corpus seed {:#x}, {} queries, {} threads",
+        config.wiki.seed, config.corpus.seed, config.corpus.num_queries, threads
+    );
+    let t0 = Instant::now();
+    let experiment = Experiment::build(config);
+    eprintln!(
+        "# built: {} articles, {} categories, {} docs, {:.2}s",
+        experiment.wiki.kb.num_articles(),
+        experiment.wiki.kb.num_categories(),
+        experiment.corpus.corpus.len(),
+        t0.elapsed().as_secs_f64()
+    );
+    let t1 = Instant::now();
+    let report = experiment.run_parallel(threads);
+    eprintln!("# analyzed: {:.2}s", t1.elapsed().as_secs_f64());
+    report
+}
+
+/// A smaller configuration for quick looks (`--quick` flag of the repro
+/// binaries): 12 queries instead of 50.
+pub fn quick_config() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::default_paper();
+    cfg.wiki.num_topics = 12;
+    cfg.corpus.num_queries = 12;
+    cfg.corpus.noise_docs = 300;
+    cfg
+}
+
+/// Parse the common CLI of the repro binaries: `--quick` switches to
+/// [`quick_config`].
+pub fn config_from_args() -> ExperimentConfig {
+    if std::env::args().any(|a| a == "--quick") {
+        quick_config()
+    } else {
+        ExperimentConfig::default_paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_config_is_consistent() {
+        let cfg = quick_config();
+        assert!(cfg.corpus.num_queries <= cfg.wiki.num_topics);
+    }
+}

@@ -1,0 +1,89 @@
+//! Experiment configuration: one serializable struct driving the whole
+//! reproduction.
+
+use crate::ground_truth::GroundTruthConfig;
+use querygraph_corpus::synth::SynthCorpusConfig;
+use querygraph_wiki::synth::SynthWikiConfig;
+use serde::{Deserialize, Serialize};
+
+/// Everything a reproduction run needs. Serializable so runs can be
+/// archived next to their results (DESIGN.md §7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Synthetic-Wikipedia parameters.
+    pub wiki: SynthWikiConfig,
+    /// Synthetic-corpus parameters.
+    pub corpus: SynthCorpusConfig,
+    /// Ground-truth search parameters.
+    pub ground_truth: GroundTruthConfig,
+    /// Maximum cycle length analyzed (the paper stops at 5).
+    pub max_cycle_len: usize,
+    /// Per-query cap on enumerated cycles (safety valve; the paper's §4
+    /// names unbounded cycle enumeration as the open challenge).
+    pub cycle_limit: usize,
+    /// Cap on |L(q.D)| fed to the hill climb (candidates are kept in
+    /// descending relevant-document frequency).
+    pub max_pool: usize,
+    /// Also compute the §4 article-frequency correlation (extra
+    /// retrieval evaluations per query).
+    pub compute_correlation: bool,
+}
+
+impl ExperimentConfig {
+    /// The paper-scale configuration: 50 topics / 50 queries, cycle
+    /// lengths ≤ 5.
+    pub fn default_paper() -> Self {
+        ExperimentConfig {
+            wiki: SynthWikiConfig::default_experiment(),
+            corpus: SynthCorpusConfig::default_experiment(),
+            ground_truth: GroundTruthConfig::default(),
+            max_cycle_len: 5,
+            cycle_limit: 30_000,
+            max_pool: 40,
+            compute_correlation: true,
+        }
+    }
+
+    /// A miniature configuration for tests and doctests (< 1 s).
+    pub fn tiny() -> Self {
+        ExperimentConfig {
+            wiki: SynthWikiConfig::small(),
+            corpus: SynthCorpusConfig::small(),
+            ground_truth: GroundTruthConfig {
+                max_iterations: 20,
+                ..GroundTruthConfig::default()
+            },
+            max_cycle_len: 5,
+            cycle_limit: 5_000,
+            max_pool: 20,
+            compute_correlation: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_round_trip() {
+        let cfg = ExperimentConfig::default_paper();
+        let json = serde_json::to_string_pretty(&cfg).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
+    }
+
+    #[test]
+    fn tiny_is_smaller_than_paper() {
+        let tiny = ExperimentConfig::tiny();
+        let paper = ExperimentConfig::default_paper();
+        assert!(tiny.corpus.num_queries < paper.corpus.num_queries);
+        assert!(tiny.wiki.num_topics < paper.wiki.num_topics);
+    }
+
+    #[test]
+    fn paper_config_respects_wiki_capacity() {
+        let cfg = ExperimentConfig::default_paper();
+        assert!(cfg.corpus.num_queries <= cfg.wiki.num_topics);
+    }
+}

@@ -1,0 +1,372 @@
+//! Ground-truth construction — the hill-climbing search of §2.2.
+//!
+//! Exhaustively evaluating every subset of L(q.D) is infeasible (the
+//! paper notes the `Σ (|L(q.D)| choose i)` blow-up), so the paper uses a
+//! local search: start from one random article, then repeatedly apply
+//! the best of
+//!
+//! * **ADD** an article of L(q.D) to A′,
+//! * **REMOVE** an article from A′,
+//! * **SWAP** an article of A′ for one of L(q.D),
+//!
+//! "as long as they improve Equation 1 … Note that if after removing an
+//! article the quality remains the same, the article is removed as we
+//! want the minimum set of articles with the maximum quality."
+//!
+//! The implementation is faithful with one formal tightening: the loop
+//! strictly increases the pair `(quality, −|A′|)` lexicographically, so
+//! termination is guaranteed; a `max_iterations` cap guards degenerate
+//! configurations anyway.
+
+use querygraph_retrieval::engine::SearchEngine;
+use querygraph_retrieval::metrics::{average_quality, precisions};
+use querygraph_retrieval::query_lang::QueryNode;
+use querygraph_wiki::{ArticleId, KnowledgeBase};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Tuning of the ground-truth search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruthConfig {
+    /// Base RNG seed; combined with the query id for the random start.
+    pub seed: u64,
+    /// Hard cap on hill-climbing iterations.
+    pub max_iterations: usize,
+    /// Retrieval depth (the largest cutoff of Eq. 1).
+    pub search_depth: usize,
+}
+
+impl Default for GroundTruthConfig {
+    fn default() -> Self {
+        GroundTruthConfig {
+            seed: 0x5EED_CAFE,
+            max_iterations: 60,
+            search_depth: 15,
+        }
+    }
+}
+
+/// Result of the ground-truth search for one query.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// The expansion articles A′ (sorted by id).
+    pub expansion: Vec<ArticleId>,
+    /// O(L(q.k) ∪ A′, q.D) — the achieved quality.
+    pub quality: f64,
+    /// O(L(q.k), q.D) — the unexpanded baseline.
+    pub baseline_quality: f64,
+    /// Top-{1,5,10,15} precision of the final X(q) (Table 2 rows).
+    pub precisions: [f64; 4],
+    /// Number of retrieval evaluations performed (observability).
+    pub evaluations: usize,
+}
+
+/// Reusable evaluator: turns an article set into the paper's INDRI query
+/// and measures O against the relevant set.
+pub struct QualityEvaluator<'a> {
+    kb: &'a KnowledgeBase,
+    engine: &'a SearchEngine,
+    relevant: Vec<u32>,
+    search_depth: usize,
+}
+
+impl<'a> QualityEvaluator<'a> {
+    /// Evaluator for one query's relevant set (doc ids in any order).
+    pub fn new(
+        kb: &'a KnowledgeBase,
+        engine: &'a SearchEngine,
+        relevant: &[u32],
+        search_depth: usize,
+    ) -> Self {
+        let mut relevant = relevant.to_vec();
+        relevant.sort_unstable();
+        relevant.dedup();
+        QualityEvaluator {
+            kb,
+            engine,
+            relevant,
+            search_depth,
+        }
+    }
+
+    /// O(articles, D) of Eq. 1.
+    pub fn quality(&self, articles: &[ArticleId]) -> f64 {
+        average_quality(&self.search(articles), &self.relevant)
+    }
+
+    /// Per-cutoff precisions of the article set.
+    pub fn precisions(&self, articles: &[ArticleId]) -> [f64; 4] {
+        precisions(&self.search(articles), &self.relevant)
+    }
+
+    fn search(&self, articles: &[ArticleId]) -> Vec<querygraph_retrieval::SearchHit> {
+        if articles.is_empty() {
+            return Vec::new();
+        }
+        let titles: Vec<&str> = articles.iter().map(|&a| self.kb.title(a)).collect();
+        let query = QueryNode::phrases_of_titles(&titles);
+        self.engine.search(&query, self.search_depth)
+    }
+}
+
+/// Run the §2.2 hill climb.
+///
+/// * `query_articles` — L(q.k), always part of the evaluated set.
+/// * `pool` — L(q.D), the candidate expansion articles.
+///
+/// Returns the best A′ found. With an empty pool the result is the
+/// baseline itself (empty expansion).
+pub fn find_ground_truth(
+    evaluator: &QualityEvaluator<'_>,
+    config: &GroundTruthConfig,
+    query_id: u32,
+    query_articles: &[ArticleId],
+    pool: &[ArticleId],
+) -> GroundTruth {
+    let mut evaluations = 0usize;
+    let mut eval = |a_prime: &[ArticleId]| -> f64 {
+        evaluations += 1;
+        let mut set: Vec<ArticleId> = query_articles.to_vec();
+        for &a in a_prime {
+            if !set.contains(&a) {
+                set.push(a);
+            }
+        }
+        evaluator.quality(&set)
+    };
+
+    let baseline_quality = eval(&[]);
+
+    // Candidate pool without the query articles themselves (adding them
+    // is a no-op for the evaluated set).
+    let pool: Vec<ArticleId> = pool
+        .iter()
+        .copied()
+        .filter(|a| !query_articles.contains(a))
+        .collect();
+
+    let mut a_prime: Vec<ArticleId> = Vec::new();
+    let mut quality = baseline_quality;
+
+    if !pool.is_empty() {
+        // Random start, seeded per query.
+        let mut rng = StdRng::seed_from_u64(config.seed ^ (query_id as u64).wrapping_mul(0x9E37));
+        a_prime.push(pool[rng.gen_range(0..pool.len())]);
+        quality = eval(&a_prime);
+        // A start below baseline is still kept — the climb can recover
+        // via REMOVE (quality ties favour smaller sets anyway).
+
+        const EPS: f64 = 1e-12;
+        for _ in 0..config.max_iterations {
+            // Pass 1 — REMOVE whenever quality does not degrade
+            // (strictly shrinks the set on ties: minimality rule).
+            let mut removed = false;
+            let mut best_remove: Option<(usize, f64)> = None;
+            for i in 0..a_prime.len() {
+                let mut candidate = a_prime.clone();
+                candidate.remove(i);
+                let q = eval(&candidate);
+                if q + EPS >= quality && best_remove.is_none_or(|(_, bq)| q > bq) {
+                    best_remove = Some((i, q));
+                }
+            }
+            if let Some((i, q)) = best_remove {
+                a_prime.remove(i);
+                quality = q;
+                removed = true;
+            }
+
+            // Pass 2 — best strict improvement among ADD and SWAP.
+            let mut best: Option<(Vec<ArticleId>, f64)> = None;
+            for &a in &pool {
+                if a_prime.contains(&a) {
+                    continue;
+                }
+                let mut candidate = a_prime.clone();
+                candidate.push(a);
+                let q = eval(&candidate);
+                if q > quality + EPS && best.as_ref().is_none_or(|(_, bq)| q > *bq) {
+                    best = Some((candidate, q));
+                }
+            }
+            for i in 0..a_prime.len() {
+                for &a in &pool {
+                    if a_prime.contains(&a) {
+                        continue;
+                    }
+                    let mut candidate = a_prime.clone();
+                    candidate[i] = a;
+                    let q = eval(&candidate);
+                    if q > quality + EPS && best.as_ref().is_none_or(|(_, bq)| q > *bq) {
+                        best = Some((candidate, q));
+                    }
+                }
+            }
+            match best {
+                Some((candidate, q)) => {
+                    a_prime = candidate;
+                    quality = q;
+                }
+                None if !removed => break, // local optimum
+                None => {}                 // only shrank; try again
+            }
+        }
+    }
+
+    a_prime.sort_unstable();
+    let mut final_set: Vec<ArticleId> = query_articles.to_vec();
+    for &a in &a_prime {
+        if !final_set.contains(&a) {
+            final_set.push(a);
+        }
+    }
+    GroundTruth {
+        expansion: a_prime,
+        quality,
+        baseline_quality,
+        precisions: evaluator.precisions(&final_set),
+        evaluations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use querygraph_retrieval::index::IndexBuilder;
+    use querygraph_wiki::KbBuilder;
+
+    /// A tiny controlled world: 3 articles, docs engineered so that
+    /// expanding with "beta" is the unique win and "gamma" is harmful.
+    fn world() -> (KnowledgeBase, SearchEngine, Vec<u32>) {
+        let mut b = KbBuilder::new();
+        let alpha = b.add_article("alpha");
+        let beta = b.add_article("beta");
+        let gamma = b.add_article("gamma");
+        let c = b.add_category("things");
+        for a in [alpha, beta, gamma] {
+            b.belongs(a, c);
+        }
+        let kb = b.build().unwrap();
+
+        let mut ib = IndexBuilder::new();
+        // Relevant docs (0..4): mention beta, rarely alpha.
+        ib.add_document("beta item one");
+        ib.add_document("beta item two");
+        ib.add_document("alpha beta item three");
+        ib.add_document("beta item four");
+        // Distractors mentioning gamma and alpha.
+        for i in 0..8 {
+            ib.add_document(&format!("gamma distractor number {i}"));
+        }
+        ib.add_document("alpha alone here");
+        let engine = SearchEngine::new(ib.build());
+        (kb, engine, vec![0, 1, 2, 3])
+    }
+
+    #[test]
+    fn finds_the_good_expansion() {
+        let (kb, engine, relevant) = world();
+        let evaluator = QualityEvaluator::new(&kb, &engine, &relevant, 15);
+        let alpha = kb.article_by_title("alpha").unwrap();
+        let beta = kb.article_by_title("beta").unwrap();
+        let gamma = kb.article_by_title("gamma").unwrap();
+        let gt = find_ground_truth(
+            &evaluator,
+            &GroundTruthConfig::default(),
+            1,
+            &[alpha],
+            &[beta, gamma],
+        );
+        assert_eq!(gt.expansion, vec![beta], "beta retrieves all relevant docs");
+        assert!(gt.quality > gt.baseline_quality);
+        assert!(gt.evaluations > 0);
+    }
+
+    #[test]
+    fn empty_pool_returns_baseline() {
+        let (kb, engine, relevant) = world();
+        let evaluator = QualityEvaluator::new(&kb, &engine, &relevant, 15);
+        let alpha = kb.article_by_title("alpha").unwrap();
+        let gt = find_ground_truth(
+            &evaluator,
+            &GroundTruthConfig::default(),
+            1,
+            &[alpha],
+            &[],
+        );
+        assert!(gt.expansion.is_empty());
+        assert_eq!(gt.quality, gt.baseline_quality);
+    }
+
+    #[test]
+    fn harmful_start_is_recovered() {
+        // Force the random start onto gamma (only candidate) — REMOVE
+        // must fire if gamma hurts; here pool = {gamma} only.
+        let (kb, engine, relevant) = world();
+        let evaluator = QualityEvaluator::new(&kb, &engine, &relevant, 15);
+        let alpha = kb.article_by_title("alpha").unwrap();
+        let beta = kb.article_by_title("beta").unwrap();
+        let gamma = kb.article_by_title("gamma").unwrap();
+        let gt = find_ground_truth(
+            &evaluator,
+            &GroundTruthConfig::default(),
+            2,
+            &[alpha, beta],
+            &[gamma],
+        );
+        // With alpha+beta already strong, gamma (matching only noise)
+        // must not survive in A′.
+        assert!(
+            gt.expansion.is_empty(),
+            "gamma should be removed, got {:?}",
+            gt.expansion
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (kb, engine, relevant) = world();
+        let evaluator = QualityEvaluator::new(&kb, &engine, &relevant, 15);
+        let alpha = kb.article_by_title("alpha").unwrap();
+        let beta = kb.article_by_title("beta").unwrap();
+        let gamma = kb.article_by_title("gamma").unwrap();
+        let cfg = GroundTruthConfig::default();
+        let a = find_ground_truth(&evaluator, &cfg, 7, &[alpha], &[beta, gamma]);
+        let b = find_ground_truth(&evaluator, &cfg, 7, &[alpha], &[beta, gamma]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quality_never_below_baseline_when_pool_useful() {
+        let (kb, engine, relevant) = world();
+        let evaluator = QualityEvaluator::new(&kb, &engine, &relevant, 15);
+        let alpha = kb.article_by_title("alpha").unwrap();
+        let beta = kb.article_by_title("beta").unwrap();
+        let gt = find_ground_truth(
+            &evaluator,
+            &GroundTruthConfig::default(),
+            3,
+            &[alpha],
+            &[beta],
+        );
+        assert!(gt.quality >= gt.baseline_quality);
+    }
+
+    #[test]
+    fn precisions_match_quality() {
+        let (kb, engine, relevant) = world();
+        let evaluator = QualityEvaluator::new(&kb, &engine, &relevant, 15);
+        let alpha = kb.article_by_title("alpha").unwrap();
+        let beta = kb.article_by_title("beta").unwrap();
+        let gt = find_ground_truth(
+            &evaluator,
+            &GroundTruthConfig::default(),
+            4,
+            &[alpha],
+            &[beta],
+        );
+        let mean = gt.precisions.iter().sum::<f64>() / 4.0;
+        assert!((mean - gt.quality).abs() < 1e-9);
+    }
+}

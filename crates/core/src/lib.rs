@@ -1,0 +1,46 @@
+//! # querygraph-core
+//!
+//! The paper's primary contribution, end to end:
+//!
+//! * [`ground_truth`] — §2.2: for each query, hill-climb (ADD / REMOVE /
+//!   SWAP) over the articles mentioned in the relevant documents to find
+//!   X(q), the minimal article set whose titles maximize the retrieval
+//!   quality O (Eq. 1).
+//! * [`query_graph`] — §2.3: assemble G(q), the induced Wikipedia
+//!   subgraph over X(q), the main articles of its redirects, and their
+//!   categories; plus the Table 3 largest-component statistics.
+//! * [`cycle_analysis`] — §3: enumerate the cycles of G(q) through the
+//!   query articles and measure length, category ratio, density of extra
+//!   edges (the M(C) formula) and retrieval contribution.
+//! * [`contribution`] — the percentual O-difference a cycle's articles
+//!   buy (Figs. 5 and 9).
+//! * [`expansion`] — the findings operationalized: a cycle-based query
+//!   expander (dense cycles, ≈30 % category ratio) with baselines, plus
+//!   the paper's §4 future-work variants (redirect features, article
+//!   cycle-frequency ranking).
+//! * [`experiment`] — the reproduction pipeline: synthesize Wikipedia +
+//!   corpus, build ground truths, analyze every query graph, aggregate
+//!   every table and figure ([`tables`]).
+//!
+//! ```
+//! use querygraph_core::experiment::{Experiment, ExperimentConfig};
+//!
+//! let experiment = Experiment::build(&ExperimentConfig::tiny());
+//! let report = experiment.run();
+//! assert_eq!(report.per_query.len(), report.config.corpus.num_queries);
+//! // Table 2 of the paper: ground-truth precision summary.
+//! let t2 = report.table2();
+//! assert!(t2.rows[0].max <= 1.0);
+//! ```
+
+pub mod config;
+pub mod contribution;
+pub mod cycle_analysis;
+pub mod expansion;
+pub mod experiment;
+pub mod ground_truth;
+pub mod query_graph;
+pub mod tables;
+
+pub use experiment::{Experiment, ExperimentConfig, Report};
+pub use query_graph::QueryGraph;

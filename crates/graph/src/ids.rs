@@ -1,0 +1,61 @@
+//! Dense node identifiers.
+
+use std::fmt;
+
+/// A node in a [`crate::TypedGraph`], identified by a dense `u32` index.
+///
+/// Node ids are plain indexes into the graph's adjacency arrays; they are
+/// assigned by whoever builds the graph (the Wikipedia layer maps articles
+/// first, then categories, so article/category tests reduce to range
+/// checks there).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as a `usize`, for indexing side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        let id = NodeId::from(42u32);
+        assert_eq!(u32::from(id), 42);
+        assert_eq!(id.index(), 42);
+    }
+
+    #[test]
+    fn ordering_follows_u32() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId(7), NodeId(7));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(NodeId(3).to_string(), "n3");
+    }
+}

@@ -1,0 +1,139 @@
+//! Induced subgraphs with old↔new node mappings.
+//!
+//! Query-graph assembly (§2.3 of the paper) induces the Wikipedia
+//! subgraph over X(q) ∪ {main articles} ∪ {categories}. The induced
+//! subgraph keeps every edge whose endpoints are both selected,
+//! preserving edge types.
+
+use crate::csr::TypedGraph;
+use crate::GraphBuilder;
+
+/// An induced subgraph plus the mapping between its dense local ids and
+/// the parent graph's ids.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The induced graph over local ids `0..to_parent.len()`.
+    pub graph: TypedGraph,
+    /// `to_parent[local] = parent id`; ascending (locals are assigned in
+    /// parent-id order, so the mapping is monotonic).
+    pub to_parent: Vec<u32>,
+}
+
+impl Subgraph {
+    /// Map a parent node id to its local id, if selected.
+    pub fn local_of(&self, parent: u32) -> Option<u32> {
+        self.to_parent
+            .binary_search(&parent)
+            .ok()
+            .map(|i| i as u32)
+    }
+
+    /// Map a local id back to the parent graph.
+    pub fn parent_of(&self, local: u32) -> u32 {
+        self.to_parent[local as usize]
+    }
+
+    /// Number of nodes in the subgraph.
+    pub fn node_count(&self) -> u32 {
+        self.graph.node_count()
+    }
+}
+
+/// Induce the subgraph of `g` over `nodes` (duplicates ignored).
+/// Edges of every type whose endpoints are both selected are kept.
+pub fn induce(g: &TypedGraph, nodes: &[u32]) -> Subgraph {
+    let mut selected: Vec<u32> = nodes.to_vec();
+    selected.sort_unstable();
+    selected.dedup();
+    debug_assert!(selected.iter().all(|&u| u < g.node_count()));
+
+    let mut local = vec![u32::MAX; g.node_count() as usize];
+    for (i, &p) in selected.iter().enumerate() {
+        local[p as usize] = i as u32;
+    }
+
+    let mut b = GraphBuilder::new(selected.len() as u32);
+    for &p in &selected {
+        for (q, t) in g.out_edges(p) {
+            let lq = local[q as usize];
+            if lq != u32::MAX {
+                b.add_edge(local[p as usize], lq, t);
+            }
+        }
+    }
+    Subgraph {
+        graph: b.build(),
+        to_parent: selected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeType;
+
+    fn path_graph() -> TypedGraph {
+        // 0 →link 1 →belongs 2 →inside 3, plus 4 →redirect 0
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, EdgeType::Link);
+        b.add_edge(1, 2, EdgeType::Belongs);
+        b.add_edge(2, 3, EdgeType::Inside);
+        b.add_edge(4, 0, EdgeType::Redirect);
+        b.build()
+    }
+
+    #[test]
+    fn induces_internal_edges_only() {
+        let g = path_graph();
+        let s = induce(&g, &[0, 1, 2]);
+        assert_eq!(s.node_count(), 3);
+        assert_eq!(s.graph.edge_count(), 2); // 0→1, 1→2
+    }
+
+    #[test]
+    fn preserves_edge_types() {
+        let g = path_graph();
+        let s = induce(&g, &[1, 2, 3]);
+        let l1 = s.local_of(1).unwrap();
+        let l2 = s.local_of(2).unwrap();
+        let l3 = s.local_of(3).unwrap();
+        assert!(s.graph.has_edge(l1, l2, EdgeType::Belongs));
+        assert!(s.graph.has_edge(l2, l3, EdgeType::Inside));
+    }
+
+    #[test]
+    fn mapping_round_trips() {
+        let g = path_graph();
+        let s = induce(&g, &[4, 2, 0]); // unsorted input
+        assert_eq!(s.to_parent, vec![0, 2, 4]);
+        for local in 0..s.node_count() {
+            let parent = s.parent_of(local);
+            assert_eq!(s.local_of(parent), Some(local));
+        }
+        assert_eq!(s.local_of(1), None);
+    }
+
+    #[test]
+    fn duplicates_in_selection_ignored() {
+        let g = path_graph();
+        let s = induce(&g, &[0, 0, 1, 1]);
+        assert_eq!(s.node_count(), 2);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = path_graph();
+        let s = induce(&g, &[]);
+        assert_eq!(s.node_count(), 0);
+        assert_eq!(s.graph.edge_count(), 0);
+    }
+
+    #[test]
+    fn redirect_edges_survive_induction() {
+        let g = path_graph();
+        let s = induce(&g, &[0, 4]);
+        let l4 = s.local_of(4).unwrap();
+        let l0 = s.local_of(0).unwrap();
+        assert!(s.graph.has_edge(l4, l0, EdgeType::Redirect));
+    }
+}

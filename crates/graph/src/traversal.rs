@@ -1,0 +1,114 @@
+//! Breadth-first traversals over the undirected cycle view.
+//!
+//! Used by the analysis layer to measure how far expansion features sit
+//! from the original query articles ("expansion features being up to
+//! distance three from query articles", §3).
+
+use crate::csr::TypedGraph;
+use std::collections::VecDeque;
+
+/// Distance label for unreachable nodes.
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Multi-source BFS over the undirected cycle view. Returns one distance
+/// per node; sources have distance 0; unreachable nodes get
+/// [`UNREACHABLE`].
+pub fn bfs_distances(g: &TypedGraph, sources: &[u32]) -> Vec<u32> {
+    let mut dist = vec![UNREACHABLE; g.node_count() as usize];
+    let mut queue = VecDeque::new();
+    for &s in sources {
+        if dist[s as usize] == UNREACHABLE {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+    }
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for &v in g.und_neighbors(u) {
+            if dist[v as usize] == UNREACHABLE {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The maximum finite BFS distance from `sources` to any node of
+/// `targets`; `None` when no target is reachable or `targets` is empty.
+pub fn max_distance_to(g: &TypedGraph, sources: &[u32], targets: &[u32]) -> Option<u32> {
+    let dist = bfs_distances(g, sources);
+    targets
+        .iter()
+        .map(|&t| dist[t as usize])
+        .filter(|&d| d != UNREACHABLE)
+        .max()
+}
+
+/// All nodes within `radius` hops of `sources` (including the sources),
+/// ascending.
+pub fn ball(g: &TypedGraph, sources: &[u32], radius: u32) -> Vec<u32> {
+    bfs_distances(g, sources)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, d)| d != UNREACHABLE && d <= radius)
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeType, GraphBuilder};
+
+    fn chain() -> TypedGraph {
+        // 0 - 1 - 2 - 3 (links), 4 isolated, 5 -redirect-> 0.
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, EdgeType::Link);
+        b.add_edge(1, 2, EdgeType::Link);
+        b.add_edge(2, 3, EdgeType::Link);
+        b.add_edge(5, 0, EdgeType::Redirect);
+        b.build()
+    }
+
+    #[test]
+    fn single_source_distances() {
+        let d = bfs_distances(&chain(), &[0]);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[3], 3);
+        assert_eq!(d[4], UNREACHABLE);
+        // Redirect edges are not traversed.
+        assert_eq!(d[5], UNREACHABLE);
+    }
+
+    #[test]
+    fn multi_source_takes_minimum() {
+        let d = bfs_distances(&chain(), &[0, 3]);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], 1);
+    }
+
+    #[test]
+    fn max_distance_to_targets() {
+        let g = chain();
+        assert_eq!(max_distance_to(&g, &[0], &[2, 3]), Some(3));
+        assert_eq!(max_distance_to(&g, &[0], &[4]), None);
+        assert_eq!(max_distance_to(&g, &[0], &[]), None);
+    }
+
+    #[test]
+    fn ball_radius() {
+        let g = chain();
+        assert_eq!(ball(&g, &[1], 1), vec![0, 1, 2]);
+        assert_eq!(ball(&g, &[1], 0), vec![1]);
+        assert_eq!(ball(&g, &[1], 10), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn duplicate_sources_are_fine() {
+        let d = bfs_distances(&chain(), &[0, 0, 0]);
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+    }
+}

@@ -1,0 +1,213 @@
+//! Triangle counting and the triangle participation ratio (TPR).
+//!
+//! §3 of the paper reports that the largest connected components of the
+//! query graphs have an average TPR around 0.3 — "particularly large if
+//! we consider that the category graph in Wikipedia is tree-like and
+//! therefore triangles are not present". TPR is the fraction of nodes
+//! that belong to at least one triangle, computed on the undirected cycle
+//! view (redirect edges excluded — a redirect can never be in a
+//! triangle anyway).
+
+use crate::csr::TypedGraph;
+
+/// Sorted-slice intersection test helper: true when `a` and `b` share an
+/// element. Both inputs must be sorted ascending.
+fn share_element(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Mark every node that participates in at least one triangle of the
+/// undirected cycle view. Returns a boolean per node.
+pub fn triangle_participants(g: &TypedGraph) -> Vec<bool> {
+    let n = g.node_count() as usize;
+    let mut in_triangle = vec![false; n];
+    for u in 0..g.node_count() {
+        for &v in g.und_neighbors(u) {
+            if v <= u {
+                continue; // each edge handled once, u < v
+            }
+            // Any common neighbor w of u and v forms a triangle
+            // {u, v, w}. Marking only needs existence per edge, but to
+            // mark *all* participants we must mark each common w too.
+            let nu = g.und_neighbors(u);
+            let nv = g.und_neighbors(v);
+            let (mut i, mut j) = (0, 0);
+            while i < nu.len() && j < nv.len() {
+                match nu[i].cmp(&nv[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let w = nu[i];
+                        if w != u && w != v {
+                            in_triangle[u as usize] = true;
+                            in_triangle[v as usize] = true;
+                            in_triangle[w as usize] = true;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    in_triangle
+}
+
+/// Triangle participation ratio over the whole graph: the fraction of
+/// nodes in at least one triangle. Returns 0.0 for the empty graph.
+pub fn triangle_participation_ratio(g: &TypedGraph) -> f64 {
+    let n = g.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let marks = triangle_participants(g);
+    marks.iter().filter(|&&m| m).count() as f64 / n as f64
+}
+
+/// TPR restricted to a node subset (the paper computes TPR on the
+/// *largest connected component* of each query graph). `members` need not
+/// be sorted. Returns 0.0 for an empty subset.
+pub fn tpr_of_subset(g: &TypedGraph, members: &[u32]) -> f64 {
+    if members.is_empty() {
+        return 0.0;
+    }
+    let marks = triangle_participants(g);
+    let hit = members.iter().filter(|&&m| marks[m as usize]).count();
+    hit as f64 / members.len() as f64
+}
+
+/// Count distinct triangles {u, v, w} in the undirected cycle view.
+pub fn triangle_count(g: &TypedGraph) -> usize {
+    let mut count = 0usize;
+    for u in 0..g.node_count() {
+        let nu = g.und_neighbors(u);
+        for &v in nu {
+            if v <= u {
+                continue;
+            }
+            let nv = g.und_neighbors(v);
+            // Count common neighbors w > v so each triangle counts once.
+            let (mut i, mut j) = (0, 0);
+            while i < nu.len() && j < nv.len() {
+                match nu[i].cmp(&nv[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        if nu[i] > v {
+                            count += 1;
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    count
+}
+
+/// True when `u` and `v` have any common undirected neighbor.
+pub fn have_common_neighbor(g: &TypedGraph, u: u32, v: u32) -> bool {
+    share_element(g.und_neighbors(u), g.und_neighbors(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EdgeType, GraphBuilder};
+
+    fn triangle_plus_tail() -> TypedGraph {
+        // Triangle 0-1-2 plus tail 2-3 plus isolated 4.
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, EdgeType::Link);
+        b.add_edge(1, 2, EdgeType::Link);
+        b.add_edge(0, 2, EdgeType::Belongs);
+        b.add_edge(2, 3, EdgeType::Inside);
+        b.build()
+    }
+
+    #[test]
+    fn counts_single_triangle() {
+        assert_eq!(triangle_count(&triangle_plus_tail()), 1);
+    }
+
+    #[test]
+    fn participants_marked_exactly() {
+        let marks = triangle_participants(&triangle_plus_tail());
+        assert_eq!(marks, vec![true, true, true, false, false]);
+    }
+
+    #[test]
+    fn tpr_whole_graph() {
+        let tpr = triangle_participation_ratio(&triangle_plus_tail());
+        assert!((tpr - 0.6).abs() < 1e-12, "3 of 5 nodes → 0.6, got {tpr}");
+    }
+
+    #[test]
+    fn tpr_of_component_subset() {
+        let g = triangle_plus_tail();
+        let tpr = tpr_of_subset(&g, &[0, 1, 2, 3]);
+        assert!((tpr - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tree_has_zero_tpr() {
+        // The paper: category graph is tree-like, so no triangles.
+        let mut b = GraphBuilder::new(7);
+        for (u, v) in [(1, 0), (2, 0), (3, 1), (4, 1), (5, 2), (6, 2)] {
+            b.add_edge(u, v, EdgeType::Inside);
+        }
+        let g = b.build();
+        assert_eq!(triangle_count(&g), 0);
+        assert_eq!(triangle_participation_ratio(&g), 0.0);
+    }
+
+    #[test]
+    fn redirect_edges_cannot_form_triangles() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, EdgeType::Link);
+        b.add_edge(1, 2, EdgeType::Link);
+        b.add_edge(2, 0, EdgeType::Redirect); // would close the triangle
+        let g = b.build();
+        assert_eq!(triangle_count(&g), 0);
+    }
+
+    #[test]
+    fn reciprocal_links_do_not_double_count() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, EdgeType::Link);
+        b.add_edge(1, 0, EdgeType::Link);
+        b.add_edge(1, 2, EdgeType::Link);
+        b.add_edge(2, 0, EdgeType::Link);
+        let g = b.build();
+        assert_eq!(triangle_count(&g), 1);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(triangle_participation_ratio(&g), 0.0);
+        assert_eq!(tpr_of_subset(&g, &[]), 0.0);
+    }
+
+    #[test]
+    fn k4_every_node_participates() {
+        let mut b = GraphBuilder::new(4);
+        for u in 0..4u32 {
+            for v in (u + 1)..4u32 {
+                b.add_edge(u, v, EdgeType::Link);
+            }
+        }
+        let g = b.build();
+        assert_eq!(triangle_count(&g), 4);
+        assert_eq!(triangle_participation_ratio(&g), 1.0);
+    }
+}

@@ -1,0 +1,299 @@
+//! Query execution: the search engine the ground-truth pipeline talks
+//! to.
+//!
+//! [`SearchEngine`] owns the index, flattens a parsed [`QueryNode`] into
+//! weighted leaves (terms and exact phrases), scores the union of
+//! candidate documents under the Dirichlet LM, and returns deterministic
+//! top-k hits. Phrase postings (and their exact collection frequencies)
+//! are cached behind a `parking_lot::Mutex`: the hill-climbing search of
+//! §2.2 re-evaluates the same title phrases thousands of times per
+//! query, so this cache dominates end-to-end ground-truth time.
+
+use crate::index::InvertedIndex;
+use crate::lm::{log_belief, LmParams};
+use crate::phrase::{match_phrase, resolve_terms, PhraseHit};
+use crate::query_lang::QueryNode;
+use crate::topk::TopK;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// One retrieval result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    /// Document id.
+    pub doc: u32,
+    /// Query-likelihood score (log domain, higher is better).
+    pub score: f64,
+}
+
+/// Cached evaluation of one phrase.
+#[derive(Debug)]
+struct PhraseInfo {
+    hits: Vec<PhraseHit>,
+    collection_prob: f64,
+}
+
+/// A weighted leaf of the flattened query.
+struct Leaf {
+    weight: f64,
+    tf_by_doc: HashMap<u32, u32>,
+    collection_prob: f64,
+}
+
+/// The search engine. Cheap to share behind `Arc`; `search` takes
+/// `&self`.
+pub struct SearchEngine {
+    index: InvertedIndex,
+    params: LmParams,
+    phrase_cache: Mutex<HashMap<Vec<String>, Arc<PhraseInfo>>>,
+}
+
+impl SearchEngine {
+    /// Engine with default LM parameters (μ = 2500).
+    pub fn new(index: InvertedIndex) -> Self {
+        Self::with_params(index, LmParams::default())
+    }
+
+    /// Engine with explicit parameters.
+    pub fn with_params(index: InvertedIndex, params: LmParams) -> Self {
+        SearchEngine {
+            index,
+            params,
+            phrase_cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &InvertedIndex {
+        &self.index
+    }
+
+    /// Execute `query`, returning the best `k` documents (descending
+    /// score, ties by ascending doc id). Only documents matching at
+    /// least one leaf are candidates; an all-background document can
+    /// never enter the top-k.
+    pub fn search(&self, query: &QueryNode, k: usize) -> Vec<SearchHit> {
+        let mut leaves = Vec::new();
+        self.flatten(query, 1.0, &mut leaves);
+        if leaves.is_empty() {
+            return Vec::new();
+        }
+
+        // Candidates: any doc matching at least one leaf.
+        let mut candidates: Vec<u32> = leaves
+            .iter()
+            .flat_map(|l| l.tf_by_doc.keys().copied())
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+
+        let mut topk = TopK::new(k);
+        for doc in candidates {
+            let len = self.index.doc_len(doc);
+            let mut score = 0.0;
+            for leaf in &leaves {
+                let tf = leaf.tf_by_doc.get(&doc).copied().unwrap_or(0);
+                score += leaf.weight
+                    * log_belief(self.params, &self.index, tf, len, leaf.collection_prob);
+            }
+            topk.push(doc, score);
+        }
+        topk.into_sorted()
+            .into_iter()
+            .map(|s| SearchHit {
+                doc: s.doc,
+                score: s.score,
+            })
+            .collect()
+    }
+
+    /// Flatten the AST into weighted leaves. `#combine` distributes its
+    /// weight uniformly; `#weight` distributes proportionally
+    /// (normalized by the sum of child weights, INDRI-style).
+    fn flatten(&self, node: &QueryNode, weight: f64, out: &mut Vec<Leaf>) {
+        match node {
+            QueryNode::Term(t) => {
+                let (tf_by_doc, collection_prob) = self.term_postings(t);
+                out.push(Leaf {
+                    weight,
+                    tf_by_doc,
+                    collection_prob,
+                });
+            }
+            QueryNode::Phrase(words) => {
+                let info = self.phrase_info(words);
+                out.push(Leaf {
+                    weight,
+                    tf_by_doc: info.hits.iter().map(|h| (h.doc, h.tf)).collect(),
+                    collection_prob: info.collection_prob,
+                });
+            }
+            QueryNode::Combine(children) => {
+                if children.is_empty() {
+                    return;
+                }
+                let w = weight / children.len() as f64;
+                for c in children {
+                    self.flatten(c, w, out);
+                }
+            }
+            QueryNode::Weight(children) => {
+                let total: f64 = children.iter().map(|(w, _)| w.max(0.0)).sum();
+                if total <= 0.0 {
+                    return;
+                }
+                for (w, c) in children {
+                    if *w > 0.0 {
+                        self.flatten(c, weight * w / total, out);
+                    }
+                }
+            }
+        }
+    }
+
+    fn term_postings(&self, term: &str) -> (HashMap<u32, u32>, f64) {
+        match self.index.postings_for(term) {
+            Some(list) => (
+                list.iter().map(|p| (p.doc, p.tf())).collect(),
+                list.collection_freq() as f64 / self.index.total_tokens().max(1) as f64,
+            ),
+            None => (HashMap::new(), 0.0),
+        }
+    }
+
+    /// Cached phrase evaluation: exact hits plus the exact phrase
+    /// collection probability (total phrase occurrences / total tokens).
+    fn phrase_info(&self, words: &[String]) -> Arc<PhraseInfo> {
+        if let Some(hit) = self.phrase_cache.lock().get(words) {
+            return hit.clone();
+        }
+        let hits = match resolve_terms(&self.index, words) {
+            Some(terms) => match_phrase(&self.index, &terms),
+            None => Vec::new(),
+        };
+        let cf: u64 = hits.iter().map(|h| h.tf as u64).sum();
+        let info = Arc::new(PhraseInfo {
+            hits,
+            collection_prob: cf as f64 / self.index.total_tokens().max(1) as f64,
+        });
+        self.phrase_cache
+            .lock()
+            .insert(words.to_vec(), info.clone());
+        info
+    }
+
+    /// Number of cached phrases (observability for benches).
+    pub fn phrase_cache_len(&self) -> usize {
+        self.phrase_cache.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexBuilder;
+    use crate::query_lang::parse;
+
+    fn engine() -> SearchEngine {
+        let mut b = IndexBuilder::new();
+        b.add_document("a gondola on the grand canal of venice"); // 0
+        b.add_document("the grand hotel beside a small canal"); // 1
+        b.add_document("venice has many bridges and one grand canal"); // 2
+        b.add_document("completely unrelated text about mountains"); // 3
+        SearchEngine::new(b.build())
+    }
+
+    #[test]
+    fn phrase_query_prefers_exact_match() {
+        let e = engine();
+        let hits = e.search(&parse("#1(grand canal)").unwrap(), 10);
+        let docs: Vec<u32> = hits.iter().map(|h| h.doc).collect();
+        // Docs 0 and 2 contain the exact phrase; doc 1 has both words
+        // but not adjacent — it may appear via background only if it
+        // matched a leaf, which it does not for a pure phrase query.
+        assert_eq!(docs, vec![0, 2]);
+    }
+
+    #[test]
+    fn combine_blends_phrase_and_term() {
+        let e = engine();
+        let hits = e.search(&parse("#combine(#1(grand canal) venice)").unwrap(), 10);
+        let docs: Vec<u32> = hits.iter().map(|h| h.doc).collect();
+        // Docs 0 and 2 match both leaves. Doc 1 matches neither (its
+        // "grand" and "canal" are not adjacent) so it is no candidate.
+        assert_eq!(docs.len(), 2);
+        assert!(docs.contains(&0) && docs.contains(&2));
+    }
+
+    #[test]
+    fn unrelated_doc_never_retrieved() {
+        let e = engine();
+        let hits = e.search(&parse("#combine(gondola venice)").unwrap(), 10);
+        assert!(hits.iter().all(|h| h.doc != 3));
+    }
+
+    #[test]
+    fn k_limits_results() {
+        let e = engine();
+        let hits = e.search(&parse("the").unwrap(), 1);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn scores_descend() {
+        let e = engine();
+        let hits = e.search(&parse("#combine(grand canal venice)").unwrap(), 10);
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn weight_shifts_ranking() {
+        let mut b = IndexBuilder::new();
+        b.add_document("apple apple banana"); // 0: apple-heavy
+        b.add_document("banana banana apple"); // 1: banana-heavy
+        let e = SearchEngine::new(b.build());
+        let apple_heavy = e.search(&parse("#weight(0.9 apple 0.1 banana)").unwrap(), 2);
+        assert_eq!(apple_heavy[0].doc, 0);
+        let banana_heavy = e.search(&parse("#weight(0.1 apple 0.9 banana)").unwrap(), 2);
+        assert_eq!(banana_heavy[0].doc, 1);
+    }
+
+    #[test]
+    fn unknown_terms_yield_empty() {
+        let e = engine();
+        assert!(e.search(&parse("zzzzz").unwrap(), 5).is_empty());
+        assert!(e.search(&parse("#1(zz yy)").unwrap(), 5).is_empty());
+    }
+
+    #[test]
+    fn phrase_cache_fills_and_hits() {
+        let e = engine();
+        let q = parse("#1(grand canal)").unwrap();
+        assert_eq!(e.phrase_cache_len(), 0);
+        let first = e.search(&q, 5);
+        assert_eq!(e.phrase_cache_len(), 1);
+        let second = e.search(&q, 5);
+        assert_eq!(e.phrase_cache_len(), 1);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn deterministic_tie_break() {
+        let mut b = IndexBuilder::new();
+        b.add_document("same words here");
+        b.add_document("same words here");
+        let e = SearchEngine::new(b.build());
+        let hits = e.search(&parse("#1(same words)").unwrap(), 2);
+        let docs: Vec<u32> = hits.iter().map(|h| h.doc).collect();
+        assert_eq!(docs, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_index_returns_nothing() {
+        let e = SearchEngine::new(IndexBuilder::new().build());
+        assert!(e.search(&parse("anything").unwrap(), 5).is_empty());
+    }
+}

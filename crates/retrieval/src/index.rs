@@ -1,0 +1,245 @@
+//! The positional inverted index.
+//!
+//! [`IndexBuilder`] tokenizes documents (through `querygraph-text`, the
+//! same normalization the entity linker uses) and freezes an
+//! [`InvertedIndex`]: one [`PostingsList`] per term, document lengths,
+//! and collection statistics for smoothing.
+
+use crate::postings::{PostingsBuilder, PostingsList};
+use querygraph_text::{tokenize_positions, Interner, TermId};
+
+/// Accumulates documents, then [`IndexBuilder::build`]s the index.
+#[derive(Debug, Default)]
+pub struct IndexBuilder {
+    interner: Interner,
+    // term → (doc, positions) accumulated in insertion order; docs are
+    // appended in ascending order by construction.
+    accum: Vec<Vec<(u32, Vec<u32>)>>,
+    doc_lengths: Vec<u32>,
+    total_tokens: u64,
+}
+
+impl IndexBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a document; returns its dense doc id (assigned sequentially
+    /// from 0). The text is normalized and tokenized internally.
+    pub fn add_document(&mut self, text: &str) -> u32 {
+        let doc = self.doc_lengths.len() as u32;
+        let tokens = tokenize_positions(text);
+        self.doc_lengths.push(tokens.len() as u32);
+        self.total_tokens += tokens.len() as u64;
+        for tok in &tokens {
+            let t = self.interner.intern(&tok.text);
+            if t.index() >= self.accum.len() {
+                self.accum.push(Vec::new());
+            }
+            let entry = &mut self.accum[t.index()];
+            match entry.last_mut() {
+                Some((d, positions)) if *d == doc => positions.push(tok.position),
+                _ => entry.push((doc, vec![tok.position])),
+            }
+        }
+        doc
+    }
+
+    /// Number of documents added so far.
+    pub fn doc_count(&self) -> usize {
+        self.doc_lengths.len()
+    }
+
+    /// Freeze into an immutable index.
+    pub fn build(self) -> InvertedIndex {
+        let postings = self
+            .accum
+            .into_iter()
+            .map(|entries| {
+                let mut b = PostingsBuilder::new();
+                for (doc, positions) in entries {
+                    b.push(doc, &positions);
+                }
+                b.build()
+            })
+            .collect();
+        InvertedIndex {
+            interner: self.interner,
+            postings,
+            doc_lengths: self.doc_lengths,
+            total_tokens: self.total_tokens,
+        }
+    }
+}
+
+/// An immutable positional inverted index.
+#[derive(Debug)]
+pub struct InvertedIndex {
+    interner: Interner,
+    postings: Vec<PostingsList>,
+    doc_lengths: Vec<u32>,
+    total_tokens: u64,
+}
+
+impl InvertedIndex {
+    /// Number of indexed documents.
+    pub fn num_docs(&self) -> usize {
+        self.doc_lengths.len()
+    }
+
+    /// Number of distinct terms.
+    pub fn num_terms(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Total token count of the collection.
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Length (token count) of document `doc`.
+    pub fn doc_len(&self, doc: u32) -> u32 {
+        self.doc_lengths[doc as usize]
+    }
+
+    /// Mean document length; 0.0 for an empty index.
+    pub fn avg_doc_len(&self) -> f64 {
+        if self.doc_lengths.is_empty() {
+            0.0
+        } else {
+            self.total_tokens as f64 / self.doc_lengths.len() as f64
+        }
+    }
+
+    /// Term id of an (already normalized) word.
+    pub fn term_id(&self, term: &str) -> Option<TermId> {
+        self.interner.get(term)
+    }
+
+    /// The postings list of a term id.
+    pub fn postings(&self, t: TermId) -> &PostingsList {
+        &self.postings[t.index()]
+    }
+
+    /// Postings by raw term string (normalized form expected).
+    pub fn postings_for(&self, term: &str) -> Option<&PostingsList> {
+        self.term_id(term).map(|t| self.postings(t))
+    }
+
+    /// Collection probability of a term: cf(t) / total tokens. Unknown
+    /// terms get 0.
+    pub fn collection_prob(&self, term: &str) -> f64 {
+        if self.total_tokens == 0 {
+            return 0.0;
+        }
+        match self.postings_for(term) {
+            Some(p) => p.collection_freq() as f64 / self.total_tokens as f64,
+            None => 0.0,
+        }
+    }
+
+    /// The smallest nonzero probability representable in this
+    /// collection; the smoothing floor for unseen terms and phrases.
+    pub fn epsilon_prob(&self) -> f64 {
+        if self.total_tokens == 0 {
+            1e-9
+        } else {
+            0.5 / self.total_tokens as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add_document("a gondola on the grand canal");
+        b.add_document("the grand hotel");
+        b.add_document("");
+        b.build()
+    }
+
+    #[test]
+    fn doc_ids_sequential() {
+        let mut b = IndexBuilder::new();
+        assert_eq!(b.add_document("x"), 0);
+        assert_eq!(b.add_document("y"), 1);
+        assert_eq!(b.doc_count(), 2);
+    }
+
+    #[test]
+    fn collection_statistics() {
+        let idx = tiny();
+        assert_eq!(idx.num_docs(), 3);
+        assert_eq!(idx.total_tokens(), 9);
+        assert_eq!(idx.doc_len(0), 6);
+        assert_eq!(idx.doc_len(2), 0);
+        assert!((idx.avg_doc_len() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn postings_positions_are_correct() {
+        let idx = tiny();
+        let grand = idx.postings_for("grand").unwrap();
+        let entries: Vec<(u32, Vec<u32>)> =
+            grand.iter().map(|p| (p.doc, p.positions)).collect();
+        assert_eq!(entries, vec![(0, vec![4]), (1, vec![1])]);
+        let the = idx.postings_for("the").unwrap();
+        assert_eq!(the.collection_freq(), 2);
+        assert_eq!(the.doc_count(), 2);
+    }
+
+    #[test]
+    fn repeated_terms_in_one_doc() {
+        let mut b = IndexBuilder::new();
+        b.add_document("canal canal canal");
+        let idx = b.build();
+        let p = idx.postings_for("canal").unwrap();
+        let e: Vec<DocPositions> = p.iter().map(|x| (x.doc, x.positions)).collect();
+        assert_eq!(e, vec![(0, vec![0, 1, 2])]);
+    }
+
+    type DocPositions = (u32, Vec<u32>);
+
+    #[test]
+    fn unknown_terms() {
+        let idx = tiny();
+        assert!(idx.postings_for("missing").is_none());
+        assert_eq!(idx.collection_prob("missing"), 0.0);
+    }
+
+    #[test]
+    fn collection_prob_sums_to_one_over_terms() {
+        let idx = tiny();
+        let total: f64 = (0..idx.num_terms())
+            .map(|i| {
+                idx.postings(TermId(i as u32)).collection_freq() as f64
+                    / idx.total_tokens() as f64
+            })
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_is_applied() {
+        let mut b = IndexBuilder::new();
+        b.add_document("GONDOLA, Gondola; gondola!");
+        let idx = b.build();
+        assert_eq!(
+            idx.postings_for("gondola").unwrap().collection_freq(),
+            3
+        );
+    }
+
+    #[test]
+    fn epsilon_prob_positive() {
+        let idx = tiny();
+        assert!(idx.epsilon_prob() > 0.0);
+        assert!(idx.epsilon_prob() < 1.0);
+        let empty = IndexBuilder::new().build();
+        assert!(empty.epsilon_prob() > 0.0);
+    }
+}

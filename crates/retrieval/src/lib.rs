@@ -1,0 +1,53 @@
+//! # querygraph-retrieval
+//!
+//! The search-engine substrate of the reproduction. The paper evaluates
+//! candidate expansion features by writing exact-phrase queries "in the
+//! INDRI query language" and measuring top-r precision against each
+//! query's relevant set (§2.2). INDRI itself is a language-model engine;
+//! this crate implements the same contract:
+//!
+//! * [`index`] — a positional inverted index with delta-varint-encoded
+//!   postings ([`postings`]), document lengths and collection statistics.
+//! * [`phrase`] — exact-phrase matching (`#1(...)`: terms at consecutive
+//!   positions), the operator the paper's queries are built from.
+//! * [`lm`] — Dirichlet-smoothed query-likelihood scoring, INDRI's
+//!   default retrieval model.
+//! * [`query_lang`] — a parser and AST for the query-language subset
+//!   used here: bare terms, `#1(…)`, `#combine(…)`, `#weight(…)`.
+//! * [`engine`] — [`engine::SearchEngine`]: executes a parsed query and
+//!   returns deterministic top-k results (ties broken by doc id), with a
+//!   phrase-postings cache (the ground-truth hill climb re-evaluates the
+//!   same titles thousands of times).
+//! * [`metrics`] — top-r precision `P(A, r, D)` and the averaged
+//!   quality `O(A, D)` of the paper's Eq. 1 (R = {1, 5, 10, 15}).
+//! * [`stats`] — five-number summaries (min/quartiles/max) used by
+//!   Tables 2 and 3.
+//!
+//! ```
+//! use querygraph_retrieval::index::IndexBuilder;
+//! use querygraph_retrieval::engine::SearchEngine;
+//! use querygraph_retrieval::query_lang::parse;
+//!
+//! let mut b = IndexBuilder::new();
+//! b.add_document("a gondola on the grand canal");
+//! b.add_document("the grand hotel by the canal");
+//! let engine = SearchEngine::new(b.build());
+//! let q = parse("#combine(#1(grand canal) gondola)").unwrap();
+//! let hits = engine.search(&q, 10);
+//! assert_eq!(hits[0].doc, 0); // exact phrase + term beats scattered terms
+//! ```
+
+pub mod engine;
+pub mod index;
+pub mod lm;
+pub mod metrics;
+pub mod phrase;
+pub mod postings;
+pub mod query_lang;
+pub mod stats;
+pub mod topk;
+
+pub use engine::{SearchEngine, SearchHit};
+pub use index::{IndexBuilder, InvertedIndex};
+pub use metrics::{average_quality, precision_at, EVAL_CUTOFFS};
+pub use query_lang::{parse, QueryNode};

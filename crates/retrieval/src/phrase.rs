@@ -1,0 +1,246 @@
+//! Exact-phrase matching — the `#1(...)` operator.
+//!
+//! A phrase matches at position `p` of a document when term `i` of the
+//! phrase occurs at position `p + i` for every `i`. The paper's
+//! ground-truth queries are built exclusively from exact title phrases
+//! (§2.2: "based on exact phrase matching"), so this is the hot path of
+//! the whole reproduction.
+//!
+//! The matcher walks the phrase terms' postings lists in lockstep
+//! (they are doc-ordered) and intersects positions with offsets.
+
+use crate::index::InvertedIndex;
+use crate::postings::DocPosting;
+use querygraph_text::TermId;
+
+/// Phrase occurrences in one document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhraseHit {
+    /// Document id.
+    pub doc: u32,
+    /// Number of exact occurrences (the phrase "term frequency").
+    pub tf: u32,
+}
+
+/// Match an exact phrase given its term ids. Returns hits in doc-id
+/// order plus the phrase collection frequency (sum of tfs).
+///
+/// An empty phrase or a phrase with any unknown term matches nothing.
+pub fn match_phrase(index: &InvertedIndex, terms: &[TermId]) -> Vec<PhraseHit> {
+    if terms.is_empty() {
+        return Vec::new();
+    }
+    if terms.len() == 1 {
+        return index
+            .postings(terms[0])
+            .iter()
+            .map(|p| PhraseHit {
+                doc: p.doc,
+                tf: p.tf(),
+            })
+            .collect();
+    }
+
+    // Iterators over every term's postings, advanced in lockstep.
+    let mut iters: Vec<_> = terms.iter().map(|&t| index.postings(t).iter()).collect();
+    let mut current: Vec<Option<DocPosting>> = iters.iter_mut().map(|it| it.next()).collect();
+    let mut hits = Vec::new();
+
+    'outer: loop {
+        // Find the maximum current doc; every iterator must reach it.
+        let mut target = 0u32;
+        for c in &current {
+            match c {
+                None => break 'outer,
+                Some(p) => target = target.max(p.doc),
+            }
+        }
+        // Advance lagging iterators.
+        let mut aligned = true;
+        for (i, c) in current.iter_mut().enumerate() {
+            while let Some(p) = c {
+                if p.doc >= target {
+                    break;
+                }
+                *c = iters[i].next();
+            }
+            match c {
+                None => break 'outer,
+                Some(p) if p.doc == target => {}
+                Some(_) => aligned = false, // overshot: new round with larger target
+            }
+        }
+        if !aligned {
+            continue;
+        }
+        // All aligned on `target`: count consecutive-position matches.
+        let tf = count_phrase_occurrences(&current);
+        if tf > 0 {
+            hits.push(PhraseHit { doc: target, tf });
+        }
+        // Advance every iterator past `target`.
+        for (i, c) in current.iter_mut().enumerate() {
+            *c = iters[i].next();
+        }
+    }
+    hits
+}
+
+/// Count positions `p` such that term `i`'s positions contain `p + i`.
+fn count_phrase_occurrences(current: &[Option<DocPosting>]) -> u32 {
+    let first = current[0].as_ref().expect("aligned");
+    let mut tf = 0u32;
+    'pos: for &p in &first.positions {
+        for (i, c) in current.iter().enumerate().skip(1) {
+            let positions = &c.as_ref().expect("aligned").positions;
+            let want = p + i as u32;
+            if positions.binary_search(&want).is_err() {
+                continue 'pos;
+            }
+        }
+        tf += 1;
+    }
+    tf
+}
+
+/// Resolve a phrase's words to term ids; `None` if any word is unknown
+/// to the index (the phrase then cannot match and its collection
+/// frequency is zero).
+pub fn resolve_terms(index: &InvertedIndex, words: &[String]) -> Option<Vec<TermId>> {
+    words.iter().map(|w| index.term_id(w)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexBuilder;
+
+    fn idx() -> InvertedIndex {
+        let mut b = IndexBuilder::new();
+        b.add_document("the grand canal of venice is a grand canal"); // 0
+        b.add_document("grand hotel on the canal"); // 1
+        b.add_document("canal grand"); // 2 (reversed: no match)
+        b.add_document("grand canal grand canal grand canal"); // 3
+        b.build()
+    }
+
+    fn phrase(index: &InvertedIndex, words: &[&str]) -> Vec<PhraseHit> {
+        let words: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        match resolve_terms(index, &words) {
+            Some(terms) => match_phrase(index, &terms),
+            None => Vec::new(),
+        }
+    }
+
+    #[test]
+    fn exact_adjacency_required() {
+        let index = idx();
+        let hits = phrase(&index, &["grand", "canal"]);
+        assert_eq!(
+            hits,
+            vec![
+                PhraseHit { doc: 0, tf: 2 },
+                PhraseHit { doc: 3, tf: 3 },
+            ]
+        );
+    }
+
+    #[test]
+    fn order_matters() {
+        let index = idx();
+        let hits = phrase(&index, &["canal", "grand"]);
+        // doc 2 "canal grand" and doc 3 "…canal grand canal…" twice.
+        assert_eq!(
+            hits,
+            vec![
+                PhraseHit { doc: 2, tf: 1 },
+                PhraseHit { doc: 3, tf: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn single_term_phrase_is_term_lookup() {
+        let index = idx();
+        let hits = phrase(&index, &["hotel"]);
+        assert_eq!(hits, vec![PhraseHit { doc: 1, tf: 1 }]);
+    }
+
+    #[test]
+    fn three_word_phrase() {
+        let index = idx();
+        let hits = phrase(&index, &["grand", "canal", "of"]);
+        assert_eq!(hits, vec![PhraseHit { doc: 0, tf: 1 }]);
+    }
+
+    #[test]
+    fn unknown_word_matches_nothing() {
+        let index = idx();
+        assert!(phrase(&index, &["grand", "missing"]).is_empty());
+    }
+
+    #[test]
+    fn empty_phrase_matches_nothing() {
+        let index = idx();
+        assert!(match_phrase(&index, &[]).is_empty());
+    }
+
+    #[test]
+    fn phrase_never_exceeds_min_term_tf() {
+        let index = idx();
+        let hits = phrase(&index, &["grand", "canal"]);
+        for h in hits {
+            let g = index.postings_for("grand").unwrap();
+            let tf_grand = g
+                .iter()
+                .find(|p| p.doc == h.doc)
+                .map(|p| p.tf())
+                .unwrap_or(0);
+            assert!(h.tf <= tf_grand);
+        }
+    }
+
+    proptest::proptest! {
+        /// The lockstep matcher must agree with a naive scan over the
+        /// original token streams.
+        #[test]
+        fn matches_naive_scan(
+            docs in proptest::collection::vec(
+                proptest::collection::vec(0u8..4, 0..30),
+                1..8,
+            ),
+            phrase_words in proptest::collection::vec(0u8..4, 1..4),
+        ) {
+            let word = |b: u8| ["alpha", "beta", "gamma", "delta"][b as usize];
+            let mut builder = IndexBuilder::new();
+            for d in &docs {
+                let text: Vec<&str> = d.iter().map(|&b| word(b)).collect();
+                builder.add_document(&text.join(" "));
+            }
+            let index = builder.build();
+            let words: Vec<String> =
+                phrase_words.iter().map(|&b| word(b).to_string()).collect();
+            let fast = match resolve_terms(&index, &words) {
+                Some(terms) => match_phrase(&index, &terms),
+                None => Vec::new(),
+            };
+            // Naive scan.
+            let mut naive = Vec::new();
+            for (di, d) in docs.iter().enumerate() {
+                let tokens: Vec<&str> = d.iter().map(|&b| word(b)).collect();
+                let mut tf = 0u32;
+                if tokens.len() >= words.len() {
+                    for start in 0..=(tokens.len() - words.len()) {
+                        if (0..words.len()).all(|i| tokens[start + i] == words[i]) {
+                            tf += 1;
+                        }
+                    }
+                }
+                if tf > 0 {
+                    naive.push(PhraseHit { doc: di as u32, tf });
+                }
+            }
+            proptest::prop_assert_eq!(fast, naive);
+        }
+    }
+}

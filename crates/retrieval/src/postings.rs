@@ -1,0 +1,330 @@
+//! Positional postings lists with delta-varint encoding.
+//!
+//! Each term's postings are a sequence of documents; each document entry
+//! stores the term's positions in that document. The on-heap layout is a
+//! single contiguous [`bytes::Bytes`] buffer:
+//!
+//! ```text
+//! ┌ per document ──────────────────────────────────────────────┐
+//! │ varint(doc_id delta)  varint(tf)  varint(pos delta) × tf   │
+//! └─────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Doc ids and positions are strictly increasing, so deltas are small
+//! and LEB128 varints keep the index compact (the real ImageCLEF
+//! collection has 237k documents; compactness is not cosmetic).
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Append `v` as a LEB128 varint.
+pub fn write_varint(buf: &mut BytesMut, mut v: u32) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Read a LEB128 varint at `pos`, advancing it. Returns `None` on
+/// truncated input.
+pub fn read_varint(data: &[u8], pos: &mut usize) -> Option<u32> {
+    let mut shift = 0u32;
+    let mut out = 0u32;
+    loop {
+        let &byte = data.get(*pos)?;
+        *pos += 1;
+        out |= ((byte & 0x7F) as u32) << shift;
+        if byte & 0x80 == 0 {
+            return Some(out);
+        }
+        shift += 7;
+        if shift >= 32 {
+            return None;
+        }
+    }
+}
+
+/// One decoded document entry of a postings list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DocPosting {
+    /// Document id.
+    pub doc: u32,
+    /// Term positions in the document, ascending.
+    pub positions: Vec<u32>,
+}
+
+impl DocPosting {
+    /// Term frequency in this document.
+    pub fn tf(&self) -> u32 {
+        self.positions.len() as u32
+    }
+}
+
+/// An immutable, encoded postings list.
+#[derive(Debug, Clone, Default)]
+pub struct PostingsList {
+    data: Bytes,
+    doc_count: u32,
+    collection_freq: u64,
+}
+
+impl PostingsList {
+    /// Number of documents containing the term.
+    pub fn doc_count(&self) -> u32 {
+        self.doc_count
+    }
+
+    /// Total occurrences of the term across the collection.
+    pub fn collection_freq(&self) -> u64 {
+        self.collection_freq
+    }
+
+    /// Encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Iterate decoded document entries in doc-id order.
+    pub fn iter(&self) -> PostingsIter<'_> {
+        PostingsIter {
+            data: &self.data,
+            pos: 0,
+            last_doc: 0,
+            first: true,
+            remaining: self.doc_count,
+        }
+    }
+}
+
+/// Decoding iterator over a [`PostingsList`].
+pub struct PostingsIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+    last_doc: u32,
+    first: bool,
+    remaining: u32,
+}
+
+impl Iterator for PostingsIter<'_> {
+    type Item = DocPosting;
+
+    fn next(&mut self) -> Option<DocPosting> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let delta = read_varint(self.data, &mut self.pos)?;
+        let doc = if self.first {
+            self.first = false;
+            delta
+        } else {
+            self.last_doc + delta
+        };
+        self.last_doc = doc;
+        let tf = read_varint(self.data, &mut self.pos)?;
+        let mut positions = Vec::with_capacity(tf as usize);
+        let mut last = 0u32;
+        for i in 0..tf {
+            let pdelta = read_varint(self.data, &mut self.pos)?;
+            last = if i == 0 { pdelta } else { last + pdelta };
+            positions.push(last);
+        }
+        self.remaining -= 1;
+        Some(DocPosting { doc, positions })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining as usize, Some(self.remaining as usize))
+    }
+}
+
+/// Incremental encoder. Documents must be appended in ascending doc-id
+/// order with ascending positions.
+#[derive(Debug, Default)]
+pub struct PostingsBuilder {
+    buf: BytesMut,
+    last_doc: u32,
+    first: bool,
+    doc_count: u32,
+    collection_freq: u64,
+}
+
+impl PostingsBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        PostingsBuilder {
+            first: true,
+            ..Default::default()
+        }
+    }
+
+    /// Append one document's positions.
+    ///
+    /// # Panics
+    /// If `doc` is not strictly greater than the previous doc, or
+    /// `positions` is empty or not strictly ascending.
+    pub fn push(&mut self, doc: u32, positions: &[u32]) {
+        assert!(!positions.is_empty(), "postings entry needs ≥1 position");
+        if self.first {
+            write_varint(&mut self.buf, doc);
+            self.first = false;
+        } else {
+            assert!(doc > self.last_doc, "docs must be strictly ascending");
+            write_varint(&mut self.buf, doc - self.last_doc);
+        }
+        self.last_doc = doc;
+        write_varint(&mut self.buf, positions.len() as u32);
+        let mut last = 0u32;
+        for (i, &p) in positions.iter().enumerate() {
+            if i == 0 {
+                write_varint(&mut self.buf, p);
+            } else {
+                assert!(p > last, "positions must be strictly ascending");
+                write_varint(&mut self.buf, p - last);
+            }
+            last = p;
+        }
+        self.doc_count += 1;
+        self.collection_freq += positions.len() as u64;
+    }
+
+    /// Freeze into an immutable list.
+    pub fn build(self) -> PostingsList {
+        PostingsList {
+            data: self.buf.freeze(),
+            doc_count: self.doc_count,
+            collection_freq: self.collection_freq,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn varint_round_trip_boundaries() {
+        let mut buf = BytesMut::new();
+        let values = [0u32, 1, 127, 128, 300, 16383, 16384, u32::MAX];
+        for &v in &values {
+            write_varint(&mut buf, v);
+        }
+        let data = buf.freeze();
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(read_varint(&data, &mut pos), Some(v));
+        }
+        assert_eq!(pos, data.len());
+    }
+
+    #[test]
+    fn truncated_varint_returns_none() {
+        let data = [0x80u8]; // continuation bit with no next byte
+        let mut pos = 0;
+        assert_eq!(read_varint(&data, &mut pos), None);
+    }
+
+    #[test]
+    fn postings_round_trip() {
+        let mut b = PostingsBuilder::new();
+        b.push(0, &[3, 7, 20]);
+        b.push(5, &[0]);
+        b.push(6, &[1, 2]);
+        let list = b.build();
+        assert_eq!(list.doc_count(), 3);
+        assert_eq!(list.collection_freq(), 6);
+        let decoded: Vec<DocPosting> = list.iter().collect();
+        assert_eq!(
+            decoded,
+            vec![
+                DocPosting {
+                    doc: 0,
+                    positions: vec![3, 7, 20]
+                },
+                DocPosting {
+                    doc: 5,
+                    positions: vec![0]
+                },
+                DocPosting {
+                    doc: 6,
+                    positions: vec![1, 2]
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn empty_list_iterates_nothing() {
+        let list = PostingsBuilder::new().build();
+        assert_eq!(list.iter().count(), 0);
+        assert_eq!(list.doc_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn rejects_non_ascending_docs() {
+        let mut b = PostingsBuilder::new();
+        b.push(5, &[0]);
+        b.push(5, &[1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs ≥1 position")]
+    fn rejects_empty_positions() {
+        PostingsBuilder::new().push(0, &[]);
+    }
+
+    #[test]
+    fn size_hint_is_exact() {
+        let mut b = PostingsBuilder::new();
+        for d in 0..10u32 {
+            b.push(d, &[d]);
+        }
+        let list = b.build();
+        let mut it = list.iter();
+        assert_eq!(it.size_hint(), (10, Some(10)));
+        it.next();
+        assert_eq!(it.size_hint(), (9, Some(9)));
+    }
+
+    #[test]
+    fn encoding_is_compact_for_dense_ids() {
+        let mut b = PostingsBuilder::new();
+        for d in 0..1000u32 {
+            b.push(d, &[0]);
+        }
+        let list = b.build();
+        // delta=1 ids + tf=1 + pos=0 → 3 bytes per entry (first entry 3).
+        assert!(list.encoded_len() <= 3000, "got {}", list.encoded_len());
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn round_trip_random(entries in proptest::collection::vec(
+            (0u32..10_000, proptest::collection::btree_set(0u32..5_000, 1..20)),
+            0..50,
+        )) {
+            // Deduplicate and sort docs.
+            let mut map = std::collections::BTreeMap::new();
+            for (d, ps) in entries {
+                map.entry(d).or_insert(ps);
+            }
+            let mut b = PostingsBuilder::new();
+            for (d, ps) in &map {
+                let positions: Vec<u32> = ps.iter().copied().collect();
+                b.push(*d, &positions);
+            }
+            let list = b.build();
+            let decoded: Vec<(u32, Vec<u32>)> =
+                list.iter().map(|p| (p.doc, p.positions)).collect();
+            let expected: Vec<(u32, Vec<u32>)> = map
+                .into_iter()
+                .map(|(d, ps)| (d, ps.into_iter().collect()))
+                .collect();
+            proptest::prop_assert_eq!(decoded, expected);
+        }
+    }
+}

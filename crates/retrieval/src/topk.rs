@@ -1,0 +1,155 @@
+//! Deterministic bounded top-k selection.
+//!
+//! Retrieval results must be reproducible run to run: equal scores are
+//! broken by ascending doc id, matching what a stable sort over the full
+//! score list would produce. Floating-point scores are compared
+//! totally via `f64::total_cmp` (scores are finite by construction —
+//! the LM layer never emits NaN).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scored document.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scored {
+    /// Document id.
+    pub doc: u32,
+    /// Retrieval score (higher is better).
+    pub score: f64,
+}
+
+/// Heap entry ordered so the heap root is the *worst* kept result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct HeapEntry(Scored);
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap by "badness": lower score = greater entry. Ties:
+        // higher doc id = greater entry (so it is evicted first).
+        match other.0.score.total_cmp(&self.0.score) {
+            Ordering::Equal => self.0.doc.cmp(&other.0.doc),
+            o => o,
+        }
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Bounded top-k collector.
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl TopK {
+    /// Collector that keeps the best `k` entries.
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offer one scored document.
+    pub fn push(&mut self, doc: u32, score: f64) {
+        if self.k == 0 {
+            return;
+        }
+        let entry = HeapEntry(Scored { doc, score });
+        if self.heap.len() < self.k {
+            self.heap.push(entry);
+        } else if let Some(worst) = self.heap.peek() {
+            if entry < *worst {
+                self.heap.push(entry);
+                self.heap.pop();
+            }
+        }
+    }
+
+    /// Finish: results sorted by descending score, ties by ascending doc
+    /// id.
+    pub fn into_sorted(self) -> Vec<Scored> {
+        let mut v: Vec<Scored> = self.heap.into_iter().map(|e| e.0).collect();
+        v.sort_unstable_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.doc.cmp(&b.doc))
+        });
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_k() {
+        let mut t = TopK::new(3);
+        for (d, s) in [(0, 1.0), (1, 5.0), (2, 3.0), (3, 4.0), (4, 2.0)] {
+            t.push(d, s);
+        }
+        let out = t.into_sorted();
+        let docs: Vec<u32> = out.iter().map(|s| s.doc).collect();
+        assert_eq!(docs, vec![1, 3, 2]);
+    }
+
+    #[test]
+    fn ties_break_by_doc_id() {
+        let mut t = TopK::new(2);
+        for d in [5, 1, 9, 3] {
+            t.push(d, 7.0);
+        }
+        let docs: Vec<u32> = t.into_sorted().iter().map(|s| s.doc).collect();
+        assert_eq!(docs, vec![1, 3]);
+    }
+
+    #[test]
+    fn fewer_than_k() {
+        let mut t = TopK::new(10);
+        t.push(4, 1.0);
+        t.push(2, 2.0);
+        let docs: Vec<u32> = t.into_sorted().iter().map(|s| s.doc).collect();
+        assert_eq!(docs, vec![2, 4]);
+    }
+
+    #[test]
+    fn zero_k() {
+        let mut t = TopK::new(0);
+        t.push(0, 1.0);
+        assert!(t.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn matches_full_sort_reference() {
+        let scores: Vec<(u32, f64)> = (0..100)
+            .map(|i| (i, ((i * 37) % 11) as f64))
+            .collect();
+        let mut t = TopK::new(10);
+        for &(d, s) in &scores {
+            t.push(d, s);
+        }
+        let fast: Vec<u32> = t.into_sorted().iter().map(|s| s.doc).collect();
+        let mut reference = scores;
+        reference.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let slow: Vec<u32> = reference.iter().take(10).map(|&(d, _)| d).collect();
+        assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn negative_scores_ordered_correctly() {
+        let mut t = TopK::new(2);
+        t.push(0, -5.0);
+        t.push(1, -1.0);
+        t.push(2, -3.0);
+        let docs: Vec<u32> = t.into_sorted().iter().map(|s| s.doc).collect();
+        assert_eq!(docs, vec![1, 2]);
+    }
+}

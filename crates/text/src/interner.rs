@@ -1,0 +1,150 @@
+//! String interning: a bidirectional map between terms and dense `u32`
+//! ids.
+//!
+//! The inverted index, the title dictionary and the synthetic vocabulary
+//! all need to treat words as small integers. [`Interner`] assigns ids in
+//! insertion order, so an interner built from a deterministic input stream
+//! is itself deterministic — a property the reproduction harness relies on
+//! (DESIGN.md §7).
+
+use std::collections::HashMap;
+
+/// Dense id of an interned term. Ids are assigned consecutively from 0 in
+/// first-seen order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(pub u32);
+
+impl TermId {
+    /// The id as a usize, for indexing side tables.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Insertion-ordered string interner.
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: HashMap<String, TermId>,
+    terms: Vec<String>,
+}
+
+impl Interner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an interner with pre-reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Interner {
+            map: HashMap::with_capacity(cap),
+            terms: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Intern `term`, returning its id. Existing terms return their
+    /// original id; new terms get the next consecutive id.
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.map.get(term) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(term.to_owned());
+        self.map.insert(term.to_owned(), id);
+        id
+    }
+
+    /// Look up a term without inserting.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.map.get(term).copied()
+    }
+
+    /// Resolve an id back to its term. Panics if the id came from another
+    /// interner and is out of range.
+    pub fn resolve(&self, id: TermId) -> &str {
+        &self.terms[id.index()]
+    }
+
+    /// Number of distinct interned terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterate `(TermId, &str)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("venice");
+        let b = i.intern("venice");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut i = Interner::new();
+        assert_eq!(i.intern("a"), TermId(0));
+        assert_eq!(i.intern("b"), TermId(1));
+        assert_eq!(i.intern("a"), TermId(0));
+        assert_eq!(i.intern("c"), TermId(2));
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        let words = ["gondola", "canal", "bridge"];
+        let ids: Vec<TermId> = words.iter().map(|w| i.intern(w)).collect();
+        for (w, id) in words.iter().zip(ids) {
+            assert_eq!(i.resolve(id), *w);
+        }
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut i = Interner::new();
+        assert_eq!(i.get("missing"), None);
+        i.intern("present");
+        assert_eq!(i.get("present"), Some(TermId(0)));
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut i = Interner::new();
+        for w in ["z", "y", "x"] {
+            i.intern(w);
+        }
+        let collected: Vec<&str> = i.iter().map(|(_, t)| t).collect();
+        assert_eq!(collected, vec!["z", "y", "x"]);
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        let build = || {
+            let mut i = Interner::new();
+            for w in ["alpha", "beta", "alpha", "gamma"] {
+                i.intern(w);
+            }
+            i.iter().map(|(id, t)| (id.0, t.to_owned())).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+}

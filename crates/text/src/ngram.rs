@@ -1,0 +1,117 @@
+//! Sliding n-gram windows over token slices.
+//!
+//! The entity linker (§2.1 of the paper) searches for the *largest
+//! substring* of the input that matches an article title. It does so by
+//! scanning windows of decreasing width over the token stream;
+//! [`NgramWindows`] provides those windows without allocating.
+
+/// Iterator over all contiguous windows of exactly `n` tokens.
+///
+/// Yields `(start_index, &[T])` pairs so callers can map a match back to
+/// its location in the original token stream.
+///
+/// ```
+/// use querygraph_text::ngram::NgramWindows;
+/// let toks = ["grand", "canal", "venice"];
+/// let windows: Vec<_> = NgramWindows::new(&toks, 2).collect();
+/// assert_eq!(windows.len(), 2);
+/// assert_eq!(windows[0], (0, &toks[0..2]));
+/// assert_eq!(windows[1], (1, &toks[1..3]));
+/// ```
+pub struct NgramWindows<'a, T> {
+    tokens: &'a [T],
+    n: usize,
+    start: usize,
+}
+
+impl<'a, T> NgramWindows<'a, T> {
+    /// Create a window iterator of width `n` over `tokens`. A width of 0
+    /// or a width longer than the slice yields an empty iterator.
+    pub fn new(tokens: &'a [T], n: usize) -> Self {
+        NgramWindows { tokens, n, start: 0 }
+    }
+}
+
+impl<'a, T> Iterator for NgramWindows<'a, T> {
+    type Item = (usize, &'a [T]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.n == 0 || self.start + self.n > self.tokens.len() {
+            return None;
+        }
+        let item = (self.start, &self.tokens[self.start..self.start + self.n]);
+        self.start += 1;
+        Some(item)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = if self.n == 0 || self.start + self.n > self.tokens.len() {
+            0
+        } else {
+            self.tokens.len() - self.n - self.start + 1
+        };
+        (remaining, Some(remaining))
+    }
+}
+
+impl<'a, T> ExactSizeIterator for NgramWindows<'a, T> {}
+
+/// Join a window of words into a single space-separated phrase.
+///
+/// ```
+/// use querygraph_text::ngram::join_phrase;
+/// assert_eq!(join_phrase(&["bridge".into(), "of".into(), "sighs".into()]), "bridge of sighs");
+/// ```
+pub fn join_phrase(words: &[String]) -> String {
+    words.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_width_window_is_whole_slice() {
+        let toks = ["a", "b", "c"];
+        let ws: Vec<_> = NgramWindows::new(&toks, 3).collect();
+        assert_eq!(ws, vec![(0, &toks[..])]);
+    }
+
+    #[test]
+    fn zero_width_yields_nothing() {
+        let toks = ["a", "b"];
+        assert_eq!(NgramWindows::new(&toks, 0).count(), 0);
+    }
+
+    #[test]
+    fn too_wide_yields_nothing() {
+        let toks = ["a"];
+        assert_eq!(NgramWindows::new(&toks, 2).count(), 0);
+    }
+
+    #[test]
+    fn window_count_is_len_minus_n_plus_one() {
+        let toks: Vec<u32> = (0..10).collect();
+        for n in 1..=10 {
+            assert_eq!(NgramWindows::new(&toks, n).count(), 10 - n + 1);
+        }
+    }
+
+    #[test]
+    fn exact_size_hint_tracks_progress() {
+        let toks = ["a", "b", "c", "d"];
+        let mut it = NgramWindows::new(&toks, 2);
+        assert_eq!(it.len(), 3);
+        it.next();
+        assert_eq!(it.len(), 2);
+        it.next();
+        it.next();
+        assert_eq!(it.len(), 0);
+    }
+
+    #[test]
+    fn empty_slice() {
+        let toks: [&str; 0] = [];
+        assert_eq!(NgramWindows::new(&toks, 1).count(), 0);
+    }
+}

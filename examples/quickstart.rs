@@ -1,0 +1,52 @@
+//! Quickstart: the whole reproduction pipeline in one page.
+//!
+//! Builds a miniature synthetic world (Wikipedia + ImageCLEF-like
+//! corpus), runs the paper's §2–§3 pipeline for every query, and prints
+//! the aggregated tables.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use querygraph::core::experiment::{Experiment, ExperimentConfig};
+
+fn main() {
+    // `tiny()` finishes in well under a second; swap in
+    // `ExperimentConfig::default_paper()` for the full 50-query run.
+    let config = ExperimentConfig::tiny();
+    println!(
+        "Building synthetic world: {} topics, {} queries (wiki seed {:#x})…",
+        config.wiki.num_topics, config.corpus.num_queries, config.wiki.seed
+    );
+    let experiment = Experiment::build(&config);
+    println!(
+        "  knowledge base: {} articles ({} redirects), {} categories",
+        experiment.wiki.kb.num_articles(),
+        experiment
+            .wiki
+            .kb
+            .articles()
+            .filter(|&a| experiment.wiki.kb.is_redirect(a))
+            .count(),
+        experiment.wiki.kb.num_categories()
+    );
+    println!("  corpus: {} documents", experiment.corpus.corpus.len());
+
+    let report = experiment.run();
+
+    println!("\nPer-query ground truth (§2.2):");
+    for q in &report.per_query {
+        println!(
+            "  query {:>2} {:<40} baseline O = {:.3} → expanded O = {:.3} with |A'| = {}",
+            q.query_id,
+            format!("{:?}", q.keywords),
+            q.ground_truth.baseline_quality,
+            q.ground_truth.quality,
+            q.ground_truth.expansion.len()
+        );
+    }
+
+    println!("\n{}", report.table2().render());
+    println!("{}", report.fig6().render());
+    println!("{}", report.scalar_stats().render());
+}

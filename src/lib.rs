@@ -1,0 +1,49 @@
+//! # querygraph — facade crate
+//!
+//! One-stop import for the `querygraph` workspace: a production-quality
+//! reproduction of *"Understanding Graph Structure of Wikipedia for Query
+//! Expansion"* (Guisado-Gámez & Prat-Pérez, 2015, arXiv:1505.01306).
+//!
+//! The workspace is organized bottom-up (see `DESIGN.md` at the repository
+//! root for the full inventory):
+//!
+//! * [`text`] — normalization, tokenization, interning.
+//! * [`graph`] — typed multigraph storage and structural algorithms
+//!   (connected components, triangles/TPR, cycle enumeration ≤ 5).
+//! * [`wiki`] — the Wikipedia knowledge-base model of the paper's Fig. 1,
+//!   a deterministic synthetic Wikipedia generator, and the hand-built
+//!   Venice fixture used in the paper's worked examples.
+//! * [`corpus`] — the ImageCLEF 2011 XML document model, a minimal XML
+//!   parser, and a synthetic corpus/query generator.
+//! * [`retrieval`] — positional inverted index, Dirichlet language-model
+//!   scoring and the INDRI-like query language (`#combine`, `#1`).
+//! * [`link`] — entity linking against article titles with redirect-based
+//!   synonym phrases (§2.1).
+//! * [`core`] — query graphs, ground-truth hill climbing (§2.2), cycle
+//!   analysis (§3), expansion engines, and the experiment pipeline that
+//!   regenerates every table and figure of the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use querygraph::core::experiment::{Experiment, ExperimentConfig};
+//!
+//! // A miniature end-to-end run: synthesize a Wikipedia + corpus, build
+//! // ground truths, and analyze the query graphs.
+//! let config = ExperimentConfig::tiny();
+//! let experiment = Experiment::build(&config);
+//! let report = experiment.run();
+//! assert!(report.per_query.len() > 0);
+//! ```
+//!
+//! For the paper's worked example (query #90, "gondola in venice") see
+//! `examples/venice_gondola.rs`; for the full reproduction harness see
+//! `crates/bench/src/bin/repro_all.rs`.
+
+pub use querygraph_core as core;
+pub use querygraph_corpus as corpus;
+pub use querygraph_graph as graph;
+pub use querygraph_link as link;
+pub use querygraph_retrieval as retrieval;
+pub use querygraph_text as text;
+pub use querygraph_wiki as wiki;

@@ -1,0 +1,119 @@
+//! End-to-end integration: the full §2–§3 pipeline on a miniature
+//! synthetic world, exercised through the `querygraph` facade.
+
+use querygraph::core::experiment::{Experiment, ExperimentConfig};
+use querygraph::corpus::imageclef::linking_text;
+use querygraph::link::EntityLinker;
+use querygraph::retrieval::metrics::EVAL_CUTOFFS;
+
+fn tiny() -> Experiment {
+    Experiment::build(&ExperimentConfig::tiny())
+}
+
+#[test]
+fn vocabulary_mismatch_exists_and_expansion_closes_it() {
+    let report = tiny().run();
+    let mut baseline_sum = 0.0;
+    let mut expanded_sum = 0.0;
+    for q in &report.per_query {
+        baseline_sum += q.ground_truth.baseline_quality;
+        expanded_sum += q.ground_truth.quality;
+    }
+    let n = report.per_query.len() as f64;
+    assert!(
+        baseline_sum / n < 0.8,
+        "unexpanded queries must be imperfect (got {})",
+        baseline_sum / n
+    );
+    assert!(
+        expanded_sum / n > baseline_sum / n + 0.1,
+        "ground-truth expansion must substantially improve retrieval"
+    );
+}
+
+#[test]
+fn query_graphs_contain_cycles_through_query_articles() {
+    let exp = tiny();
+    let report = exp.run();
+    let with_cycles = report
+        .per_query
+        .iter()
+        .filter(|q| !q.cycles.is_empty())
+        .count();
+    assert!(with_cycles > 0, "some query graph must contain cycles");
+    for q in &report.per_query {
+        for c in &q.cycles {
+            assert!(c.len >= 2 && c.len <= 5);
+            assert!(
+                c.articles.iter().any(|a| q.lqk.contains(a)),
+                "cycle must touch L(q.k)"
+            );
+            assert!(c.contribution.is_some());
+        }
+    }
+}
+
+#[test]
+fn per_query_precisions_are_valid_probabilities() {
+    let report = tiny().run();
+    for q in &report.per_query {
+        for (i, p) in q.ground_truth.precisions.iter().enumerate() {
+            assert!(
+                (0.0..=1.0).contains(p),
+                "P@{} = {p} out of range",
+                EVAL_CUTOFFS[i]
+            );
+        }
+    }
+}
+
+#[test]
+fn experiment_is_fully_deterministic() {
+    let cfg = ExperimentConfig::tiny();
+    let a = Experiment::build(&cfg).run();
+    let b = Experiment::build(&cfg).run();
+    assert_eq!(a.per_query.len(), b.per_query.len());
+    for (x, y) in a.per_query.iter().zip(&b.per_query) {
+        assert_eq!(x.ground_truth.expansion, y.ground_truth.expansion);
+        assert_eq!(x.cycles.len(), y.cycles.len());
+        assert_eq!(x.ground_truth.precisions, y.ground_truth.precisions);
+    }
+}
+
+#[test]
+fn entity_linking_covers_relevant_documents() {
+    let exp = tiny();
+    let linker = EntityLinker::new(&exp.wiki.kb);
+    for query in exp.corpus.queries.iter() {
+        let mut mentioned_any = false;
+        for &d in &query.relevant {
+            let text = linking_text(exp.corpus.corpus.doc(d));
+            if !linker.link_articles(&text).is_empty() {
+                mentioned_any = true;
+                break;
+            }
+        }
+        assert!(
+            mentioned_any,
+            "query {} has no linkable relevant document",
+            query.id
+        );
+    }
+}
+
+#[test]
+fn report_tables_have_paper_shape() {
+    let report = tiny().run();
+    let t2 = report.table2();
+    // Precision rows are monotone in spread: min ≤ median ≤ max.
+    for row in &t2.rows {
+        assert!(row.min <= row.median && row.median <= row.max);
+    }
+    let t3 = report.table3();
+    assert!(t3.categories.median >= t3.articles.median,
+        "categories must dominate the largest components (paper §3)");
+    let fig6 = report.fig6();
+    // Cycle counts grow with length (paper Fig. 6).
+    let v: Vec<f64> = (2..=5).map(|l| fig6.values[l].unwrap_or(0.0)).collect();
+    assert!(v[3] > v[0], "5-cycles must outnumber 2-cycles on average");
+}

@@ -1,0 +1,73 @@
+//! Cross-crate persistence round trips: knowledge bases, qrels,
+//! ImageCLEF XML, and full experiment reports.
+
+use querygraph::core::experiment::{Experiment, ExperimentConfig, Report};
+use querygraph::corpus::imageclef::parse_image_doc;
+use querygraph::corpus::qrels::{parse_qrels, to_qrels};
+use querygraph::corpus::synth::{generate_corpus, SynthCorpusConfig};
+use querygraph::corpus::writer::to_xml;
+use querygraph::wiki::serialize::{from_data, load_text, save_text, to_data};
+use querygraph::wiki::synth::{generate, SynthWikiConfig};
+
+#[test]
+fn synthetic_kb_survives_text_round_trip() {
+    let wiki = generate(&SynthWikiConfig::small());
+    let text = save_text(&wiki.kb);
+    let back = load_text(&text).expect("generated KB re-parses");
+    assert_eq!(back.num_articles(), wiki.kb.num_articles());
+    assert_eq!(back.num_categories(), wiki.kb.num_categories());
+    assert_eq!(back.graph().edge_count(), wiki.kb.graph().edge_count());
+    for a in wiki.kb.articles() {
+        assert_eq!(back.title(a), wiki.kb.title(a));
+    }
+    // Round-tripping again is byte-stable.
+    assert_eq!(save_text(&back), text);
+}
+
+#[test]
+fn synthetic_kb_survives_serde_round_trip() {
+    let wiki = generate(&SynthWikiConfig::small());
+    let data = to_data(&wiki.kb);
+    let json = serde_json::to_string(&data).expect("serializes");
+    let back = from_data(&serde_json::from_str(&json).expect("parses")).expect("validates");
+    assert_eq!(back.num_articles(), wiki.kb.num_articles());
+    assert_eq!(back.links().len(), wiki.kb.links().len());
+}
+
+#[test]
+fn corpus_documents_survive_xml_round_trip() {
+    let wiki = generate(&SynthWikiConfig::small());
+    let sc = generate_corpus(&wiki, &SynthCorpusConfig::small());
+    for (_, doc) in sc.corpus.iter() {
+        let xml = to_xml(doc);
+        let back = parse_image_doc(&xml).expect("re-parses");
+        assert_eq!(&back, doc);
+    }
+}
+
+#[test]
+fn qrels_round_trip_preserves_judgments() {
+    let wiki = generate(&SynthWikiConfig::small());
+    let sc = generate_corpus(&wiki, &SynthCorpusConfig::small());
+    let text = to_qrels(&sc.queries);
+    let back = parse_qrels(&text).expect("parses");
+    assert_eq!(back.len(), sc.queries.len());
+    for q in sc.queries.iter() {
+        let rq = back.by_id(q.id).expect("query id present");
+        assert_eq!(rq.relevant, q.relevant, "query {}", q.id);
+    }
+}
+
+#[test]
+fn full_report_round_trips_through_json() {
+    let report = Experiment::build(&ExperimentConfig::tiny()).run();
+    let json = serde_json::to_string(&report).expect("serializes");
+    let back: Report = serde_json::from_str(&json).expect("deserializes");
+    assert_eq!(back.per_query.len(), report.per_query.len());
+    for (a, b) in report.per_query.iter().zip(&back.per_query) {
+        assert_eq!(a.query_id, b.query_id);
+        assert_eq!(a.ground_truth.expansion, b.ground_truth.expansion);
+        assert_eq!(a.cycles.len(), b.cycles.len());
+    }
+    assert_eq!(back.config, report.config);
+}
