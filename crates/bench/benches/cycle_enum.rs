@@ -62,5 +62,10 @@ fn bench_anchored(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_by_max_len, bench_by_graph_size, bench_anchored);
+criterion_group!(
+    benches,
+    bench_by_max_len,
+    bench_by_graph_size,
+    bench_anchored
+);
 criterion_main!(benches);

@@ -18,7 +18,11 @@ fn world() -> (SynthWiki, Vec<String>) {
 fn bench_dictionary_build(c: &mut Criterion) {
     let (wiki, _) = world();
     c.bench_function("linking/dictionary_build", |b| {
-        b.iter(|| black_box(EntityLinker::new(black_box(&wiki.kb))).dictionary().len());
+        b.iter(|| {
+            black_box(EntityLinker::new(black_box(&wiki.kb)))
+                .dictionary()
+                .len()
+        });
     });
 }
 

@@ -45,7 +45,10 @@ fn bench_queries(c: &mut Criterion) {
     let queries = [
         ("term", "harbor"),
         ("phrase2", "#1(northern temple)"),
-        ("combine4", "#combine(#1(northern temple) #1(temple gate) harbor glacier)"),
+        (
+            "combine4",
+            "#combine(#1(northern temple) #1(temple gate) harbor glacier)",
+        ),
     ];
     let mut group = c.benchmark_group("retrieval/search");
     for (name, q) in queries {

@@ -25,7 +25,10 @@ use querygraph_retrieval::query_lang::QueryNode;
 
 fn main() {
     let config = querygraph_bench::config_from_args();
-    eprintln!("# expander ablation over {} queries", config.corpus.num_queries);
+    eprintln!(
+        "# expander ablation over {} queries",
+        config.corpus.num_queries
+    );
     let exp = Experiment::build(&config);
     let linker = EntityLinker::new(&exp.wiki.kb);
 
@@ -41,7 +44,13 @@ fn main() {
             },
         }),
     ];
-    let labels = ["none", "direct-links", "redirects", "cycles", "cycles-nofilter"];
+    let labels = [
+        "none",
+        "direct-links",
+        "redirects",
+        "cycles",
+        "cycles-nofilter",
+    ];
 
     println!("Expander ablation — mean precision (top-1 top-5 top-10 top-15)");
     for (expander, label) in expanders.iter().zip(labels) {

@@ -1,18 +1,36 @@
 //! Regenerate every table and figure of the paper in one run.
 //!
 //! ```text
-//! cargo run --release -p querygraph-bench --bin repro_all [-- --quick] [-- --json out.json]
+//! cargo run --release -p querygraph-bench --bin repro_all [-- --quick | --tiny] [-- --json out.json]
 //! ```
 //!
 //! Prints paper-vs-measured for Tables 2–4, Figs. 5, 6, 7a, 7b, 9 and
-//! the §3 scalar statistics. With `--json <path>` the full
-//! machine-readable [`querygraph_core::Report`] is also written.
+//! the §3 scalar statistics. Every run also archives the pipeline's
+//! machine-readable timing record to `BENCH_seed.json` (override the
+//! path with `--bench-out <path>`) so successive PRs accumulate a perf
+//! trajectory. With `--json <path>` the full machine-readable
+//! [`querygraph_core::Report`] is written too.
+
+use querygraph_bench::BenchRecord;
 
 fn main() {
-    let report = querygraph_bench::report_for(&querygraph_bench::config_from_args());
+    let config = querygraph_bench::config_from_args();
+    let (report, summary, build_seconds) = querygraph_bench::report_and_summary(&config);
     print!("{}", report.render_all());
 
     let args: Vec<String> = std::env::args().collect();
+    let bench_path = match args.iter().position(|a| a == "--bench-out") {
+        Some(pos) => args.get(pos + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: --bench-out requires a path");
+            std::process::exit(2);
+        }),
+        None => "BENCH_seed.json".to_string(),
+    };
+    let record = BenchRecord::new(&config, build_seconds, summary);
+    let json = serde_json::to_string_pretty(&record).expect("bench record serializes");
+    std::fs::write(&bench_path, json).expect("write bench record");
+    eprintln!("# wrote {bench_path}");
+
     if let Some(pos) = args.iter().position(|a| a == "--json") {
         if let Some(path) = args.get(pos + 1) {
             let json = serde_json::to_string_pretty(&report).expect("report serializes");

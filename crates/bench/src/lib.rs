@@ -10,7 +10,45 @@
 //! generated from.
 
 use querygraph_core::experiment::{Experiment, ExperimentConfig, Report};
+use querygraph_core::pipeline::RunSummary;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
+
+/// The perf-trajectory record `repro_all` archives to `BENCH_seed.json`:
+/// enough configuration to identify the workload, plus the pipeline's
+/// per-stage timing summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRecord {
+    /// Record-format version, bumped when fields change meaning.
+    pub schema: u32,
+    /// Queries in the analyzed workload.
+    pub num_queries: usize,
+    /// Topics in the synthetic Wikipedia.
+    pub num_topics: usize,
+    /// Synthetic-Wikipedia seed.
+    pub wiki_seed: u64,
+    /// Synthetic-corpus seed.
+    pub corpus_seed: u64,
+    /// Seconds to synthesize and index the world.
+    pub build_seconds: f64,
+    /// The pipeline run: mode, threads, wall clock, per-stage seconds.
+    pub run: RunSummary,
+}
+
+impl BenchRecord {
+    /// Assemble a record from a finished run.
+    pub fn new(config: &ExperimentConfig, build_seconds: f64, run: RunSummary) -> BenchRecord {
+        BenchRecord {
+            schema: 1,
+            num_queries: config.corpus.num_queries,
+            num_topics: config.wiki.num_topics,
+            wiki_seed: config.wiki.seed,
+            corpus_seed: config.corpus.seed,
+            build_seconds,
+            run,
+        }
+    }
+}
 
 /// Build the paper-scale experiment and analyze all 50 queries using
 /// all available cores. Prints provenance (seeds, sizes, timing) to
@@ -21,6 +59,13 @@ pub fn standard_report() -> Report {
 
 /// Build and run an experiment for an explicit configuration.
 pub fn report_for(config: &ExperimentConfig) -> Report {
+    report_and_summary(config).0
+}
+
+/// [`report_for`], also returning the pipeline's [`RunSummary`] and the
+/// world-build seconds — the numbers `repro_all` archives to
+/// `BENCH_seed.json`.
+pub fn report_and_summary(config: &ExperimentConfig) -> (Report, RunSummary, f64) {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
@@ -30,17 +75,26 @@ pub fn report_for(config: &ExperimentConfig) -> Report {
     );
     let t0 = Instant::now();
     let experiment = Experiment::build(config);
+    let build_seconds = t0.elapsed().as_secs_f64();
     eprintln!(
-        "# built: {} articles, {} categories, {} docs, {:.2}s",
+        "# built: {} articles, {} categories, {} docs, {build_seconds:.2}s",
         experiment.wiki.kb.num_articles(),
         experiment.wiki.kb.num_categories(),
         experiment.corpus.corpus.len(),
-        t0.elapsed().as_secs_f64()
     );
-    let t1 = Instant::now();
-    let report = experiment.run_parallel(threads);
-    eprintln!("# analyzed: {:.2}s", t1.elapsed().as_secs_f64());
-    report
+    let (report, summary) = experiment.run_parallel_with_summary(threads);
+    eprint!("{}", indent_hash(&summary.render()));
+    (report, summary, build_seconds)
+}
+
+fn indent_hash(s: &str) -> String {
+    s.lines().map(|l| format!("# {l}\n")).collect()
+}
+
+/// The test-scale configuration (`--tiny` flag of the repro binaries):
+/// the same miniature world the unit tests use.
+pub fn tiny_config() -> ExperimentConfig {
+    ExperimentConfig::tiny()
 }
 
 /// A smaller configuration for quick looks (`--quick` flag of the repro
@@ -54,9 +108,12 @@ pub fn quick_config() -> ExperimentConfig {
 }
 
 /// Parse the common CLI of the repro binaries: `--quick` switches to
-/// [`quick_config`].
+/// [`quick_config`], `--tiny` to [`tiny_config`].
 pub fn config_from_args() -> ExperimentConfig {
-    if std::env::args().any(|a| a == "--quick") {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--tiny") {
+        tiny_config()
+    } else if args.iter().any(|a| a == "--quick") {
         quick_config()
     } else {
         ExperimentConfig::default_paper()

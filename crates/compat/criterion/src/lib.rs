@@ -1,0 +1,158 @@
+//! Offline shim of the `criterion` benchmarking surface.
+//!
+//! No statistics engine — each benchmark's closure is warmed up once and
+//! then timed over a fixed iteration budget, printing the mean per-call
+//! wall-clock time. Enough to keep `cargo bench` runnable and the bench
+//! sources honest until a real harness can be vendored.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Iterations timed per benchmark (after one warm-up call).
+const DEFAULT_ITERS: u64 = 20;
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for source compatibility; the shim's budget is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for source compatibility; the shim does not scale
+    /// results by throughput.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, name), &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark inside the group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.0), &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier (function name and/or parameter).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Throughput annotation (accepted, not used by the shim).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Passed to each benchmark closure; `iter` times the workload.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the shim's iteration budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine()); // warm-up, also forces lazy init
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut b = Bencher {
+        iters: DEFAULT_ITERS,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    let mean = b.elapsed.as_secs_f64() / b.iters as f64;
+    println!("bench {name:<40} {:>12.3} µs/iter", mean * 1e6);
+}
+
+/// Collect benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,267 @@
+//! Offline shim of `proptest`.
+//!
+//! The `proptest!` macro expands each property into a plain `#[test]`
+//! that samples its strategies from a fixed-seed PRNG for a fixed number
+//! of cases. There is no shrinking — a failing case panics with the
+//! sampled values in the assertion message (all sampled inputs derive
+//! `Debug` in this workspace). Supported strategies are exactly what the
+//! workspace's properties use: integer ranges, tuples, `collection::vec`,
+//! `collection::btree_set`, and a `&str` pattern treated as "arbitrary
+//! short string".
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// Cases sampled per property.
+pub const CASES: u32 = 64;
+
+/// Test-case generator handed to strategies.
+pub type TestRng = StdRng;
+
+/// Fresh deterministic generator for one property run.
+pub fn test_rng(name: &str) -> TestRng {
+    // Stable per-property stream: hash the test name (FNV-1a).
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    <StdRng as rand::SeedableRng>::seed_from_u64(h)
+}
+
+/// A source of random values of one shape.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Sample one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),+) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )+};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.sample(rng), self.1.sample(rng), self.2.sample(rng))
+    }
+}
+
+/// A `&str` strategy stands in for proptest's regex strategies: the shim
+/// ignores the pattern and generates an arbitrary string of 0–60 chars
+/// drawn from ASCII, punctuation, whitespace, and a sprinkle of
+/// non-ASCII codepoints (every property using this treats the input as
+/// fully arbitrary).
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        const EXOTIC: [char; 10] = ['é', 'Ü', 'ß', 'Σ', 'ω', '中', '𝐀', '²', 'Ⅷ', '\u{200b}'];
+        let len = rng.gen_range(0usize..=60);
+        (0..len)
+            .map(|_| match rng.gen_range(0u32..10) {
+                0..=5 => rng
+                    .gen_range(0x20u32..0x7f)
+                    .try_into()
+                    .expect("printable ASCII"),
+                6 | 7 => ' ',
+                8 => EXOTIC[rng.gen_range(0usize..EXOTIC.len())],
+                _ => char::from(rng.gen_range(b'a'..=b'z')),
+            })
+            .collect()
+    }
+}
+
+impl Strategy for RangeInclusive<char> {
+    type Value = char;
+    fn sample(&self, rng: &mut TestRng) -> char {
+        let (a, b) = (*self.start() as u32, *self.end() as u32);
+        char::from_u32(rng.gen_range(a..=b)).expect("valid char range")
+    }
+}
+
+/// Collection size bound, converted from range literals.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    min: usize,
+    max: usize, // inclusive
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty proptest size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        rng.gen_range(self.min..=self.max)
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec<S::Value>` with a sampled length.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` of `element` samples, length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`.
+    ///
+    /// Like upstream, the size range bounds the number of *attempts*, so
+    /// duplicate samples can produce a smaller set — but never below one
+    /// element when `size` starts ≥ 1, matching how the workspace uses it.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `BTreeSet` of `element` samples.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.sample(rng).max(1);
+            let mut set = BTreeSet::new();
+            // Retry duplicates a bounded number of times so small value
+            // domains still reach the requested size when possible.
+            let mut attempts = 0;
+            while set.len() < n && attempts < n * 20 {
+                set.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// Property assertion: like `assert!` (the shim has no shrink phase to
+/// abort into).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Property assertion: like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Expand each property into a `#[test]` running [`CASES`] sampled
+/// cases from a per-property fixed seed.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let mut rng = $crate::test_rng(stringify!($name));
+            for _case in 0..$crate::CASES {
+                $(let $arg = $crate::Strategy::sample(&$strat, &mut rng);)+
+                $body
+            }
+        }
+    )+};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate as proptest;
+
+    proptest::proptest! {
+        #[test]
+        fn ranges_and_vecs(
+            x in 3u32..10,
+            items in proptest::collection::vec((0u8..4, 0u32..100), 0..30),
+        ) {
+            proptest::prop_assert!((3..10).contains(&x));
+            proptest::prop_assert!(items.len() < 30);
+            for (a, b) in &items {
+                proptest::prop_assert!(*a < 4 && *b < 100);
+            }
+        }
+
+        #[test]
+        fn sets_are_nonempty_and_bounded(
+            set in proptest::collection::btree_set(0u32..50, 1..20),
+        ) {
+            proptest::prop_assert!(!set.is_empty());
+            proptest::prop_assert!(set.len() < 20);
+        }
+
+        #[test]
+        fn string_pattern_generates_short_strings(input in ".{0,60}") {
+            proptest::prop_assert!(input.chars().count() <= 60);
+        }
+    }
+}

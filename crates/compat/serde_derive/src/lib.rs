@@ -1,0 +1,263 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Hand-rolled over `proc_macro::TokenStream` (the sandbox has no
+//! `syn`/`quote`), so it supports exactly the item shapes this workspace
+//! derives on:
+//!
+//! * structs with named fields → JSON objects in declaration order;
+//! * newtype tuple structs (`struct Id(pub u32)`) → transparent, like
+//!   real serde;
+//! * enums whose variants are all unit variants → the variant name as a
+//!   JSON string.
+//!
+//! Anything else (generics, data-carrying variants, `#[serde(...)]`
+//! attributes) panics at expansion time with a pointed message rather
+//! than silently producing the wrong format.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a deriving item.
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    Named(Vec<String>),
+    /// Tuple struct with this many fields (only 1 is supported).
+    Tuple(usize),
+    /// Enum of unit variants: variant names in declaration order.
+    UnitEnum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Derive `serde::Serialize` for the supported shapes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let entries: String = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!("::serde::Value::Object(vec![{entries}])")
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => panic!("serde shim: {n}-field tuple struct {name} unsupported"),
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),"))
+                .collect();
+            format!("match self {{ {arms} }}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize` for the supported shapes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Named(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(entries, \"{f}\", \"{name}\")?,"))
+                .collect();
+            format!(
+                "let entries = v.as_object().ok_or_else(|| \
+                     ::serde::Error::expected(\"object\", \"{name}\", v))?;\n\
+                 Ok({name} {{ {inits} }})"
+            )
+        }
+        Shape::Tuple(1) => format!("Ok({name}(::serde::Deserialize::from_value(v)?))"),
+        Shape::Tuple(n) => panic!("serde shim: {n}-field tuple struct {name} unsupported"),
+        Shape::UnitEnum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|var| format!("\"{var}\" => Ok({name}::{var}),"))
+                .collect();
+            format!(
+                "let s = v.as_str().ok_or_else(|| \
+                     ::serde::Error::expected(\"string\", \"{name}\", v))?;\n\
+                 match s {{ {arms} _ => Err(::serde::Error(format!(\
+                     \"unknown {name} variant {{s:?}}\"))) }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
+
+/// Parse the deriving item down to name + shape.
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            // Outer attribute: `#` followed by a bracket group — skip.
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                // Skip a `pub(...)` restriction group, if any.
+                if matches!(
+                    tokens.peek(),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    tokens.next();
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "struct" => {
+                let name = expect_ident(tokens.next(), "struct name");
+                forbid_generics(tokens.peek(), &name);
+                return match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                        name,
+                        shape: Shape::Named(parse_named_fields(g.stream())),
+                    },
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+                        name,
+                        shape: Shape::Tuple(count_tuple_fields(g.stream())),
+                    },
+                    other => {
+                        panic!("serde shim: unexpected token after `struct {name}`: {other:?}")
+                    }
+                };
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "enum" => {
+                let name = expect_ident(tokens.next(), "enum name");
+                forbid_generics(tokens.peek(), &name);
+                return match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item {
+                        shape: Shape::UnitEnum(parse_unit_variants(g.stream(), &name)),
+                        name,
+                    },
+                    other => panic!("serde shim: unexpected token after `enum {name}`: {other:?}"),
+                };
+            }
+            Some(_) => {}
+            None => panic!("serde shim: no struct/enum found in derive input"),
+        }
+    }
+}
+
+fn expect_ident(tt: Option<TokenTree>, what: &str) -> String {
+    match tt {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim: expected {what}, got {other:?}"),
+    }
+}
+
+fn forbid_generics(tt: Option<&TokenTree>, name: &str) {
+    if let Some(TokenTree::Punct(p)) = tt {
+        if p.as_char() == '<' {
+            panic!("serde shim: generic type {name} unsupported by the offline derive");
+        }
+    }
+}
+
+/// Field names of a named-field struct body, in order.
+///
+/// A field is "the last identifier before a depth-0 `:`"; the type after
+/// it runs to the next comma at angle-bracket depth 0 (commas inside
+/// `(..)`/`[..]` groups are invisible to this token-level scan, so types
+/// like `Vec<(String, [f64; 4])>` parse fine).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut last_ident: Option<String> = None;
+    let mut in_type = false;
+    let mut angle_depth = 0i32;
+    let mut tokens = body.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' && !in_type => {
+                tokens.next(); // attribute body
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && !in_type && angle_depth == 0 => {
+                // `::` inside a path never starts a field type at depth 0
+                // here because field names precede the first `:`.
+                fields.push(
+                    last_ident
+                        .take()
+                        .expect("serde shim: field `:` with no preceding name"),
+                );
+                in_type = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => in_type = false,
+            TokenTree::Ident(id) if !in_type => {
+                let s = id.to_string();
+                if s != "pub" {
+                    last_ident = Some(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body (top-level comma count).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    let mut angle_depth = 0i32;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                fields += 1;
+                saw_tokens = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens = true;
+    }
+    fields + usize::from(saw_tokens)
+}
+
+/// Variant names of an all-unit-variant enum body.
+fn parse_unit_variants(body: TokenStream, enum_name: &str) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                tokens.next(); // attribute body
+            }
+            TokenTree::Ident(id) => {
+                let variant = id.to_string();
+                if let Some(TokenTree::Group(_)) = tokens.peek() {
+                    panic!(
+                        "serde shim: enum {enum_name} variant {variant} carries data, \
+                         only unit variants are supported"
+                    );
+                }
+                variants.push(variant);
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {}
+            other => panic!("serde shim: unexpected token in enum {enum_name}: {other:?}"),
+        }
+    }
+    variants
+}

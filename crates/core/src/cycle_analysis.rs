@@ -119,9 +119,9 @@ pub fn fill_contributions(
         let mut key: Vec<ArticleId> = rec.articles.clone();
         key.sort_unstable();
         key.dedup();
-        let c = *memo.entry(key).or_insert_with_key(|k| {
-            contribution(evaluator, query_articles, baseline_quality, k)
-        });
+        let c = *memo
+            .entry(key)
+            .or_insert_with_key(|k| contribution(evaluator, query_articles, baseline_quality, k));
         rec.contribution = Some(c);
     }
 }

@@ -14,21 +14,20 @@
 //! 5. evaluate the Table 4 cycle-length configurations.
 //!
 //! [`Report`] aggregates everything into the paper's tables and
-//! figures. [`Experiment::run_parallel`] distributes queries over
-//! crossbeam scoped threads — the paper's §4 closes on precisely this
-//! performance challenge.
+//! figures. The per-query pipeline itself — shared context, per-stage
+//! timing, and the deterministic work-stealing runner behind
+//! [`Experiment::run_parallel`] — lives in [`crate::pipeline`]; the
+//! paper's §4 closes on precisely this performance challenge.
 
 pub use crate::config::ExperimentConfig;
 
-use crate::cycle_analysis::{
-    article_frequency_correlation, enumerate_cycles, fill_contributions, mean_by_length,
-    CycleRecord,
-};
-use crate::ground_truth::{find_ground_truth, GroundTruth, QualityEvaluator};
-use crate::query_graph::{assemble, LccStats};
+use crate::cycle_analysis::{mean_by_length, CycleRecord};
+use crate::ground_truth::GroundTruth;
+use crate::pipeline::{self, PipelineCtx, RunSummary};
+use crate::query_graph::LccStats;
 use crate::tables::{
-    Fig9, LengthSeries, ScalarStats, Table2, Table3, Table4, PAPER_FIG5, PAPER_FIG6,
-    PAPER_FIG7A, PAPER_FIG7B,
+    Fig9, LengthSeries, ScalarStats, Table2, Table3, Table4, PAPER_FIG5, PAPER_FIG6, PAPER_FIG7A,
+    PAPER_FIG7B,
 };
 use querygraph_corpus::imageclef::linking_text;
 use querygraph_corpus::synth::{generate_corpus, SynthCorpus};
@@ -40,9 +39,6 @@ use querygraph_wiki::stats::{kb_stats, KbStats};
 use querygraph_wiki::synth::{generate, SynthWiki};
 use querygraph_wiki::ArticleId;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
 
 /// The built world: knowledge base, corpus, and search engine.
 pub struct Experiment {
@@ -73,9 +69,6 @@ pub struct QueryAnalysis {
     pub lcc: LccStats,
     /// Measured cycles with contributions (§3).
     pub cycles: Vec<CycleRecord>,
-    /// Wall-clock seconds of the cycle analysis (enumeration +
-    /// contributions) — the paper's §4 "6 minutes per query" challenge.
-    pub analysis_seconds: f64,
     /// Per-configuration precisions for Table 4.
     pub table4_rows: Vec<(String, [f64; 4])>,
     /// §4 article-frequency correlation `(pearson, spearman)`.
@@ -124,139 +117,53 @@ impl Experiment {
 
     /// Analyze every query sequentially.
     pub fn run(&self) -> Report {
-        let linker = EntityLinker::new(&self.wiki.kb);
-        let per_query = (0..self.corpus.queries.len())
-            .map(|qi| self.analyze_query(&linker, qi))
-            .collect();
-        Report {
+        self.run_with_summary().0
+    }
+
+    /// Analyze every query sequentially, also returning the per-stage
+    /// timing summary.
+    pub fn run_with_summary(&self) -> (Report, RunSummary) {
+        self.execute(1)
+    }
+
+    /// Analyze queries across `threads` scoped worker threads using the
+    /// [`crate::pipeline`] work-stealing runner. The engine (phrase
+    /// cache behind a mutex), linker and knowledge base are shared;
+    /// results land in query order and the `Report` is byte-identical
+    /// to [`Experiment::run`]'s. `threads == 0` is treated as 1.
+    pub fn run_parallel(&self, threads: usize) -> Report {
+        self.run_parallel_with_summary(threads).0
+    }
+
+    /// [`Experiment::run_parallel`], also returning the per-stage
+    /// timing summary.
+    pub fn run_parallel_with_summary(&self, threads: usize) -> (Report, RunSummary) {
+        self.execute(threads.max(1))
+    }
+
+    fn execute(&self, threads: usize) -> (Report, RunSummary) {
+        let ctx = PipelineCtx::new(self);
+        let (per_query, summary) = pipeline::run_queries(&ctx, threads);
+        let report = Report {
             config: self.config.clone(),
             per_query,
             kb: kb_stats(&self.wiki.kb),
-        }
-    }
-
-    /// Analyze queries across `threads` crossbeam scoped threads. The
-    /// engine (phrase cache behind a mutex), linker and knowledge base
-    /// are shared; results land in query order. `threads == 0` is
-    /// treated as 1.
-    pub fn run_parallel(&self, threads: usize) -> Report {
-        let threads = threads.max(1);
-        let n = self.corpus.queries.len();
-        let linker = EntityLinker::new(&self.wiki.kb);
-        let next = AtomicUsize::new(0);
-        let results: Vec<parking_lot::Mutex<Option<QueryAnalysis>>> =
-            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
-
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let qi = next.fetch_add(1, Ordering::Relaxed);
-                    if qi >= n {
-                        break;
-                    }
-                    let analysis = self.analyze_query(&linker, qi);
-                    *results[qi].lock() = Some(analysis);
-                });
-            }
-        })
-        .expect("worker thread panicked");
-
-        Report {
-            config: self.config.clone(),
-            per_query: results
-                .into_iter()
-                .map(|m| m.into_inner().expect("every query analyzed"))
-                .collect(),
-            kb: kb_stats(&self.wiki.kb),
-        }
-    }
-
-    /// The §2–§3 pipeline for one query.
-    pub fn analyze_query(&self, linker: &EntityLinker<'_>, qi: usize) -> QueryAnalysis {
-        let kb = &self.wiki.kb;
-        let query = &self.corpus.queries.queries[qi];
-        let relevant: Vec<u32> = query.relevant.iter().map(|d| d.0).collect();
-
-        // 1. Entity linking.
-        let lqk = linker.link_articles(&query.keywords);
-        let mut mention_freq: HashMap<ArticleId, usize> = HashMap::new();
-        for &d in &query.relevant {
-            let text = linking_text(self.corpus.corpus.doc(d));
-            for a in linker.link_articles(&text) {
-                *mention_freq.entry(a).or_insert(0) += 1;
-            }
-        }
-        let lqd_size = mention_freq.len();
-        let mut pool: Vec<(ArticleId, usize)> = mention_freq.into_iter().collect();
-        pool.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        pool.truncate(self.config.max_pool);
-        let pool: Vec<ArticleId> = pool.into_iter().map(|(a, _)| a).collect();
-
-        // 2. Ground truth (§2.2).
-        let evaluator = QualityEvaluator::new(
-            kb,
-            &self.engine,
-            &relevant,
-            self.config.ground_truth.search_depth,
-        );
-        let ground_truth = find_ground_truth(
-            &evaluator,
-            &self.config.ground_truth,
-            query.id,
-            &lqk,
-            &pool,
-        );
-
-        // 3. Query graph (§2.3).
-        let qg = assemble(kb, &lqk, &ground_truth.expansion);
-        let lcc = qg.lcc_stats();
-
-        // 4. Cycle analysis (§3) — timed, as the paper times it.
-        let t0 = Instant::now();
-        let mut cycles = enumerate_cycles(&qg, kb, self.config.max_cycle_len, self.config.cycle_limit);
-        fill_contributions(&mut cycles, &evaluator, &lqk, ground_truth.baseline_quality);
-        let analysis_seconds = t0.elapsed().as_secs_f64();
-
-        // 5. Table 4 configurations.
-        let table4_rows = TABLE4_CONFIGS
-            .iter()
-            .map(|(label, lengths)| {
-                let mut features: Vec<ArticleId> = Vec::new();
-                for rec in cycles.iter().filter(|r| lengths.contains(&r.len)) {
-                    for &a in &rec.articles {
-                        if !features.contains(&a) {
-                            features.push(a);
-                        }
-                    }
-                }
-                let mut set = lqk.clone();
-                for a in features {
-                    if !set.contains(&a) {
-                        set.push(a);
-                    }
-                }
-                (label.to_string(), evaluator.precisions(&set))
-            })
-            .collect();
-
-        let correlation = if self.config.compute_correlation {
-            article_frequency_correlation(&cycles, &evaluator, &lqk, ground_truth.baseline_quality)
-        } else {
-            None
         };
+        (report, summary)
+    }
 
-        QueryAnalysis {
-            query_id: query.id,
-            keywords: query.keywords.clone(),
-            lqk,
-            lqd_size,
-            ground_truth,
-            lcc,
-            cycles,
-            analysis_seconds,
-            table4_rows,
-            correlation,
-        }
+    /// The §2–§3 pipeline for one query (untimed; see
+    /// [`PipelineCtx::analyze_timed`] for the instrumented variant).
+    pub fn analyze_query(&self, linker: &EntityLinker<'_>, qi: usize) -> QueryAnalysis {
+        pipeline::analyze_one(
+            &self.config,
+            &self.corpus,
+            &self.engine,
+            &self.wiki.kb,
+            linker,
+            qi,
+        )
+        .0
     }
 }
 
@@ -357,8 +264,9 @@ impl Report {
     /// Fig. 7a: mean category ratio per cycle length (3..=5).
     pub fn fig7a(&self) -> LengthSeries {
         let records: Vec<CycleRecord> = self.all_cycles().cloned().collect();
-        let mut values =
-            mean_by_length(&records, self.config.max_cycle_len, |r| Some(r.category_ratio));
+        let mut values = mean_by_length(&records, self.config.max_cycle_len, |r| {
+            Some(r.category_ratio)
+        });
         // The paper's Fig. 7a starts at length 3 (2-cycles cannot hold
         // categories).
         if values.len() > 2 {
@@ -440,12 +348,6 @@ impl Report {
                 .map(|q| q.cycles.len() as f64)
                 .sum::<f64>()
                 / nq,
-            analysis_seconds_mean: self
-                .per_query
-                .iter()
-                .map(|q| q.analysis_seconds)
-                .sum::<f64>()
-                / nq,
         }
     }
 
@@ -520,7 +422,10 @@ mod tests {
     #[test]
     fn builds_and_runs_tiny() {
         let report = tiny_report();
-        assert_eq!(report.per_query.len(), ExperimentConfig::tiny().corpus.num_queries);
+        assert_eq!(
+            report.per_query.len(),
+            ExperimentConfig::tiny().corpus.num_queries
+        );
         for q in &report.per_query {
             assert!(!q.lqk.is_empty(), "keywords must link: {:?}", q.keywords);
             assert!(q.lqd_size > 0, "relevant docs must mention articles");

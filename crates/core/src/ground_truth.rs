@@ -288,13 +288,7 @@ mod tests {
         let (kb, engine, relevant) = world();
         let evaluator = QualityEvaluator::new(&kb, &engine, &relevant, 15);
         let alpha = kb.article_by_title("alpha").unwrap();
-        let gt = find_ground_truth(
-            &evaluator,
-            &GroundTruthConfig::default(),
-            1,
-            &[alpha],
-            &[],
-        );
+        let gt = find_ground_truth(&evaluator, &GroundTruthConfig::default(), 1, &[alpha], &[]);
         assert!(gt.expansion.is_empty());
         assert_eq!(gt.quality, gt.baseline_quality);
     }

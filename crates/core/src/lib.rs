@@ -21,6 +21,10 @@
 //! * [`experiment`] — the reproduction pipeline: synthesize Wikipedia +
 //!   corpus, build ground truths, analyze every query graph, aggregate
 //!   every table and figure ([`tables`]).
+//! * [`pipeline`] — the execution layer under [`experiment`]: the
+//!   shared read-only [`pipeline::PipelineCtx`], per-stage timing, and
+//!   the deterministic work-stealing runner that parallelizes the
+//!   paper's §4 per-query cost across threads.
 //!
 //! ```
 //! use querygraph_core::experiment::{Experiment, ExperimentConfig};
@@ -39,8 +43,10 @@ pub mod cycle_analysis;
 pub mod expansion;
 pub mod experiment;
 pub mod ground_truth;
+pub mod pipeline;
 pub mod query_graph;
 pub mod tables;
 
 pub use experiment::{Experiment, ExperimentConfig, Report};
+pub use pipeline::{PipelineCtx, RunSummary, Stage, StageTimings};
 pub use query_graph::QueryGraph;

@@ -1,0 +1,545 @@
+//! The query-analysis pipeline: shared context, per-stage timing, and a
+//! deterministic work-stealing runner.
+//!
+//! [`Experiment::run`](crate::Experiment::run) and
+//! [`Experiment::run_parallel`](crate::Experiment::run_parallel) are thin
+//! wrappers over this module. The pieces:
+//!
+//! * [`PipelineCtx`] — the read-only world shared by every worker: the
+//!   search engine, the entity linker, the knowledge base, the corpus,
+//!   and the configuration. Building one constructs the linker's title
+//!   dictionary once; analyzing a query never mutates it (the engine's
+//!   phrase cache is interior-mutable behind a lock but only memoizes).
+//! * [`analyze_timed`](PipelineCtx::analyze_timed) — the paper's §2–§3
+//!   per-query pipeline, instrumented per [`Stage`].
+//! * [`run_queries`] — distributes queries over `std::thread::scope`
+//!   workers with chunked work stealing. Output is **deterministic**:
+//!   each analysis depends only on the read-only context and its query
+//!   index, and results are reassembled in query order, so the `Report`
+//!   is byte-identical to a sequential run no matter how the steal
+//!   schedule interleaves (the experiment tests assert this via
+//!   `serde_json`).
+//! * [`RunSummary`] — the machine-readable timing record (wall clock +
+//!   per-stage CPU seconds) that `repro_all` serializes to
+//!   `BENCH_seed.json`, giving future PRs a perf trajectory. Timings
+//!   live here, *outside* [`Report`](crate::Report), exactly so that
+//!   reports stay byte-stable across runs and thread counts.
+
+use crate::config::ExperimentConfig;
+use crate::cycle_analysis::{article_frequency_correlation, enumerate_cycles, fill_contributions};
+use crate::experiment::{Experiment, QueryAnalysis, TABLE4_CONFIGS};
+use crate::ground_truth::{find_ground_truth, QualityEvaluator};
+use crate::query_graph::assemble;
+use querygraph_corpus::imageclef::linking_text;
+use querygraph_corpus::synth::SynthCorpus;
+use querygraph_link::EntityLinker;
+use querygraph_retrieval::engine::SearchEngine;
+use querygraph_wiki::{ArticleId, KnowledgeBase};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// The instrumented stages of one query's analysis, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Stage {
+    /// §2.1 entity linking: L(q.k) and the L(q.D) mention pool.
+    Link,
+    /// §2.2 ground-truth hill climb.
+    GroundTruth,
+    /// §2.3 query-graph assembly + largest-component statistics.
+    GraphAssembly,
+    /// §3 cycle enumeration.
+    CycleEnum,
+    /// §3 per-cycle retrieval contributions.
+    Contributions,
+    /// Table 4 cycle-length configurations.
+    Table4,
+    /// §4 article-frequency correlation (optional).
+    Correlation,
+}
+
+impl Stage {
+    /// All stages, in execution order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Link,
+        Stage::GroundTruth,
+        Stage::GraphAssembly,
+        Stage::CycleEnum,
+        Stage::Contributions,
+        Stage::Table4,
+        Stage::Correlation,
+    ];
+
+    /// Snake-case stage name, as written to `BENCH_seed.json`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Link => "link",
+            Stage::GroundTruth => "ground_truth",
+            Stage::GraphAssembly => "graph_assembly",
+            Stage::CycleEnum => "cycle_enum",
+            Stage::Contributions => "contributions",
+            Stage::Table4 => "table4",
+            Stage::Correlation => "correlation",
+        }
+    }
+
+    fn index(self) -> usize {
+        Stage::ALL
+            .iter()
+            .position(|s| *s == self)
+            .expect("stage listed in Stage::ALL")
+    }
+}
+
+/// Wall-clock seconds per [`Stage`] for one query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Seconds per stage, indexed like [`Stage::ALL`].
+    pub seconds: [f64; Stage::ALL.len()],
+}
+
+impl StageTimings {
+    /// Total seconds across all stages.
+    pub fn total(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+
+    /// Seconds spent in `stage`.
+    pub fn get(&self, stage: Stage) -> f64 {
+        self.seconds[stage.index()]
+    }
+
+    fn add(&mut self, stage: Stage, seconds: f64) {
+        self.seconds[stage.index()] += seconds;
+    }
+
+    fn accumulate(&mut self, other: &StageTimings) {
+        for (a, b) in self.seconds.iter_mut().zip(&other.seconds) {
+            *a += b;
+        }
+    }
+}
+
+/// The read-only world shared by every pipeline worker.
+pub struct PipelineCtx<'a> {
+    /// Run configuration.
+    pub config: &'a ExperimentConfig,
+    /// The corpus and query set under analysis.
+    pub corpus: &'a SynthCorpus,
+    /// The search engine over the documents' linking text.
+    pub engine: &'a SearchEngine,
+    /// The knowledge base the query graphs are induced from.
+    pub kb: &'a KnowledgeBase,
+    /// Entity linker over the knowledge base's titles (built once).
+    pub linker: EntityLinker<'a>,
+}
+
+impl<'a> PipelineCtx<'a> {
+    /// Borrow the experiment's world and build the entity linker.
+    pub fn new(experiment: &'a Experiment) -> PipelineCtx<'a> {
+        PipelineCtx {
+            config: &experiment.config,
+            corpus: &experiment.corpus,
+            engine: &experiment.engine,
+            kb: &experiment.wiki.kb,
+            linker: EntityLinker::new(&experiment.wiki.kb),
+        }
+    }
+
+    /// Analyze query `qi` (untimed convenience).
+    pub fn analyze(&self, qi: usize) -> QueryAnalysis {
+        self.analyze_timed(qi).0
+    }
+
+    /// Analyze query `qi`, reporting per-stage wall-clock timings.
+    pub fn analyze_timed(&self, qi: usize) -> (QueryAnalysis, StageTimings) {
+        analyze_one(
+            self.config,
+            self.corpus,
+            self.engine,
+            self.kb,
+            &self.linker,
+            qi,
+        )
+    }
+}
+
+/// Machine-readable summary of one pipeline run: configuration scale,
+/// wall clock, and per-stage CPU seconds summed over queries. This is
+/// the record `repro_all` writes to `BENCH_seed.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunSummary {
+    /// `"sequential"` or `"work_stealing"`.
+    pub mode: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Queries analyzed.
+    pub queries: usize,
+    /// End-to-end wall-clock seconds of the run.
+    pub wall_seconds: f64,
+    /// `(stage name, summed seconds across queries)`, in stage order.
+    /// Summed per-stage time is CPU time: with N workers it can exceed
+    /// `wall_seconds`.
+    pub stage_seconds: Vec<(String, f64)>,
+    /// Mean per-query seconds across **all** stages.
+    pub per_query_mean_seconds: f64,
+    /// Mean per-query seconds of the §3 cycle analysis alone
+    /// (enumeration + contributions) — the quantity the paper's §4
+    /// "≈6 minutes per query" refers to.
+    pub cycle_analysis_mean_seconds: f64,
+}
+
+impl RunSummary {
+    fn new(
+        mode: &str,
+        threads: usize,
+        wall_seconds: f64,
+        totals: &StageTimings,
+        queries: usize,
+    ) -> RunSummary {
+        RunSummary {
+            mode: mode.to_string(),
+            threads,
+            queries,
+            wall_seconds,
+            stage_seconds: Stage::ALL
+                .iter()
+                .map(|s| (s.name().to_string(), totals.get(*s)))
+                .collect(),
+            per_query_mean_seconds: totals.total() / queries.max(1) as f64,
+            cycle_analysis_mean_seconds: (totals.get(Stage::CycleEnum)
+                + totals.get(Stage::Contributions))
+                / queries.max(1) as f64,
+        }
+    }
+
+    /// Human-readable rendering for run logs.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "pipeline run: {} queries, {} thread(s) [{}], {:.3}s wall",
+            self.queries, self.threads, self.mode, self.wall_seconds
+        );
+        for (name, secs) in &self.stage_seconds {
+            let _ = writeln!(s, "  {name:<14} {secs:>9.4} s");
+        }
+        let _ = writeln!(
+            s,
+            "  per-query mean {:>9.4} s (cycle analysis {:.4} s; paper ≈360 s \
+             for cycle analysis on their graph DB)",
+            self.per_query_mean_seconds, self.cycle_analysis_mean_seconds
+        );
+        s
+    }
+}
+
+/// Analyze every query of `ctx` over `threads` workers and reassemble
+/// results in query order.
+///
+/// `threads <= 1` runs inline on the calling thread. Otherwise each
+/// worker owns one contiguous chunk of the query range and, when its
+/// chunk is drained, steals from the remaining chunks round-robin —
+/// cheap load balancing for the heavy-tailed per-query cost the paper's
+/// §4 describes, with no locks on the work path (one `fetch_add` per
+/// claimed query).
+pub fn run_queries(ctx: &PipelineCtx<'_>, threads: usize) -> (Vec<QueryAnalysis>, RunSummary) {
+    let n = ctx.corpus.queries.len();
+    let start = Instant::now();
+    if threads <= 1 {
+        let mut totals = StageTimings::default();
+        let per_query = (0..n)
+            .map(|qi| {
+                let (analysis, timings) = ctx.analyze_timed(qi);
+                totals.accumulate(&timings);
+                analysis
+            })
+            .collect();
+        let summary = RunSummary::new("sequential", 1, start.elapsed().as_secs_f64(), &totals, n);
+        return (per_query, summary);
+    }
+
+    let workers = threads.min(n.max(1));
+    let queue = StealQueue::new(n, workers);
+    let mut slots: Vec<Option<QueryAnalysis>> = (0..n).map(|_| None).collect();
+    let mut totals = StageTimings::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queue = &queue;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    let mut worker_totals = StageTimings::default();
+                    while let Some(qi) = queue.claim(w) {
+                        let (analysis, timings) = ctx.analyze_timed(qi);
+                        worker_totals.accumulate(&timings);
+                        local.push((qi, analysis));
+                    }
+                    (local, worker_totals)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (local, worker_totals) = handle.join().expect("pipeline worker panicked");
+            totals.accumulate(&worker_totals);
+            for (qi, analysis) in local {
+                debug_assert!(slots[qi].is_none(), "query {qi} claimed twice");
+                slots[qi] = Some(analysis);
+            }
+        }
+    });
+    let per_query = slots
+        .into_iter()
+        .map(|slot| slot.expect("every query analyzed exactly once"))
+        .collect();
+    let summary = RunSummary::new(
+        "work_stealing",
+        workers,
+        start.elapsed().as_secs_f64(),
+        &totals,
+        n,
+    );
+    (per_query, summary)
+}
+
+/// Chunked work-stealing index queue over `0..n`.
+///
+/// Worker `w` drains its own chunk with `fetch_add`, then sweeps the
+/// other chunks in ring order. A cursor may overshoot its chunk end by
+/// at most one claim per polling worker; overshoots are discarded, so
+/// every index in `0..n` is handed out exactly once.
+struct StealQueue {
+    cursors: Vec<AtomicUsize>,
+    ends: Vec<usize>,
+}
+
+impl StealQueue {
+    fn new(n: usize, workers: usize) -> StealQueue {
+        let base = n / workers;
+        let extra = n % workers;
+        let mut cursors = Vec::with_capacity(workers);
+        let mut ends = Vec::with_capacity(workers);
+        let mut next = 0usize;
+        for w in 0..workers {
+            let len = base + usize::from(w < extra);
+            cursors.push(AtomicUsize::new(next));
+            next += len;
+            ends.push(next);
+        }
+        StealQueue { cursors, ends }
+    }
+
+    /// Claim the next index for `worker`, stealing when its own chunk is
+    /// drained. Returns `None` when the whole queue is exhausted.
+    fn claim(&self, worker: usize) -> Option<usize> {
+        let w = self.cursors.len();
+        for k in 0..w {
+            let chunk = (worker + k) % w;
+            let idx = self.cursors[chunk].fetch_add(1, Ordering::Relaxed);
+            if idx < self.ends[chunk] {
+                return Some(idx);
+            }
+        }
+        None
+    }
+}
+
+/// The §2–§3 pipeline for one query, instrumented per stage.
+pub(crate) fn analyze_one(
+    config: &ExperimentConfig,
+    corpus: &SynthCorpus,
+    engine: &SearchEngine,
+    kb: &KnowledgeBase,
+    linker: &EntityLinker<'_>,
+    qi: usize,
+) -> (QueryAnalysis, StageTimings) {
+    let mut timings = StageTimings::default();
+    let query = &corpus.queries.queries[qi];
+    let relevant: Vec<u32> = query.relevant.iter().map(|d| d.0).collect();
+
+    // §2.1 entity linking: keywords and relevant documents.
+    let t = Instant::now();
+    let lqk = linker.link_articles(&query.keywords);
+    let mut mention_freq: HashMap<ArticleId, usize> = HashMap::new();
+    for &d in &query.relevant {
+        let text = linking_text(corpus.corpus.doc(d));
+        for a in linker.link_articles(&text) {
+            *mention_freq.entry(a).or_insert(0) += 1;
+        }
+    }
+    let lqd_size = mention_freq.len();
+    let mut pool: Vec<(ArticleId, usize)> = mention_freq.into_iter().collect();
+    pool.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    pool.truncate(config.max_pool);
+    let pool: Vec<ArticleId> = pool.into_iter().map(|(a, _)| a).collect();
+    timings.add(Stage::Link, t.elapsed().as_secs_f64());
+
+    // §2.2 ground truth.
+    let t = Instant::now();
+    let evaluator = QualityEvaluator::new(kb, engine, &relevant, config.ground_truth.search_depth);
+    let ground_truth = find_ground_truth(&evaluator, &config.ground_truth, query.id, &lqk, &pool);
+    timings.add(Stage::GroundTruth, t.elapsed().as_secs_f64());
+
+    // §2.3 query graph.
+    let t = Instant::now();
+    let qg = assemble(kb, &lqk, &ground_truth.expansion);
+    let lcc = qg.lcc_stats();
+    timings.add(Stage::GraphAssembly, t.elapsed().as_secs_f64());
+
+    // §3 cycle enumeration …
+    let t = Instant::now();
+    let mut cycles = enumerate_cycles(&qg, kb, config.max_cycle_len, config.cycle_limit);
+    timings.add(Stage::CycleEnum, t.elapsed().as_secs_f64());
+
+    // … and per-cycle retrieval contributions.
+    let t = Instant::now();
+    fill_contributions(&mut cycles, &evaluator, &lqk, ground_truth.baseline_quality);
+    timings.add(Stage::Contributions, t.elapsed().as_secs_f64());
+
+    // Table 4 cycle-length configurations.
+    let t = Instant::now();
+    let table4_rows = TABLE4_CONFIGS
+        .iter()
+        .map(|(label, lengths)| {
+            let mut features: Vec<ArticleId> = Vec::new();
+            for rec in cycles.iter().filter(|r| lengths.contains(&r.len)) {
+                for &a in &rec.articles {
+                    if !features.contains(&a) {
+                        features.push(a);
+                    }
+                }
+            }
+            let mut set = lqk.clone();
+            for a in features {
+                if !set.contains(&a) {
+                    set.push(a);
+                }
+            }
+            (label.to_string(), evaluator.precisions(&set))
+        })
+        .collect();
+    timings.add(Stage::Table4, t.elapsed().as_secs_f64());
+
+    // §4 article-frequency correlation.
+    let t = Instant::now();
+    let correlation = if config.compute_correlation {
+        article_frequency_correlation(&cycles, &evaluator, &lqk, ground_truth.baseline_quality)
+    } else {
+        None
+    };
+    timings.add(Stage::Correlation, t.elapsed().as_secs_f64());
+
+    let analysis = QueryAnalysis {
+        query_id: query.id,
+        keywords: query.keywords.clone(),
+        lqk,
+        lqd_size,
+        ground_truth,
+        lcc,
+        cycles,
+        table4_rows,
+        correlation,
+    };
+    (analysis, timings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::ExperimentConfig;
+
+    #[test]
+    fn steal_queue_hands_out_every_index_once() {
+        for (n, workers) in [(0, 3), (1, 4), (7, 3), (24, 4), (5, 8)] {
+            let queue = StealQueue::new(n, workers.min(n.max(1)));
+            let mut seen = vec![0usize; n];
+            for w in 0..queue.cursors.len() {
+                while let Some(idx) = queue.claim(w) {
+                    seen[idx] += 1;
+                }
+            }
+            assert!(seen.iter().all(|&c| c == 1), "n={n} w={workers}: {seen:?}");
+        }
+    }
+
+    #[test]
+    fn steal_queue_is_exhaustive_under_contention() {
+        let n = 97;
+        let workers = 8;
+        let queue = StealQueue::new(n, workers);
+        let claimed: Vec<usize> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let queue = &queue;
+                    scope.spawn(move || {
+                        let mut mine = Vec::new();
+                        while let Some(idx) = queue.claim(w) {
+                            mine.push(idx);
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("claimer panicked"))
+                .collect()
+        });
+        let mut sorted = claimed;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stage_timings_accumulate_and_total() {
+        let mut a = StageTimings::default();
+        a.add(Stage::Link, 0.5);
+        a.add(Stage::CycleEnum, 0.25);
+        let mut b = StageTimings::default();
+        b.add(Stage::Link, 0.5);
+        b.accumulate(&a);
+        assert!((b.get(Stage::Link) - 1.0).abs() < 1e-12);
+        assert!((b.total() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_summary_covers_every_stage() {
+        let exp = Experiment::build(&ExperimentConfig::tiny());
+        let ctx = PipelineCtx::new(&exp);
+        let (per_query, summary) = run_queries(&ctx, 2);
+        assert_eq!(per_query.len(), exp.corpus.queries.len());
+        assert_eq!(summary.stage_seconds.len(), Stage::ALL.len());
+        assert_eq!(summary.queries, per_query.len());
+        assert!(summary.wall_seconds > 0.0);
+        assert!(summary.per_query_mean_seconds > 0.0);
+        let names: Vec<&str> = summary
+            .stage_seconds
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "link",
+                "ground_truth",
+                "graph_assembly",
+                "cycle_enum",
+                "contributions",
+                "table4",
+                "correlation"
+            ]
+        );
+    }
+
+    #[test]
+    fn summary_serializes_with_stage_names() {
+        let exp = Experiment::build(&ExperimentConfig::tiny());
+        let (_, summary) = run_queries(&PipelineCtx::new(&exp), 1);
+        let json = serde_json::to_string(&summary).expect("summary serializes");
+        assert!(json.contains("\"ground_truth\""));
+        let back: RunSummary = serde_json::from_str(&json).expect("summary parses");
+        assert_eq!(back, summary);
+    }
+}

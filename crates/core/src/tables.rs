@@ -109,7 +109,10 @@ impl Table3 {
     /// Render paper-vs-measured.
     pub fn render(&self) -> String {
         let mut s = String::new();
-        let _ = writeln!(s, "Table 3 — largest connected component (min q1 med q3 max)");
+        let _ = writeln!(
+            s,
+            "Table 3 — largest connected component (min q1 med q3 max)"
+        );
         let rows = [
             ("%size", &self.size, PAPER_TABLE3[0]),
             ("%query nodes", &self.query_nodes, PAPER_TABLE3[1]),
@@ -253,9 +256,6 @@ pub struct ScalarStats {
     pub avg_query_graph_nodes: f64,
     /// Mean cycles per query graph.
     pub avg_cycles_per_query: f64,
-    /// Mean wall-clock seconds of the cycle analysis per query (paper:
-    /// ≈ 360 s on their graph database).
-    pub analysis_seconds_mean: f64,
 }
 
 impl ScalarStats {
@@ -282,11 +282,6 @@ impl ScalarStats {
             s,
             "  cycles per query:     measured {:.2}",
             self.avg_cycles_per_query
-        );
-        let _ = writeln!(
-            s,
-            "  analysis time/query:  paper ≈360 s | measured {:.4} s",
-            self.analysis_seconds_mean
         );
         s
     }
@@ -367,7 +362,6 @@ mod tests {
             link_reciprocity: 0.12,
             avg_query_graph_nodes: 150.0,
             avg_cycles_per_query: 80.0,
-            analysis_seconds_mean: 0.01,
         };
         let out = s.render();
         assert!(out.contains("0.310"));

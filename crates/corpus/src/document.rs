@@ -89,8 +89,7 @@ mod tests {
                     captions: vec![],
                 },
             ],
-            comment: "({{Information |Description= Flowers in Belgium |Source= Flickr }})"
-                .into(),
+            comment: "({{Information |Description= Flowers in Belgium |Source= Flickr }})".into(),
             license: "GFDL".into(),
         }
     }

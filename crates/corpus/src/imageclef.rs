@@ -75,9 +75,9 @@ pub fn extract_comment_description(comment: &str) -> &str {
         return "";
     };
     let after = &comment[pos + "|Description=".len()..];
-    let end = after.find('|').unwrap_or_else(|| {
-        after.find("}}").unwrap_or(after.len())
-    });
+    let end = after
+        .find('|')
+        .unwrap_or_else(|| after.find("}}").unwrap_or(after.len()));
     after[..end].trim()
 }
 
@@ -186,8 +186,8 @@ mod tests {
 
     #[test]
     fn tolerates_missing_sections() {
-        let d = parse_image_doc("<image id=\"1\" file=\"f.jpg\"><name>n.jpg</name></image>")
-            .unwrap();
+        let d =
+            parse_image_doc("<image id=\"1\" file=\"f.jpg\"><name>n.jpg</name></image>").unwrap();
         assert_eq!(linking_text(&d), "n");
         assert!(d.section("en").is_none());
     }

@@ -9,9 +9,7 @@ use crate::document::ImageDoc;
 use serde::{Deserialize, Serialize};
 
 /// Dense identifier of a document within a [`Corpus`].
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct DocId(pub u32);
 
 impl DocId {

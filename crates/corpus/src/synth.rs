@@ -189,8 +189,7 @@ pub fn generate_corpus(wiki: &SynthWiki, config: &SynthCorpusConfig) -> SynthCor
         }
 
         // Distractors: keyword-matching but non-relevant documents.
-        let n_dis =
-            rng.gen_range(config.distractors_per_query.0..=config.distractors_per_query.1);
+        let n_dis = rng.gen_range(config.distractors_per_query.0..=config.distractors_per_query.1);
         for d in 0..n_dis {
             let doc = distractor_document(wiki, config, &mut rng, t, qi, d, &q_arts);
             corpus.push(doc);
@@ -390,7 +389,7 @@ fn far_document(
     let kb = &wiki.kb;
     let arts = &wiki.topics[far_topic].articles;
     let span = arts.len().min(4);
-    let k = 2 + rng.gen_range(0..2);
+    let k = 2 + rng.gen_range(0..2usize);
     let mut picks: Vec<ArticleId> = Vec::new();
     let mut guard = 0;
     while picks.len() < k.min(span) && guard < 20 {

@@ -80,13 +80,10 @@ pub fn decode_entities(raw: &str) -> Result<String, XmlError> {
             i += ch_len;
             continue;
         }
-        let semi = raw[i..]
-            .find(';')
-            .ok_or(XmlError {
-                offset: i,
-                message: "unterminated entity".into(),
-            })?
-            + i;
+        let semi = raw[i..].find(';').ok_or(XmlError {
+            offset: i,
+            message: "unterminated entity".into(),
+        })? + i;
         let ent = &raw[i + 1..semi];
         match ent {
             "amp" => out.push('&'),
@@ -95,11 +92,10 @@ pub fn decode_entities(raw: &str) -> Result<String, XmlError> {
             "quot" => out.push('"'),
             "apos" => out.push('\''),
             _ if ent.starts_with("#x") || ent.starts_with("#X") => {
-                let code = u32::from_str_radix(&ent[2..], 16)
-                    .map_err(|_| XmlError {
-                        offset: i,
-                        message: format!("bad hex char ref &{ent};"),
-                    })?;
+                let code = u32::from_str_radix(&ent[2..], 16).map_err(|_| XmlError {
+                    offset: i,
+                    message: format!("bad hex char ref &{ent};"),
+                })?;
                 out.push(char::from_u32(code).ok_or(XmlError {
                     offset: i,
                     message: format!("invalid char ref &{ent};"),
@@ -431,7 +427,10 @@ pub fn parse_element(input: &str) -> Result<Element, XmlError> {
         }
     }
     if !stack.is_empty() {
-        return err(tok.offset(), format!("unclosed <{}>", stack.last().unwrap().name));
+        return err(
+            tok.offset(),
+            format!("unclosed <{}>", stack.last().unwrap().name),
+        );
     }
     root.ok_or(XmlError {
         offset: 0,
@@ -470,8 +469,7 @@ mod tests {
 
     #[test]
     fn skips_declaration_and_comments() {
-        let mut t =
-            Tokenizer::new("<?xml version=\"1.0\" encoding=\"UTF-8\" ?><!-- c --><r/>");
+        let mut t = Tokenizer::new("<?xml version=\"1.0\" encoding=\"UTF-8\" ?><!-- c --><r/>");
         assert_eq!(
             t.next().unwrap().unwrap(),
             XmlToken::SelfClosing {
@@ -484,7 +482,10 @@ mod tests {
     #[test]
     fn decodes_entities() {
         assert_eq!(decode_entities("a &amp; b &lt;c&gt;").unwrap(), "a & b <c>");
-        assert_eq!(decode_entities("&quot;q&quot; &apos;a&apos;").unwrap(), "\"q\" 'a'");
+        assert_eq!(
+            decode_entities("&quot;q&quot; &apos;a&apos;").unwrap(),
+            "\"q\" 'a'"
+        );
         assert_eq!(decode_entities("&#65;&#x42;").unwrap(), "AB");
         assert!(decode_entities("&bogus;").is_err());
         assert!(decode_entities("&amp").is_err());

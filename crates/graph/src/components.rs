@@ -183,7 +183,7 @@ mod tests {
             let g = b.build();
             let c = connected_components(&g);
             // BFS reference over the undirected view.
-            let mut label = vec![u32::MAX; 12];
+            let mut label = [u32::MAX; 12];
             let mut next = 0u32;
             for s in 0..12u32 {
                 if label[s as usize] != u32::MAX {

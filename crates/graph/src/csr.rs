@@ -235,7 +235,10 @@ impl TypedGraph {
             let mut n = 0;
             let mut i = start;
             while i < targets.len() && targets[i] == b {
-                if EdgeType::from_u8(types[i]).expect("valid stored type").cycle_eligible() {
+                if EdgeType::from_u8(types[i])
+                    .expect("valid stored type")
+                    .cycle_eligible()
+                {
                     n += 1;
                 }
                 i += 1;

@@ -111,9 +111,7 @@ impl<'g> CycleFinder<'g> {
     /// Collect all cycles into a vector.
     pub fn find_all(&self) -> Vec<Cycle> {
         let mut out = Vec::new();
-        self.for_each(|c| out.push(Cycle {
-            nodes: c.to_vec(),
-        }));
+        self.for_each(|c| out.push(Cycle { nodes: c.to_vec() }));
         out
     }
 
@@ -485,7 +483,16 @@ mod tests {
         let graphs: Vec<TypedGraph> = vec![
             {
                 let mut b = GraphBuilder::new(6);
-                for (u, v) in [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 2), (1, 4)] {
+                for (u, v) in [
+                    (0, 1),
+                    (1, 2),
+                    (2, 0),
+                    (2, 3),
+                    (3, 4),
+                    (4, 5),
+                    (5, 2),
+                    (1, 4),
+                ] {
                     b.add_edge(u, v, EdgeType::Link);
                 }
                 b.add_edge(1, 0, EdgeType::Link);

@@ -22,10 +22,7 @@ pub struct Subgraph {
 impl Subgraph {
     /// Map a parent node id to its local id, if selected.
     pub fn local_of(&self, parent: u32) -> Option<u32> {
-        self.to_parent
-            .binary_search(&parent)
-            .ok()
-            .map(|i| i as u32)
+        self.to_parent.binary_search(&parent).ok().map(|i| i as u32)
     }
 
     /// Map a local id back to the parent graph.

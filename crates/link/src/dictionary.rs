@@ -109,7 +109,10 @@ mod tests {
     fn lookup_is_normalized_form_only() {
         let kb = venice_mini_wiki();
         let d = TitleDictionary::build(&kb);
-        assert_eq!(d.get("grand canal venice"), kb.article_by_title("Grand Canal (Venice)"));
+        assert_eq!(
+            d.get("grand canal venice"),
+            kb.article_by_title("Grand Canal (Venice)")
+        );
         assert_eq!(d.get("Grand Canal (Venice)"), None, "raw form must miss");
     }
 

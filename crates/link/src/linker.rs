@@ -83,9 +83,8 @@ impl<'kb> EntityLinker<'kb> {
                     // Substitute and rescan the whole variant stream —
                     // a substitution can complete titles that span the
                     // replaced region.
-                    let mut variant: Vec<String> = Vec::with_capacity(
-                        tokens.len() - m.len + syn_tokens.len(),
-                    );
+                    let mut variant: Vec<String> =
+                        Vec::with_capacity(tokens.len() - m.len + syn_tokens.len());
                     variant.extend_from_slice(&tokens[..m.start]);
                     variant.extend(syn_tokens.iter().cloned());
                     variant.extend_from_slice(&tokens[m.end()..]);
@@ -94,10 +93,7 @@ impl<'kb> EntityLinker<'kb> {
                         if fa == main || seen.contains(&fa) {
                             continue;
                         }
-                        if extra
-                            .iter()
-                            .any(|e: &Mention| self.final_article(e) == fa)
-                        {
+                        if extra.iter().any(|e: &Mention| self.final_article(e) == fa) {
                             continue;
                         }
                         // Report the mention at the site of the original
@@ -269,7 +265,9 @@ mod tests {
     fn no_mentions_in_unrelated_text() {
         let kb = venice_mini_wiki();
         let linker = EntityLinker::new(&kb);
-        assert!(linker.link_articles("completely unrelated words here").is_empty());
+        assert!(linker
+            .link_articles("completely unrelated words here")
+            .is_empty());
         assert!(linker.link_articles("").is_empty());
     }
 

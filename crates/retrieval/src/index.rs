@@ -184,8 +184,7 @@ mod tests {
     fn postings_positions_are_correct() {
         let idx = tiny();
         let grand = idx.postings_for("grand").unwrap();
-        let entries: Vec<(u32, Vec<u32>)> =
-            grand.iter().map(|p| (p.doc, p.positions)).collect();
+        let entries: Vec<(u32, Vec<u32>)> = grand.iter().map(|p| (p.doc, p.positions)).collect();
         assert_eq!(entries, vec![(0, vec![4]), (1, vec![1])]);
         let the = idx.postings_for("the").unwrap();
         assert_eq!(the.collection_freq(), 2);
@@ -216,8 +215,7 @@ mod tests {
         let idx = tiny();
         let total: f64 = (0..idx.num_terms())
             .map(|i| {
-                idx.postings(TermId(i as u32)).collection_freq() as f64
-                    / idx.total_tokens() as f64
+                idx.postings(TermId(i as u32)).collection_freq() as f64 / idx.total_tokens() as f64
             })
             .sum();
         assert!((total - 1.0).abs() < 1e-12);
@@ -228,10 +226,7 @@ mod tests {
         let mut b = IndexBuilder::new();
         b.add_document("GONDOLA, Gondola; gondola!");
         let idx = b.build();
-        assert_eq!(
-            idx.postings_for("gondola").unwrap().collection_freq(),
-            3
-        );
+        assert_eq!(idx.postings_for("gondola").unwrap().collection_freq(), 3);
     }
 
     #[test]

@@ -138,10 +138,7 @@ mod tests {
         let hits = phrase(&index, &["grand", "canal"]);
         assert_eq!(
             hits,
-            vec![
-                PhraseHit { doc: 0, tf: 2 },
-                PhraseHit { doc: 3, tf: 3 },
-            ]
+            vec![PhraseHit { doc: 0, tf: 2 }, PhraseHit { doc: 3, tf: 3 },]
         );
     }
 
@@ -152,10 +149,7 @@ mod tests {
         // doc 2 "canal grand" and doc 3 "…canal grand canal…" twice.
         assert_eq!(
             hits,
-            vec![
-                PhraseHit { doc: 2, tf: 1 },
-                PhraseHit { doc: 3, tf: 2 },
-            ]
+            vec![PhraseHit { doc: 2, tf: 1 }, PhraseHit { doc: 3, tf: 2 },]
         );
     }
 

@@ -119,9 +119,7 @@ impl<'a> Parser<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while self.pos < self.input.len()
-            && self.input.as_bytes()[self.pos].is_ascii_whitespace()
-        {
+        while self.pos < self.input.len() && self.input.as_bytes()[self.pos].is_ascii_whitespace() {
             self.pos += 1;
         }
     }
@@ -295,10 +293,7 @@ mod tests {
     #[test]
     fn phrase_operator() {
         let q = parse("#1(grand canal)").unwrap();
-        assert_eq!(
-            q,
-            QueryNode::Phrase(vec!["grand".into(), "canal".into()])
-        );
+        assert_eq!(q, QueryNode::Phrase(vec!["grand".into(), "canal".into()]));
     }
 
     #[test]
@@ -314,7 +309,10 @@ mod tests {
             QueryNode::Weight(pairs) => {
                 assert_eq!(pairs.len(), 2);
                 assert!((pairs[0].0 - 0.7).abs() < 1e-12);
-                assert_eq!(pairs[1].1, QueryNode::Phrase(vec!["grand".into(), "canal".into()]));
+                assert_eq!(
+                    pairs[1].1,
+                    QueryNode::Phrase(vec!["grand".into(), "canal".into()])
+                );
             }
             other => panic!("expected #weight, got {other:?}"),
         }

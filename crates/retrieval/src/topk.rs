@@ -77,11 +77,7 @@ impl TopK {
     /// id.
     pub fn into_sorted(self) -> Vec<Scored> {
         let mut v: Vec<Scored> = self.heap.into_iter().map(|e| e.0).collect();
-        v.sort_unstable_by(|a, b| {
-            b.score
-                .total_cmp(&a.score)
-                .then_with(|| a.doc.cmp(&b.doc))
-        });
+        v.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.doc.cmp(&b.doc)));
         v
     }
 }
@@ -129,9 +125,7 @@ mod tests {
 
     #[test]
     fn matches_full_sort_reference() {
-        let scores: Vec<(u32, f64)> = (0..100)
-            .map(|i| (i, ((i * 37) % 11) as f64))
-            .collect();
+        let scores: Vec<(u32, f64)> = (0..100).map(|i| (i, ((i * 37) % 11) as f64)).collect();
         let mut t = TopK::new(10);
         for &(d, s) in &scores {
             t.push(d, s);

@@ -143,7 +143,9 @@ mod tests {
             for w in ["alpha", "beta", "alpha", "gamma"] {
                 i.intern(w);
             }
-            i.iter().map(|(id, t)| (id.0, t.to_owned())).collect::<Vec<_>>()
+            i.iter()
+                .map(|(id, t)| (id.0, t.to_owned()))
+                .collect::<Vec<_>>()
         };
         assert_eq!(build(), build());
     }

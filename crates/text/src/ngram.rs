@@ -28,7 +28,11 @@ impl<'a, T> NgramWindows<'a, T> {
     /// Create a window iterator of width `n` over `tokens`. A width of 0
     /// or a width longer than the slice yields an empty iterator.
     pub fn new(tokens: &'a [T], n: usize) -> Self {
-        NgramWindows { tokens, n, start: 0 }
+        NgramWindows {
+            tokens,
+            n,
+            start: 0,
+        }
     }
 }
 

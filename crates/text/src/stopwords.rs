@@ -17,10 +17,9 @@ static STOPWORDS: &[&str] = &[
     "how", "i", "if", "in", "into", "is", "it", "its", "itself", "just", "me", "more", "most",
     "my", "no", "nor", "not", "now", "of", "off", "on", "once", "only", "or", "other", "our",
     "ours", "out", "over", "own", "same", "she", "should", "so", "some", "such", "than", "that",
-    "the", "their", "theirs", "them", "then", "there", "these", "they", "this", "those",
-    "through", "to", "too", "under", "until", "up", "very", "was", "we", "were", "what", "when",
-    "where", "which", "while", "who", "whom", "why", "will", "with", "would", "you", "your",
-    "yours",
+    "the", "their", "theirs", "them", "then", "there", "these", "they", "this", "those", "through",
+    "to", "too", "under", "until", "up", "very", "was", "we", "were", "what", "when", "where",
+    "which", "while", "who", "whom", "why", "will", "with", "would", "you", "your", "yours",
 ];
 
 /// True when `word` (already normalized/lowercase) is an English
@@ -49,7 +48,12 @@ mod tests {
     fn list_is_sorted_and_deduplicated() {
         // Binary search correctness depends on this invariant.
         for pair in STOPWORDS.windows(2) {
-            assert!(pair[0] < pair[1], "{:?} must precede {:?}", pair[0], pair[1]);
+            assert!(
+                pair[0] < pair[1],
+                "{:?} must precede {:?}",
+                pair[0],
+                pair[1]
+            );
         }
     }
 

@@ -59,7 +59,10 @@ pub fn tokenize_positions(input: &str) -> Vec<Token> {
 /// `tokenize(input).len()` but cheaper; used for document-length
 /// bookkeeping during indexing.
 pub fn token_count(input: &str) -> usize {
-    normalize(input).split(' ').filter(|w| !w.is_empty()).count()
+    normalize(input)
+        .split(' ')
+        .filter(|w| !w.is_empty())
+        .count()
 }
 
 #[cfg(test)]

@@ -74,6 +74,7 @@ pub struct KbBuilder {
     articles: Vec<Article>,
     categories: Vec<Category>,
     links: Vec<(ArticleId, ArticleId)>,
+    link_set: std::collections::HashSet<(ArticleId, ArticleId)>,
     belongs: Vec<(ArticleId, CategoryId)>,
     inside: Vec<(CategoryId, CategoryId)>,
 }
@@ -108,13 +109,21 @@ impl KbBuilder {
     /// Record a wiki-link `from → to`.
     pub fn link(&mut self, from: ArticleId, to: ArticleId) {
         self.links.push((from, to));
+        self.link_set.insert((from, to));
     }
 
     /// Record reciprocal wiki-links between `a` and `b` (the pattern that
     /// creates the paper's length-2 cycles).
     pub fn link_reciprocal(&mut self, a: ArticleId, b: ArticleId) {
-        self.links.push((a, b));
-        self.links.push((b, a));
+        self.link(a, b);
+        self.link(b, a);
+    }
+
+    /// Whether `from → to` has already been recorded. Generators use
+    /// this to keep *accidental* reciprocal pairs from inflating the
+    /// calibrated reciprocity.
+    pub fn has_link(&self, from: ArticleId, to: ArticleId) -> bool {
+        self.link_set.contains(&(from, to))
     }
 
     /// Record that `article` belongs to `category`.
@@ -170,9 +179,7 @@ impl KbBuilder {
         for (i, art) in self.articles.iter().enumerate() {
             if let Some(m) = art.redirect_to {
                 if m.0 >= n_articles {
-                    return Err(KbValidationError::UnknownId(format!(
-                        "redirect a{i}→{m}"
-                    )));
+                    return Err(KbValidationError::UnknownId(format!("redirect a{i}→{m}")));
                 }
             }
         }

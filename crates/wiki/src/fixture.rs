@@ -186,7 +186,10 @@ mod tests {
         let v = kb.article_node(kb.article_by_title("Venice").unwrap());
         let gc = kb.article_node(kb.article_by_title("Grand Canal (Venice)").unwrap());
         let pb = kb.article_node(kb.article_by_title("Palazzo Bembo").unwrap());
-        let cycles = CycleFinder::new(kb.graph()).min_len(3).max_len(3).find_all();
+        let cycles = CycleFinder::new(kb.graph())
+            .min_len(3)
+            .max_len(3)
+            .find_all();
         assert!(
             cycles.iter().any(|c| {
                 let mut n = c.nodes.clone();
@@ -214,7 +217,10 @@ mod tests {
                 .find(|&c| kb.category_name(c) == "Visitor attractions in Venice")
                 .unwrap(),
         );
-        let cycles = CycleFinder::new(kb.graph()).min_len(4).max_len(4).find_all();
+        let cycles = CycleFinder::new(kb.graph())
+            .min_len(4)
+            .max_len(4)
+            .find_all();
         assert!(
             cycles.iter().any(|c| {
                 let mut n = c.nodes.clone();
@@ -233,7 +239,10 @@ mod tests {
         let s = kb.article_node(kb.article_by_title("Sheep").unwrap());
         let q = kb.article_node(kb.article_by_title("Quarantine").unwrap());
         let a = kb.article_node(kb.article_by_title("Anthrax").unwrap());
-        let cycles = CycleFinder::new(kb.graph()).min_len(3).max_len(3).find_all();
+        let cycles = CycleFinder::new(kb.graph())
+            .min_len(3)
+            .max_len(3)
+            .find_all();
         let trap = cycles.iter().find(|c| {
             let mut n = c.nodes.clone();
             n.sort_unstable();

@@ -6,16 +6,12 @@ use std::fmt;
 /// Identifier of an article (dense, assigned in insertion order by
 /// [`crate::KbBuilder`]). Articles — including redirect articles — occupy
 /// graph node ids `0..num_articles`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ArticleId(pub u32);
 
 /// Identifier of a category (dense). Category `c` occupies graph node id
 /// `num_articles + c.0`.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct CategoryId(pub u32);
 
 impl ArticleId {

@@ -230,7 +230,10 @@ mod tests {
 
     #[test]
     fn rejects_missing_header() {
-        assert!(matches!(load_text("a\tVenice\n"), Err(LoadError::BadHeader)));
+        assert!(matches!(
+            load_text("a\tVenice\n"),
+            Err(LoadError::BadHeader)
+        ));
     }
 
     #[test]

@@ -34,10 +34,7 @@ pub struct KbStats {
 pub fn kb_stats(kb: &KnowledgeBase) -> KbStats {
     let redirects = kb.articles().filter(|&a| kb.is_redirect(a)).count();
     let mains = kb.num_articles() - redirects;
-    let total_cats: usize = kb
-        .main_articles()
-        .map(|a| kb.categories_of(a).len())
-        .sum();
+    let total_cats: usize = kb.main_articles().map(|a| kb.categories_of(a).len()).sum();
     KbStats {
         articles: kb.num_articles(),
         redirects,

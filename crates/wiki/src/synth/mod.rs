@@ -160,7 +160,10 @@ pub fn generate(config: &SynthWikiConfig) -> SynthWiki {
         "at most {} topics supported",
         vocab::TOPIC_NOUNS.len() / 2
     );
-    let max_sat = 3 * vocab::ADJECTIVES.len().min(vocab::OBJECTS.len()).min(vocab::PLACES.len());
+    let max_sat = 3 * vocab::ADJECTIVES
+        .len()
+        .min(vocab::OBJECTS.len())
+        .min(vocab::PLACES.len());
     assert!(
         config.articles_per_topic <= max_sat,
         "at most {max_sat} articles per topic supported"
@@ -288,13 +291,15 @@ pub fn generate(config: &SynthWikiConfig) -> SynthWiki {
                 }
             }
         }
-        // Satellite → satellite intra links.
+        // Satellite → satellite intra links. Skip pairs whose reverse
+        // direction already exists so reciprocity stays calibrated: only
+        // the explicit branch below creates reciprocal pairs.
         let mean = config.intra_links_per_article;
         for &a in &arts[1..] {
             let k = sample_count(&mut rng, mean);
             for _ in 0..k {
                 let other = arts[rng.gen_range(0..arts.len())];
-                if other != a {
+                if other != a && !b.has_link(other, a) {
                     b.link(a, other);
                     if rng.gen_bool(config.reciprocity) {
                         b.link(other, a);

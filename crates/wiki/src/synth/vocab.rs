@@ -8,49 +8,249 @@
 
 /// One unique noun per topic; the pool size caps the number of topics.
 pub const TOPIC_NOUNS: &[&str] = &[
-    "harbor", "temple", "glacier", "orchard", "violin", "falcon", "lagoon", "castle", "meadow",
-    "comet", "reactor", "bazaar", "monastery", "lighthouse", "vineyard", "tundra", "geyser",
-    "citadel", "canyon", "jungle", "abbey", "fjord", "savanna", "volcano", "archipelago",
-    "cathedral", "observatory", "aqueduct", "amphitheater", "fortress", "marsh", "plateau",
-    "dune", "reef", "estuary", "quarry", "windmill", "forge", "loom", "kiln", "telescope",
-    "compass", "galleon", "zeppelin", "tramway", "funicular", "ferry", "caravan", "pagoda",
-    "ziggurat", "mosaic", "fresco", "tapestry", "organ", "carillon", "harpsichord", "mandolin",
-    "accordion", "bagpipe", "didgeridoo", "obelisk", "sundial", "astrolabe", "sextant",
-    "barometer", "chronometer", "printing", "papermill", "tannery", "brewery", "distillery",
-    "apiary", "falconry", "topiary", "bonsai", "ikebana", "origami", "calligraphy", "heraldry",
-    "numismatics", "philately", "cartography", "seismology", "meteorology", "oceanography",
-    "speleology", "ornithology", "entomology", "mycology", "lichenology", "glaciology",
-    "volcanology", "archery", "fencing", "rowing", "curling", "biathlon", "decathlon",
-    "marathon", "velodrome", "regencia", "gondolier2", "acropolis", "parthenon", "colosseum",
-    "catacomb", "necropolis", "menhir", "dolmen", "cairn", "barrow", "henge", "petroglyph",
-    "geoglyph", "stelae", "cloister", "scriptorium", "refectory", "cellarium", "almonry",
+    "harbor",
+    "temple",
+    "glacier",
+    "orchard",
+    "violin",
+    "falcon",
+    "lagoon",
+    "castle",
+    "meadow",
+    "comet",
+    "reactor",
+    "bazaar",
+    "monastery",
+    "lighthouse",
+    "vineyard",
+    "tundra",
+    "geyser",
+    "citadel",
+    "canyon",
+    "jungle",
+    "abbey",
+    "fjord",
+    "savanna",
+    "volcano",
+    "archipelago",
+    "cathedral",
+    "observatory",
+    "aqueduct",
+    "amphitheater",
+    "fortress",
+    "marsh",
+    "plateau",
+    "dune",
+    "reef",
+    "estuary",
+    "quarry",
+    "windmill",
+    "forge",
+    "loom",
+    "kiln",
+    "telescope",
+    "compass",
+    "galleon",
+    "zeppelin",
+    "tramway",
+    "funicular",
+    "ferry",
+    "caravan",
+    "pagoda",
+    "ziggurat",
+    "mosaic",
+    "fresco",
+    "tapestry",
+    "organ",
+    "carillon",
+    "harpsichord",
+    "mandolin",
+    "accordion",
+    "bagpipe",
+    "didgeridoo",
+    "obelisk",
+    "sundial",
+    "astrolabe",
+    "sextant",
+    "barometer",
+    "chronometer",
+    "printing",
+    "papermill",
+    "tannery",
+    "brewery",
+    "distillery",
+    "apiary",
+    "falconry",
+    "topiary",
+    "bonsai",
+    "ikebana",
+    "origami",
+    "calligraphy",
+    "heraldry",
+    "numismatics",
+    "philately",
+    "cartography",
+    "seismology",
+    "meteorology",
+    "oceanography",
+    "speleology",
+    "ornithology",
+    "entomology",
+    "mycology",
+    "lichenology",
+    "glaciology",
+    "volcanology",
+    "archery",
+    "fencing",
+    "rowing",
+    "curling",
+    "biathlon",
+    "decathlon",
+    "marathon",
+    "velodrome",
+    "regencia",
+    "gondolier2",
+    "acropolis",
+    "parthenon",
+    "colosseum",
+    "catacomb",
+    "necropolis",
+    "menhir",
+    "dolmen",
+    "cairn",
+    "barrow",
+    "henge",
+    "petroglyph",
+    "geoglyph",
+    "stelae",
+    "cloister",
+    "scriptorium",
+    "refectory",
+    "cellarium",
+    "almonry",
     "gatehouse",
 ];
 
 /// Adjectives used in `"{adjective} {noun}"` titles.
 pub const ADJECTIVES: &[&str] = &[
-    "northern", "southern", "eastern", "western", "central", "upper", "lower", "greater",
-    "lesser", "inner", "outer", "coastal", "alpine", "royal", "imperial", "sacred", "hidden",
-    "sunken", "floating", "winding", "granite", "marble", "timber", "copper", "silver",
-    "golden", "crimson", "azure", "emerald", "amber", "ivory", "obsidian", "painted", "carved",
-    "terraced", "fortified", "abandoned", "restored", "celebrated", "legendary",
+    "northern",
+    "southern",
+    "eastern",
+    "western",
+    "central",
+    "upper",
+    "lower",
+    "greater",
+    "lesser",
+    "inner",
+    "outer",
+    "coastal",
+    "alpine",
+    "royal",
+    "imperial",
+    "sacred",
+    "hidden",
+    "sunken",
+    "floating",
+    "winding",
+    "granite",
+    "marble",
+    "timber",
+    "copper",
+    "silver",
+    "golden",
+    "crimson",
+    "azure",
+    "emerald",
+    "amber",
+    "ivory",
+    "obsidian",
+    "painted",
+    "carved",
+    "terraced",
+    "fortified",
+    "abandoned",
+    "restored",
+    "celebrated",
+    "legendary",
 ];
 
 /// Objects used in `"{noun} {object}"` titles.
 pub const OBJECTS: &[&str] = &[
-    "gate", "tower", "market", "festival", "museum", "archive", "garden", "terrace", "pavilion",
-    "workshop", "guild", "council", "chronicle", "atlas", "codex", "ledger", "charter",
-    "expedition", "pilgrimage", "procession", "ceremony", "tournament", "harvest", "auction",
-    "foundry", "quay", "esplanade", "promenade", "causeway", "viaduct", "cistern", "granary",
-    "stable", "armory", "belfry", "crypt", "rotunda", "portico", "colonnade", "balustrade",
+    "gate",
+    "tower",
+    "market",
+    "festival",
+    "museum",
+    "archive",
+    "garden",
+    "terrace",
+    "pavilion",
+    "workshop",
+    "guild",
+    "council",
+    "chronicle",
+    "atlas",
+    "codex",
+    "ledger",
+    "charter",
+    "expedition",
+    "pilgrimage",
+    "procession",
+    "ceremony",
+    "tournament",
+    "harvest",
+    "auction",
+    "foundry",
+    "quay",
+    "esplanade",
+    "promenade",
+    "causeway",
+    "viaduct",
+    "cistern",
+    "granary",
+    "stable",
+    "armory",
+    "belfry",
+    "crypt",
+    "rotunda",
+    "portico",
+    "colonnade",
+    "balustrade",
 ];
 
 /// Places used in `"{noun} of {place}"` titles.
 pub const PLACES: &[&str] = &[
-    "valdria", "montreux", "karelia", "andalus", "bohemia", "silesia", "dalmatia", "galicia",
-    "umbria", "liguria", "navarre", "aragon", "brittany", "flanders", "saxony", "bavaria",
-    "tyrol", "carinthia", "moravia", "wallachia", "thrace", "anatolia", "cappadocia", "phrygia",
-    "lydia", "illyria", "pannonia", "dacia", "scythia", "sogdiana",
+    "valdria",
+    "montreux",
+    "karelia",
+    "andalus",
+    "bohemia",
+    "silesia",
+    "dalmatia",
+    "galicia",
+    "umbria",
+    "liguria",
+    "navarre",
+    "aragon",
+    "brittany",
+    "flanders",
+    "saxony",
+    "bavaria",
+    "tyrol",
+    "carinthia",
+    "moravia",
+    "wallachia",
+    "thrace",
+    "anatolia",
+    "cappadocia",
+    "phrygia",
+    "lydia",
+    "illyria",
+    "pannonia",
+    "dacia",
+    "scythia",
+    "sogdiana",
 ];
 
 /// Alias prefixes reserved for redirect titles (never in other pools).
@@ -58,18 +258,61 @@ pub const ALIAS_PREFIXES: &[&str] = &["former", "historic", "ancient", "medieval
 
 /// Suffixes for category names: `"{noun} {suffix}"`.
 pub const CATEGORY_SUFFIXES: &[&str] = &[
-    "history", "culture", "architecture", "people", "events", "geography", "economy",
-    "traditions", "landmarks", "crafts",
+    "history",
+    "culture",
+    "architecture",
+    "people",
+    "events",
+    "geography",
+    "economy",
+    "traditions",
+    "landmarks",
+    "crafts",
 ];
 
 /// Filler vocabulary for document body text (never matches any title on
 /// its own — disjoint from all pools above).
 pub const FILLER_WORDS: &[&str] = &[
-    "image", "photograph", "view", "scene", "detail", "overview", "panorama", "closeup",
-    "morning", "evening", "summer", "winter", "spring", "autumn", "light", "shadow", "color",
-    "texture", "pattern", "structure", "background", "foreground", "taken", "showing",
-    "depicting", "near", "beside", "during", "famous", "notable", "typical", "traditional",
-    "regional", "local", "annual", "daily", "public", "private", "general", "special",
+    "image",
+    "photograph",
+    "view",
+    "scene",
+    "detail",
+    "overview",
+    "panorama",
+    "closeup",
+    "morning",
+    "evening",
+    "summer",
+    "winter",
+    "spring",
+    "autumn",
+    "light",
+    "shadow",
+    "color",
+    "texture",
+    "pattern",
+    "structure",
+    "background",
+    "foreground",
+    "taken",
+    "showing",
+    "depicting",
+    "near",
+    "beside",
+    "during",
+    "famous",
+    "notable",
+    "typical",
+    "traditional",
+    "regional",
+    "local",
+    "annual",
+    "daily",
+    "public",
+    "private",
+    "general",
+    "special",
 ];
 
 #[cfg(test)]

@@ -22,7 +22,10 @@ fn main() {
 
     let expanders: Vec<(&str, Box<dyn Expander>)> = vec![
         ("none", Box::new(NoopExpander)),
-        ("direct-links", Box::new(DirectLinkExpander { max_features: 8 })),
+        (
+            "direct-links",
+            Box::new(DirectLinkExpander { max_features: 8 }),
+        ),
         ("redirects", Box::new(RedirectExpander { max_features: 8 })),
         ("cycles (paper)", Box::new(CycleExpander::default())),
         (
@@ -36,7 +39,10 @@ fn main() {
         ),
     ];
 
-    println!("Expander comparison over {} queries\n", experiment.corpus.queries.len());
+    println!(
+        "Expander comparison over {} queries\n",
+        experiment.corpus.queries.len()
+    );
     println!(
         "{:<26} {:>8} {:>8} {:>8} {:>8} {:>8}",
         "expander", "O", "P@1", "P@5", "P@10", "P@15"

@@ -110,8 +110,10 @@ fn report_tables_have_paper_shape() {
         assert!(row.min <= row.median && row.median <= row.max);
     }
     let t3 = report.table3();
-    assert!(t3.categories.median >= t3.articles.median,
-        "categories must dominate the largest components (paper §3)");
+    assert!(
+        t3.categories.median >= t3.articles.median,
+        "categories must dominate the largest components (paper §3)"
+    );
     let fig6 = report.fig6();
     // Cycle counts grow with length (paper Fig. 6).
     let v: Vec<f64> = (2..=5).map(|l| fig6.values[l].unwrap_or(0.0)).collect();

@@ -1,0 +1,70 @@
+//! Workspace-level contract for the pipeline runner: parallel execution
+//! is invisible in the output. Whatever the thread count and steal
+//! schedule, the serialized `Report` must be byte-identical to a
+//! sequential run — this is what lets future perf PRs swap runners
+//! without re-validating the science.
+
+use querygraph::core::experiment::{Experiment, ExperimentConfig};
+use querygraph::core::pipeline::{PipelineCtx, RunSummary, Stage};
+
+#[test]
+fn run_parallel_is_byte_identical_for_all_thread_counts() {
+    let experiment = Experiment::build(&ExperimentConfig::tiny());
+    let sequential = serde_json::to_string(&experiment.run()).expect("report serializes");
+    for threads in [1, 2, 8] {
+        let parallel =
+            serde_json::to_string(&experiment.run_parallel(threads)).expect("report serializes");
+        assert_eq!(
+            sequential, parallel,
+            "run_parallel({threads}) diverged from run()"
+        );
+    }
+}
+
+#[test]
+fn summaries_report_the_requested_mode() {
+    let experiment = Experiment::build(&ExperimentConfig::tiny());
+    let (_, seq) = experiment.run_with_summary();
+    assert_eq!(seq.mode, "sequential");
+    assert_eq!(seq.threads, 1);
+
+    let (_, par) = experiment.run_parallel_with_summary(2);
+    assert_eq!(par.mode, "work_stealing");
+    assert_eq!(par.threads, 2);
+    assert_eq!(par.queries, seq.queries);
+    // Per-stage CPU seconds are schedule-dependent but always cover
+    // every stage.
+    assert_eq!(par.stage_seconds.len(), Stage::ALL.len());
+}
+
+#[test]
+fn summary_round_trips_through_json() {
+    let experiment = Experiment::build(&ExperimentConfig::tiny());
+    let (_, summary) = experiment.run_parallel_with_summary(2);
+    let json = serde_json::to_string_pretty(&summary).expect("summary serializes");
+    let back: RunSummary = serde_json::from_str(&json).expect("summary parses");
+    assert_eq!(back, summary);
+}
+
+/// The facade quickstart path, as DESIGN.md and `src/lib.rs` advertise
+/// it: build → run → aggregate, through the `querygraph::` re-exports
+/// only.
+#[test]
+fn facade_quickstart_smoke() {
+    let config = ExperimentConfig::tiny();
+    let experiment = Experiment::build(&config);
+
+    // A shared context can also drive single-query analysis directly.
+    let ctx = PipelineCtx::new(&experiment);
+    let first = ctx.analyze(0);
+    assert!(!first.lqk.is_empty(), "keywords must link to articles");
+
+    let report = experiment.run();
+    assert_eq!(report.per_query.len(), config.corpus.num_queries);
+    assert_eq!(report.per_query[0].query_id, first.query_id);
+
+    let rendered = report.render_all();
+    for needle in ["Table 2", "Table 3", "Table 4", "Fig. 5", "Fig. 9"] {
+        assert!(rendered.contains(needle), "render_all missing {needle}");
+    }
+}

@@ -11,7 +11,11 @@ use querygraph::retrieval::metrics::{average_quality, precision_at};
 use querygraph::retrieval::query_lang::{parse, QueryNode};
 use querygraph::wiki::synth::{generate, SynthWiki, SynthWikiConfig};
 
-fn world() -> (SynthWiki, querygraph::corpus::synth::SynthCorpus, SearchEngine) {
+fn world() -> (
+    SynthWiki,
+    querygraph::corpus::synth::SynthCorpus,
+    SearchEngine,
+) {
     let wiki = generate(&SynthWikiConfig::small());
     let sc = generate_corpus(&wiki, &SynthCorpusConfig::small());
     let mut ib = IndexBuilder::new();
@@ -62,10 +66,7 @@ fn adding_good_titles_never_needs_reindexing() {
     let q = &sc.queries.queries[0];
     let node = parse(&format!(
         "#combine({})",
-        q.keywords
-            .split_whitespace()
-            .collect::<Vec<_>>()
-            .join(" ")
+        q.keywords.split_whitespace().collect::<Vec<_>>().join(" ")
     ))
     .unwrap();
     let first = engine.search(&node, 15);

@@ -23,10 +23,15 @@ fn fig4_cycles_all_present_in_assembled_graph() {
     let kb = venice_mini_wiki();
     let linker = EntityLinker::new(&kb);
     let lqk = linker.link_articles(VENICE_QUERY);
-    let expansion: Vec<_> = ["Grand Canal (Venice)", "Palazzo Bembo", "Bridge of Sighs", "Cannaregio"]
-        .iter()
-        .map(|t| kb.article_by_title(t).unwrap())
-        .collect();
+    let expansion: Vec<_> = [
+        "Grand Canal (Venice)",
+        "Palazzo Bembo",
+        "Bridge of Sighs",
+        "Cannaregio",
+    ]
+    .iter()
+    .map(|t| kb.article_by_title(t).unwrap())
+    .collect();
     let qg = assemble(&kb, &lqk, &expansion);
     let cycles = enumerate_cycles(&qg, &kb, 5, usize::MAX);
 
