@@ -1,0 +1,296 @@
+//! Stage-by-stage comparison of two `BENCH_seed.json` records — the
+//! engine behind the `repro_bench_diff` binary and the CI bench gate.
+//!
+//! Records are consumed as loose JSON trees rather than typed
+//! [`crate::BenchRecord`]s so the tool can diff across schema versions
+//! (a `main` baseline produced by an older binary must stay parseable
+//! from a PR's newer one).
+
+use serde::Value;
+
+/// One compared quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageDiff {
+    /// Stage name (or `"wall_seconds"` / `"build_seconds"`).
+    pub name: String,
+    /// Baseline seconds (`None`: stage absent in the baseline record).
+    pub base: Option<f64>,
+    /// Candidate seconds (`None`: stage absent in the candidate).
+    pub cand: Option<f64>,
+}
+
+impl StageDiff {
+    /// Candidate − baseline, when both sides exist.
+    pub fn abs_delta(&self) -> Option<f64> {
+        Some(self.cand? - self.base?)
+    }
+
+    /// Percent change vs the baseline; `None` when either side is
+    /// missing or the baseline is ~zero (a percentage would be noise).
+    pub fn pct_delta(&self) -> Option<f64> {
+        let (base, cand) = (self.base?, self.cand?);
+        if base.abs() < 1e-9 {
+            return None;
+        }
+        Some(100.0 * (cand - base) / base)
+    }
+}
+
+/// The full comparison of two bench records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDiff {
+    /// End-to-end pipeline wall clock — the regression-gate quantity.
+    pub wall: StageDiff,
+    /// World synthesis + indexing.
+    pub build: StageDiff,
+    /// Per-stage seconds, in baseline-then-new order.
+    pub stages: Vec<StageDiff>,
+}
+
+impl BenchDiff {
+    /// `wall_seconds` percent change (positive = slower). 0 when either
+    /// record lacks the field.
+    pub fn wall_regression_pct(&self) -> f64 {
+        self.wall.pct_delta().unwrap_or(0.0)
+    }
+
+    /// Render as an aligned text table for terminals and CI logs.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<16} {:>12} {:>12} {:>12} {:>9}\n",
+            "stage", "base (s)", "cand (s)", "delta (s)", "delta %"
+        ));
+        for d in self.rows() {
+            out.push_str(&format!(
+                "{:<16} {:>12} {:>12} {:>12} {:>9}\n",
+                d.name,
+                fmt_opt(d.base),
+                fmt_opt(d.cand),
+                fmt_opt(d.abs_delta()),
+                fmt_pct(d.pct_delta()),
+            ));
+        }
+        out
+    }
+
+    /// Render as a GitHub-flavored markdown table (for
+    /// `$GITHUB_STEP_SUMMARY`).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| stage | base (s) | cand (s) | delta (s) | delta % |\n");
+        out.push_str("|---|---:|---:|---:|---:|\n");
+        for d in self.rows() {
+            out.push_str(&format!(
+                "| `{}` | {} | {} | {} | {} |\n",
+                d.name,
+                fmt_opt(d.base),
+                fmt_opt(d.cand),
+                fmt_opt(d.abs_delta()),
+                fmt_pct(d.pct_delta()),
+            ));
+        }
+        out
+    }
+
+    fn rows(&self) -> impl Iterator<Item = &StageDiff> {
+        self.stages.iter().chain([&self.build, &self.wall])
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:.4}"),
+        None => "—".to_string(),
+    }
+}
+
+fn fmt_pct(v: Option<f64>) -> String {
+    match v {
+        Some(v) => format!("{v:+.1}%"),
+        None => "—".to_string(),
+    }
+}
+
+/// Object-field lookup on a loose JSON tree.
+fn get<'a>(v: &'a Value, key: &str) -> Option<&'a Value> {
+    v.as_object()?
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+}
+
+/// Numeric-field extraction (integers coerce to f64).
+fn get_f64(v: &Value, key: &str) -> Option<f64> {
+    match get(v, key)? {
+        Value::Float(f) => Some(*f),
+        Value::UInt(u) => Some(*u as f64),
+        Value::Int(i) => Some(*i as f64),
+        _ => None,
+    }
+}
+
+/// `run.stage_seconds` as `(name, seconds)` pairs; tolerates the field
+/// missing entirely (empty vec).
+fn stage_seconds(record: &Value) -> Vec<(String, f64)> {
+    let Some(run) = get(record, "run") else {
+        return Vec::new();
+    };
+    let Some(Value::Array(items)) = get(run, "stage_seconds") else {
+        return Vec::new();
+    };
+    items
+        .iter()
+        .filter_map(|pair| {
+            let pair = pair.as_array()?;
+            let name = pair.first()?.as_str()?.to_string();
+            let secs = match pair.get(1)? {
+                Value::Float(f) => *f,
+                Value::UInt(u) => *u as f64,
+                Value::Int(i) => *i as f64,
+                _ => return None,
+            };
+            Some((name, secs))
+        })
+        .collect()
+}
+
+/// Compare two parsed bench records stage by stage. Stages present in
+/// either record appear in the output (baseline order first, then
+/// candidate-only stages), so renamed or added stages are visible
+/// rather than silently dropped.
+pub fn diff_records(baseline: &Value, candidate: &Value) -> BenchDiff {
+    let base_stages = stage_seconds(baseline);
+    let cand_stages = stage_seconds(candidate);
+
+    let mut names: Vec<String> = base_stages.iter().map(|(n, _)| n.clone()).collect();
+    for (n, _) in &cand_stages {
+        if !names.iter().any(|have| have == n) {
+            names.push(n.clone());
+        }
+    }
+    let lookup = |stages: &[(String, f64)], name: &str| {
+        stages.iter().find(|(n, _)| n == name).map(|&(_, s)| s)
+    };
+    let stages = names
+        .into_iter()
+        .map(|name| StageDiff {
+            base: lookup(&base_stages, &name),
+            cand: lookup(&cand_stages, &name),
+            name,
+        })
+        .collect();
+
+    let run_f64 = |record: &Value, key: &str| get(record, "run").and_then(|r| get_f64(r, key));
+    BenchDiff {
+        wall: StageDiff {
+            name: "wall_seconds".to_string(),
+            base: run_f64(baseline, "wall_seconds"),
+            cand: run_f64(candidate, "wall_seconds"),
+        },
+        build: StageDiff {
+            name: "build_seconds".to_string(),
+            base: get_f64(baseline, "build_seconds"),
+            cand: get_f64(candidate, "build_seconds"),
+        },
+        stages,
+    }
+}
+
+/// Parse a bench record from JSON text.
+pub fn parse_record(text: &str) -> Result<Value, String> {
+    serde_json::from_str::<Value>(text).map_err(|e| format!("bad bench record: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(wall: f64, gt: f64) -> Value {
+        parse_record(&format!(
+            r#"{{"schema":1,"build_seconds":0.04,"run":{{"wall_seconds":{wall},
+                "stage_seconds":[["link",0.02],["ground_truth",{gt}]]}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn computes_absolute_and_percent_deltas() {
+        let diff = diff_records(&record(0.32, 0.29), &record(0.16, 0.07));
+        let gt = diff
+            .stages
+            .iter()
+            .find(|d| d.name == "ground_truth")
+            .unwrap();
+        assert!((gt.abs_delta().unwrap() - (0.07 - 0.29)).abs() < 1e-12);
+        assert!((gt.pct_delta().unwrap() - (100.0 * (0.07 - 0.29) / 0.29)).abs() < 1e-9);
+        assert!((diff.wall_regression_pct() - (-50.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn regression_is_positive_percent() {
+        let diff = diff_records(&record(0.10, 0.05), &record(0.15, 0.08));
+        assert!((diff.wall_regression_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_stages_render_as_dashes_not_errors() {
+        let old = parse_record(
+            r#"{"build_seconds":0.1,"run":{"wall_seconds":1.0,
+                "stage_seconds":[["link",0.5],["legacy_stage",0.5]]}}"#,
+        )
+        .unwrap();
+        let new = record(0.8, 0.3);
+        let diff = diff_records(&old, &new);
+        let legacy = diff
+            .stages
+            .iter()
+            .find(|d| d.name == "legacy_stage")
+            .unwrap();
+        assert_eq!(legacy.cand, None);
+        assert_eq!(legacy.pct_delta(), None);
+        let gt = diff
+            .stages
+            .iter()
+            .find(|d| d.name == "ground_truth")
+            .unwrap();
+        assert_eq!(gt.base, None);
+        let text = diff.render_text();
+        assert!(text.contains('—'));
+    }
+
+    #[test]
+    fn schema_mismatch_is_tolerated() {
+        // A record missing `run` entirely still diffs (all-missing rows).
+        let hollow = parse_record(r#"{"schema":99}"#).unwrap();
+        let diff = diff_records(&hollow, &record(0.2, 0.1));
+        assert_eq!(diff.wall.base, None);
+        assert_eq!(
+            diff.wall_regression_pct(),
+            0.0,
+            "no gate without a baseline"
+        );
+    }
+
+    #[test]
+    fn markdown_table_shape() {
+        let diff = diff_records(&record(0.32, 0.29), &record(0.16, 0.07));
+        let md = diff.render_markdown();
+        assert!(md.starts_with("| stage |"));
+        assert!(md.contains("| `ground_truth` |"));
+        assert!(md.contains("| `wall_seconds` |"));
+        // Header + separator + link + ground_truth + build + wall.
+        assert_eq!(md.lines().count(), 6);
+    }
+
+    #[test]
+    fn zero_baseline_has_no_percentage() {
+        let d = StageDiff {
+            name: "x".into(),
+            base: Some(0.0),
+            cand: Some(0.5),
+        };
+        assert_eq!(d.pct_delta(), None);
+        assert_eq!(d.abs_delta(), Some(0.5));
+    }
+}

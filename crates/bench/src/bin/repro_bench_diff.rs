@@ -1,0 +1,89 @@
+//! Compare two `BENCH_seed.json` records stage by stage — the ROADMAP's
+//! bench-trajectory diff tool and the CI regression gate.
+//!
+//! ```text
+//! cargo run --release -p querygraph-bench --bin repro_bench_diff -- \
+//!     <baseline.json> <candidate.json> [--fail-over <pct>] [--markdown]
+//! ```
+//!
+//! Prints absolute and percent deltas per stage plus `build_seconds`
+//! and `wall_seconds`. With `--fail-over <pct>`, exits non-zero when
+//! the candidate's pipeline `wall_seconds` regressed by more than
+//! `<pct>` percent over the baseline — the CI job's failure condition.
+//! `--markdown` emits a GitHub-flavored table for `$GITHUB_STEP_SUMMARY`.
+
+use querygraph_bench::bench_diff::{diff_records, parse_record};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: repro_bench_diff <baseline.json> <candidate.json> \
+         [--fail-over <pct>] [--markdown]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<&str> = Vec::new();
+    let mut fail_over: Option<f64> = None;
+    let mut markdown = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fail-over" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(pct)) => fail_over = Some(pct),
+                _ => usage(),
+            },
+            "--markdown" => markdown = true,
+            flag if flag.starts_with("--") => usage(),
+            path => paths.push(path),
+        }
+    }
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        usage()
+    };
+
+    let read = |path: &str| -> String {
+        std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let parse = |path: &str| {
+        parse_record(&read(path)).unwrap_or_else(|e| {
+            eprintln!("error: {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = parse(baseline_path);
+    let candidate = parse(candidate_path);
+
+    let diff = diff_records(&baseline, &candidate);
+    if markdown {
+        println!("### Bench diff: `{baseline_path}` → `{candidate_path}`\n");
+        print!("{}", diff.render_markdown());
+    } else {
+        eprintln!("# baseline: {baseline_path}");
+        eprintln!("# candidate: {candidate_path}");
+        print!("{}", diff.render_text());
+    }
+
+    let regression = diff.wall_regression_pct();
+    if let Some(threshold) = fail_over {
+        if regression > threshold {
+            let msg =
+                format!("wall_seconds regressed {regression:+.1}% (threshold {threshold:+.1}%)");
+            if markdown {
+                println!("\n**FAIL** — {msg}");
+            }
+            eprintln!("FAIL: {msg}");
+            std::process::exit(1);
+        }
+        let msg =
+            format!("wall_seconds change {regression:+.1}% within threshold {threshold:+.1}%");
+        if markdown {
+            println!("\n**OK** — {msg}");
+        }
+        eprintln!("OK: {msg}");
+    }
+}

@@ -9,6 +9,8 @@
 //! `repro_all` prints everything at once and is what EXPERIMENTS.md is
 //! generated from.
 
+pub mod bench_diff;
+
 use querygraph_core::experiment::{Experiment, ExperimentConfig, Report};
 use querygraph_core::pipeline::RunSummary;
 use serde::{Deserialize, Serialize};
@@ -39,7 +41,8 @@ impl BenchRecord {
     /// Assemble a record from a finished run.
     pub fn new(config: &ExperimentConfig, build_seconds: f64, run: RunSummary) -> BenchRecord {
         BenchRecord {
-            schema: 1,
+            // 2: RunSummary gained ground-truth evaluation counters.
+            schema: 2,
             num_queries: config.corpus.num_queries,
             num_topics: config.wiki.num_topics,
             wiki_seed: config.wiki.seed,

@@ -1,0 +1,77 @@
+//! Contract tests for the derive shim's `#[serde(skip)]` support: the
+//! attribute must omit the field from serialized output and restore it
+//! via `Default::default()` on deserialization — the same behavior real
+//! serde has, which is what lets observability counters ride on
+//! report-stable structs without changing their JSON.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct WithSkip {
+    kept: u32,
+    /// Never serialized; defaults to 0 on read.
+    #[serde(skip)]
+    scratch: usize,
+    also_kept: String,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct Plain {
+    kept: u32,
+    also_kept: String,
+}
+
+#[test]
+fn skipped_field_is_absent_from_json() {
+    let v = WithSkip {
+        kept: 7,
+        scratch: 999,
+        also_kept: "x".into(),
+    };
+    let json = serde_json::to_string(&v).unwrap();
+    assert_eq!(json, "{\"kept\":7,\"also_kept\":\"x\"}");
+}
+
+#[test]
+fn skipped_field_matches_struct_without_it() {
+    let with = WithSkip {
+        kept: 3,
+        scratch: 42,
+        also_kept: "y".into(),
+    };
+    let without = Plain {
+        kept: 3,
+        also_kept: "y".into(),
+    };
+    assert_eq!(
+        serde_json::to_string(&with).unwrap(),
+        serde_json::to_string(&without).unwrap(),
+        "#[serde(skip)] must keep the wire format identical"
+    );
+}
+
+#[test]
+fn deserialization_defaults_the_skipped_field() {
+    let back: WithSkip = serde_json::from_str("{\"kept\":7,\"also_kept\":\"x\"}").unwrap();
+    assert_eq!(
+        back,
+        WithSkip {
+            kept: 7,
+            scratch: 0,
+            also_kept: "x".into(),
+        }
+    );
+}
+
+#[test]
+fn round_trip_loses_only_the_skipped_field() {
+    let v = WithSkip {
+        kept: 1,
+        scratch: 5,
+        also_kept: "z".into(),
+    };
+    let back: WithSkip = serde_json::from_str(&serde_json::to_string(&v).unwrap()).unwrap();
+    assert_eq!(back.kept, v.kept);
+    assert_eq!(back.also_kept, v.also_kept);
+    assert_eq!(back.scratch, 0, "skipped field resets to Default");
+}

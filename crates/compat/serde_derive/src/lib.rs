@@ -10,16 +10,27 @@
 //! * enums whose variants are all unit variants → the variant name as a
 //!   JSON string.
 //!
-//! Anything else (generics, data-carrying variants, `#[serde(...)]`
+//! The only `#[serde(...)]` attribute supported is `#[serde(skip)]` on a
+//! named field: the field is omitted from serialization and restored via
+//! `Default::default()` on deserialization, exactly like real serde.
+//! Anything else (generics, data-carrying variants, other `#[serde(...)]`
 //! attributes) panics at expansion time with a pointed message rather
 //! than silently producing the wrong format.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// One named field of a deriving struct.
+struct FieldSpec {
+    /// Field name.
+    name: String,
+    /// `#[serde(skip)]`: omit from output, `Default::default()` on read.
+    skip: bool,
+}
+
 /// The parsed shape of a deriving item.
 enum Shape {
-    /// Named-field struct: field names in declaration order.
-    Named(Vec<String>),
+    /// Named-field struct: fields in declaration order.
+    Named(Vec<FieldSpec>),
     /// Tuple struct with this many fields (only 1 is supported).
     Tuple(usize),
     /// Enum of unit variants: variant names in declaration order.
@@ -32,7 +43,7 @@ struct Item {
 }
 
 /// Derive `serde::Serialize` for the supported shapes.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let name = &item.name;
@@ -40,7 +51,11 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         Shape::Named(fields) => {
             let entries: String = fields
                 .iter()
-                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+                .filter(|f| !f.skip)
+                .map(|f| {
+                    let f = &f.name;
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),")
+                })
                 .collect();
             format!("::serde::Value::Object(vec![{entries}])")
         }
@@ -64,7 +79,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derive `serde::Deserialize` for the supported shapes.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
     let name = &item.name;
@@ -72,7 +87,14 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
         Shape::Named(fields) => {
             let inits: String = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::__private::field(entries, \"{f}\", \"{name}\")?,"))
+                .map(|f| {
+                    if f.skip {
+                        format!("{}: ::core::default::Default::default(),", f.name)
+                    } else {
+                        let f = &f.name;
+                        format!("{f}: ::serde::__private::field(entries, \"{f}\", \"{name}\")?,")
+                    }
+                })
                 .collect();
             format!(
                 "let entries = v.as_object().ok_or_else(|| \
@@ -173,31 +195,35 @@ fn forbid_generics(tt: Option<&TokenTree>, name: &str) {
     }
 }
 
-/// Field names of a named-field struct body, in order.
+/// Fields of a named-field struct body, in order.
 ///
 /// A field is "the last identifier before a depth-0 `:`"; the type after
 /// it runs to the next comma at angle-bracket depth 0 (commas inside
 /// `(..)`/`[..]` groups are invisible to this token-level scan, so types
-/// like `Vec<(String, [f64; 4])>` parse fine).
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+/// like `Vec<(String, [f64; 4])>` parse fine). A `#[serde(skip)]`
+/// attribute marks the field that follows it; any other `#[serde(...)]`
+/// attribute panics.
+fn parse_named_fields(body: TokenStream) -> Vec<FieldSpec> {
     let mut fields = Vec::new();
     let mut last_ident: Option<String> = None;
     let mut in_type = false;
+    let mut skip_next = false;
     let mut angle_depth = 0i32;
     let mut tokens = body.into_iter().peekable();
     while let Some(tt) = tokens.next() {
         match tt {
             TokenTree::Punct(p) if p.as_char() == '#' && !in_type => {
-                tokens.next(); // attribute body
+                skip_next |= attribute_is_serde_skip(tokens.next());
             }
             TokenTree::Punct(p) if p.as_char() == ':' && !in_type && angle_depth == 0 => {
                 // `::` inside a path never starts a field type at depth 0
                 // here because field names precede the first `:`.
-                fields.push(
-                    last_ident
+                fields.push(FieldSpec {
+                    name: last_ident
                         .take()
                         .expect("serde shim: field `:` with no preceding name"),
-                );
+                    skip: std::mem::take(&mut skip_next),
+                });
                 in_type = true;
             }
             TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
@@ -215,13 +241,54 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
     fields
 }
 
+/// Inspect one attribute body (the bracket group after `#`). Returns
+/// true for `[serde(skip)]`; panics on any other `#[serde(...)]` so
+/// unsupported renames/defaults fail loudly; ignores non-serde
+/// attributes (doc comments etc.).
+fn attribute_is_serde_skip(tt: Option<TokenTree>) -> bool {
+    let Some(TokenTree::Group(group)) = tt else {
+        panic!("serde shim: `#` not followed by an attribute group: {tt:?}");
+    };
+    if group.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let mut inner = group.stream().into_iter();
+    match inner.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    let args: Vec<String> = match inner.next() {
+        Some(TokenTree::Group(args)) if args.delimiter() == Delimiter::Parenthesis => {
+            args.stream().into_iter().map(|t| t.to_string()).collect()
+        }
+        other => panic!("serde shim: malformed #[serde ...] attribute: {other:?}"),
+    };
+    match args.as_slice() {
+        [arg] if arg == "skip" => true,
+        other => panic!(
+            "serde shim: unsupported #[serde({})], only #[serde(skip)] is implemented",
+            other.join(" ")
+        ),
+    }
+}
+
 /// Number of fields in a tuple-struct body (top-level comma count).
+/// `#[serde(...)]` on a tuple field panics — the transparent newtype
+/// encoding has no place to skip a field, and silence would produce the
+/// wrong format.
 fn count_tuple_fields(body: TokenStream) -> usize {
     let mut fields = 0usize;
     let mut saw_tokens = false;
     let mut angle_depth = 0i32;
-    for tt in body {
+    let mut tokens = body.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
         match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' && angle_depth == 0 => {
+                if attribute_is_serde_skip(tokens.next()) {
+                    panic!("serde shim: #[serde(skip)] on a tuple-struct field is unsupported");
+                }
+                continue; // non-serde attribute (docs etc.): not a field token
+            }
             TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
             TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
             TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {

@@ -20,11 +20,13 @@
 
 use querygraph_retrieval::engine::SearchEngine;
 use querygraph_retrieval::metrics::{average_quality, precisions};
-use querygraph_retrieval::query_lang::QueryNode;
+use querygraph_retrieval::workspace::{LeafId, ScoreWorkspace};
 use querygraph_wiki::{ArticleId, KnowledgeBase};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::HashMap;
 
 /// Tuning of the ground-truth search.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -58,17 +60,88 @@ pub struct GroundTruth {
     pub baseline_quality: f64,
     /// Top-{1,5,10,15} precision of the final X(q) (Table 2 rows).
     pub precisions: [f64; 4],
-    /// Number of retrieval evaluations performed (observability).
+    /// Number of quality evaluations *requested* by the hill climb
+    /// (observability). Counts memo hits too, so the value is identical
+    /// with and without the fast path.
     pub evaluations: usize,
+    /// Evaluations answered from the subset memo. Not serialized: the
+    /// `Report` byte-identity contract pins the pre-fast-path JSON.
+    #[serde(skip)]
+    pub cached_evaluations: usize,
+    /// Evaluations that actually ran a workspace search. Not serialized
+    /// (see `cached_evaluations`).
+    #[serde(skip)]
+    pub computed_evaluations: usize,
 }
 
-/// Reusable evaluator: turns an article set into the paper's INDRI query
-/// and measures O against the relevant set.
+/// Running totals of one evaluator's quality evaluations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalCounts {
+    /// Quality evaluations requested.
+    pub evaluations: usize,
+    /// Requests answered from the subset memo.
+    pub cached: usize,
+    /// Requests that ran a workspace search.
+    pub computed: usize,
+}
+
+impl EvalCounts {
+    /// Counts accumulated since `earlier` (which must be a prefix of
+    /// this history).
+    pub fn since(self, earlier: EvalCounts) -> EvalCounts {
+        EvalCounts {
+            evaluations: self.evaluations - earlier.evaluations,
+            cached: self.cached - earlier.cached,
+            computed: self.computed - earlier.computed,
+        }
+    }
+}
+
+/// Reusable evaluator: measures O of an article set against the
+/// relevant set, through a per-query [`ScoreWorkspace`].
+///
+/// Each distinct article title is resolved into a workspace leaf
+/// exactly **once** per evaluator (the old implementation rebuilt
+/// `QueryNode::phrases_of_titles` — and with it every phrase lookup —
+/// on every call). Qualities are additionally memoized by the sorted
+/// article-id multiset, so the hill climb's revisited neighbors
+/// (ubiquitous across REMOVE→SWAP passes) cost a hash lookup.
+///
+/// Interior mutability: the workspace, leaf map, and memo live behind a
+/// `RefCell`, keeping the `&self` call surface the pipeline and the
+/// cycle analysis already use. The pipeline builds one evaluator per
+/// query on the worker that owns it, so the cell is never contended.
 pub struct QualityEvaluator<'a> {
     kb: &'a KnowledgeBase,
-    engine: &'a SearchEngine,
     relevant: Vec<u32>,
     search_depth: usize,
+    state: RefCell<EvalState<'a>>,
+}
+
+struct EvalState<'a> {
+    workspace: ScoreWorkspace<'a>,
+    /// Article → resolved leaf (`None`: title normalizes to nothing).
+    leaf_of: HashMap<ArticleId, Option<LeafId>>,
+    /// Sorted article-id multiset → quality.
+    ///
+    /// Scores are summed in evaluation-sequence order, so two orderings
+    /// of the same multiset can differ in the last ulp — but *quality*
+    /// cannot: it is a ratio of relevant-hit counts at fixed cutoffs,
+    /// and a count flip would need two documents with different
+    /// `(tf, len)` statistics whose scores agree to ~1 ulp. Documents
+    /// with *identical* statistics stay bitwise-tied under any leaf
+    /// permutation (same op sequence applied to both) and resolve by
+    /// doc id either way. The memoized-vs-raw property tests in
+    /// `tests/ground_truth_fastpath.rs` and the golden pins exercise
+    /// exactly this assumption.
+    memo: HashMap<Vec<ArticleId>, f64>,
+    memo_enabled: bool,
+    counts: EvalCounts,
+    /// Reused buffers — the climb evaluates thousands of candidate sets
+    /// per query and must not allocate per candidate.
+    scratch_key: Vec<ArticleId>,
+    scratch_sorted: Vec<ArticleId>,
+    scratch_leaves: Vec<LeafId>,
 }
 
 impl<'a> QualityEvaluator<'a> {
@@ -79,34 +152,175 @@ impl<'a> QualityEvaluator<'a> {
         relevant: &[u32],
         search_depth: usize,
     ) -> Self {
+        Self::with_memo(kb, engine, relevant, search_depth, true)
+    }
+
+    /// Evaluator with the subset memo disabled — every evaluation runs a
+    /// workspace search. Exists so the equivalence tests can compare
+    /// memoized and unmemoized climbs.
+    pub fn without_memo(
+        kb: &'a KnowledgeBase,
+        engine: &'a SearchEngine,
+        relevant: &[u32],
+        search_depth: usize,
+    ) -> Self {
+        Self::with_memo(kb, engine, relevant, search_depth, false)
+    }
+
+    fn with_memo(
+        kb: &'a KnowledgeBase,
+        engine: &'a SearchEngine,
+        relevant: &[u32],
+        search_depth: usize,
+        memo_enabled: bool,
+    ) -> Self {
         let mut relevant = relevant.to_vec();
         relevant.sort_unstable();
         relevant.dedup();
         QualityEvaluator {
             kb,
-            engine,
             relevant,
             search_depth,
+            state: RefCell::new(EvalState {
+                workspace: ScoreWorkspace::new(engine),
+                leaf_of: HashMap::new(),
+                memo: HashMap::new(),
+                memo_enabled,
+                counts: EvalCounts::default(),
+                scratch_key: Vec::new(),
+                scratch_sorted: Vec::new(),
+                scratch_leaves: Vec::new(),
+            }),
         }
     }
 
-    /// O(articles, D) of Eq. 1.
+    /// O(articles, D) of Eq. 1 (memoized; counts one evaluation).
     pub fn quality(&self, articles: &[ArticleId]) -> f64 {
-        average_quality(&self.search(articles), &self.relevant)
+        self.quality_of(articles, None, None)
     }
 
-    /// Per-cutoff precisions of the article set.
+    /// O(set ∪ {extra}, D): quality with `extra` appended — the climb's
+    /// ADD neighbor, without materializing the candidate `Vec`.
+    pub fn with_article(&self, set: &[ArticleId], extra: ArticleId) -> f64 {
+        self.quality_of(set, None, Some(extra))
+    }
+
+    /// O(set \ set[index], D): quality with one position dropped — the
+    /// climb's REMOVE neighbor.
+    pub fn without_article(&self, set: &[ArticleId], index: usize) -> f64 {
+        self.quality_of(set, Some((index, None)), None)
+    }
+
+    /// O with `set[index]` replaced by `replacement` — the climb's SWAP
+    /// neighbor.
+    pub fn with_swap(&self, set: &[ArticleId], index: usize, replacement: ArticleId) -> f64 {
+        self.quality_of(set, Some((index, Some(replacement))), None)
+    }
+
+    /// Per-cutoff precisions of the article set (never memoized — the
+    /// ranked list is needed, not just the quality).
     pub fn precisions(&self, articles: &[ArticleId]) -> [f64; 4] {
-        precisions(&self.search(articles), &self.relevant)
+        let state = &mut *self.state.borrow_mut();
+        Self::fill_scratch(&mut state.scratch_key, articles, None, None);
+        let hits = Self::search_scratch(self.kb, self.search_depth, state);
+        precisions(&hits, &self.relevant)
     }
 
-    fn search(&self, articles: &[ArticleId]) -> Vec<querygraph_retrieval::SearchHit> {
-        if articles.is_empty() {
-            return Vec::new();
+    /// Evaluation counters so far (total / memo hits / computed).
+    pub fn counts(&self) -> EvalCounts {
+        self.state.borrow().counts
+    }
+
+    /// Distinct phrase resolutions performed by the workspace — exactly
+    /// one per distinct article title evaluated through this evaluator.
+    pub fn resolutions(&self) -> usize {
+        self.state.borrow().workspace.resolutions()
+    }
+
+    /// The quality core: `set`, optionally with one position dropped or
+    /// replaced, optionally with one article appended.
+    fn quality_of(
+        &self,
+        set: &[ArticleId],
+        edit: Option<(usize, Option<ArticleId>)>,
+        append: Option<ArticleId>,
+    ) -> f64 {
+        let state = &mut *self.state.borrow_mut();
+        state.counts.evaluations += 1;
+        Self::fill_scratch(&mut state.scratch_key, set, edit, append);
+
+        if state.memo_enabled {
+            state.scratch_sorted.clear();
+            state.scratch_sorted.extend_from_slice(&state.scratch_key);
+            state.scratch_sorted.sort_unstable();
+            // `Vec<ArticleId>: Borrow<[ArticleId]>` lets the lookup run
+            // without materializing an owned key.
+            if let Some(&q) = state.memo.get(state.scratch_sorted.as_slice()) {
+                state.counts.cached += 1;
+                return q;
+            }
         }
-        let titles: Vec<&str> = articles.iter().map(|&a| self.kb.title(a)).collect();
-        let query = QueryNode::phrases_of_titles(&titles);
-        self.engine.search(&query, self.search_depth)
+
+        state.counts.computed += 1;
+        let hits = Self::search_scratch(self.kb, self.search_depth, state);
+        let q = average_quality(&hits, &self.relevant);
+        if state.memo_enabled {
+            let key = state.scratch_sorted.clone();
+            state.memo.insert(key, q);
+        }
+        q
+    }
+
+    /// Build the evaluated article sequence into `scratch`, preserving
+    /// the exact order the pre-workspace implementation produced
+    /// (`set` order, edits in place, append at the end) — leaf order is
+    /// float-summation order, so this is part of the byte-identity
+    /// contract.
+    fn fill_scratch(
+        scratch: &mut Vec<ArticleId>,
+        set: &[ArticleId],
+        edit: Option<(usize, Option<ArticleId>)>,
+        append: Option<ArticleId>,
+    ) {
+        scratch.clear();
+        match edit {
+            None => scratch.extend_from_slice(set),
+            Some((index, replacement)) => {
+                scratch.extend_from_slice(&set[..index]);
+                if let Some(r) = replacement {
+                    scratch.push(r);
+                }
+                scratch.extend_from_slice(&set[index + 1..]);
+            }
+        }
+        if let Some(a) = append {
+            scratch.push(a);
+        }
+    }
+
+    /// Resolve `scratch_key` to leaves and run the workspace search.
+    fn search_scratch(
+        kb: &KnowledgeBase,
+        search_depth: usize,
+        state: &mut EvalState<'_>,
+    ) -> Vec<querygraph_retrieval::SearchHit> {
+        let EvalState {
+            workspace,
+            leaf_of,
+            scratch_key,
+            scratch_leaves,
+            ..
+        } = state;
+        scratch_leaves.clear();
+        for &a in scratch_key.iter() {
+            let leaf = *leaf_of
+                .entry(a)
+                .or_insert_with(|| workspace.add_title(kb.title(a)));
+            if let Some(leaf) = leaf {
+                scratch_leaves.push(leaf);
+            }
+        }
+        workspace.search(scratch_leaves, search_depth)
     }
 }
 
@@ -124,19 +338,23 @@ pub fn find_ground_truth(
     query_articles: &[ArticleId],
     pool: &[ArticleId],
 ) -> GroundTruth {
-    let mut evaluations = 0usize;
-    let mut eval = |a_prime: &[ArticleId]| -> f64 {
-        evaluations += 1;
-        let mut set: Vec<ArticleId> = query_articles.to_vec();
-        for &a in a_prime {
-            if !set.contains(&a) {
-                set.push(a);
-            }
-        }
-        evaluator.quality(&set)
-    };
+    /// The climb's best ADD/SWAP move of one pass.
+    enum Move {
+        Add(ArticleId),
+        Swap(usize, ArticleId),
+    }
 
-    let baseline_quality = eval(&[]);
+    let counts_at_entry = evaluator.counts();
+
+    // `current` is the evaluated set L(q.k) ++ A′: query articles in
+    // their given order, then the expansion in climb order. Neighbor
+    // evaluations edit it positionally through the evaluator instead of
+    // materializing a candidate `Vec` each (the pre-workspace
+    // implementation cloned A′ per neighbor).
+    let mut current: Vec<ArticleId> = query_articles.to_vec();
+    let base_len = current.len();
+
+    let baseline_quality = evaluator.quality(&current);
 
     // Candidate pool without the query articles themselves (adding them
     // is a no-op for the evaluated set).
@@ -146,14 +364,13 @@ pub fn find_ground_truth(
         .filter(|a| !query_articles.contains(a))
         .collect();
 
-    let mut a_prime: Vec<ArticleId> = Vec::new();
     let mut quality = baseline_quality;
 
     if !pool.is_empty() {
         // Random start, seeded per query.
         let mut rng = StdRng::seed_from_u64(config.seed ^ (query_id as u64).wrapping_mul(0x9E37));
-        a_prime.push(pool[rng.gen_range(0..pool.len())]);
-        quality = eval(&a_prime);
+        current.push(pool[rng.gen_range(0..pool.len())]);
+        quality = evaluator.quality(&current);
         // A start below baseline is still kept — the climb can recover
         // via REMOVE (quality ties favour smaller sets anyway).
 
@@ -163,49 +380,48 @@ pub fn find_ground_truth(
             // (strictly shrinks the set on ties: minimality rule).
             let mut removed = false;
             let mut best_remove: Option<(usize, f64)> = None;
-            for i in 0..a_prime.len() {
-                let mut candidate = a_prime.clone();
-                candidate.remove(i);
-                let q = eval(&candidate);
+            for i in base_len..current.len() {
+                let q = evaluator.without_article(&current, i);
                 if q + EPS >= quality && best_remove.is_none_or(|(_, bq)| q > bq) {
                     best_remove = Some((i, q));
                 }
             }
             if let Some((i, q)) = best_remove {
-                a_prime.remove(i);
+                current.remove(i);
                 quality = q;
                 removed = true;
             }
 
             // Pass 2 — best strict improvement among ADD and SWAP.
-            let mut best: Option<(Vec<ArticleId>, f64)> = None;
+            let in_a_prime = |current: &[ArticleId], a: ArticleId| current[base_len..].contains(&a);
+            let mut best: Option<(Move, f64)> = None;
             for &a in &pool {
-                if a_prime.contains(&a) {
+                if in_a_prime(&current, a) {
                     continue;
                 }
-                let mut candidate = a_prime.clone();
-                candidate.push(a);
-                let q = eval(&candidate);
+                let q = evaluator.with_article(&current, a);
                 if q > quality + EPS && best.as_ref().is_none_or(|(_, bq)| q > *bq) {
-                    best = Some((candidate, q));
+                    best = Some((Move::Add(a), q));
                 }
             }
-            for i in 0..a_prime.len() {
+            for i in base_len..current.len() {
                 for &a in &pool {
-                    if a_prime.contains(&a) {
+                    if in_a_prime(&current, a) {
                         continue;
                     }
-                    let mut candidate = a_prime.clone();
-                    candidate[i] = a;
-                    let q = eval(&candidate);
+                    let q = evaluator.with_swap(&current, i, a);
                     if q > quality + EPS && best.as_ref().is_none_or(|(_, bq)| q > *bq) {
-                        best = Some((candidate, q));
+                        best = Some((Move::Swap(i, a), q));
                     }
                 }
             }
             match best {
-                Some((candidate, q)) => {
-                    a_prime = candidate;
+                Some((Move::Add(a), q)) => {
+                    current.push(a);
+                    quality = q;
+                }
+                Some((Move::Swap(i, a), q)) => {
+                    current[i] = a;
                     quality = q;
                 }
                 None if !removed => break, // local optimum
@@ -214,6 +430,7 @@ pub fn find_ground_truth(
         }
     }
 
+    let mut a_prime: Vec<ArticleId> = current[base_len..].to_vec();
     a_prime.sort_unstable();
     let mut final_set: Vec<ArticleId> = query_articles.to_vec();
     for &a in &a_prime {
@@ -221,12 +438,15 @@ pub fn find_ground_truth(
             final_set.push(a);
         }
     }
+    let counts = evaluator.counts().since(counts_at_entry);
     GroundTruth {
         expansion: a_prime,
         quality,
         baseline_quality,
         precisions: evaluator.precisions(&final_set),
-        evaluations,
+        evaluations: counts.evaluations,
+        cached_evaluations: counts.cached,
+        computed_evaluations: counts.computed,
     }
 }
 
@@ -328,7 +548,91 @@ mod tests {
         let cfg = GroundTruthConfig::default();
         let a = find_ground_truth(&evaluator, &cfg, 7, &[alpha], &[beta, gamma]);
         let b = find_ground_truth(&evaluator, &cfg, 7, &[alpha], &[beta, gamma]);
-        assert_eq!(a, b);
+        // The second climb reuses the first's memo, so the cached vs
+        // computed split differs — but every serialized (scientific)
+        // field must be identical.
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+        assert_eq!(a.evaluations, b.evaluations, "memo hits still count");
+        assert_eq!(b.computed_evaluations, 0, "rerun is fully memo-served");
+        assert_eq!(b.cached_evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn memoized_and_unmemoized_climbs_agree() {
+        let (kb, engine, relevant) = world();
+        let alpha = kb.article_by_title("alpha").unwrap();
+        let beta = kb.article_by_title("beta").unwrap();
+        let gamma = kb.article_by_title("gamma").unwrap();
+        let cfg = GroundTruthConfig::default();
+        for qid in [1, 2, 5, 9] {
+            let memo = QualityEvaluator::new(&kb, &engine, &relevant, 15);
+            let raw = QualityEvaluator::without_memo(&kb, &engine, &relevant, 15);
+            let a = find_ground_truth(&memo, &cfg, qid, &[alpha], &[beta, gamma]);
+            let b = find_ground_truth(&raw, &cfg, qid, &[alpha], &[beta, gamma]);
+            assert_eq!(
+                serde_json::to_string(&a).unwrap(),
+                serde_json::to_string(&b).unwrap(),
+                "memoization changed the climb for query {qid}"
+            );
+            assert_eq!(b.cached_evaluations, 0, "memo disabled");
+            assert_eq!(b.computed_evaluations, b.evaluations);
+            assert_eq!(
+                a.cached_evaluations + a.computed_evaluations,
+                a.evaluations,
+                "counter split must partition the total"
+            );
+        }
+    }
+
+    #[test]
+    fn one_phrase_resolution_per_distinct_title() {
+        // The pre-workspace evaluator rebuilt `phrases_of_titles` — and
+        // re-resolved every title phrase — on every quality call. The
+        // workspace resolves each distinct title once per query.
+        let (kb, engine, relevant) = world();
+        let evaluator = QualityEvaluator::new(&kb, &engine, &relevant, 15);
+        let alpha = kb.article_by_title("alpha").unwrap();
+        let beta = kb.article_by_title("beta").unwrap();
+        let gamma = kb.article_by_title("gamma").unwrap();
+        let gt = find_ground_truth(
+            &evaluator,
+            &GroundTruthConfig::default(),
+            1,
+            &[alpha],
+            &[beta, gamma],
+        );
+        assert!(gt.evaluations > 3, "the climb evaluated many neighbors");
+        assert_eq!(
+            evaluator.resolutions(),
+            3,
+            "exactly one resolution per distinct title (3 articles)"
+        );
+        // More evaluations never resolve more phrases.
+        evaluator.quality(&[alpha, beta, gamma]);
+        assert_eq!(evaluator.resolutions(), 3);
+    }
+
+    #[test]
+    fn revisited_neighbors_hit_the_memo() {
+        let (kb, engine, relevant) = world();
+        let evaluator = QualityEvaluator::new(&kb, &engine, &relevant, 15);
+        let alpha = kb.article_by_title("alpha").unwrap();
+        let beta = kb.article_by_title("beta").unwrap();
+        let gamma = kb.article_by_title("gamma").unwrap();
+        let gt = find_ground_truth(
+            &evaluator,
+            &GroundTruthConfig::default(),
+            1,
+            &[alpha],
+            &[beta, gamma],
+        );
+        assert!(
+            gt.cached_evaluations > 0,
+            "REMOVE/SWAP passes revisit subsets: {gt:?}"
+        );
     }
 
     #[test]

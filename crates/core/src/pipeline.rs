@@ -189,6 +189,16 @@ pub struct RunSummary {
     /// (enumeration + contributions) — the quantity the paper's §4
     /// "≈6 minutes per query" refers to.
     pub cycle_analysis_mean_seconds: f64,
+    /// Quality evaluations requested by the §2.2 hill climbs (summed
+    /// over queries; memo hits included, so the count is comparable
+    /// across fast-path on/off).
+    pub ground_truth_evaluations: usize,
+    /// Hill-climb evaluations answered from the subset memo.
+    pub ground_truth_cached: usize,
+    /// Hill-climb evaluations that ran a workspace search.
+    pub ground_truth_computed: usize,
+    /// `ground_truth_cached / ground_truth_evaluations` (0 when none).
+    pub ground_truth_cache_hit_rate: f64,
 }
 
 impl RunSummary {
@@ -197,8 +207,18 @@ impl RunSummary {
         threads: usize,
         wall_seconds: f64,
         totals: &StageTimings,
-        queries: usize,
+        per_query: &[QueryAnalysis],
     ) -> RunSummary {
+        let queries = per_query.len();
+        let gt_evaluations: usize = per_query.iter().map(|q| q.ground_truth.evaluations).sum();
+        let gt_cached: usize = per_query
+            .iter()
+            .map(|q| q.ground_truth.cached_evaluations)
+            .sum();
+        let gt_computed: usize = per_query
+            .iter()
+            .map(|q| q.ground_truth.computed_evaluations)
+            .sum();
         RunSummary {
             mode: mode.to_string(),
             threads,
@@ -212,6 +232,14 @@ impl RunSummary {
             cycle_analysis_mean_seconds: (totals.get(Stage::CycleEnum)
                 + totals.get(Stage::Contributions))
                 / queries.max(1) as f64,
+            ground_truth_evaluations: gt_evaluations,
+            ground_truth_cached: gt_cached,
+            ground_truth_computed: gt_computed,
+            ground_truth_cache_hit_rate: if gt_evaluations > 0 {
+                gt_cached as f64 / gt_evaluations as f64
+            } else {
+                0.0
+            },
         }
     }
 
@@ -226,6 +254,14 @@ impl RunSummary {
         for (name, secs) in &self.stage_seconds {
             let _ = writeln!(s, "  {name:<14} {secs:>9.4} s");
         }
+        let _ = writeln!(
+            s,
+            "  ground-truth evaluations: {} ({} cached / {} computed, {:.1}% hit rate)",
+            self.ground_truth_evaluations,
+            self.ground_truth_cached,
+            self.ground_truth_computed,
+            100.0 * self.ground_truth_cache_hit_rate
+        );
         let _ = writeln!(
             s,
             "  per-query mean {:>9.4} s (cycle analysis {:.4} s; paper ≈360 s \
@@ -250,14 +286,20 @@ pub fn run_queries(ctx: &PipelineCtx<'_>, threads: usize) -> (Vec<QueryAnalysis>
     let start = Instant::now();
     if threads <= 1 {
         let mut totals = StageTimings::default();
-        let per_query = (0..n)
+        let per_query: Vec<QueryAnalysis> = (0..n)
             .map(|qi| {
                 let (analysis, timings) = ctx.analyze_timed(qi);
                 totals.accumulate(&timings);
                 analysis
             })
             .collect();
-        let summary = RunSummary::new("sequential", 1, start.elapsed().as_secs_f64(), &totals, n);
+        let summary = RunSummary::new(
+            "sequential",
+            1,
+            start.elapsed().as_secs_f64(),
+            &totals,
+            &per_query,
+        );
         return (per_query, summary);
     }
 
@@ -290,7 +332,7 @@ pub fn run_queries(ctx: &PipelineCtx<'_>, threads: usize) -> (Vec<QueryAnalysis>
             }
         }
     });
-    let per_query = slots
+    let per_query: Vec<QueryAnalysis> = slots
         .into_iter()
         .map(|slot| slot.expect("every query analyzed exactly once"))
         .collect();
@@ -299,7 +341,7 @@ pub fn run_queries(ctx: &PipelineCtx<'_>, threads: usize) -> (Vec<QueryAnalysis>
         workers,
         start.elapsed().as_secs_f64(),
         &totals,
-        n,
+        &per_query,
     );
     (per_query, summary)
 }
@@ -514,6 +556,13 @@ mod tests {
         assert_eq!(summary.queries, per_query.len());
         assert!(summary.wall_seconds > 0.0);
         assert!(summary.per_query_mean_seconds > 0.0);
+        assert!(summary.ground_truth_evaluations > 0);
+        assert_eq!(
+            summary.ground_truth_cached + summary.ground_truth_computed,
+            summary.ground_truth_evaluations,
+            "cached/computed must partition the evaluation count"
+        );
+        assert!((0.0..=1.0).contains(&summary.ground_truth_cache_hit_rate));
         let names: Vec<&str> = summary
             .stage_seconds
             .iter()

@@ -16,7 +16,14 @@ use crate::query_lang::QueryNode;
 use crate::topk::TopK;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+
+/// Number of phrase-cache shards. Sixteen is comfortably above the
+/// worker counts the pipeline runs with (8–12 threads), so two hill
+/// climbs rarely contend on the same shard lock, while the per-shard
+/// `HashMap` overhead stays negligible (16 empty maps ≈ 1 KiB).
+const PHRASE_CACHE_SHARDS: usize = 16;
 
 /// One retrieval result.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,9 +36,9 @@ pub struct SearchHit {
 
 /// Cached evaluation of one phrase.
 #[derive(Debug)]
-struct PhraseInfo {
-    hits: Vec<PhraseHit>,
-    collection_prob: f64,
+pub(crate) struct PhraseInfo {
+    pub(crate) hits: Vec<PhraseHit>,
+    pub(crate) collection_prob: f64,
 }
 
 /// A weighted leaf of the flattened query.
@@ -46,7 +53,9 @@ struct Leaf {
 pub struct SearchEngine {
     index: InvertedIndex,
     params: LmParams,
-    phrase_cache: Mutex<HashMap<Vec<String>, Arc<PhraseInfo>>>,
+    /// Phrase cache, sharded by a hash of the phrase words so parallel
+    /// hill climbs (each phrase-heavy) don't serialize on one mutex.
+    phrase_cache: Vec<Mutex<HashMap<Vec<String>, Arc<PhraseInfo>>>>,
 }
 
 impl SearchEngine {
@@ -60,13 +69,20 @@ impl SearchEngine {
         SearchEngine {
             index,
             params,
-            phrase_cache: Mutex::new(HashMap::new()),
+            phrase_cache: (0..PHRASE_CACHE_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
         }
     }
 
     /// The underlying index.
     pub fn index(&self) -> &InvertedIndex {
         &self.index
+    }
+
+    /// The scoring parameters (shared with [`crate::workspace`]).
+    pub(crate) fn params(&self) -> LmParams {
+        self.params
     }
 
     /// Execute `query`, returning the best `k` documents (descending
@@ -162,10 +178,21 @@ impl SearchEngine {
         }
     }
 
+    /// The shard responsible for `words`.
+    fn shard(&self, words: &[String]) -> &Mutex<HashMap<Vec<String>, Arc<PhraseInfo>>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        words.hash(&mut h);
+        &self.phrase_cache[h.finish() as usize % self.phrase_cache.len()]
+    }
+
     /// Cached phrase evaluation: exact hits plus the exact phrase
     /// collection probability (total phrase occurrences / total tokens).
-    fn phrase_info(&self, words: &[String]) -> Arc<PhraseInfo> {
-        if let Some(hit) = self.phrase_cache.lock().get(words) {
+    /// Two threads racing on the same uncached phrase both compute it;
+    /// the second insert overwrites with an identical value, so the race
+    /// is benign.
+    pub(crate) fn phrase_info(&self, words: &[String]) -> Arc<PhraseInfo> {
+        let shard = self.shard(words);
+        if let Some(hit) = shard.lock().get(words) {
             return hit.clone();
         }
         let hits = match resolve_terms(&self.index, words) {
@@ -177,15 +204,13 @@ impl SearchEngine {
             hits,
             collection_prob: cf as f64 / self.index.total_tokens().max(1) as f64,
         });
-        self.phrase_cache
-            .lock()
-            .insert(words.to_vec(), info.clone());
+        shard.lock().insert(words.to_vec(), info.clone());
         info
     }
 
     /// Number of cached phrases (observability for benches).
     pub fn phrase_cache_len(&self) -> usize {
-        self.phrase_cache.lock().len()
+        self.phrase_cache.iter().map(|s| s.lock().len()).sum()
     }
 }
 
@@ -278,6 +303,27 @@ mod tests {
         let second = e.search(&q, 5);
         assert_eq!(e.phrase_cache_len(), 1);
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn sharded_cache_counts_across_shards() {
+        let e = engine();
+        // Distinct phrases hash to assorted shards; the aggregate count
+        // must still see every one exactly once.
+        for (i, q) in [
+            "#1(grand canal)",
+            "#1(venice)",
+            "#1(small canal)",
+            "#1(the grand)",
+        ]
+        .iter()
+        .enumerate()
+        {
+            let q = parse(q).unwrap();
+            e.search(&q, 5);
+            e.search(&q, 5); // second run hits the cache
+            assert_eq!(e.phrase_cache_len(), i + 1);
+        }
     }
 
     #[test]

@@ -16,8 +16,12 @@
 //!   used here: bare terms, `#1(…)`, `#combine(…)`, `#weight(…)`.
 //! * [`engine`] — [`engine::SearchEngine`]: executes a parsed query and
 //!   returns deterministic top-k results (ties broken by doc id), with a
-//!   phrase-postings cache (the ground-truth hill climb re-evaluates the
-//!   same titles thousands of times).
+//!   sharded phrase-postings cache (the ground-truth hill climb
+//!   re-evaluates the same titles thousands of times, from many threads).
+//! * [`workspace`] — [`workspace::ScoreWorkspace`]: the hill climb's
+//!   fast path. Resolves each title phrase once, precomputes per-leaf
+//!   per-document log-beliefs, and scores candidate title sets without
+//!   re-flattening or re-matching — bit-identical to the engine.
 //! * [`metrics`] — top-r precision `P(A, r, D)` and the averaged
 //!   quality `O(A, D)` of the paper's Eq. 1 (R = {1, 5, 10, 15}).
 //! * [`stats`] — five-number summaries (min/quartiles/max) used by
@@ -46,8 +50,10 @@ pub mod postings;
 pub mod query_lang;
 pub mod stats;
 pub mod topk;
+pub mod workspace;
 
 pub use engine::{SearchEngine, SearchHit};
 pub use index::{IndexBuilder, InvertedIndex};
 pub use metrics::{average_quality, precision_at, EVAL_CUTOFFS};
 pub use query_lang::{parse, QueryNode};
+pub use workspace::{LeafId, ScoreWorkspace};

@@ -1,0 +1,33 @@
+//! Print the FNV-1a fingerprints of the serialized `Report` for the
+//! tiny and seed (paper) configurations.
+//!
+//! `tests/ground_truth_fastpath.rs` pins these values: any PR that
+//! *intends* to change reproduction results must rerun this
+//! (`cargo run --release --example report_fingerprint`) and update the
+//! pinned constants — and say so in the PR description.
+
+use querygraph::core::experiment::{Experiment, ExperimentConfig};
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn main() {
+    for (name, config) in [
+        ("tiny", ExperimentConfig::tiny()),
+        ("paper", ExperimentConfig::default_paper()),
+    ] {
+        let experiment = Experiment::build(&config);
+        let json = serde_json::to_string(&experiment.run()).expect("report serializes");
+        println!(
+            "{name}: len={} fnv1a={:#018x}",
+            json.len(),
+            fnv1a(json.as_bytes())
+        );
+    }
+}

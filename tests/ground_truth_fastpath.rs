@@ -1,0 +1,148 @@
+//! The §2.2 evaluation fast path must be invisible in the science.
+//!
+//! Two layers of protection:
+//!
+//! * **Golden pins** — the serialized `Report` for the tiny and seed
+//!   (paper) configurations is pinned by length + FNV-1a fingerprint,
+//!   captured from the pre-workspace implementation (PR 1). Any change
+//!   to what the pipeline *computes* — as opposed to how fast — moves
+//!   the fingerprint and fails here. If a PR intends to change results,
+//!   it must re-pin these constants and say so.
+//! * **Memo equivalence** — property tests drive memoized and
+//!   unmemoized climbs over randomized worlds and assert identical
+//!   serialized `GroundTruth`.
+
+use querygraph::core::experiment::{Experiment, ExperimentConfig};
+use querygraph::core::ground_truth::{find_ground_truth, GroundTruthConfig, QualityEvaluator};
+use querygraph::retrieval::engine::SearchEngine;
+use querygraph::retrieval::index::IndexBuilder;
+use querygraph::wiki::{ArticleId, KbBuilder, KnowledgeBase};
+
+/// FNV-1a, the same fingerprint the bench tooling uses: stable across
+/// platforms and rust versions (unlike `DefaultHasher`).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Pinned pre-fast-path fingerprints (captured at PR 1's HEAD).
+const TINY_LEN: usize = 62268;
+const TINY_FNV: u64 = 0xef86_f006_77e1_7e07;
+const PAPER_LEN: usize = 593_029;
+const PAPER_FNV: u64 = 0xc91c_7675_c461_6d91;
+
+fn report_json(config: &ExperimentConfig) -> String {
+    let experiment = Experiment::build(config);
+    // Parallel is byte-identical to sequential (pipeline_determinism.rs
+    // proves it separately); use it to keep the paper-scale pin fast.
+    serde_json::to_string(&experiment.run_parallel(4)).expect("report serializes")
+}
+
+#[test]
+fn golden_report_tiny_config() {
+    let json = report_json(&ExperimentConfig::tiny());
+    assert_eq!(json.len(), TINY_LEN, "tiny Report length moved");
+    assert_eq!(
+        fnv1a(json.as_bytes()),
+        TINY_FNV,
+        "tiny Report bytes diverged from the pre-fast-path pin"
+    );
+}
+
+#[test]
+fn golden_report_seed_config() {
+    let json = report_json(&ExperimentConfig::default_paper());
+    assert_eq!(json.len(), PAPER_LEN, "seed Report length moved");
+    assert_eq!(
+        fnv1a(json.as_bytes()),
+        PAPER_FNV,
+        "seed Report bytes diverged from the pre-fast-path pin"
+    );
+}
+
+// ── memo ≡ no-memo on random worlds ─────────────────────────────────
+
+/// Build a small world from sampled document word streams: one article
+/// per vocabulary word, docs over the same vocabulary, the first
+/// `relevant_count` docs marked relevant.
+fn random_world(docs: &[Vec<u8>]) -> (KnowledgeBase, SearchEngine) {
+    const VOCAB: [&str; 6] = ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"];
+    let mut kb = KbBuilder::new();
+    let mut articles = Vec::new();
+    for w in VOCAB {
+        articles.push(kb.add_article(w));
+    }
+    let c = kb.add_category("everything");
+    for &a in &articles {
+        kb.belongs(a, c);
+    }
+    let kb = kb.build().expect("kb builds");
+
+    let mut ib = IndexBuilder::new();
+    for d in docs {
+        let text: Vec<&str> = d.iter().map(|&x| VOCAB[x as usize % VOCAB.len()]).collect();
+        ib.add_document(&text.join(" "));
+    }
+    (kb, SearchEngine::new(ib.build()))
+}
+
+proptest::proptest! {
+    /// `find_ground_truth` must return an identical (serialized)
+    /// `GroundTruth` whether or not the subset memo is active, for
+    /// arbitrary worlds, query articles, pools, and seeds.
+    #[test]
+    fn memoized_climb_equals_unmemoized(
+        docs in proptest::collection::vec(
+            proptest::collection::vec(0u8..6, 1..14),
+            2..12,
+        ),
+        query_pick in 0u8..6,
+        pool_picks in proptest::collection::vec(0u8..6, 1..5),
+        relevant_count in 1usize..4,
+        query_id in 0u32..50,
+    ) {
+        let (kb, engine) = random_world(&docs);
+        let relevant: Vec<u32> =
+            (0..docs.len().min(relevant_count) as u32).collect();
+        let ids: Vec<ArticleId> = (0..6)
+            .map(|i| {
+                kb.article_by_title(
+                    ["alpha", "beta", "gamma", "delta", "epsilon", "zeta"][i],
+                )
+                .expect("article exists")
+            })
+            .collect();
+        let query_articles = [ids[query_pick as usize % 6]];
+        let mut pool: Vec<ArticleId> = pool_picks
+            .iter()
+            .map(|&p| ids[p as usize % 6])
+            .collect();
+        pool.dedup();
+
+        let config = GroundTruthConfig {
+            max_iterations: 12,
+            ..GroundTruthConfig::default()
+        };
+        let memo = QualityEvaluator::new(&kb, &engine, &relevant, 15);
+        let raw = QualityEvaluator::without_memo(&kb, &engine, &relevant, 15);
+        let a = find_ground_truth(&memo, &config, query_id, &query_articles, &pool);
+        let b = find_ground_truth(&raw, &config, query_id, &query_articles, &pool);
+
+        proptest::prop_assert_eq!(
+            serde_json::to_string(&a).expect("serializes"),
+            serde_json::to_string(&b).expect("serializes")
+        );
+        // The request count is part of the contract: memo hits still
+        // count, so `evaluations` is identical either way.
+        proptest::prop_assert_eq!(a.evaluations, b.evaluations);
+        proptest::prop_assert_eq!(b.cached_evaluations, 0);
+        proptest::prop_assert_eq!(
+            a.cached_evaluations + a.computed_evaluations,
+            a.evaluations
+        );
+    }
+}
