@@ -43,6 +43,12 @@ pub struct BenchDiff {
     pub wall: StageDiff,
     /// World synthesis + indexing.
     pub build: StageDiff,
+    /// Build-side breakdown (schema ≥ 3: `world_seconds`,
+    /// `index_build_seconds`, `index_write_seconds`,
+    /// `index_load_seconds`). Rows whose field is absent on both sides
+    /// (old records) are dropped; absent on one side renders as a dash,
+    /// so new stages diff tolerantly across schema versions.
+    pub build_stages: Vec<StageDiff>,
     /// Per-stage seconds, in baseline-then-new order.
     pub stages: Vec<StageDiff>,
 }
@@ -58,12 +64,12 @@ impl BenchDiff {
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<16} {:>12} {:>12} {:>12} {:>9}\n",
+            "{:<20} {:>12} {:>12} {:>12} {:>9}\n",
             "stage", "base (s)", "cand (s)", "delta (s)", "delta %"
         ));
         for d in self.rows() {
             out.push_str(&format!(
-                "{:<16} {:>12} {:>12} {:>12} {:>9}\n",
+                "{:<20} {:>12} {:>12} {:>12} {:>9}\n",
                 d.name,
                 fmt_opt(d.base),
                 fmt_opt(d.cand),
@@ -94,7 +100,10 @@ impl BenchDiff {
     }
 
     fn rows(&self) -> impl Iterator<Item = &StageDiff> {
-        self.stages.iter().chain([&self.build, &self.wall])
+        self.stages
+            .iter()
+            .chain(&self.build_stages)
+            .chain([&self.build, &self.wall])
     }
 }
 
@@ -181,6 +190,27 @@ pub fn diff_records(baseline: &Value, candidate: &Value) -> BenchDiff {
         })
         .collect();
 
+    // Schema-3 build breakdown: top-level fields, present only in
+    // newer records. A field missing from both sides (two old records)
+    // contributes no row at all.
+    let build_stages = [
+        "world_seconds",
+        "index_build_seconds",
+        "index_write_seconds",
+        "index_load_seconds",
+    ]
+    .iter()
+    .filter_map(|name| {
+        let base = get_f64(baseline, name);
+        let cand = get_f64(candidate, name);
+        (base.is_some() || cand.is_some()).then(|| StageDiff {
+            name: name.to_string(),
+            base,
+            cand,
+        })
+    })
+    .collect();
+
     let run_f64 = |record: &Value, key: &str| get(record, "run").and_then(|r| get_f64(r, key));
     BenchDiff {
         wall: StageDiff {
@@ -193,6 +223,7 @@ pub fn diff_records(baseline: &Value, candidate: &Value) -> BenchDiff {
             base: get_f64(baseline, "build_seconds"),
             cand: get_f64(candidate, "build_seconds"),
         },
+        build_stages,
         stages,
     }
 }
@@ -281,6 +312,57 @@ mod tests {
         assert!(md.contains("| `wall_seconds` |"));
         // Header + separator + link + ground_truth + build + wall.
         assert_eq!(md.lines().count(), 6);
+    }
+
+    #[test]
+    fn old_records_have_no_build_breakdown_rows() {
+        let diff = diff_records(&record(0.32, 0.29), &record(0.16, 0.07));
+        assert!(
+            diff.build_stages.is_empty(),
+            "schema ≤ 2 records must not grow phantom rows"
+        );
+    }
+
+    #[test]
+    fn schema3_build_breakdown_diffs_and_tolerates_mixed_schemas() {
+        let new = parse_record(
+            r#"{"schema":3,"build_seconds":0.2,"world_seconds":0.05,
+                "index_build_seconds":0.1,"index_write_seconds":0.03,
+                "index_load_seconds":0.0,
+                "run":{"wall_seconds":0.1,"stage_seconds":[["link",0.05]]}}"#,
+        )
+        .unwrap();
+        // Old baseline (schema 1, no breakdown) vs new candidate: rows
+        // appear with dashes on the baseline side, never an error.
+        let old = record(0.3, 0.2);
+        let diff = diff_records(&old, &new);
+        assert_eq!(diff.build_stages.len(), 4);
+        let ib = diff
+            .build_stages
+            .iter()
+            .find(|d| d.name == "index_build_seconds")
+            .unwrap();
+        assert_eq!(ib.base, None);
+        assert_eq!(ib.cand, Some(0.1));
+        assert_eq!(ib.pct_delta(), None, "half-missing row cannot gate");
+        // New vs new: real deltas.
+        let loaded = parse_record(
+            r#"{"schema":3,"build_seconds":0.07,"world_seconds":0.05,
+                "index_build_seconds":0.0,"index_write_seconds":0.0,
+                "index_load_seconds":0.02,
+                "run":{"wall_seconds":0.1,"stage_seconds":[["link",0.05]]}}"#,
+        )
+        .unwrap();
+        let diff = diff_records(&new, &loaded);
+        let il = diff
+            .build_stages
+            .iter()
+            .find(|d| d.name == "index_load_seconds")
+            .unwrap();
+        assert_eq!(il.abs_delta(), Some(0.02));
+        let text = diff.render_text();
+        assert!(text.contains("index_load_seconds"));
+        assert!(diff.render_markdown().contains("| `index_build_seconds` |"));
     }
 
     #[test]

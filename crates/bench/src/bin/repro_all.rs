@@ -1,36 +1,38 @@
 //! Regenerate every table and figure of the paper in one run.
 //!
 //! ```text
-//! cargo run --release -p querygraph-bench --bin repro_all [-- --quick | --tiny] [-- --json out.json]
+//! cargo run --release -p querygraph-bench --bin repro_all -- \
+//!     [--tiny | --quick | --stress [--quick]] [--index-cache <dir>] \
+//!     [--bench-out <path>] [--json out.json]
 //! ```
 //!
 //! Prints paper-vs-measured for Tables 2–4, Figs. 5, 6, 7a, 7b, 9 and
 //! the §3 scalar statistics. Every run also archives the pipeline's
-//! machine-readable timing record to `BENCH_seed.json` (override the
-//! path with `--bench-out <path>`) so successive PRs accumulate a perf
-//! trajectory. With `--json <path>` the full machine-readable
-//! [`querygraph_core::Report`] is written too.
+//! machine-readable timing record — `BENCH_seed.json` for the seed
+//! tiers, `BENCH_stress.json` for `--stress` (override the path with
+//! `--bench-out <path>`) — so successive PRs accumulate a perf
+//! trajectory. With `--index-cache <dir>` the inverted index is
+//! persisted there on the first run and loaded (instead of rebuilt) on
+//! subsequent runs; the record's `index_build_seconds` /
+//! `index_load_seconds` track the speedup. With `--json <path>` the
+//! full machine-readable [`querygraph_core::Report`] is written too.
 
-use querygraph_bench::BenchRecord;
+use querygraph_bench::{BenchRecord, CliOptions};
 
 fn main() {
-    let config = querygraph_bench::config_from_args();
-    let (report, summary, build_seconds) = querygraph_bench::report_and_summary(&config);
+    let options = CliOptions::from_args();
+    let config = options.config();
+    let (report, summary, build) =
+        querygraph_bench::report_and_summary_cached(&config, options.index_cache.as_deref());
     print!("{}", report.render_all());
 
-    let args: Vec<String> = std::env::args().collect();
-    let bench_path = match args.iter().position(|a| a == "--bench-out") {
-        Some(pos) => args.get(pos + 1).cloned().unwrap_or_else(|| {
-            eprintln!("error: --bench-out requires a path");
-            std::process::exit(2);
-        }),
-        None => "BENCH_seed.json".to_string(),
-    };
-    let record = BenchRecord::new(&config, build_seconds, summary);
+    let bench_path = options.bench_path();
+    let record = BenchRecord::new(&config, &build, summary);
     let json = serde_json::to_string_pretty(&record).expect("bench record serializes");
-    std::fs::write(&bench_path, json).expect("write bench record");
+    std::fs::write(bench_path, json).expect("write bench record");
     eprintln!("# wrote {bench_path}");
 
+    let args: Vec<String> = std::env::args().collect();
     if let Some(pos) = args.iter().position(|a| a == "--json") {
         if let Some(path) = args.get(pos + 1) {
             let json = serde_json::to_string_pretty(&report).expect("report serializes");

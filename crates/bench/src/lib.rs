@@ -7,18 +7,24 @@
 //! All binaries run the same standard experiment
 //! ([`standard_report`]) so their numbers are mutually consistent;
 //! `repro_all` prints everything at once and is what EXPERIMENTS.md is
-//! generated from.
+//! generated from. Common CLI (parsed by [`CliOptions::from_args`]):
+//! `--tiny` / `--quick` / `--stress` select the workload tier and
+//! `--index-cache <dir>` persists the inverted index across runs
+//! (`core::cache`).
 
 pub mod bench_diff;
 
+use querygraph_core::cache::BuildStats;
 use querygraph_core::experiment::{Experiment, ExperimentConfig, Report};
 use querygraph_core::pipeline::RunSummary;
 use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
 use std::time::Instant;
 
-/// The perf-trajectory record `repro_all` archives to `BENCH_seed.json`:
-/// enough configuration to identify the workload, plus the pipeline's
-/// per-stage timing summary.
+/// The perf-trajectory record `repro_all` archives to `BENCH_seed.json`
+/// (or `BENCH_stress.json` for the stress tier): enough configuration
+/// to identify the workload, the build-side breakdown, and the
+/// pipeline's per-stage timing summary.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchRecord {
     /// Record-format version, bumped when fields change meaning.
@@ -27,27 +33,48 @@ pub struct BenchRecord {
     pub num_queries: usize,
     /// Topics in the synthetic Wikipedia.
     pub num_topics: usize,
+    /// Articles per topic (the stress dial).
+    pub articles_per_topic: usize,
     /// Synthetic-Wikipedia seed.
     pub wiki_seed: u64,
     /// Synthetic-corpus seed.
     pub corpus_seed: u64,
-    /// Seconds to synthesize and index the world.
+    /// Total seconds to synthesize and index/load the world (kept for
+    /// diffability against schema ≤ 2 records).
     pub build_seconds: f64,
+    /// Seconds to synthesize the wiki + corpus.
+    pub world_seconds: f64,
+    /// Seconds to tokenize + index the corpus (0 when loaded).
+    pub index_build_seconds: f64,
+    /// Seconds to write the index artifact (0 unless written).
+    pub index_write_seconds: f64,
+    /// Seconds to load the index artifact (0 unless loaded).
+    pub index_load_seconds: f64,
+    /// `"built"` or `"loaded"`.
+    pub index_source: String,
     /// The pipeline run: mode, threads, wall clock, per-stage seconds.
     pub run: RunSummary,
 }
 
 impl BenchRecord {
     /// Assemble a record from a finished run.
-    pub fn new(config: &ExperimentConfig, build_seconds: f64, run: RunSummary) -> BenchRecord {
+    pub fn new(config: &ExperimentConfig, build: &BuildStats, run: RunSummary) -> BenchRecord {
         BenchRecord {
+            // 3: build breakdown (world/index build/write/load seconds,
+            //    index_source) for the on-disk index cache.
             // 2: RunSummary gained ground-truth evaluation counters.
-            schema: 2,
+            schema: 3,
             num_queries: config.corpus.num_queries,
             num_topics: config.wiki.num_topics,
+            articles_per_topic: config.wiki.articles_per_topic,
             wiki_seed: config.wiki.seed,
             corpus_seed: config.corpus.seed,
-            build_seconds,
+            build_seconds: build.total_seconds(),
+            world_seconds: build.world_seconds,
+            index_build_seconds: build.index_build_seconds,
+            index_write_seconds: build.index_write_seconds,
+            index_load_seconds: build.index_load_seconds,
+            index_source: build.index_source.name().to_string(),
             run,
         }
     }
@@ -66,9 +93,18 @@ pub fn report_for(config: &ExperimentConfig) -> Report {
 }
 
 /// [`report_for`], also returning the pipeline's [`RunSummary`] and the
-/// world-build seconds — the numbers `repro_all` archives to
-/// `BENCH_seed.json`.
-pub fn report_and_summary(config: &ExperimentConfig) -> (Report, RunSummary, f64) {
+/// build-side [`BuildStats`] — the numbers `repro_all` archives.
+pub fn report_and_summary(config: &ExperimentConfig) -> (Report, RunSummary, BuildStats) {
+    report_and_summary_cached(config, None)
+}
+
+/// [`report_and_summary`] with an optional index-cache directory: the
+/// first run builds and persists the inverted index, subsequent runs
+/// load it (byte-identical `Report` either way).
+pub fn report_and_summary_cached(
+    config: &ExperimentConfig,
+    index_cache: Option<&std::path::Path>,
+) -> (Report, RunSummary, BuildStats) {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
@@ -77,17 +113,21 @@ pub fn report_and_summary(config: &ExperimentConfig) -> (Report, RunSummary, f64
         config.wiki.seed, config.corpus.seed, config.corpus.num_queries, threads
     );
     let t0 = Instant::now();
-    let experiment = Experiment::build(config);
+    let (experiment, build) = Experiment::build_with_cache(config, index_cache);
     let build_seconds = t0.elapsed().as_secs_f64();
     eprintln!(
-        "# built: {} articles, {} categories, {} docs, {build_seconds:.2}s",
+        "# built: {} articles, {} categories, {} docs, {build_seconds:.2}s \
+         (world {:.2}s, index {} {:.2}s)",
         experiment.wiki.kb.num_articles(),
         experiment.wiki.kb.num_categories(),
         experiment.corpus.corpus.len(),
+        build.world_seconds,
+        build.index_source.name(),
+        build.index_build_seconds + build.index_write_seconds + build.index_load_seconds,
     );
     let (report, summary) = experiment.run_parallel_with_summary(threads);
     eprint!("{}", indent_hash(&summary.render()));
-    (report, summary, build_seconds)
+    (report, summary, build)
 }
 
 fn indent_hash(s: &str) -> String {
@@ -110,26 +150,217 @@ pub fn quick_config() -> ExperimentConfig {
     cfg
 }
 
-/// Parse the common CLI of the repro binaries: `--quick` switches to
-/// [`quick_config`], `--tiny` to [`tiny_config`].
-pub fn config_from_args() -> ExperimentConfig {
-    let args: Vec<String> = std::env::args().collect();
-    if args.iter().any(|a| a == "--tiny") {
-        tiny_config()
-    } else if args.iter().any(|a| a == "--quick") {
-        quick_config()
-    } else {
-        ExperimentConfig::default_paper()
+/// The paper-scale stress configuration (`--stress`): a 100k+ article
+/// knowledge base and ~31k documents.
+pub fn stress_config() -> ExperimentConfig {
+    ExperimentConfig::stress()
+}
+
+/// `--stress --quick`: the same stress-scale world, but only 8 of the
+/// 60 queries analyzed — world synthesis and indexing (what the stress
+/// tier measures) are untouched while CI stays fast.
+pub fn stress_quick_config() -> ExperimentConfig {
+    ExperimentConfig::stress_sampled(8)
+}
+
+/// Workload tiers selected by the shared CLI flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// `--tiny` — the unit-test world.
+    Tiny,
+    /// `--quick` — 12 queries.
+    Quick,
+    /// default — the paper-scale seed world.
+    Paper,
+    /// `--stress` — 100k+ articles.
+    Stress,
+    /// `--stress --quick` — stress world, sampled queries.
+    StressQuick,
+}
+
+impl Tier {
+    /// The default bench-record path for this tier. Only the full
+    /// `Paper` and `Stress` tiers write the **committed** trajectory
+    /// anchors (`BENCH_seed.json` / `BENCH_stress.json`); the sampled
+    /// tiers get their own (gitignored) files so a casual `--tiny` or
+    /// `--stress --quick` run can never clobber an anchor with an
+    /// incomparable workload.
+    pub fn default_bench_path(self) -> &'static str {
+        match self {
+            Tier::Tiny => "BENCH_tiny.json",
+            Tier::Quick => "BENCH_quick.json",
+            Tier::Paper => "BENCH_seed.json",
+            Tier::Stress => "BENCH_stress.json",
+            Tier::StressQuick => "BENCH_stress_quick.json",
+        }
     }
+
+    /// The configuration this tier runs.
+    pub fn config(self) -> ExperimentConfig {
+        match self {
+            Tier::Tiny => tiny_config(),
+            Tier::Quick => quick_config(),
+            Tier::Paper => ExperimentConfig::default_paper(),
+            Tier::Stress => stress_config(),
+            Tier::StressQuick => stress_quick_config(),
+        }
+    }
+}
+
+/// The shared CLI of the repro binaries.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// Selected workload tier.
+    pub tier: Tier,
+    /// `--index-cache <dir>`: persist/load the inverted index there.
+    pub index_cache: Option<PathBuf>,
+    /// `--bench-out <path>`: where to archive the bench record
+    /// (defaults to the tier's [`Tier::default_bench_path`]).
+    pub bench_out: Option<String>,
+}
+
+impl CliOptions {
+    /// Parse `std::env::args`. Exits with a message on malformed flags
+    /// (missing `--index-cache` / `--bench-out` operand).
+    pub fn from_args() -> CliOptions {
+        let args: Vec<String> = std::env::args().collect();
+        Self::from_vec(&args)
+    }
+
+    /// Parse an explicit argument vector (testable).
+    pub fn from_vec(args: &[String]) -> CliOptions {
+        let has = |flag: &str| args.iter().any(|a| a == flag);
+        let operand = |flag: &'static str| {
+            args.iter().position(|a| a == flag).map(|pos| {
+                args.get(pos + 1).cloned().unwrap_or_else(|| {
+                    eprintln!("error: {flag} requires an operand");
+                    std::process::exit(2);
+                })
+            })
+        };
+        let tier = match (has("--stress"), has("--quick"), has("--tiny")) {
+            (true, true, _) => Tier::StressQuick,
+            (true, false, _) => Tier::Stress,
+            (false, _, true) => Tier::Tiny,
+            (false, true, false) => Tier::Quick,
+            _ => Tier::Paper,
+        };
+        CliOptions {
+            tier,
+            index_cache: operand("--index-cache").map(PathBuf::from),
+            bench_out: operand("--bench-out"),
+        }
+    }
+
+    /// The configuration this invocation runs.
+    pub fn config(&self) -> ExperimentConfig {
+        self.tier.config()
+    }
+
+    /// The bench-record path: `--bench-out` or the tier default.
+    pub fn bench_path(&self) -> &str {
+        self.bench_out
+            .as_deref()
+            .unwrap_or_else(|| self.tier.default_bench_path())
+    }
+}
+
+/// Parse the common CLI of the repro binaries: `--quick` switches to
+/// [`quick_config`], `--tiny` to [`tiny_config`], `--stress` to the
+/// stress tier.
+pub fn config_from_args() -> ExperimentConfig {
+    CliOptions::from_args().config()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn opts(args: &[&str]) -> CliOptions {
+        let v: Vec<String> = std::iter::once("bin".to_string())
+            .chain(args.iter().map(|s| s.to_string()))
+            .collect();
+        CliOptions::from_vec(&v)
+    }
+
     #[test]
     fn quick_config_is_consistent() {
         let cfg = quick_config();
         assert!(cfg.corpus.num_queries <= cfg.wiki.num_topics);
+    }
+
+    #[test]
+    fn stress_configs_are_consistent() {
+        for cfg in [stress_config(), stress_quick_config()] {
+            assert!(cfg.corpus.num_queries <= cfg.wiki.num_topics);
+            assert!(cfg.wiki.num_topics * cfg.wiki.articles_per_topic >= 100_000);
+        }
+        assert!(stress_quick_config().corpus.num_queries < stress_config().corpus.num_queries);
+    }
+
+    #[test]
+    fn cli_tier_selection() {
+        assert_eq!(opts(&[]).tier, Tier::Paper);
+        assert_eq!(opts(&["--tiny"]).tier, Tier::Tiny);
+        assert_eq!(opts(&["--quick"]).tier, Tier::Quick);
+        assert_eq!(opts(&["--stress"]).tier, Tier::Stress);
+        assert_eq!(opts(&["--stress", "--quick"]).tier, Tier::StressQuick);
+        assert_eq!(Tier::Stress.default_bench_path(), "BENCH_stress.json");
+        assert_eq!(Tier::Paper.default_bench_path(), "BENCH_seed.json");
+        // Sampled tiers must never default onto the committed anchors.
+        for tier in [Tier::Tiny, Tier::Quick, Tier::StressQuick] {
+            assert!(
+                !["BENCH_seed.json", "BENCH_stress.json"].contains(&tier.default_bench_path()),
+                "{tier:?} would clobber a committed trajectory anchor"
+            );
+        }
+    }
+
+    #[test]
+    fn cli_index_cache_path() {
+        assert_eq!(opts(&[]).index_cache, None);
+        assert_eq!(
+            opts(&["--index-cache", "/tmp/cache"]).index_cache,
+            Some(PathBuf::from("/tmp/cache"))
+        );
+    }
+
+    #[test]
+    fn cli_bench_out_overrides_tier_default() {
+        assert_eq!(opts(&["--tiny"]).bench_path(), "BENCH_tiny.json");
+        let o = opts(&["--tiny", "--bench-out", "custom.json"]);
+        assert_eq!(o.bench_path(), "custom.json");
+        assert_eq!(o.bench_out.as_deref(), Some("custom.json"));
+    }
+
+    #[test]
+    fn bench_record_schema_3_carries_build_breakdown() {
+        use querygraph_core::cache::IndexSource;
+        let build = BuildStats {
+            world_seconds: 0.5,
+            index_build_seconds: 0.0,
+            index_write_seconds: 0.0,
+            index_load_seconds: 0.125,
+            index_source: IndexSource::Loaded,
+        };
+        let exp = Experiment::build(&tiny_config());
+        let (_, run) = exp.run_parallel_with_summary(2);
+        let record = BenchRecord::new(&tiny_config(), &build, run);
+        assert_eq!(record.schema, 3);
+        assert_eq!(record.index_source, "loaded");
+        assert!((record.build_seconds - 0.625).abs() < 1e-12);
+        let json = serde_json::to_string(&record).expect("record serializes");
+        for field in [
+            "world_seconds",
+            "index_build_seconds",
+            "index_write_seconds",
+            "index_load_seconds",
+            "index_source",
+            "articles_per_topic",
+        ] {
+            assert!(json.contains(field), "record missing {field}");
+        }
+        let back: BenchRecord = serde_json::from_str(&json).expect("record parses");
+        assert_eq!(back, record);
     }
 }

@@ -1,0 +1,386 @@
+//! World cache: build the retrieval index once, persist it, reload it.
+//!
+//! [`build_experiment`] is [`Experiment::build`] with an optional cache
+//! directory. The synthetic wiki and corpus are always regenerated
+//! (they are cheap and fully determined by the configuration); the
+//! expensive part — tokenizing and indexing every document, plus
+//! evaluating the phrase dictionary over every article title — is
+//! persisted via [`querygraph_retrieval::ondisk`] and reloaded
+//! zero-copy on subsequent runs.
+//!
+//! Artifacts are keyed by a configuration fingerprint
+//! ([`config_fingerprint`]): the FNV-1a of the serialized wiki + corpus
+//! configurations, which determine the index bytes exactly. The
+//! fingerprint appears both in the artifact file name (so one cache
+//! directory serves many configurations) and inside the artifact header
+//! (so a renamed or stale file is rejected, not trusted). Any load
+//! failure — missing file, corrupt section, version bump, fingerprint
+//! mismatch — falls back to building and rewriting: a cache can lose
+//! time, never correctness.
+//!
+//! [`BuildStats`] records build-vs-load wall-clock seconds; the bench
+//! harness archives them (schema 3) so `repro_bench_diff` and the CI
+//! gate track the speedup.
+
+use crate::config::ExperimentConfig;
+use crate::experiment::Experiment;
+use querygraph_corpus::imageclef::linking_text;
+use querygraph_corpus::synth::generate_corpus;
+use querygraph_retrieval::engine::SearchEngine;
+use querygraph_retrieval::index::IndexBuilder;
+use querygraph_retrieval::ondisk;
+use querygraph_wiki::synth::generate;
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Where the experiment's index came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IndexSource {
+    /// Indexed from the corpus in this process.
+    Built,
+    /// Loaded from an on-disk artifact.
+    Loaded,
+}
+
+impl IndexSource {
+    /// Lower-case name, as archived in bench records.
+    pub fn name(self) -> &'static str {
+        match self {
+            IndexSource::Built => "built",
+            IndexSource::Loaded => "loaded",
+        }
+    }
+}
+
+/// Wall-clock breakdown of one [`build_experiment`] call.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BuildStats {
+    /// Seconds to synthesize the wiki and corpus (always paid).
+    pub world_seconds: f64,
+    /// Seconds to tokenize + index the corpus and warm the phrase
+    /// dictionary (0 when the index was loaded).
+    pub index_build_seconds: f64,
+    /// Seconds to serialize + write the artifact (0 unless written).
+    pub index_write_seconds: f64,
+    /// Seconds to read + decode the artifact (0 unless loaded).
+    pub index_load_seconds: f64,
+    /// Whether the index was built or loaded.
+    pub index_source: IndexSource,
+}
+
+impl BuildStats {
+    /// Total build-side seconds (what older records call
+    /// `build_seconds`).
+    pub fn total_seconds(&self) -> f64 {
+        self.world_seconds
+            + self.index_build_seconds
+            + self.index_write_seconds
+            + self.index_load_seconds
+    }
+}
+
+/// FNV-1a fingerprint of the serialized wiki + corpus configurations —
+/// the *configuration* inputs that determine the index bytes. Pipeline
+/// knobs (pool caps, cycle limits …) deliberately do not participate:
+/// they change the analysis, not the index. Generator/tokenizer *code*
+/// changes are invisible to this fingerprint; [`build_experiment`]
+/// additionally cross-checks a loaded index against the regenerated
+/// corpus (doc count) to catch that kind of staleness.
+pub fn config_fingerprint(config: &ExperimentConfig) -> u64 {
+    let wiki = serde_json::to_string(&config.wiki).expect("wiki config serializes");
+    let corpus = serde_json::to_string(&config.corpus).expect("corpus config serializes");
+    ondisk::fnv1a(format!("{wiki}\n{corpus}").as_bytes())
+}
+
+/// The artifact path for `config` inside `dir`.
+pub fn artifact_path(dir: &Path, config: &ExperimentConfig) -> PathBuf {
+    dir.join(format!("index-{:016x}.qgidx", config_fingerprint(config)))
+}
+
+/// [`Experiment::build`] with an optional index cache directory.
+///
+/// With `cache_dir` set, a valid artifact for this configuration is
+/// loaded instead of re-indexing; otherwise the index is built, the
+/// phrase dictionary is warmed over every main-article title, and the
+/// artifact is written for the next run. Loaded and built experiments
+/// produce byte-identical `Report`s (pinned by the golden-fingerprint
+/// tests).
+pub fn build_experiment(
+    config: &ExperimentConfig,
+    cache_dir: Option<&Path>,
+) -> (Experiment, BuildStats) {
+    let t0 = Instant::now();
+    let wiki = generate(&config.wiki);
+    let corpus = generate_corpus(&wiki, &config.corpus);
+    let world_seconds = t0.elapsed().as_secs_f64();
+    let fingerprint = config_fingerprint(config);
+
+    if let Some(dir) = cache_dir {
+        let path = artifact_path(dir, config);
+        let t = Instant::now();
+        // A missing artifact is the normal cold-cache case and stays
+        // silent; every *other* failure below (unreadable file,
+        // corruption, old version, foreign fingerprint) is reported —
+        // a cache that never hits should not be invisible.
+        match path.exists().then(|| ondisk::load_index(&path)) {
+            None => {}
+            // The fingerprint covers the *configurations*; it cannot
+            // see generator or tokenizer code changes in a new binary.
+            // Cross-checking the loaded index against the corpus we
+            // just regenerated catches that staleness cheaply: a
+            // generator change that alters the document set shifts the
+            // doc count with overwhelming likelihood, and anything
+            // subtler is caught by the golden-fingerprint tests the
+            // moment results would change.
+            Some(Ok(loaded))
+                if loaded.meta_fingerprint == fingerprint
+                    && loaded.index.num_docs() != corpus.corpus.len() =>
+            {
+                eprintln!(
+                    "# index cache {}: stale ({} docs indexed, corpus has {}) — rebuilding",
+                    path.display(),
+                    loaded.index.num_docs(),
+                    corpus.corpus.len()
+                );
+            }
+            Some(Ok(loaded)) if loaded.meta_fingerprint == fingerprint => {
+                let engine = SearchEngine::new(loaded.index);
+                engine.seed_phrase_cache(loaded.phrases);
+                let stats = BuildStats {
+                    world_seconds,
+                    index_build_seconds: 0.0,
+                    index_write_seconds: 0.0,
+                    index_load_seconds: t.elapsed().as_secs_f64(),
+                    index_source: IndexSource::Loaded,
+                };
+                let experiment = Experiment {
+                    wiki,
+                    corpus,
+                    engine,
+                    config: config.clone(),
+                };
+                return (experiment, stats);
+            }
+            Some(Ok(loaded)) => eprintln!(
+                "# index cache {}: {} — rebuilding",
+                path.display(),
+                querygraph_retrieval::OndiskError::MetaMismatch {
+                    expected: fingerprint,
+                    found: loaded.meta_fingerprint,
+                }
+            ),
+            Some(Err(e)) => eprintln!("# index cache {}: {e} — rebuilding", path.display()),
+        }
+    }
+
+    let t = Instant::now();
+    let mut ib = IndexBuilder::new();
+    for (_, doc) in corpus.corpus.iter() {
+        ib.add_document(&linking_text(doc));
+    }
+    let engine = SearchEngine::new(ib.build());
+    if cache_dir.is_some() {
+        // Warm the phrase dictionary with every main-article title —
+        // the phrases the §2.2 hill climb evaluates — so the artifact
+        // ships a complete dictionary and loaded runs skip all phrase
+        // matching. The dictionary is a section of the artifact, so
+        // warming counts as index *build* time; uncached builds skip
+        // it and let the hill climb resolve phrases lazily, exactly as
+        // before (either way the Report is byte-identical — the
+        // dictionary is pure memoization).
+        for article in wiki.kb.main_articles() {
+            engine.warm_phrase(&querygraph_text::tokenize(wiki.kb.title(article)));
+        }
+    }
+    let index_build_seconds = t.elapsed().as_secs_f64();
+
+    let mut index_write_seconds = 0.0;
+    if let Some(dir) = cache_dir {
+        let t = Instant::now();
+        let path = artifact_path(dir, config);
+        let written = std::fs::create_dir_all(dir).and_then(|()| {
+            ondisk::save_index(
+                &path,
+                engine.index(),
+                &engine.export_phrase_cache(),
+                fingerprint,
+            )
+        });
+        if let Err(e) = written {
+            // Failure to persist must not fail the run.
+            eprintln!("# index cache write {} failed: {e}", path.display());
+        }
+        index_write_seconds = t.elapsed().as_secs_f64();
+    }
+
+    let stats = BuildStats {
+        world_seconds,
+        index_build_seconds,
+        index_write_seconds,
+        index_load_seconds: 0.0,
+        index_source: IndexSource::Built,
+    };
+    let experiment = Experiment {
+        wiki,
+        corpus,
+        engine,
+        config: config.clone(),
+    };
+    (experiment, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_cache(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("querygraph-cache-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp cache dir");
+        dir
+    }
+
+    #[test]
+    fn fingerprint_tracks_world_configs_only() {
+        let a = ExperimentConfig::tiny();
+        let mut b = a.clone();
+        b.max_pool += 1; // pipeline knob: same world, same index
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&b));
+        let mut c = a.clone();
+        c.wiki.seed ^= 1;
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&c));
+        let mut d = a.clone();
+        d.corpus.noise_docs += 1;
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&d));
+    }
+
+    #[test]
+    fn cold_build_writes_then_warm_run_loads() {
+        let dir = temp_cache("cold-warm");
+        let config = ExperimentConfig::tiny();
+        let path = artifact_path(&dir, &config);
+        std::fs::remove_file(&path).ok();
+
+        let (_, cold) = build_experiment(&config, Some(&dir));
+        assert_eq!(cold.index_source, IndexSource::Built);
+        assert!(cold.index_build_seconds > 0.0);
+        assert!(path.exists(), "cold run must persist the artifact");
+
+        let (_, warm) = build_experiment(&config, Some(&dir));
+        assert_eq!(warm.index_source, IndexSource::Loaded);
+        assert_eq!(warm.index_build_seconds, 0.0);
+        assert!(warm.index_load_seconds > 0.0);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn loaded_engine_matches_built_engine() {
+        let dir = temp_cache("identical");
+        let config = ExperimentConfig::tiny();
+        std::fs::remove_file(artifact_path(&dir, &config)).ok();
+        let (built, _) = build_experiment(&config, Some(&dir));
+        let (loaded, stats) = build_experiment(&config, Some(&dir));
+        assert_eq!(stats.index_source, IndexSource::Loaded);
+        let a = built.engine.index();
+        let b = loaded.engine.index();
+        assert_eq!(a.num_docs(), b.num_docs());
+        assert_eq!(a.num_terms(), b.num_terms());
+        assert_eq!(a.total_tokens(), b.total_tokens());
+        // The persisted phrase dictionary arrives warm and identical.
+        assert_eq!(
+            built.engine.export_phrase_cache(),
+            loaded.engine.export_phrase_cache()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_artifact_falls_back_to_rebuild() {
+        let dir = temp_cache("corrupt");
+        let config = ExperimentConfig::tiny();
+        let path = artifact_path(&dir, &config);
+        std::fs::remove_file(&path).ok();
+        build_experiment(&config, Some(&dir));
+        // Corrupt one payload byte: the next run must detect it, rebuild,
+        // and rewrite a valid artifact.
+        let mut bytes = std::fs::read(&path).expect("artifact exists");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, bytes).expect("rewrite corrupt");
+        let (_, stats) = build_experiment(&config, Some(&dir));
+        assert_eq!(stats.index_source, IndexSource::Built);
+        // …and the rewritten artifact loads again.
+        let (_, again) = build_experiment(&config, Some(&dir));
+        assert_eq!(again.index_source, IndexSource::Loaded);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_artifact_with_matching_fingerprint_rebuilds() {
+        // The fingerprint can't see generator-code changes; simulate
+        // one by saving an index of the wrong world under the right
+        // fingerprint and path. The doc-count cross-check must refuse
+        // it.
+        let dir = temp_cache("stale");
+        let config = ExperimentConfig::tiny();
+        let mut other = config.clone();
+        other.corpus.noise_docs += 5; // different doc count
+        let (wrong_world, _) = build_experiment(&other, None);
+        ondisk::save_index(
+            &artifact_path(&dir, &config),
+            wrong_world.engine.index(),
+            &[],
+            config_fingerprint(&config),
+        )
+        .expect("plant stale artifact");
+        let (experiment, stats) = build_experiment(&config, Some(&dir));
+        assert_eq!(
+            stats.index_source,
+            IndexSource::Built,
+            "stale artifact must be rejected by the doc-count guard"
+        );
+        assert_eq!(
+            experiment.engine.index().num_docs(),
+            experiment.corpus.corpus.len()
+        );
+        // …and the rewritten artifact loads next time.
+        let (_, again) = build_experiment(&config, Some(&dir));
+        assert_eq!(again.index_source, IndexSource::Loaded);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fingerprint_mismatch_in_renamed_artifact_rebuilds() {
+        let dir = temp_cache("renamed");
+        let config = ExperimentConfig::tiny();
+        let mut other = config.clone();
+        other.wiki.seed ^= 0xFF;
+        std::fs::remove_file(artifact_path(&dir, &config)).ok();
+        build_experiment(&config, Some(&dir));
+        // Pose the tiny artifact as the other config's cache entry.
+        std::fs::rename(artifact_path(&dir, &config), artifact_path(&dir, &other)).expect("rename");
+        let (_, stats) = build_experiment(&other, Some(&dir));
+        assert_eq!(
+            stats.index_source,
+            IndexSource::Built,
+            "embedded fingerprint must veto a renamed artifact"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn build_stats_total_covers_all_parts() {
+        let stats = BuildStats {
+            world_seconds: 1.0,
+            index_build_seconds: 2.0,
+            index_write_seconds: 0.25,
+            index_load_seconds: 0.5,
+            index_source: IndexSource::Built,
+        };
+        assert!((stats.total_seconds() - 3.75).abs() < 1e-12);
+        assert_eq!(IndexSource::Built.name(), "built");
+        assert_eq!(IndexSource::Loaded.name(), "loaded");
+    }
+}

@@ -44,6 +44,33 @@ impl ExperimentConfig {
         }
     }
 
+    /// The paper-scale stress configuration: a 100k+ article knowledge
+    /// base and a ~31k document corpus (ROADMAP "Paper-scale growth
+    /// knobs"). One query per topic; correlation off — the point is
+    /// scale, not the §4 extras.
+    pub fn stress() -> Self {
+        ExperimentConfig {
+            wiki: SynthWikiConfig::stress(),
+            corpus: SynthCorpusConfig::stress(),
+            ground_truth: GroundTruthConfig::default(),
+            max_cycle_len: 5,
+            cycle_limit: 30_000,
+            max_pool: 40,
+            compute_correlation: false,
+        }
+    }
+
+    /// [`ExperimentConfig::stress`] with `--quick`-style sampling: the
+    /// same 100k+ article world, but only `queries` of the 60 queries
+    /// analyzed — world synthesis and indexing (what the stress tier
+    /// exists to measure) are untouched; only the per-query pipeline is
+    /// sampled so CI stays under a few minutes.
+    pub fn stress_sampled(queries: usize) -> Self {
+        let mut cfg = Self::stress();
+        cfg.corpus.num_queries = queries.min(cfg.wiki.num_topics);
+        cfg
+    }
+
     /// A miniature configuration for tests and doctests (< 1 s).
     pub fn tiny() -> Self {
         ExperimentConfig {
@@ -85,5 +112,23 @@ mod tests {
     fn paper_config_respects_wiki_capacity() {
         let cfg = ExperimentConfig::default_paper();
         assert!(cfg.corpus.num_queries <= cfg.wiki.num_topics);
+    }
+
+    #[test]
+    fn stress_config_reaches_paper_scale() {
+        let cfg = ExperimentConfig::stress();
+        assert!(cfg.wiki.num_topics * cfg.wiki.articles_per_topic >= 100_000);
+        assert!(cfg.corpus.num_queries <= cfg.wiki.num_topics);
+        let sampled = ExperimentConfig::stress_sampled(8);
+        assert_eq!(sampled.corpus.num_queries, 8);
+        assert_eq!(sampled.wiki, cfg.wiki, "sampling must not shrink the world");
+    }
+
+    #[test]
+    fn stress_serde_round_trip() {
+        let cfg = ExperimentConfig::stress();
+        let json = serde_json::to_string(&cfg).unwrap();
+        let back: ExperimentConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cfg);
     }
 }

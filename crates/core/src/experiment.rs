@@ -29,14 +29,12 @@ use crate::tables::{
     Fig9, LengthSeries, ScalarStats, Table2, Table3, Table4, PAPER_FIG5, PAPER_FIG6, PAPER_FIG7A,
     PAPER_FIG7B,
 };
-use querygraph_corpus::imageclef::linking_text;
-use querygraph_corpus::synth::{generate_corpus, SynthCorpus};
+use querygraph_corpus::synth::SynthCorpus;
 use querygraph_link::EntityLinker;
 use querygraph_retrieval::engine::SearchEngine;
-use querygraph_retrieval::index::IndexBuilder;
 use querygraph_retrieval::stats::{five_number, ols, FiveNumber};
 use querygraph_wiki::stats::{kb_stats, KbStats};
-use querygraph_wiki::synth::{generate, SynthWiki};
+use querygraph_wiki::synth::SynthWiki;
 use querygraph_wiki::ArticleId;
 use serde::{Deserialize, Serialize};
 
@@ -100,19 +98,19 @@ pub const TABLE4_CONFIGS: [(&str, &[usize]); 7] = [
 impl Experiment {
     /// Generate the world and index it.
     pub fn build(config: &ExperimentConfig) -> Experiment {
-        let wiki = generate(&config.wiki);
-        let corpus = generate_corpus(&wiki, &config.corpus);
-        let mut ib = IndexBuilder::new();
-        for (_, doc) in corpus.corpus.iter() {
-            ib.add_document(&linking_text(doc));
-        }
-        let engine = SearchEngine::new(ib.build());
-        Experiment {
-            wiki,
-            corpus,
-            engine,
-            config: config.clone(),
-        }
+        Self::build_with_cache(config, None).0
+    }
+
+    /// [`Experiment::build`] with an optional on-disk index cache: when
+    /// `cache_dir` holds a valid artifact for this configuration, the
+    /// index (and warm phrase dictionary) is loaded instead of rebuilt;
+    /// otherwise it is built and persisted for the next run. See
+    /// [`crate::cache`] for the artifact/fingerprint story.
+    pub fn build_with_cache(
+        config: &ExperimentConfig,
+        cache_dir: Option<&std::path::Path>,
+    ) -> (Experiment, crate::cache::BuildStats) {
+        crate::cache::build_experiment(config, cache_dir)
     }
 
     /// Analyze every query sequentially.

@@ -25,6 +25,10 @@
 //!   shared read-only [`pipeline::PipelineCtx`], per-stage timing, and
 //!   the deterministic work-stealing runner that parallelizes the
 //!   paper's §4 per-query cost across threads.
+//! * [`cache`] — the on-disk index cache: build the retrieval index
+//!   once, persist it via `querygraph_retrieval::ondisk`, and reload it
+//!   zero-copy on later runs (fingerprint-keyed; corruption falls back
+//!   to rebuilding).
 //!
 //! ```
 //! use querygraph_core::experiment::{Experiment, ExperimentConfig};
@@ -37,6 +41,7 @@
 //! assert!(t2.rows[0].max <= 1.0);
 //! ```
 
+pub mod cache;
 pub mod config;
 pub mod contribution;
 pub mod cycle_analysis;
@@ -47,6 +52,7 @@ pub mod pipeline;
 pub mod query_graph;
 pub mod tables;
 
+pub use cache::{BuildStats, IndexSource};
 pub use experiment::{Experiment, ExperimentConfig, Report};
 pub use pipeline::{PipelineCtx, RunSummary, Stage, StageTimings};
 pub use query_graph::QueryGraph;

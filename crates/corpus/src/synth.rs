@@ -99,6 +99,27 @@ impl SynthCorpusConfig {
         }
     }
 
+    /// Paper-scale **stress** configuration, paired with
+    /// `SynthWikiConfig::stress()`: one query per stress topic and a
+    /// much deeper noise pool, so the inverted index sees tens of
+    /// thousands of documents (the real ImageCLEF track has ~237k).
+    pub fn stress() -> Self {
+        SynthCorpusConfig {
+            seed: 0x57E5_5BEE,
+            num_queries: 60,
+            relevant_per_query: (12, 18),
+            noise_docs: 30_000,
+            two_entity_query_prob: 0.6,
+            mention_query_prob: 0.7,
+            topic_mentions_per_doc: (3, 6),
+            drift_prob: 0.3,
+            far_drift_prob: 0.15,
+            far_docs_per_query: (1, 3),
+            distractors_per_query: (5, 9),
+            decoy_lang_prob: 0.5,
+        }
+    }
+
     /// Miniature configuration for fast tests.
     pub fn small() -> Self {
         SynthCorpusConfig {
@@ -678,6 +699,15 @@ mod tests {
             .map(|(id, _)| id.0)
             .unwrap();
         assert!(first_noise > max_rel);
+    }
+
+    #[test]
+    fn stress_config_is_consistent_with_stress_wiki() {
+        let wiki_cfg = SynthWikiConfig::stress();
+        let cfg = SynthCorpusConfig::stress();
+        assert!(cfg.num_queries <= wiki_cfg.num_topics);
+        assert!(cfg.noise_docs >= 10 * SynthCorpusConfig::default_experiment().noise_docs);
+        assert!(cfg.relevant_per_query.0 <= cfg.relevant_per_query.1);
     }
 
     #[test]

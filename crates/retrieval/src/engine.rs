@@ -41,6 +41,20 @@ pub(crate) struct PhraseInfo {
     pub(crate) collection_prob: f64,
 }
 
+/// One exported phrase-dictionary entry: a phrase's words and its full
+/// cached evaluation. This is what [`crate::ondisk`] persists so a
+/// loaded engine starts with a warm phrase dictionary instead of
+/// re-matching every title phrase on first use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhraseCacheEntry {
+    /// The normalized phrase words (the cache key).
+    pub words: Vec<String>,
+    /// Exact hits in doc-id order.
+    pub hits: Vec<PhraseHit>,
+    /// Exact phrase collection probability.
+    pub collection_prob: f64,
+}
+
 /// A weighted leaf of the flattened query.
 struct Leaf {
     weight: f64,
@@ -212,6 +226,61 @@ impl SearchEngine {
     pub fn phrase_cache_len(&self) -> usize {
         self.phrase_cache.iter().map(|s| s.lock().len()).sum()
     }
+
+    /// Evaluate (and cache) one phrase — warming loops call this per
+    /// title so only one tokenization is alive at a time (at stress
+    /// scale there are 100k+ titles). Empty phrases are skipped.
+    pub fn warm_phrase(&self, words: &[String]) {
+        if !words.is_empty() {
+            self.phrase_info(words);
+        }
+    }
+
+    /// Evaluate (and cache) every phrase in `phrases` — used to warm
+    /// the phrase dictionary before persisting it. Duplicates and empty
+    /// phrases are skipped.
+    pub fn warm_phrases<'a>(&self, phrases: impl IntoIterator<Item = &'a [String]>) {
+        for words in phrases {
+            self.warm_phrase(words);
+        }
+    }
+
+    /// Export the phrase dictionary, sorted by phrase words so the
+    /// serialized artifact is deterministic regardless of evaluation
+    /// order or sharding.
+    pub fn export_phrase_cache(&self) -> Vec<PhraseCacheEntry> {
+        let mut out: Vec<PhraseCacheEntry> = self
+            .phrase_cache
+            .iter()
+            .flat_map(|shard| {
+                shard
+                    .lock()
+                    .iter()
+                    .map(|(words, info)| PhraseCacheEntry {
+                        words: words.clone(),
+                        hits: info.hits.clone(),
+                        collection_prob: info.collection_prob,
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by(|a, b| a.words.cmp(&b.words));
+        out
+    }
+
+    /// Seed the phrase dictionary with previously exported entries
+    /// (e.g. loaded from an on-disk artifact). Entries are memoization
+    /// values — pure functions of the index — so seeding never changes
+    /// search results, only skips re-matching.
+    pub fn seed_phrase_cache(&self, entries: Vec<PhraseCacheEntry>) {
+        for e in entries {
+            let info = Arc::new(PhraseInfo {
+                hits: e.hits,
+                collection_prob: e.collection_prob,
+            });
+            self.shard(&e.words).lock().insert(e.words, info);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -341,5 +410,42 @@ mod tests {
     fn empty_index_returns_nothing() {
         let e = SearchEngine::new(IndexBuilder::new().build());
         assert!(e.search(&parse("anything").unwrap(), 5).is_empty());
+    }
+
+    #[test]
+    fn phrase_cache_exports_sorted_and_reseeds() {
+        let e = engine();
+        for q in ["#1(grand canal)", "#1(venice)", "#1(small canal)"] {
+            e.search(&parse(q).unwrap(), 5);
+        }
+        let exported = e.export_phrase_cache();
+        assert_eq!(exported.len(), 3);
+        let words: Vec<&Vec<String>> = exported.iter().map(|p| &p.words).collect();
+        let mut sorted = words.clone();
+        sorted.sort();
+        assert_eq!(words, sorted, "export must be sorted for determinism");
+
+        // A fresh engine seeded with the export answers identically
+        // without growing the cache.
+        let fresh = engine();
+        fresh.seed_phrase_cache(exported.clone());
+        assert_eq!(fresh.phrase_cache_len(), 3);
+        let q = parse("#1(grand canal)").unwrap();
+        assert_eq!(fresh.search(&q, 10), e.search(&q, 10));
+        assert_eq!(fresh.phrase_cache_len(), 3, "seeded entry must be a hit");
+        assert_eq!(fresh.export_phrase_cache(), exported);
+    }
+
+    #[test]
+    fn warm_phrases_fills_cache() {
+        let e = engine();
+        let phrases: Vec<Vec<String>> = vec![
+            vec!["grand".into(), "canal".into()],
+            vec!["venice".into()],
+            vec![],                               // skipped
+            vec!["grand".into(), "canal".into()], // duplicate
+        ];
+        e.warm_phrases(phrases.iter().map(|p| p.as_slice()));
+        assert_eq!(e.phrase_cache_len(), 2);
     }
 }

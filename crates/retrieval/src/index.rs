@@ -83,6 +83,34 @@ pub struct InvertedIndex {
 }
 
 impl InvertedIndex {
+    /// Reassemble an index from deserialized parts ([`crate::ondisk`]).
+    /// The caller guarantees the parts are mutually consistent (one
+    /// postings list per interned term, in term-id order).
+    pub(crate) fn from_parts(
+        interner: Interner,
+        postings: Vec<PostingsList>,
+        doc_lengths: Vec<u32>,
+        total_tokens: u64,
+    ) -> InvertedIndex {
+        debug_assert_eq!(interner.len(), postings.len());
+        InvertedIndex {
+            interner,
+            postings,
+            doc_lengths,
+            total_tokens,
+        }
+    }
+
+    /// The term dictionary (id → string, insertion-ordered).
+    pub(crate) fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// Per-document token counts, indexed by doc id.
+    pub(crate) fn doc_lengths(&self) -> &[u32] {
+        &self.doc_lengths
+    }
+
     /// Number of indexed documents.
     pub fn num_docs(&self) -> usize {
         self.doc_lengths.len()

@@ -22,6 +22,10 @@
 //!   fast path. Resolves each title phrase once, precomputes per-leaf
 //!   per-document log-beliefs, and scores candidate title sets without
 //!   re-flattening or re-matching — bit-identical to the engine.
+//! * [`ondisk`] — a versioned on-disk artifact for the whole retrieval
+//!   state (term dictionary, postings buffers, per-doc stats, phrase
+//!   dictionary) with checksummed sections and a zero-copy loader, so
+//!   paper-scale worlds are indexed once and reloaded across runs.
 //! * [`metrics`] — top-r precision `P(A, r, D)` and the averaged
 //!   quality `O(A, D)` of the paper's Eq. 1 (R = {1, 5, 10, 15}).
 //! * [`stats`] — five-number summaries (min/quartiles/max) used by
@@ -45,6 +49,7 @@ pub mod engine;
 pub mod index;
 pub mod lm;
 pub mod metrics;
+pub mod ondisk;
 pub mod phrase;
 pub mod postings;
 pub mod query_lang;
@@ -52,8 +57,9 @@ pub mod stats;
 pub mod topk;
 pub mod workspace;
 
-pub use engine::{SearchEngine, SearchHit};
+pub use engine::{PhraseCacheEntry, SearchEngine, SearchHit};
 pub use index::{IndexBuilder, InvertedIndex};
 pub use metrics::{average_quality, precision_at, EVAL_CUTOFFS};
+pub use ondisk::{LoadedIndex, OndiskError};
 pub use query_lang::{parse, QueryNode};
 pub use workspace::{LeafId, ScoreWorkspace};

@@ -17,7 +17,7 @@
 use bytes::{BufMut, Bytes, BytesMut};
 
 /// Append `v` as a LEB128 varint.
-pub fn write_varint(buf: &mut BytesMut, mut v: u32) {
+pub fn write_varint(buf: &mut impl BufMut, mut v: u32) {
     loop {
         let byte = (v & 0x7F) as u8;
         v >>= 7;
@@ -30,22 +30,97 @@ pub fn write_varint(buf: &mut BytesMut, mut v: u32) {
 }
 
 /// Read a LEB128 varint at `pos`, advancing it. Returns `None` on
-/// truncated input.
+/// truncated input and on **non-canonical** encodings: a fifth byte
+/// whose high bits would overflow `u32` (`> 0x0F`), any encoding longer
+/// than five bytes, and zero-padded continuations (`0x80 0x00` for 0).
+/// [`write_varint`] only ever produces canonical encodings, so every
+/// valid buffer round-trips; rejecting the rest means corrupted or
+/// adversarial buffers fail loudly instead of silently mis-decoding.
+///
+/// This runs in the scoring hot loop, so the dominant case — a
+/// single-byte varint (small postings deltas) — takes the early return
+/// below and pays nothing for the canonicality checks; only
+/// continuation bytes enter the checked loop.
 pub fn read_varint(data: &[u8], pos: &mut usize) -> Option<u32> {
-    let mut shift = 0u32;
-    let mut out = 0u32;
+    let &first = data.get(*pos)?;
+    *pos += 1;
+    if first & 0x80 == 0 {
+        return Some(first as u32);
+    }
+    let mut out = (first & 0x7F) as u32;
+    let mut shift = 7u32;
     loop {
         let &byte = data.get(*pos)?;
         *pos += 1;
+        if byte == 0 {
+            // Trailing zero byte: the same value encodes in fewer
+            // bytes, so this encoding is non-canonical.
+            return None;
+        }
+        if shift == 28 && byte > 0x0F {
+            // Fifth byte: only 4 value bits fit in a u32; higher value
+            // bits or a set continuation bit would overflow (this also
+            // bounds the loop at five bytes).
+            return None;
+        }
         out |= ((byte & 0x7F) as u32) << shift;
         if byte & 0x80 == 0 {
             return Some(out);
         }
         shift += 7;
-        if shift >= 32 {
+    }
+}
+
+/// Walk an encoded postings stream **without allocating**, verifying it
+/// is exactly what a [`PostingsBuilder`] could have produced: exactly
+/// `doc_count` entries of canonical varints, strictly ascending
+/// non-wrapping doc ids (all `< num_docs`), `tf ≥ 1`, strictly
+/// ascending non-wrapping positions, and full consumption of the
+/// buffer. Returns the collection frequency (sum of tfs) on success —
+/// the on-disk loader compares it against the directory's recorded
+/// value. Cost is one linear pass; crafted counts can't balloon memory
+/// because nothing here allocates (unlike [`PostingsIter`], which
+/// trusts its input and pre-sizes position vectors).
+pub(crate) fn validate_stream(data: &[u8], doc_count: u32, num_docs: u32) -> Option<u64> {
+    let mut pos = 0usize;
+    let mut last_doc = 0u32;
+    let mut cf = 0u64;
+    for i in 0..doc_count {
+        let delta = read_varint(data, &mut pos)?;
+        let doc = if i == 0 {
+            delta
+        } else {
+            if delta == 0 {
+                return None; // docs must be strictly ascending
+            }
+            last_doc.checked_add(delta)?
+        };
+        if doc >= num_docs {
             return None;
         }
+        last_doc = doc;
+        let tf = read_varint(data, &mut pos)?;
+        if tf == 0 {
+            return None; // builder requires ≥ 1 position per entry
+        }
+        let mut last_position = 0u32;
+        for j in 0..tf {
+            let pdelta = read_varint(data, &mut pos)?;
+            last_position = if j == 0 {
+                pdelta
+            } else {
+                if pdelta == 0 {
+                    return None; // positions must be strictly ascending
+                }
+                last_position.checked_add(pdelta)?
+            };
+        }
+        cf += tf as u64;
     }
+    if pos != data.len() {
+        return None; // trailing bytes the doc_count doesn't account for
+    }
+    Some(cf)
 }
 
 /// One decoded document entry of a postings list.
@@ -73,6 +148,23 @@ pub struct PostingsList {
 }
 
 impl PostingsList {
+    /// Reassemble a list from its encoded parts — the on-disk loader's
+    /// entry point ([`crate::ondisk`]). `data` is trusted to be the
+    /// exact encoding a [`PostingsBuilder`] produced (the artifact's
+    /// per-section checksums vouch for it before this is called).
+    pub(crate) fn from_encoded(data: Bytes, doc_count: u32, collection_freq: u64) -> PostingsList {
+        PostingsList {
+            data,
+            doc_count,
+            collection_freq,
+        }
+    }
+
+    /// The encoded postings bytes (delta-varint stream).
+    pub(crate) fn encoded_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
     /// Number of documents containing the term.
     pub fn doc_count(&self) -> u32 {
         self.doc_count
@@ -225,6 +317,115 @@ mod tests {
         let data = [0x80u8]; // continuation bit with no next byte
         let mut pos = 0;
         assert_eq!(read_varint(&data, &mut pos), None);
+    }
+
+    #[test]
+    fn oversized_fifth_byte_rejected() {
+        // Regression: `shift >= 32` alone let a 5-byte varint whose
+        // last byte had high bits set decode by silently dropping them.
+        // 0xFF×4 + 0x1F claims 35 value bits — must be rejected, not
+        // truncated to a wrong u32.
+        let data = [0xFF, 0xFF, 0xFF, 0xFF, 0x1F];
+        let mut pos = 0;
+        assert_eq!(read_varint(&data, &mut pos), None);
+        // The largest canonical 5-byte encoding (u32::MAX) still reads.
+        let data = [0xFF, 0xFF, 0xFF, 0xFF, 0x0F];
+        let mut pos = 0;
+        assert_eq!(read_varint(&data, &mut pos), Some(u32::MAX));
+    }
+
+    #[test]
+    fn fifth_byte_continuation_rejected() {
+        // A fifth byte with the continuation bit set can never finish
+        // inside u32 range, canonical or not.
+        let data = [0xFF, 0xFF, 0xFF, 0xFF, 0x8F, 0x00];
+        let mut pos = 0;
+        assert_eq!(read_varint(&data, &mut pos), None);
+    }
+
+    #[test]
+    fn zero_padded_encodings_rejected() {
+        // 0x80 0x00 is a non-canonical encoding of 0.
+        let mut pos = 0;
+        assert_eq!(read_varint(&[0x80, 0x00], &mut pos), None);
+        // 0xFF 0x00 is a non-canonical encoding of 127.
+        let mut pos = 0;
+        assert_eq!(read_varint(&[0xFF, 0x00], &mut pos), None);
+        // Plain 0x00 (single byte zero) stays valid.
+        let mut pos = 0;
+        assert_eq!(read_varint(&[0x00], &mut pos), Some(0));
+    }
+
+    #[test]
+    fn validate_stream_accepts_builder_output() {
+        let mut b = PostingsBuilder::new();
+        b.push(0, &[0, 3, 7]);
+        b.push(5, &[1]);
+        b.push(6, &[0, 2]);
+        let list = b.build();
+        assert_eq!(
+            validate_stream(list.encoded_bytes(), list.doc_count(), 7),
+            Some(list.collection_freq())
+        );
+        // Empty list validates too.
+        let empty = PostingsBuilder::new().build();
+        assert_eq!(validate_stream(empty.encoded_bytes(), 0, 0), Some(0));
+    }
+
+    #[test]
+    fn validate_stream_rejects_crafted_streams() {
+        let mut good = BytesMut::new();
+        // One entry: doc 3, tf 2, positions [1, 4].
+        for v in [3u32, 2, 1, 3] {
+            write_varint(&mut good, v);
+        }
+        assert_eq!(validate_stream(&good, 1, 10), Some(2));
+        // Doc id beyond the collection.
+        assert_eq!(validate_stream(&good, 1, 3), None);
+        // Wrong doc_count (too many / too few entries for the bytes).
+        assert_eq!(validate_stream(&good, 2, 10), None);
+        assert_eq!(validate_stream(&good, 0, 10), None);
+        // tf = 0 (builder can never produce it).
+        let mut tf0 = BytesMut::new();
+        for v in [3u32, 0] {
+            write_varint(&mut tf0, v);
+        }
+        assert_eq!(validate_stream(&tf0, 1, 10), None);
+        // Huge tf claiming more positions than the stream holds must
+        // fail on truncation, never allocate.
+        let mut huge = BytesMut::new();
+        for v in [3u32, u32::MAX, 1] {
+            write_varint(&mut huge, v);
+        }
+        assert_eq!(validate_stream(&huge, 1, 10), None);
+        // Zero doc delta on a non-first entry (non-ascending docs).
+        let mut dup = BytesMut::new();
+        for v in [3u32, 1, 0, 0, 1, 0] {
+            write_varint(&mut dup, v);
+        }
+        assert_eq!(validate_stream(&dup, 2, 10), None);
+    }
+
+    proptest::proptest! {
+        /// Every canonical encoding (what `write_varint` emits) reads
+        /// back; and reading never panics on arbitrary bytes.
+        #[test]
+        fn varint_canonical_round_trip_and_total_reader(
+            v in 0u32..=u32::MAX,
+            junk in proptest::collection::vec(0u8..=255, 0..12),
+        ) {
+            let mut buf = BytesMut::new();
+            write_varint(&mut buf, v);
+            let mut pos = 0;
+            proptest::prop_assert_eq!(read_varint(&buf, &mut pos), Some(v));
+            proptest::prop_assert_eq!(pos, buf.len());
+            // Total on junk: Some or None, never a panic; on Some the
+            // cursor stays in bounds.
+            let mut pos = 0;
+            if read_varint(&junk, &mut pos).is_some() {
+                proptest::prop_assert!(pos <= junk.len());
+            }
+        }
     }
 
     #[test]

@@ -90,6 +90,30 @@ impl SynthWikiConfig {
         }
     }
 
+    /// The paper-scale **stress** configuration: 100k+ non-redirect
+    /// articles (the real ImageCLEF collection has ~237k documents and
+    /// the English Wikipedia millions of articles; seed scale is 1.5k).
+    /// Satellite titles beyond the base patterns use the combinatorial
+    /// adjective × object / adjective × place patterns of
+    /// [`satellite_title`], so every title stays unique by
+    /// construction. Generation remains single-seed deterministic.
+    pub fn stress() -> Self {
+        SynthWikiConfig {
+            seed: 0x57E5_5CAF,
+            num_topics: 60,
+            articles_per_topic: 1700, // 60 × 1700 = 102k main articles
+            categories_per_topic: 10,
+            reciprocity: 0.08,
+            intra_links_per_article: 4.0,
+            hub_link_prob: 0.8,
+            cross_link_prob: 0.25,
+            cross_category_prob: 0.08,
+            redirect_prob: 0.1,
+            trap_triangles: 400,
+            attribute_categories_per_article: 1.6,
+        }
+    }
+
     /// A miniature configuration for fast unit tests.
     pub fn small() -> Self {
         SynthWikiConfig {
@@ -160,10 +184,7 @@ pub fn generate(config: &SynthWikiConfig) -> SynthWiki {
         "at most {} topics supported",
         vocab::TOPIC_NOUNS.len() / 2
     );
-    let max_sat = 3 * vocab::ADJECTIVES
-        .len()
-        .min(vocab::OBJECTS.len())
-        .min(vocab::PLACES.len());
+    let max_sat = max_satellites_per_topic();
     assert!(
         config.articles_per_topic <= max_sat,
         "at most {max_sat} articles per topic supported"
@@ -377,15 +398,67 @@ pub fn generate(config: &SynthWikiConfig) -> SynthWiki {
     }
 }
 
+/// Capacity of the three rotating base patterns — the boundary where
+/// [`satellite_title`] switches to the combinatorial patterns.
+fn base_satellites_per_topic() -> usize {
+    3 * vocab::ADJECTIVES
+        .len()
+        .min(vocab::OBJECTS.len())
+        .min(vocab::PLACES.len())
+}
+
+/// The largest `articles_per_topic` the title patterns can name
+/// uniquely: the three base patterns, then the two combinatorial
+/// stress-scale patterns (see [`satellite_title`]).
+pub fn max_satellites_per_topic() -> usize {
+    base_satellites_per_topic()
+        + vocab::ADJECTIVES.len() * vocab::OBJECTS.len()
+        + vocab::ADJECTIVES.len() * vocab::PLACES.len()
+}
+
 /// Title of satellite `i` (1-based within topic) for topic `noun`.
-/// Patterns rotate so multi-word titles of width 2 and 3 both occur.
+///
+/// The first `3·min(pool)` satellites rotate the base patterns so
+/// multi-word titles of width 2 and 3 both occur; beyond that (the
+/// stress configuration) titles come from combinatorial patterns over
+/// two pools. Every pattern embeds the topic's unique satellite noun
+/// and has a distinct shape (word count + which pool leads), so titles
+/// are unique within and across topics by construction:
+///
+/// | # | pattern                | count            |
+/// |---|------------------------|------------------|
+/// | 0 | `adj noun`             | base ÷ 3         |
+/// | 1 | `noun obj`             | base ÷ 3         |
+/// | 2 | `noun of place`        | base ÷ 3         |
+/// | 3 | `adj noun obj`         | |adj| × |obj|    |
+/// | 4 | `adj noun of place`    | |adj| × |place|  |
 fn satellite_title(noun: &str, i: usize) -> String {
     let j = i - 1;
-    match j % 3 {
-        0 => format!("{} {}", vocab::ADJECTIVES[j / 3], noun),
-        1 => format!("{} {}", noun, vocab::OBJECTS[j / 3]),
-        _ => format!("{} of {}", noun, vocab::PLACES[j / 3]),
+    let base = base_satellites_per_topic();
+    if j < base {
+        return match j % 3 {
+            0 => format!("{} {}", vocab::ADJECTIVES[j / 3], noun),
+            1 => format!("{} {}", noun, vocab::OBJECTS[j / 3]),
+            _ => format!("{} of {}", noun, vocab::PLACES[j / 3]),
+        };
     }
+    let e = j - base;
+    let adj_obj = vocab::ADJECTIVES.len() * vocab::OBJECTS.len();
+    if e < adj_obj {
+        return format!(
+            "{} {} {}",
+            vocab::ADJECTIVES[e / vocab::OBJECTS.len()],
+            noun,
+            vocab::OBJECTS[e % vocab::OBJECTS.len()]
+        );
+    }
+    let e = e - adj_obj;
+    format!(
+        "{} {} of {}",
+        vocab::ADJECTIVES[e / vocab::PLACES.len()],
+        noun,
+        vocab::PLACES[e % vocab::PLACES.len()]
+    )
 }
 
 /// Poisson-ish small count with the given mean: floor plus a Bernoulli
@@ -492,6 +565,54 @@ mod tests {
                     "alias {alias:?} should embed {main_t:?}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn stress_config_names_100k_articles() {
+        let cfg = SynthWikiConfig::stress();
+        assert!(
+            cfg.num_topics * cfg.articles_per_topic >= 100_000,
+            "stress preset must reach paper scale"
+        );
+        assert!(cfg.articles_per_topic <= max_satellites_per_topic());
+        assert!(cfg.num_topics <= vocab::TOPIC_NOUNS.len() / 2);
+        assert!(cfg.categories_per_topic <= vocab::CATEGORY_SUFFIXES.len());
+    }
+
+    #[test]
+    fn extended_title_patterns_stay_unique() {
+        // Sweep the full per-topic title range across the pattern
+        // boundary (base → adj×obj → adj×place) for two topics; every
+        // title must be unique and embed its topic's satellite noun.
+        let max = max_satellites_per_topic();
+        let mut seen = std::collections::HashSet::new();
+        for noun in ["harbor", "temple"] {
+            for i in 1..=max {
+                let t = satellite_title(noun, i);
+                assert!(t.contains(noun), "{t:?} must embed {noun:?}");
+                assert!(seen.insert(t.clone()), "duplicate satellite title {t:?}");
+            }
+        }
+        assert_eq!(seen.len(), 2 * max);
+    }
+
+    #[test]
+    fn stress_scale_topic_generates_and_validates() {
+        // One topic at full stress per-topic scale exercises the
+        // combinatorial title patterns through the real generator
+        // (wiring 60 topics × 1700 lives in the integration tests).
+        let mut cfg = SynthWikiConfig::stress();
+        cfg.num_topics = 3;
+        let w = generate(&cfg);
+        assert_eq!(w.kb.main_articles().count(), 3 * cfg.articles_per_topic);
+        let mut seen = std::collections::HashSet::new();
+        for a in w.kb.articles() {
+            assert!(
+                seen.insert(querygraph_text::normalize(w.kb.title(a))),
+                "duplicate title {:?}",
+                w.kb.title(a)
+            );
         }
     }
 

@@ -7,15 +7,7 @@
 //! pinned constants — and say so in the PR description.
 
 use querygraph::core::experiment::{Experiment, ExperimentConfig};
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
+use querygraph::retrieval::ondisk::fnv1a;
 
 fn main() {
     for (name, config) in [

@@ -18,16 +18,10 @@ use querygraph::retrieval::engine::SearchEngine;
 use querygraph::retrieval::index::IndexBuilder;
 use querygraph::wiki::{ArticleId, KbBuilder, KnowledgeBase};
 
-/// FNV-1a, the same fingerprint the bench tooling uses: stable across
-/// platforms and rust versions (unlike `DefaultHasher`).
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
+// The canonical FNV-1a (stable across platforms and rust versions,
+// unlike `DefaultHasher`) — one implementation for every fingerprint
+// in the workspace.
+use querygraph::retrieval::ondisk::fnv1a;
 
 /// Pinned pre-fast-path fingerprints (captured at PR 1's HEAD).
 const TINY_LEN: usize = 62268;
@@ -62,6 +56,41 @@ fn golden_report_seed_config() {
         PAPER_FNV,
         "seed Report bytes diverged from the pre-fast-path pin"
     );
+}
+
+/// The on-disk index cache must be invisible in the science: a run
+/// whose index was **loaded** from a persisted artifact (warm phrase
+/// dictionary included) must reproduce the same pinned fingerprints as
+/// the in-memory build — for both the tiny and the seed configuration.
+#[test]
+fn golden_report_via_loaded_index() {
+    let dir = std::env::temp_dir().join(format!("querygraph-golden-cache-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("cache dir");
+    for (config, len, fnv) in [
+        (ExperimentConfig::tiny(), TINY_LEN, TINY_FNV),
+        (ExperimentConfig::default_paper(), PAPER_LEN, PAPER_FNV),
+    ] {
+        // Cold: build + persist. Warm: load from the artifact.
+        let (_, cold) = Experiment::build_with_cache(&config, Some(&dir));
+        assert_eq!(
+            cold.index_source,
+            querygraph::core::cache::IndexSource::Built
+        );
+        let (experiment, warm) = Experiment::build_with_cache(&config, Some(&dir));
+        assert_eq!(
+            warm.index_source,
+            querygraph::core::cache::IndexSource::Loaded,
+            "second build must hit the cache"
+        );
+        let json = serde_json::to_string(&experiment.run_parallel(4)).expect("report serializes");
+        assert_eq!(json.len(), len, "loaded-index Report length moved");
+        assert_eq!(
+            fnv1a(json.as_bytes()),
+            fnv,
+            "loaded-index Report diverged from the golden pin"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 // ── memo ≡ no-memo on random worlds ─────────────────────────────────

@@ -1,0 +1,116 @@
+//! The persisted index must be invisible end to end: for arbitrary
+//! generated worlds, `write → load → Report` is byte-identical to the
+//! in-memory build.
+//!
+//! The retrieval crate's unit tests already pin the format itself
+//! (losslessness, checksums, the corruption battery); these tests close
+//! the loop at the workspace level, through `Experiment::build_with_cache`
+//! and the full §2–§3 pipeline — including the warm phrase dictionary a
+//! loaded engine starts with.
+
+use querygraph::core::cache::{artifact_path, IndexSource};
+use querygraph::core::experiment::{Experiment, ExperimentConfig};
+use querygraph::retrieval::ondisk::fnv1a;
+use std::path::{Path, PathBuf};
+
+fn temp_cache(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "querygraph-ondisk-roundtrip-{tag}-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("temp cache dir");
+    dir
+}
+
+/// A micro world: small enough that one build + two runs cost a few
+/// milliseconds, so the property can afford dozens of sampled worlds.
+fn micro_config(
+    wiki_seed: u64,
+    corpus_seed: u64,
+    topics: usize,
+    queries: usize,
+) -> ExperimentConfig {
+    let mut config = ExperimentConfig::tiny();
+    config.wiki.seed = wiki_seed;
+    config.wiki.num_topics = topics;
+    config.wiki.articles_per_topic = 6;
+    config.corpus.seed = corpus_seed;
+    config.corpus.num_queries = queries.min(topics);
+    config.corpus.noise_docs = 25;
+    config.ground_truth.max_iterations = 12;
+    config
+}
+
+/// Built-vs-loaded report fingerprints for one configuration.
+fn built_and_loaded_fingerprints(config: &ExperimentConfig, dir: &Path) -> [(usize, u64); 2] {
+    std::fs::remove_file(artifact_path(dir, config)).ok();
+    let mut out = [(0, 0); 2];
+    for (i, expect) in [IndexSource::Built, IndexSource::Loaded].iter().enumerate() {
+        let (experiment, stats) = Experiment::build_with_cache(config, Some(dir));
+        assert_eq!(stats.index_source, *expect, "pass {i} of {config:?}");
+        let json = serde_json::to_string(&experiment.run_parallel(2)).expect("report serializes");
+        out[i] = (json.len(), fnv1a(json.as_bytes()));
+    }
+    out
+}
+
+proptest::proptest! {
+    /// For arbitrary micro worlds (random seeds and sizes), the report
+    /// produced from the loaded artifact is byte-identical to the one
+    /// produced by the in-memory build that wrote it.
+    #[test]
+    fn write_load_report_byte_identical(
+        wiki_seed in 0u64..1_000_000,
+        corpus_seed in 0u64..1_000_000,
+        topics in 3usize..6,
+        queries in 1usize..4,
+    ) {
+        // The shim's proptest! runs 64 cases; keep each world micro.
+        let dir = temp_cache("prop");
+        let config = micro_config(wiki_seed, corpus_seed, topics, queries);
+        let [built, loaded] = built_and_loaded_fingerprints(&config, &dir);
+        proptest::prop_assert_eq!(
+            built, loaded,
+            "loaded-index report diverged for {:?}", config
+        );
+        std::fs::remove_file(artifact_path(&dir, &config)).ok();
+    }
+}
+
+/// The same property at the full tiny configuration (the world the
+/// golden pins cover), plus artifact reuse across experiments: loading
+/// twice from one artifact is stable.
+#[test]
+fn tiny_config_write_load_stable_across_loads() {
+    let dir = temp_cache("tiny");
+    let config = ExperimentConfig::tiny();
+    let [built, loaded] = built_and_loaded_fingerprints(&config, &dir);
+    assert_eq!(built, loaded);
+    // A third run loads the same artifact again and still agrees.
+    let (experiment, stats) = Experiment::build_with_cache(&config, Some(&dir));
+    assert_eq!(stats.index_source, IndexSource::Loaded);
+    let json = serde_json::to_string(&experiment.run_parallel(2)).expect("report serializes");
+    assert_eq!((json.len(), fnv1a(json.as_bytes())), built);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// One cache directory serves many configurations side by side without
+/// cross-talk: artifacts are fingerprint-keyed files.
+#[test]
+fn cache_dir_holds_multiple_worlds() {
+    let dir = temp_cache("multi");
+    let a = micro_config(1, 2, 4, 2);
+    let b = micro_config(3, 4, 4, 2);
+    let fa = built_and_loaded_fingerprints(&a, &dir);
+    let fb = built_and_loaded_fingerprints(&b, &dir);
+    assert_ne!(fa[0], fb[0], "different worlds must differ");
+    assert!(artifact_path(&dir, &a).exists());
+    assert!(artifact_path(&dir, &b).exists());
+    assert_ne!(artifact_path(&dir, &a), artifact_path(&dir, &b));
+    // Both artifacts still load correctly after interleaving.
+    let (_, sa) = Experiment::build_with_cache(&a, Some(&dir));
+    let (_, sb) = Experiment::build_with_cache(&b, Some(&dir));
+    assert_eq!(sa.index_source, IndexSource::Loaded);
+    assert_eq!(sb.index_source, IndexSource::Loaded);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -46,6 +46,53 @@ fn summary_round_trips_through_json() {
     assert_eq!(back, summary);
 }
 
+use querygraph::retrieval::ondisk::fnv1a;
+
+/// `SynthWikiConfig::stress()` determinism at full scale: the same seed
+/// must produce the identical 100k+ article knowledge base (pinned by
+/// the serialized `KbStats` fingerprint) on every generation — the
+/// property the on-disk index cache's fingerprint keying relies on.
+#[test]
+fn stress_world_generation_is_deterministic() {
+    use querygraph::wiki::stats::kb_stats;
+    use querygraph::wiki::synth::{generate, SynthWikiConfig};
+    let cfg = SynthWikiConfig::stress();
+    let fingerprint = |json: &str| (json.len(), fnv1a(json.as_bytes()));
+    let first = generate(&cfg);
+    let second = generate(&cfg);
+    assert!(
+        first.kb.main_articles().count() >= 100_000,
+        "stress world must stay at paper scale"
+    );
+    let a = serde_json::to_string(&kb_stats(&first.kb)).expect("stats serialize");
+    let b = serde_json::to_string(&kb_stats(&second.kb)).expect("stats serialize");
+    assert_eq!(fingerprint(&a), fingerprint(&b), "stress KB diverged: {a}");
+}
+
+/// Thread-count invisibility holds at stress scale too: a reduced
+/// stress world (same extended title patterns, fewer articles so the
+/// test stays fast) run at two thread counts must serialize identical
+/// `Report`s with identical KB stats fingerprints.
+#[test]
+fn stress_report_identical_across_thread_counts() {
+    let mut config = ExperimentConfig::stress_sampled(3);
+    // Shrink volume, not structure: stay above the base title-pattern
+    // capacity (90 per topic) so the combinatorial patterns the full
+    // stress world depends on are exercised.
+    config.wiki.num_topics = 6;
+    config.wiki.articles_per_topic = 120;
+    config.corpus.noise_docs = 300;
+    config.ground_truth.max_iterations = 25;
+    let experiment = Experiment::build(&config);
+    let one = serde_json::to_string(&experiment.run_parallel(1)).expect("serializes");
+    let eight = serde_json::to_string(&experiment.run_parallel(8)).expect("serializes");
+    assert_eq!(
+        (one.len(), fnv1a(one.as_bytes())),
+        (eight.len(), fnv1a(eight.as_bytes())),
+        "stress-shaped report must not depend on thread count"
+    );
+}
+
 /// The facade quickstart path, as DESIGN.md and `src/lib.rs` advertise
 /// it: build → run → aggregate, through the `querygraph::` re-exports
 /// only.
