@@ -49,6 +49,10 @@ pub struct BenchDiff {
     /// (old records) are dropped; absent on one side renders as a dash,
     /// so new stages diff tolerantly across schema versions.
     pub build_stages: Vec<StageDiff>,
+    /// Serving measurements (`serve` records from `qgx`): total
+    /// seconds, QPS, latency percentiles. Same tolerance rules as
+    /// `build_stages` — pipeline-run records simply have no serve rows.
+    pub serve_stages: Vec<StageDiff>,
     /// Per-stage seconds, in baseline-then-new order.
     pub stages: Vec<StageDiff>,
 }
@@ -103,6 +107,7 @@ impl BenchDiff {
         self.stages
             .iter()
             .chain(&self.build_stages)
+            .chain(&self.serve_stages)
             .chain([&self.build, &self.wall])
     }
 }
@@ -211,6 +216,26 @@ pub fn diff_records(baseline: &Value, candidate: &Value) -> BenchDiff {
     })
     .collect();
 
+    // Serve records (`qgx --bench-out`): nested under `serve` /
+    // `serve.latency`. Rows appear only when either side has them.
+    let serve_stages = [
+        ("serve_total_seconds", &["serve", "total_seconds"][..]),
+        ("serve_qps", &["serve", "qps"][..]),
+        ("serve_p50_us", &["serve", "latency", "p50_us"][..]),
+        ("serve_p99_us", &["serve", "latency", "p99_us"][..]),
+    ]
+    .iter()
+    .filter_map(|(name, path)| {
+        let base = get_path_f64(baseline, path);
+        let cand = get_path_f64(candidate, path);
+        (base.is_some() || cand.is_some()).then(|| StageDiff {
+            name: name.to_string(),
+            base,
+            cand,
+        })
+    })
+    .collect();
+
     let run_f64 = |record: &Value, key: &str| get(record, "run").and_then(|r| get_f64(r, key));
     BenchDiff {
         wall: StageDiff {
@@ -224,8 +249,65 @@ pub fn diff_records(baseline: &Value, candidate: &Value) -> BenchDiff {
             cand: get_f64(candidate, "build_seconds"),
         },
         build_stages,
+        serve_stages,
         stages,
     }
+}
+
+/// Numeric lookup through a nested object path.
+fn get_path_f64(v: &Value, path: &[&str]) -> Option<f64> {
+    let (last, parents) = path.split_last()?;
+    let mut node = v;
+    for key in parents {
+        node = get(node, key)?;
+    }
+    get_f64(node, last)
+}
+
+/// Render a markdown table summarizing a set of committed bench
+/// records — the `repro_bench_diff --history` view of the perf
+/// trajectory. One row per record, in the order given; columns are
+/// schema-tolerant: any field a record lacks (older schemas, or a
+/// pipeline-run record's serve columns and vice versa) renders as a
+/// dash rather than an error, so seed, stress, and serve records of
+/// any vintage sit in one table.
+pub fn render_history(records: &[(String, Value)]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "| record | schema | kind | queries | topics | build (s) | wall (s) | \
+         ground truth (s) | p50 (µs) | p99 (µs) | QPS |\n",
+    );
+    out.push_str("|---|---:|---|---:|---:|---:|---:|---:|---:|---:|---:|\n");
+    for (name, record) in records {
+        let kind = get(record, "kind")
+            .and_then(Value::as_str)
+            .unwrap_or("run")
+            .to_string();
+        let stage = |target: &str| {
+            stage_seconds(record)
+                .into_iter()
+                .find(|(n, _)| n == target)
+                .map(|(_, s)| s)
+        };
+        let fmt_count = |key: &str| {
+            get_f64(record, key)
+                .map(|v| format!("{v:.0}"))
+                .unwrap_or_else(|| "—".to_string())
+        };
+        out.push_str(&format!(
+            "| `{name}` | {} | {kind} | {} | {} | {} | {} | {} | {} | {} | {} |\n",
+            fmt_count("schema"),
+            fmt_count("num_queries"),
+            fmt_count("num_topics"),
+            fmt_opt(get_f64(record, "build_seconds")),
+            fmt_opt(get_path_f64(record, &["run", "wall_seconds"])),
+            fmt_opt(stage("ground_truth")),
+            fmt_opt(get_path_f64(record, &["serve", "latency", "p50_us"])),
+            fmt_opt(get_path_f64(record, &["serve", "latency", "p99_us"])),
+            fmt_opt(get_path_f64(record, &["serve", "qps"])),
+        ));
+    }
+    out
 }
 
 /// Parse a bench record from JSON text.
@@ -363,6 +445,85 @@ mod tests {
         let text = diff.render_text();
         assert!(text.contains("index_load_seconds"));
         assert!(diff.render_markdown().contains("| `index_build_seconds` |"));
+    }
+
+    fn serve_record(p50: f64, qps: f64) -> Value {
+        parse_record(&format!(
+            r#"{{"schema":3,"kind":"serve","build_seconds":0.02,
+                "num_queries":50,"num_topics":50,
+                "serve":{{"total_seconds":3.2,"qps":{qps},
+                    "latency":{{"p50_us":{p50},"p90_us":3900.0,"p99_us":5000.0}}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn serve_records_diff_latency_and_qps() {
+        let diff = diff_records(&serve_record(3000.0, 300.0), &serve_record(1500.0, 600.0));
+        assert_eq!(diff.serve_stages.len(), 4);
+        let p50 = diff
+            .serve_stages
+            .iter()
+            .find(|d| d.name == "serve_p50_us")
+            .unwrap();
+        assert!((p50.pct_delta().unwrap() + 50.0).abs() < 1e-9);
+        let qps = diff
+            .serve_stages
+            .iter()
+            .find(|d| d.name == "serve_qps")
+            .unwrap();
+        assert_eq!(qps.abs_delta(), Some(300.0));
+        assert!(diff.render_markdown().contains("| `serve_p99_us` |"));
+        // Serve records carry no pipeline wall clock — the gate stays
+        // silent rather than misfiring.
+        assert_eq!(diff.wall_regression_pct(), 0.0);
+    }
+
+    #[test]
+    fn run_records_have_no_serve_rows() {
+        let diff = diff_records(&record(0.32, 0.29), &record(0.16, 0.07));
+        assert!(diff.serve_stages.is_empty());
+    }
+
+    #[test]
+    fn mixed_run_and_serve_records_diff_tolerantly() {
+        let diff = diff_records(&record(0.32, 0.29), &serve_record(3000.0, 300.0));
+        let p50 = diff
+            .serve_stages
+            .iter()
+            .find(|d| d.name == "serve_p50_us")
+            .unwrap();
+        assert_eq!(p50.base, None);
+        assert_eq!(p50.cand, Some(3000.0));
+        assert_eq!(p50.pct_delta(), None, "half-missing row cannot gate");
+    }
+
+    #[test]
+    fn history_table_renders_all_record_kinds() {
+        let entries = vec![
+            ("BENCH_seed.json".to_string(), record(0.32, 0.29)),
+            ("BENCH_serve.json".to_string(), serve_record(3000.0, 310.0)),
+            (
+                "hollow.json".to_string(),
+                parse_record(r#"{"schema":99}"#).unwrap(),
+            ),
+        ];
+        let md = render_history(&entries);
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 2 + entries.len(), "header + separator + rows");
+        assert!(lines[0].starts_with("| record | schema | kind |"));
+        // The run record has wall + ground-truth columns, dashes for serve.
+        assert!(lines[2].contains("`BENCH_seed.json`"));
+        assert!(lines[2].contains("run"));
+        assert!(lines[2].contains("0.2900"));
+        // The serve record has latency/QPS columns, dashes for wall.
+        assert!(lines[3].contains("`BENCH_serve.json`"));
+        assert!(lines[3].contains("serve"));
+        assert!(lines[3].contains("3000.0000"));
+        assert!(lines[3].contains("310.0000"));
+        // A hollow record renders as dashes, never an error.
+        assert!(lines[4].contains("`hollow.json`"));
+        assert!(lines[4].contains("—"));
     }
 
     #[test]

@@ -1,0 +1,370 @@
+//! `qgx` — the long-lived query-expansion server.
+//!
+//! Loads (or builds and persists) a world once, then serves ad-hoc
+//! queries through the `core::service` facade in a read–expand–respond
+//! loop, reporting per-query latency percentiles and QPS at the end —
+//! the paper's technique as the online component it was designed to be,
+//! instead of a batch reproduction run.
+//!
+//! ```text
+//! cargo run --release -p querygraph-bench --bin qgx -- \
+//!     [--tiny | --quick | --stress [--quick]] [--index-cache <dir>] \
+//!     [--queries <file>] [--seed-queries] [--repeat <n>] \
+//!     [--strategy cycles|links|redirects|none] [--max-features <n>] \
+//!     [--top-k <k>] [--threads <n>] [--json] [--bench-out <path>]
+//! ```
+//!
+//! * Without `--queries`/`--seed-queries`, queries are read from stdin,
+//!   one per line, and answered as they arrive (the long-lived loop;
+//!   `#`-prefixed and empty lines are skipped).
+//! * `--seed-queries` serves the tier's generated query set —
+//!   the reproducible workload the committed `BENCH_serve.json` uses.
+//! * `--repeat <n>` loops a file/seed workload n times (latency
+//!   sampling); `--threads <n>` serves each repetition across workers
+//!   on the same deterministic work-stealing runner `expand_batch`
+//!   uses, timing every request inside its worker so the archived
+//!   percentiles stay real per-request service times.
+//! * `--json` emits one `ExpansionResponse` JSON object per line on
+//!   stdout; the default is a compact human-readable line. Typed
+//!   per-query errors (unlinkable text, empty line) are reported and
+//!   served on — they never kill the loop.
+//! * `--bench-out <path>` archives a `ServeRecord` (p50/p90/p99 µs,
+//!   QPS, build-vs-load provenance) diffable by `repro_bench_diff`.
+//!
+//! With `--index-cache`, the first run builds and persists the index
+//! artifact and later runs load it (`index_source: "loaded"` in the
+//! record) — serving startup then costs world synthesis plus one
+//! artifact read instead of a full indexing pass.
+
+use querygraph_bench::{
+    flag_operand, flag_usize, CliOptions, LatencySummary, ServeRecord, ServeSummary,
+};
+use querygraph_core::service::{
+    ExpansionRequest, ExpansionResponse, ExpansionStrategy, QueryExpander, ServiceError,
+    ServingWorld,
+};
+use std::io::{BufRead, Write};
+use std::time::Instant;
+
+/// Flags beyond the shared repro CLI (`--bench-out` rides in
+/// [`CliOptions`]; unlike the repro binaries qgx writes no record
+/// unless it was given).
+struct ServeOptions {
+    queries_file: Option<String>,
+    seed_queries: bool,
+    repeat: usize,
+    strategy: ExpansionStrategy,
+    max_features: Option<usize>,
+    top_k: usize,
+    threads: usize,
+    json: bool,
+}
+
+/// Every flag qgx understands, with whether it consumes an operand.
+/// Anything else starting with `--` is rejected — a typo'd flag must
+/// not silently fall back to a different workload (e.g. blocking on
+/// stdin in CI).
+const KNOWN_FLAGS: [(&str, bool); 13] = [
+    ("--tiny", false),
+    ("--quick", false),
+    ("--stress", false),
+    ("--index-cache", true),
+    ("--queries", true),
+    ("--seed-queries", false),
+    ("--repeat", true),
+    ("--strategy", true),
+    ("--max-features", true),
+    ("--top-k", true),
+    ("--threads", true),
+    ("--json", false),
+    ("--bench-out", true),
+];
+
+/// Reject unrecognized `--flags` (operand values are skipped).
+fn reject_unknown_flags(args: &[String]) {
+    let mut i = 1; // skip argv[0]
+    while i < args.len() {
+        let arg = &args[i];
+        if arg.starts_with("--") {
+            match KNOWN_FLAGS.iter().find(|(name, _)| name == arg) {
+                Some((_, takes_operand)) => i += 1 + usize::from(*takes_operand),
+                None => {
+                    eprintln!(
+                        "error: unknown flag {arg} (known: {})",
+                        KNOWN_FLAGS
+                            .iter()
+                            .map(|(n, _)| *n)
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    );
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            eprintln!("error: unexpected argument {arg:?} (queries come from stdin or --queries)");
+            std::process::exit(2);
+        }
+    }
+}
+
+impl ServeOptions {
+    fn from_args(args: &[String]) -> ServeOptions {
+        let strategy = match flag_operand(args, "--strategy") {
+            None => ExpansionStrategy::default(),
+            Some(name) => ExpansionStrategy::parse(&name).unwrap_or_else(|| {
+                eprintln!("error: unknown --strategy {name:?} (cycles|links|redirects|none)");
+                std::process::exit(2);
+            }),
+        };
+        let queries_file = flag_operand(args, "--queries");
+        let seed_queries = args.iter().any(|a| a == "--seed-queries");
+        if queries_file.is_some() && seed_queries {
+            // Two workload sources would mean silently serving one of
+            // them — the failure class this CLI refuses throughout.
+            eprintln!("error: --queries and --seed-queries are mutually exclusive");
+            std::process::exit(2);
+        }
+        ServeOptions {
+            queries_file,
+            seed_queries,
+            repeat: flag_usize(args, "--repeat").unwrap_or(1).max(1),
+            strategy,
+            max_features: flag_usize(args, "--max-features"),
+            top_k: flag_usize(args, "--top-k").unwrap_or(0),
+            threads: flag_usize(args, "--threads").unwrap_or(1).max(1),
+            json: args.iter().any(|a| a == "--json"),
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    reject_unknown_flags(&args);
+    let cli = CliOptions::from_vec(&args);
+    let serve = ServeOptions::from_args(&args);
+    let config = cli.config();
+
+    // World setup, paid once for the whole serving session. The open
+    // path regenerates the corpus anyway (staleness check, cache-miss
+    // indexing); keep it only when `--seed-queries` needs its query
+    // set — a plain long-lived server lets it drop.
+    let (world, seed_corpus) = if serve.seed_queries {
+        let (world, corpus) = ServingWorld::open_with_corpus(
+            &config,
+            cli.index_cache.as_deref(),
+            querygraph_retrieval::lm::LmParams::default(),
+        );
+        (world, Some(corpus))
+    } else {
+        (
+            ServingWorld::open(&config, cli.index_cache.as_deref()),
+            None,
+        )
+    };
+    eprintln!(
+        "# qgx: {} articles, index {} (world {:.3}s, build {:.3}s, load {:.3}s); \
+         strategy {}, top-k {}",
+        world.wiki.kb.num_articles(),
+        world.stats.index_source.name(),
+        world.stats.world_seconds,
+        world.stats.index_build_seconds,
+        world.stats.index_load_seconds,
+        serve.strategy.name(),
+        serve.top_k,
+    );
+    let mut builder = QueryExpander::builder().strategy(serve.strategy.clone());
+    if let Some(max) = serve.max_features {
+        builder = builder.max_features(max);
+    }
+    if serve.top_k > 0 {
+        builder = builder.retrieve_top(serve.top_k);
+    }
+    let expander = world.expander_from(&builder);
+
+    let mut latencies_us: Vec<f64> = Vec::new();
+    let mut served = 0usize;
+    let mut failures = 0usize;
+    // Size of one repetition of the served workload (for the record's
+    // `num_queries`); stdin mode counts as it goes.
+    let workload_queries;
+    let fixed_workload = serve.seed_queries || serve.queries_file.is_some();
+    if !fixed_workload && (serve.threads > 1 || serve.repeat > 1) {
+        eprintln!("# qgx: --threads/--repeat apply to --queries/--seed-queries workloads only");
+    }
+    let t_serve = Instant::now();
+
+    if fixed_workload {
+        // Fixed workload: file or the tier's generated query set,
+        // optionally repeated and optionally batched across threads.
+        let workload: Vec<String> = if let Some(corpus) = &seed_corpus {
+            corpus
+                .queries
+                .queries
+                .iter()
+                .map(|q| q.keywords.clone())
+                .collect()
+        } else {
+            let path = serve.queries_file.as_deref().expect("checked above");
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("error: cannot read {path}: {e}");
+                std::process::exit(2);
+            });
+            text.lines()
+                .map(str::trim)
+                .filter(|l| !l.is_empty() && !l.starts_with('#'))
+                .map(str::to_string)
+                .collect()
+        };
+        if workload.is_empty() {
+            eprintln!("error: empty workload");
+            std::process::exit(2);
+        }
+        workload_queries = workload.len();
+        let requests: Vec<ExpansionRequest> = workload
+            .iter()
+            .map(|text| ExpansionRequest::new(text.clone()))
+            .collect();
+        for _ in 0..serve.repeat {
+            // The same deterministic work-stealing runner `expand_batch`
+            // uses (inline on this thread at --threads 1), timing each
+            // request inside its worker — the archived percentiles are
+            // real per-request service times, while QPS reflects the
+            // parallel wall clock.
+            let timed =
+                querygraph_core::pipeline::parallel_map(requests.len(), serve.threads, |i| {
+                    let t = Instant::now();
+                    let response = expander.expand(&requests[i]);
+                    (t.elapsed().as_secs_f64() * 1e6, response)
+                });
+            for (request, (micros, response)) in requests.iter().zip(timed) {
+                latencies_us.push(micros);
+                report(
+                    &request.text,
+                    &response,
+                    serve.json,
+                    &mut served,
+                    &mut failures,
+                );
+            }
+        }
+    } else {
+        // The long-lived loop: serve stdin until EOF.
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = line.unwrap_or_else(|e| {
+                eprintln!("error: stdin: {e}");
+                std::process::exit(2);
+            });
+            let text = line.trim();
+            if text.is_empty() || text.starts_with('#') {
+                continue;
+            }
+            let request = ExpansionRequest::new(text);
+            let t = Instant::now();
+            let response = expander.expand(&request);
+            latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
+            report(text, &response, serve.json, &mut served, &mut failures);
+            let _ = std::io::stdout().flush();
+        }
+        workload_queries = served + failures;
+    }
+
+    let total_seconds = t_serve.elapsed().as_secs_f64();
+    let answered = served + failures;
+    let latency = LatencySummary::of(&latencies_us);
+    let qps = answered as f64 / total_seconds.max(1e-9);
+    eprintln!(
+        "# served {answered} queries ({failures} typed errors) in {total_seconds:.3}s \
+         — {qps:.0} q/s; {}",
+        latency.render()
+    );
+
+    if let Some(path) = &cli.bench_out {
+        // The record attributes measurements to what actually ran:
+        // stdin mode is strictly sequential-once whatever the flags
+        // said, and `parallel_map` caps workers at the workload size.
+        let (effective_threads, effective_repeat) = if fixed_workload {
+            (serve.threads.min(workload_queries.max(1)), serve.repeat)
+        } else {
+            (1, 1)
+        };
+        let record = ServeRecord::new(
+            &config,
+            &world.stats,
+            workload_queries,
+            ServeSummary {
+                strategy: serve.strategy.name().to_string(),
+                queries_served: served,
+                failures,
+                repeat: effective_repeat,
+                top_k: serve.top_k,
+                threads: effective_threads,
+                total_seconds,
+                qps,
+                latency,
+            },
+        );
+        let json = serde_json::to_string_pretty(&record).expect("serve record serializes");
+        std::fs::write(path, json).expect("write serve record");
+        eprintln!("# wrote {path}");
+    }
+}
+
+/// Print one served response (or typed error) and bump the counters.
+fn report(
+    text: &str,
+    response: &Result<ExpansionResponse, ServiceError>,
+    json: bool,
+    served: &mut usize,
+    failures: &mut usize,
+) {
+    match response {
+        Ok(r) => {
+            *served += 1;
+            if json {
+                println!("{}", serde_json::to_string(r).expect("response serializes"));
+            } else {
+                let titles = |terms: &[querygraph_core::service::ExpansionTerm]| {
+                    terms
+                        .iter()
+                        .map(|t| t.title.clone())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                };
+                let hits = if r.hits.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        "  hits=[{}]",
+                        r.hits
+                            .iter()
+                            .map(|h| h.doc.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                };
+                println!(
+                    "{:?}  entities=[{}]  features=[{}]{hits}",
+                    r.query,
+                    titles(&r.entities),
+                    titles(&r.features),
+                );
+            }
+        }
+        Err(e) => {
+            *failures += 1;
+            if json {
+                // Both fields go through the serializer — `{:?}` is
+                // Rust escaping, not JSON, and the error's Display can
+                // embed quotes.
+                println!(
+                    "{{\"query\":{},\"error\":{}}}",
+                    serde_json::to_string(&text.to_string()).expect("string serializes"),
+                    serde_json::to_string(&e.to_string()).expect("string serializes"),
+                );
+            } else {
+                println!("{text:?}  error: {e}");
+            }
+        }
+    }
+}

@@ -4,6 +4,8 @@
 //! ```text
 //! cargo run --release -p querygraph-bench --bin repro_bench_diff -- \
 //!     <baseline.json> <candidate.json> [--fail-over <pct>] [--markdown]
+//! cargo run --release -p querygraph-bench --bin repro_bench_diff -- \
+//!     --history <record.json>...
 //! ```
 //!
 //! Prints absolute and percent deltas per stage plus `build_seconds`
@@ -11,13 +13,20 @@
 //! the candidate's pipeline `wall_seconds` regressed by more than
 //! `<pct>` percent over the baseline — the CI job's failure condition.
 //! `--markdown` emits a GitHub-flavored table for `$GITHUB_STEP_SUMMARY`.
+//!
+//! With `--history`, every positional path is a committed bench record
+//! (`BENCH_seed.json`, `BENCH_stress.json`, `BENCH_serve.json`, …) and
+//! the output is one markdown table summarizing the whole trajectory —
+//! schema-tolerant, so pipeline-run and `qgx` serve records of any
+//! vintage share the table (missing fields render as dashes).
 
-use querygraph_bench::bench_diff::{diff_records, parse_record};
+use querygraph_bench::bench_diff::{diff_records, parse_record, render_history};
 
 fn usage() -> ! {
     eprintln!(
         "usage: repro_bench_diff <baseline.json> <candidate.json> \
-         [--fail-over <pct>] [--markdown]"
+         [--fail-over <pct>] [--markdown]\n\
+         \x20      repro_bench_diff --history <record.json>..."
     );
     std::process::exit(2);
 }
@@ -27,6 +36,7 @@ fn main() {
     let mut paths: Vec<&str> = Vec::new();
     let mut fail_over: Option<f64> = None;
     let mut markdown = false;
+    let mut history = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -35,13 +45,11 @@ fn main() {
                 _ => usage(),
             },
             "--markdown" => markdown = true,
+            "--history" => history = true,
             flag if flag.starts_with("--") => usage(),
             path => paths.push(path),
         }
     }
-    let [baseline_path, candidate_path] = paths.as_slice() else {
-        usage()
-    };
 
     let read = |path: &str| -> String {
         std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -54,6 +62,25 @@ fn main() {
             eprintln!("error: {path}: {e}");
             std::process::exit(2);
         })
+    };
+
+    if history {
+        // `--history` is a different mode, not a modifier: combining it
+        // with the two-record gate flags would silently skip the gate.
+        if paths.is_empty() || fail_over.is_some() || markdown {
+            usage();
+        }
+        let records: Vec<(String, _)> = paths
+            .iter()
+            .map(|path| (path.to_string(), parse(path)))
+            .collect();
+        println!("### Bench trajectory\n");
+        print!("{}", render_history(&records));
+        return;
+    }
+
+    let [baseline_path, candidate_path] = paths.as_slice() else {
+        usage()
     };
     let baseline = parse(baseline_path);
     let candidate = parse(candidate_path);

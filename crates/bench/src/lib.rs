@@ -80,6 +80,159 @@ impl BenchRecord {
     }
 }
 
+/// Latency distribution of one serving run, in microseconds.
+/// Percentiles use the nearest-rank method on the sorted samples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Median per-query latency.
+    pub p50_us: f64,
+    /// 90th-percentile latency.
+    pub p90_us: f64,
+    /// 99th-percentile latency (the tail a serving SLO watches).
+    pub p99_us: f64,
+    /// Worst observed latency.
+    pub max_us: f64,
+    /// Mean latency.
+    pub mean_us: f64,
+}
+
+impl LatencySummary {
+    /// Summarize raw per-query latencies (microseconds). Returns the
+    /// all-zero summary for an empty sample set.
+    pub fn of(samples: &[f64]) -> LatencySummary {
+        if samples.is_empty() {
+            return LatencySummary {
+                p50_us: 0.0,
+                p90_us: 0.0,
+                p99_us: 0.0,
+                max_us: 0.0,
+                mean_us: 0.0,
+            };
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+        let rank = |p: f64| -> f64 {
+            // Nearest rank: ceil(p/100 * n), 1-based.
+            let n = sorted.len();
+            let r = ((p / 100.0) * n as f64).ceil() as usize;
+            sorted[r.clamp(1, n) - 1]
+        };
+        LatencySummary {
+            p50_us: rank(50.0),
+            p90_us: rank(90.0),
+            p99_us: rank(99.0),
+            max_us: sorted[sorted.len() - 1],
+            mean_us: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        }
+    }
+
+    /// One-line human rendering.
+    pub fn render(&self) -> String {
+        format!(
+            "p50 {:.1}µs  p90 {:.1}µs  p99 {:.1}µs  max {:.1}µs  mean {:.1}µs",
+            self.p50_us, self.p90_us, self.p99_us, self.max_us, self.mean_us
+        )
+    }
+}
+
+/// The serving half of a [`ServeRecord`]: what the `qgx` loop measured.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeSummary {
+    /// Expansion strategy served (`cycles`, `direct-links`, …).
+    pub strategy: String,
+    /// Queries answered successfully.
+    pub queries_served: usize,
+    /// Requests that returned a typed error (unlinkable text etc.).
+    pub failures: usize,
+    /// Workload repetitions (`--repeat`).
+    pub repeat: usize,
+    /// Documents retrieved per query (0 = expansion only).
+    pub top_k: usize,
+    /// Worker threads (1 = the sequential serve loop).
+    pub threads: usize,
+    /// End-to-end seconds spent serving (excludes world/index setup).
+    pub total_seconds: f64,
+    /// Queries per second over `total_seconds` (errors included — they
+    /// are answered requests too).
+    pub qps: f64,
+    /// Per-query latency distribution.
+    pub latency: LatencySummary,
+}
+
+/// The bench record the `qgx` server archives (committed as
+/// `BENCH_serve.json` for the seed tier) — schema-compatible with
+/// [`BenchRecord`]: the shared identification and build-side fields
+/// keep their names and meaning, `repro_bench_diff` diffs the `serve`
+/// section tolerantly (records without one simply have no serve rows),
+/// and `--history` renders both kinds side by side.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServeRecord {
+    /// Record-format version (shared counter with [`BenchRecord`]).
+    pub schema: u32,
+    /// Record kind discriminator: always `"serve"` (run records have
+    /// no `kind` field and read as pipeline runs).
+    pub kind: String,
+    /// Queries in **one repetition of the actually served workload**
+    /// (a `--queries` file can be any size; the tier's configured
+    /// count is *not* assumed), so QPS/latency denominators are
+    /// interpretable from the record alone.
+    pub num_queries: usize,
+    /// Topics in the synthetic Wikipedia.
+    pub num_topics: usize,
+    /// Articles per topic (the stress dial).
+    pub articles_per_topic: usize,
+    /// Synthetic-Wikipedia seed.
+    pub wiki_seed: u64,
+    /// Synthetic-corpus seed.
+    pub corpus_seed: u64,
+    /// Total seconds to synthesize and index/load the world.
+    pub build_seconds: f64,
+    /// Seconds to synthesize the wiki (+ corpus when needed).
+    pub world_seconds: f64,
+    /// Seconds to tokenize + index the corpus (0 when loaded).
+    pub index_build_seconds: f64,
+    /// Seconds to write the index artifact (0 unless written).
+    pub index_write_seconds: f64,
+    /// Seconds to load the index artifact (0 unless loaded).
+    pub index_load_seconds: f64,
+    /// `"built"` or `"loaded"`.
+    pub index_source: String,
+    /// The serving measurements.
+    pub serve: ServeSummary,
+}
+
+impl ServeRecord {
+    /// Assemble a record from a finished serve loop.
+    /// `workload_queries` is the size of one repetition of the served
+    /// workload (file line count, seed query count, or stdin queries
+    /// answered).
+    pub fn new(
+        config: &ExperimentConfig,
+        build: &BuildStats,
+        workload_queries: usize,
+        serve: ServeSummary,
+    ) -> ServeRecord {
+        ServeRecord {
+            // Shares the BenchRecord schema counter: 3 introduced the
+            // build breakdown these fields mirror; `serve` is additive.
+            schema: 3,
+            kind: "serve".to_string(),
+            num_queries: workload_queries,
+            num_topics: config.wiki.num_topics,
+            articles_per_topic: config.wiki.articles_per_topic,
+            wiki_seed: config.wiki.seed,
+            corpus_seed: config.corpus.seed,
+            build_seconds: build.total_seconds(),
+            world_seconds: build.world_seconds,
+            index_build_seconds: build.index_build_seconds,
+            index_write_seconds: build.index_write_seconds,
+            index_load_seconds: build.index_load_seconds,
+            index_source: build.index_source.name().to_string(),
+            serve,
+        }
+    }
+}
+
 /// Build the paper-scale experiment and analyze all 50 queries using
 /// all available cores. Prints provenance (seeds, sizes, timing) to
 /// stderr so stdout stays clean table output.
@@ -219,6 +372,29 @@ pub struct CliOptions {
     pub bench_out: Option<String>,
 }
 
+/// The operand following `flag` in `args`, when the flag is present.
+/// Exits with a message when the flag is last (missing operand) — the
+/// shared behaviour of every repro/serve binary's CLI.
+pub fn flag_operand(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).map(|pos| {
+        args.get(pos + 1).cloned().unwrap_or_else(|| {
+            eprintln!("error: {flag} requires an operand");
+            std::process::exit(2);
+        })
+    })
+}
+
+/// [`flag_operand`] parsed as a number; exits with a message on a
+/// non-numeric operand.
+pub fn flag_usize(args: &[String], flag: &str) -> Option<usize> {
+    flag_operand(args, flag).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: {flag} operand must be a number, got {v:?}");
+            std::process::exit(2);
+        })
+    })
+}
+
 impl CliOptions {
     /// Parse `std::env::args`. Exits with a message on malformed flags
     /// (missing `--index-cache` / `--bench-out` operand).
@@ -230,14 +406,7 @@ impl CliOptions {
     /// Parse an explicit argument vector (testable).
     pub fn from_vec(args: &[String]) -> CliOptions {
         let has = |flag: &str| args.iter().any(|a| a == flag);
-        let operand = |flag: &'static str| {
-            args.iter().position(|a| a == flag).map(|pos| {
-                args.get(pos + 1).cloned().unwrap_or_else(|| {
-                    eprintln!("error: {flag} requires an operand");
-                    std::process::exit(2);
-                })
-            })
-        };
+        let operand = |flag: &'static str| flag_operand(args, flag);
         let tier = match (has("--stress"), has("--quick"), has("--tiny")) {
             (true, true, _) => Tier::StressQuick,
             (true, false, _) => Tier::Stress,
@@ -331,6 +500,58 @@ mod tests {
         let o = opts(&["--tiny", "--bench-out", "custom.json"]);
         assert_eq!(o.bench_path(), "custom.json");
         assert_eq!(o.bench_out.as_deref(), Some("custom.json"));
+    }
+
+    #[test]
+    fn latency_summary_percentiles_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let s = LatencySummary::of(&samples);
+        assert_eq!(s.p50_us, 50.0);
+        assert_eq!(s.p90_us, 90.0);
+        assert_eq!(s.p99_us, 99.0);
+        assert_eq!(s.max_us, 100.0);
+        assert!((s.mean_us - 50.5).abs() < 1e-12);
+        // Small sample: nearest rank clamps sanely.
+        let one = LatencySummary::of(&[7.0]);
+        assert_eq!((one.p50_us, one.p99_us, one.max_us), (7.0, 7.0, 7.0));
+        let empty = LatencySummary::of(&[]);
+        assert_eq!(empty.max_us, 0.0);
+        assert!(one.render().contains("p99 7.0µs"));
+    }
+
+    #[test]
+    fn serve_record_reports_actual_workload_size() {
+        use querygraph_core::cache::IndexSource;
+        let build = BuildStats {
+            world_seconds: 0.5,
+            index_build_seconds: 0.0,
+            index_write_seconds: 0.0,
+            index_load_seconds: 0.125,
+            index_source: IndexSource::Loaded,
+        };
+        let serve = ServeSummary {
+            strategy: "cycles".to_string(),
+            queries_served: 9,
+            failures: 1,
+            repeat: 2,
+            top_k: 5,
+            threads: 1,
+            total_seconds: 0.5,
+            qps: 20.0,
+            latency: LatencySummary::of(&[100.0, 200.0]),
+        };
+        // A 5-query file served twice: the record says 5, not the
+        // tier's configured count.
+        let record = ServeRecord::new(&tiny_config(), &build, 5, serve);
+        assert_eq!(record.num_queries, 5, "workload size, not the tier's count");
+        assert_eq!(record.kind, "serve");
+        assert_eq!(record.index_source, "loaded");
+        let json = serde_json::to_string(&record).expect("record serializes");
+        for field in ["\"kind\"", "\"serve\"", "p50_us", "qps", "strategy"] {
+            assert!(json.contains(field), "record missing {field}");
+        }
+        let back: ServeRecord = serde_json::from_str(&json).expect("record parses");
+        assert_eq!(back, record);
     }
 
     #[test]

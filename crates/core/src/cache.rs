@@ -24,12 +24,14 @@
 
 use crate::config::ExperimentConfig;
 use crate::experiment::Experiment;
+use crate::service::ServiceError;
 use querygraph_corpus::imageclef::linking_text;
-use querygraph_corpus::synth::generate_corpus;
+use querygraph_corpus::synth::{generate_corpus, SynthCorpus};
 use querygraph_retrieval::engine::SearchEngine;
 use querygraph_retrieval::index::IndexBuilder;
+use querygraph_retrieval::lm::LmParams;
 use querygraph_retrieval::ondisk;
-use querygraph_wiki::synth::generate;
+use querygraph_wiki::synth::{generate, SynthWiki};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -98,55 +100,80 @@ pub fn artifact_path(dir: &Path, config: &ExperimentConfig) -> PathBuf {
     dir.join(format!("index-{:016x}.qgidx", config_fingerprint(config)))
 }
 
-/// [`Experiment::build`] with an optional index cache directory.
+/// Strictly load the engine for `config` from the fingerprint-keyed
+/// artifact in `dir`: seeded phrase dictionary included, every failure
+/// a typed [`ServiceError`] (never a panic, never a silently wrong
+/// index). This is the loading half of both construction paths — the
+/// serving facade ([`crate::service::ServingWorld::load`]) surfaces the
+/// error; [`build_experiment`] treats it as a cache miss and rebuilds.
 ///
-/// With `cache_dir` set, a valid artifact for this configuration is
-/// loaded instead of re-indexing; otherwise the index is built, the
-/// phrase dictionary is warmed over every main-article title, and the
-/// artifact is written for the next run. Loaded and built experiments
-/// produce byte-identical `Report`s (pinned by the golden-fingerprint
-/// tests).
-pub fn build_experiment(
+/// With `corpus_docs` set, the loaded index must cover exactly that
+/// many documents — the cross-check that catches generator/tokenizer
+/// *code* drift the configuration fingerprint cannot see.
+pub fn load_engine(
+    config: &ExperimentConfig,
+    dir: &Path,
+    corpus_docs: Option<usize>,
+    lm: LmParams,
+) -> Result<SearchEngine, ServiceError> {
+    let path = artifact_path(dir, config);
+    if !path.exists() {
+        return Err(ServiceError::ArtifactMissing { path });
+    }
+    let loaded = ondisk::load_index(&path).map_err(|source| ServiceError::ArtifactLoad {
+        path: path.clone(),
+        source,
+    })?;
+    let fingerprint = config_fingerprint(config);
+    if loaded.meta_fingerprint != fingerprint {
+        return Err(ServiceError::ArtifactFingerprint {
+            path,
+            expected: fingerprint,
+            found: loaded.meta_fingerprint,
+        });
+    }
+    if let Some(docs) = corpus_docs {
+        if loaded.index.num_docs() != docs {
+            return Err(ServiceError::ArtifactStale {
+                path,
+                indexed_docs: loaded.index.num_docs(),
+                corpus_docs: docs,
+            });
+        }
+    }
+    let engine = SearchEngine::with_params(loaded.index, lm);
+    engine.seed_phrase_cache(loaded.phrases);
+    Ok(engine)
+}
+
+/// The single world-construction path behind [`Experiment::build`],
+/// [`Experiment::build_with_cache`] and
+/// [`crate::service::ServingWorld::open`]: synthesize the wiki and
+/// corpus, then load the index from the cache or build (and persist)
+/// it. Cache-backed and in-memory construction share every line except
+/// the load attempt, so they cannot drift.
+pub(crate) fn build_world(
     config: &ExperimentConfig,
     cache_dir: Option<&Path>,
-) -> (Experiment, BuildStats) {
+    lm: LmParams,
+) -> (SynthWiki, SynthCorpus, SearchEngine, BuildStats) {
     let t0 = Instant::now();
     let wiki = generate(&config.wiki);
     let corpus = generate_corpus(&wiki, &config.corpus);
     let world_seconds = t0.elapsed().as_secs_f64();
-    let fingerprint = config_fingerprint(config);
 
     if let Some(dir) = cache_dir {
-        let path = artifact_path(dir, config);
         let t = Instant::now();
-        // A missing artifact is the normal cold-cache case and stays
-        // silent; every *other* failure below (unreadable file,
-        // corruption, old version, foreign fingerprint) is reported —
-        // a cache that never hits should not be invisible.
-        match path.exists().then(|| ondisk::load_index(&path)) {
-            None => {}
-            // The fingerprint covers the *configurations*; it cannot
-            // see generator or tokenizer code changes in a new binary.
-            // Cross-checking the loaded index against the corpus we
-            // just regenerated catches that staleness cheaply: a
-            // generator change that alters the document set shifts the
-            // doc count with overwhelming likelihood, and anything
-            // subtler is caught by the golden-fingerprint tests the
-            // moment results would change.
-            Some(Ok(loaded))
-                if loaded.meta_fingerprint == fingerprint
-                    && loaded.index.num_docs() != corpus.corpus.len() =>
-            {
-                eprintln!(
-                    "# index cache {}: stale ({} docs indexed, corpus has {}) — rebuilding",
-                    path.display(),
-                    loaded.index.num_docs(),
-                    corpus.corpus.len()
-                );
-            }
-            Some(Ok(loaded)) if loaded.meta_fingerprint == fingerprint => {
-                let engine = SearchEngine::new(loaded.index);
-                engine.seed_phrase_cache(loaded.phrases);
+        // The doc-count cross-check matters here: the fingerprint
+        // covers the *configurations* and cannot see generator or
+        // tokenizer code changes in a new binary. Cross-checking the
+        // loaded index against the corpus we just regenerated catches
+        // that staleness cheaply — a generator change that alters the
+        // document set shifts the doc count with overwhelming
+        // likelihood, and anything subtler is caught by the
+        // golden-fingerprint tests the moment results would change.
+        match load_engine(config, dir, Some(corpus.corpus.len()), lm) {
+            Ok(engine) => {
                 let stats = BuildStats {
                     world_seconds,
                     index_build_seconds: 0.0,
@@ -154,23 +181,15 @@ pub fn build_experiment(
                     index_load_seconds: t.elapsed().as_secs_f64(),
                     index_source: IndexSource::Loaded,
                 };
-                let experiment = Experiment {
-                    wiki,
-                    corpus,
-                    engine,
-                    config: config.clone(),
-                };
-                return (experiment, stats);
+                return (wiki, corpus, engine, stats);
             }
-            Some(Ok(loaded)) => eprintln!(
-                "# index cache {}: {} — rebuilding",
-                path.display(),
-                querygraph_retrieval::OndiskError::MetaMismatch {
-                    expected: fingerprint,
-                    found: loaded.meta_fingerprint,
-                }
-            ),
-            Some(Err(e)) => eprintln!("# index cache {}: {e} — rebuilding", path.display()),
+            // A missing artifact is the normal cold-cache case and
+            // stays silent; every *other* failure (unreadable file,
+            // corruption, old version, foreign fingerprint, stale doc
+            // count) is reported — a cache that never hits should not
+            // be invisible.
+            Err(ServiceError::ArtifactMissing { .. }) => {}
+            Err(e) => eprintln!("# index cache: {e} — rebuilding"),
         }
     }
 
@@ -179,7 +198,7 @@ pub fn build_experiment(
     for (_, doc) in corpus.corpus.iter() {
         ib.add_document(&linking_text(doc));
     }
-    let engine = SearchEngine::new(ib.build());
+    let engine = SearchEngine::with_params(ib.build(), lm);
     if cache_dir.is_some() {
         // Warm the phrase dictionary with every main-article title —
         // the phrases the §2.2 hill climb evaluates — so the artifact
@@ -204,7 +223,7 @@ pub fn build_experiment(
                 &path,
                 engine.index(),
                 &engine.export_phrase_cache(),
-                fingerprint,
+                config_fingerprint(config),
             )
         });
         if let Err(e) = written {
@@ -221,6 +240,22 @@ pub fn build_experiment(
         index_load_seconds: 0.0,
         index_source: IndexSource::Built,
     };
+    (wiki, corpus, engine, stats)
+}
+
+/// [`Experiment::build`] with an optional index cache directory.
+///
+/// With `cache_dir` set, a valid artifact for this configuration is
+/// loaded instead of re-indexing; otherwise the index is built, the
+/// phrase dictionary is warmed over every main-article title, and the
+/// artifact is written for the next run. Loaded and built experiments
+/// produce byte-identical `Report`s (pinned by the golden-fingerprint
+/// tests).
+pub fn build_experiment(
+    config: &ExperimentConfig,
+    cache_dir: Option<&Path>,
+) -> (Experiment, BuildStats) {
+    let (wiki, corpus, engine, stats) = build_world(config, cache_dir, LmParams::default());
     let experiment = Experiment {
         wiki,
         corpus,

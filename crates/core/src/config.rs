@@ -7,7 +7,7 @@ use querygraph_wiki::synth::SynthWikiConfig;
 use serde::{Deserialize, Serialize};
 
 /// Everything a reproduction run needs. Serializable so runs can be
-/// archived next to their results (DESIGN.md §7).
+/// archived next to their results (DESIGN.md §8).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
     /// Synthetic-Wikipedia parameters.

@@ -4,7 +4,7 @@
 //! The paper is an analysis, but its conclusion prescribes a technique:
 //! *"dense cycles, in which the ratio of categories stands around the
 //! 30 %, are specially useful to identify new expansion features. Among
-//! [them], small cycles help to describe better the user needs … while
+//! \[them\], small cycles help to describe better the user needs … while
 //! larger cycles introduce expansion features that widen the search
 //! space"*. [`CycleExpander`] implements exactly that prescription;
 //! [`DirectLinkExpander`] is the link-neighbourhood baseline of the

@@ -97,6 +97,11 @@ pub const TABLE4_CONFIGS: [(&str, &[usize]); 7] = [
 
 impl Experiment {
     /// Generate the world and index it.
+    ///
+    /// Cache-backed and in-memory construction share one internal
+    /// constructor path (`cache::build_world`), so the two can never
+    /// drift: this is exactly [`Experiment::build_with_cache`] with no
+    /// cache directory.
     pub fn build(config: &ExperimentConfig) -> Experiment {
         Self::build_with_cache(config, None).0
     }
@@ -111,6 +116,13 @@ impl Experiment {
         cache_dir: Option<&std::path::Path>,
     ) -> (Experiment, crate::cache::BuildStats) {
         crate::cache::build_experiment(config, cache_dir)
+    }
+
+    /// A serving facade ([`crate::service::QueryExpander`]) over this
+    /// experiment's world, with default knobs. Builds the entity
+    /// linker; construct once and reuse.
+    pub fn expander(&self) -> crate::service::QueryExpander<'_> {
+        crate::service::QueryExpander::new(&self.wiki.kb, &self.engine)
     }
 
     /// Analyze every query sequentially.

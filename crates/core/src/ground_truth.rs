@@ -205,7 +205,7 @@ impl<'a> QualityEvaluator<'a> {
         self.quality_of(set, None, Some(extra))
     }
 
-    /// O(set \ set[index], D): quality with one position dropped — the
+    /// O(set \ set\[index\], D): quality with one position dropped — the
     /// climb's REMOVE neighbor.
     pub fn without_article(&self, set: &[ArticleId], index: usize) -> f64 {
         self.quality_of(set, Some((index, None)), None)

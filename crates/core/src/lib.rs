@@ -29,6 +29,12 @@
 //!   once, persist it via `querygraph_retrieval::ondisk`, and reload it
 //!   zero-copy on later runs (fingerprint-keyed; corruption falls back
 //!   to rebuilding).
+//! * [`service`] — the serving facade: [`service::QueryExpander`]
+//!   answers ad-hoc per-query expansion requests (entity linking →
+//!   cycle-based expansion → optional retrieval) over a world built
+//!   once — directly from a cached on-disk index if available — with
+//!   typed errors and a deterministic batch entrypoint. The
+//!   reproduction pipeline is itself a consumer of this facade.
 //!
 //! ```
 //! use querygraph_core::experiment::{Experiment, ExperimentConfig};
@@ -50,9 +56,14 @@ pub mod experiment;
 pub mod ground_truth;
 pub mod pipeline;
 pub mod query_graph;
+pub mod service;
 pub mod tables;
 
 pub use cache::{BuildStats, IndexSource};
 pub use experiment::{Experiment, ExperimentConfig, Report};
 pub use pipeline::{PipelineCtx, RunSummary, Stage, StageTimings};
 pub use query_graph::QueryGraph;
+pub use service::{
+    ExpansionRequest, ExpansionResponse, ExpansionStrategy, QueryExpander, QueryExpanderBuilder,
+    ServiceError, ServingWorld,
+};

@@ -12,13 +12,18 @@
 //!   phrase cache is interior-mutable behind a lock but only memoizes).
 //! * [`analyze_timed`](PipelineCtx::analyze_timed) — the paper's §2–§3
 //!   per-query pipeline, instrumented per [`Stage`].
-//! * [`run_queries`] — distributes queries over `std::thread::scope`
-//!   workers with chunked work stealing. Output is **deterministic**:
-//!   each analysis depends only on the read-only context and its query
-//!   index, and results are reassembled in query order, so the `Report`
-//!   is byte-identical to a sequential run no matter how the steal
-//!   schedule interleaves (the experiment tests assert this via
-//!   `serde_json`).
+//! * [`parallel_map`] — the deterministic work-stealing runner itself,
+//!   generalized: map `0..n` through a pure function over
+//!   `std::thread::scope` workers with chunked work stealing, results
+//!   reassembled in index order. [`run_queries`] and the serving
+//!   facade's [`crate::service::QueryExpander::expand_batch`] are both
+//!   clients.
+//! * [`run_queries`] — distributes queries over [`parallel_map`].
+//!   Output is **deterministic**: each analysis depends only on the
+//!   read-only context and its query index, and results are
+//!   reassembled in query order, so the `Report` is byte-identical to
+//!   a sequential run no matter how the steal schedule interleaves
+//!   (the experiment tests assert this via `serde_json`).
 //! * [`RunSummary`] — the machine-readable timing record (wall clock +
 //!   per-stage CPU seconds) that `repro_all` serializes to
 //!   `BENCH_seed.json`, giving future PRs a perf trajectory. Timings
@@ -30,6 +35,7 @@ use crate::cycle_analysis::{article_frequency_correlation, enumerate_cycles, fil
 use crate::experiment::{Experiment, QueryAnalysis, TABLE4_CONFIGS};
 use crate::ground_truth::{find_ground_truth, QualityEvaluator};
 use crate::query_graph::assemble;
+use crate::service::QueryExpander;
 use querygraph_corpus::imageclef::linking_text;
 use querygraph_corpus::synth::SynthCorpus;
 use querygraph_link::EntityLinker;
@@ -123,6 +129,11 @@ impl StageTimings {
 }
 
 /// The read-only world shared by every pipeline worker.
+///
+/// The reproduction pipeline is a consumer of the serving facade: the
+/// entity linker lives inside a [`QueryExpander`], so the same
+/// amortized state (linker dictionary, engine, knowledge base) serves
+/// both ad-hoc queries and the batch experiment.
 pub struct PipelineCtx<'a> {
     /// Run configuration.
     pub config: &'a ExperimentConfig,
@@ -132,20 +143,27 @@ pub struct PipelineCtx<'a> {
     pub engine: &'a SearchEngine,
     /// The knowledge base the query graphs are induced from.
     pub kb: &'a KnowledgeBase,
-    /// Entity linker over the knowledge base's titles (built once).
-    pub linker: EntityLinker<'a>,
+    /// The serving facade over the same world (entity linker built
+    /// once at construction).
+    pub expander: QueryExpander<'a>,
 }
 
 impl<'a> PipelineCtx<'a> {
-    /// Borrow the experiment's world and build the entity linker.
+    /// Borrow the experiment's world and build the serving facade
+    /// (including the entity linker's title dictionary).
     pub fn new(experiment: &'a Experiment) -> PipelineCtx<'a> {
         PipelineCtx {
             config: &experiment.config,
             corpus: &experiment.corpus,
             engine: &experiment.engine,
             kb: &experiment.wiki.kb,
-            linker: EntityLinker::new(&experiment.wiki.kb),
+            expander: QueryExpander::new(&experiment.wiki.kb, &experiment.engine),
         }
+    }
+
+    /// The entity linker (owned by the serving facade).
+    pub fn linker(&self) -> &EntityLinker<'a> {
+        self.expander.linker()
     }
 
     /// Analyze query `qi` (untimed convenience).
@@ -160,7 +178,7 @@ impl<'a> PipelineCtx<'a> {
             self.corpus,
             self.engine,
             self.kb,
-            &self.linker,
+            self.expander.linker(),
             qi,
         )
     }
@@ -284,66 +302,75 @@ impl RunSummary {
 pub fn run_queries(ctx: &PipelineCtx<'_>, threads: usize) -> (Vec<QueryAnalysis>, RunSummary) {
     let n = ctx.corpus.queries.len();
     let start = Instant::now();
-    if threads <= 1 {
-        let mut totals = StageTimings::default();
-        let per_query: Vec<QueryAnalysis> = (0..n)
-            .map(|qi| {
-                let (analysis, timings) = ctx.analyze_timed(qi);
-                totals.accumulate(&timings);
-                analysis
-            })
-            .collect();
-        let summary = RunSummary::new(
-            "sequential",
-            1,
-            start.elapsed().as_secs_f64(),
-            &totals,
-            &per_query,
-        );
-        return (per_query, summary);
-    }
-
-    let workers = threads.min(n.max(1));
-    let queue = StealQueue::new(n, workers);
-    let mut slots: Vec<Option<QueryAnalysis>> = (0..n).map(|_| None).collect();
+    let (mode, workers) = if threads <= 1 {
+        ("sequential", 1)
+    } else {
+        ("work_stealing", threads.min(n.max(1)))
+    };
+    let results = parallel_map(n, workers, |qi| ctx.analyze_timed(qi));
     let mut totals = StageTimings::default();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let queue = &queue;
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    let mut worker_totals = StageTimings::default();
-                    while let Some(qi) = queue.claim(w) {
-                        let (analysis, timings) = ctx.analyze_timed(qi);
-                        worker_totals.accumulate(&timings);
-                        local.push((qi, analysis));
-                    }
-                    (local, worker_totals)
-                })
-            })
-            .collect();
-        for handle in handles {
-            let (local, worker_totals) = handle.join().expect("pipeline worker panicked");
-            totals.accumulate(&worker_totals);
-            for (qi, analysis) in local {
-                debug_assert!(slots[qi].is_none(), "query {qi} claimed twice");
-                slots[qi] = Some(analysis);
-            }
-        }
-    });
-    let per_query: Vec<QueryAnalysis> = slots
+    let per_query: Vec<QueryAnalysis> = results
         .into_iter()
-        .map(|slot| slot.expect("every query analyzed exactly once"))
+        .map(|(analysis, timings)| {
+            totals.accumulate(&timings);
+            analysis
+        })
         .collect();
     let summary = RunSummary::new(
-        "work_stealing",
+        mode,
         workers,
         start.elapsed().as_secs_f64(),
         &totals,
         &per_query,
     );
     (per_query, summary)
+}
+
+/// Map `0..n` through `f` across `threads` scoped workers with chunked
+/// work stealing, reassembling results in index order.
+///
+/// This is the execution engine under [`run_queries`] and
+/// [`crate::service::QueryExpander::expand_batch`]. Output is
+/// **deterministic** for pure `f`: the steal schedule only decides
+/// *who* computes an index, never *what* is computed, and slot `i`
+/// always receives `f(i)`. `threads <= 1` runs inline on the calling
+/// thread (no spawn overhead); workers are capped at `n`.
+pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.max(1).min(n.max(1));
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let queue = StealQueue::new(n, workers);
+    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                let queue = &queue;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    while let Some(i) = queue.claim(w) {
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, value) in handle.join().expect("parallel_map worker panicked") {
+                debug_assert!(slots[i].is_none(), "index {i} claimed twice");
+                slots[i] = Some(value);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index mapped exactly once"))
+        .collect()
 }
 
 /// Chunked work-stealing index queue over `0..n`.

@@ -1,0 +1,897 @@
+//! The serving facade: per-query expansion as an online API.
+//!
+//! The paper's deliverable is an *online* technique — expand one
+//! incoming query via the cycle structure of its Wikipedia subgraph —
+//! but the reproduction pipeline ([`crate::experiment`]) only exposes
+//! it through the batch `Experiment::run()` loop that rebuilds ground
+//! truths and aggregates every table per call. This module is the
+//! serving-time entrypoint that amortizes the expensive state (index,
+//! knowledge base, entity-linker dictionary) once and answers ad-hoc
+//! queries end to end:
+//!
+//! * [`QueryExpander`] — built once from a knowledge base and a
+//!   [`SearchEngine`]; answers [`ExpansionRequest`]s (entity linking →
+//!   expansion features → INDRI query → optional retrieval) through
+//!   [`ExpansionResponse`]s. Every failure on the serving path is a
+//!   typed [`ServiceError`], never a panic.
+//! * [`QueryExpanderBuilder`] — the knobs: expansion strategy
+//!   ([`ExpansionStrategy`]), language-model smoothing, linker synonym
+//!   pass, feature caps, default retrieval depth.
+//! * [`QueryExpander::expand_batch`] — many requests over the same
+//!   deterministic work-stealing runner the reproduction pipeline uses
+//!   ([`crate::pipeline::parallel_map`]); output order always matches
+//!   input order.
+//! * [`ServingWorld`] — the owned world a long-lived server holds:
+//!   synthesized knowledge base + engine, loaded either strictly from a
+//!   PR-3 on-disk artifact ([`ServingWorld::load`], typed errors) or
+//!   leniently with build-and-persist fallback ([`ServingWorld::open`]).
+//!
+//! The reproduction pipeline itself consumes this facade — its
+//! [`crate::pipeline::PipelineCtx`] holds a [`QueryExpander`] — so the
+//! batch experiment is one client of the serving API rather than the
+//! only entrypoint.
+//!
+//! ```
+//! use querygraph_core::config::ExperimentConfig;
+//! use querygraph_core::service::{ExpansionRequest, ServingWorld};
+//!
+//! // Build (or load) the world once; serve many queries.
+//! let world = ServingWorld::open(&ExperimentConfig::tiny(), None);
+//! let expander = world.expander();
+//! let query = world.wiki.kb.title(world.wiki.kb.main_articles().next().unwrap());
+//! let response = expander.expand(&ExpansionRequest::new(query)).unwrap();
+//! assert!(!response.entities.is_empty());
+//! assert!(response.expanded_query.starts_with("#combine("));
+//! ```
+
+use crate::cache;
+use crate::config::ExperimentConfig;
+use crate::expansion::{
+    expanded_titles, CycleExpander, CycleExpanderConfig, DirectLinkExpander, Expander,
+    RedirectExpander,
+};
+use crate::pipeline::parallel_map;
+use querygraph_link::EntityLinker;
+use querygraph_retrieval::engine::SearchEngine;
+use querygraph_retrieval::lm::LmParams;
+use querygraph_retrieval::ondisk::OndiskError;
+use querygraph_retrieval::query_lang::QueryNode;
+use querygraph_wiki::synth::{generate, SynthWiki};
+use querygraph_wiki::{ArticleId, KnowledgeBase};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Typed failure on the serving path. Everything reachable from
+/// [`ServingWorld::load`] and [`QueryExpander::expand`] surfaces as one
+/// of these — the serving path never panics on bad input or a bad
+/// artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The request text is empty (or whitespace-only).
+    EmptyQuery,
+    /// Entity linking found no article mention in the query text, so
+    /// there is nothing to expand (§2.1: expansion starts from L(q.k)).
+    NoLinkedEntities {
+        /// The query text as served.
+        query: String,
+    },
+    /// Retrieval was requested but the expander was built without a
+    /// search engine ([`QueryExpanderBuilder::build_offline`]).
+    NoEngine,
+    /// No artifact exists at the expected cache path (cold cache).
+    ArtifactMissing {
+        /// The fingerprint-keyed path that was probed.
+        path: PathBuf,
+    },
+    /// The artifact exists but failed to load (corruption, truncation,
+    /// version skew — see the wrapped [`OndiskError`]).
+    ArtifactLoad {
+        /// The artifact path.
+        path: PathBuf,
+        /// The loader's typed failure.
+        source: OndiskError,
+    },
+    /// The artifact loaded but was written for a different world
+    /// configuration (embedded fingerprint mismatch, e.g. a renamed
+    /// file).
+    ArtifactFingerprint {
+        /// The artifact path.
+        path: PathBuf,
+        /// Fingerprint of the requested configuration.
+        expected: u64,
+        /// Fingerprint recorded in the artifact header.
+        found: u64,
+    },
+    /// The artifact matches the configuration fingerprint but indexes a
+    /// different number of documents than the regenerated corpus —
+    /// generator or tokenizer code drifted since it was written.
+    ArtifactStale {
+        /// The artifact path.
+        path: PathBuf,
+        /// Documents in the loaded index.
+        indexed_docs: usize,
+        /// Documents in the regenerated corpus.
+        corpus_docs: usize,
+    },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::EmptyQuery => write!(f, "empty query"),
+            ServiceError::NoLinkedEntities { query } => {
+                write!(f, "no article mention links in query {query:?}")
+            }
+            ServiceError::NoEngine => {
+                write!(f, "retrieval requested but expander has no search engine")
+            }
+            ServiceError::ArtifactMissing { path } => {
+                write!(f, "no index artifact at {}", path.display())
+            }
+            ServiceError::ArtifactLoad { path, source } => {
+                write!(f, "index artifact {}: {source}", path.display())
+            }
+            ServiceError::ArtifactFingerprint {
+                path,
+                expected,
+                found,
+            } => write!(
+                f,
+                "index artifact {}: written for configuration {found:#018x}, \
+                 expected {expected:#018x}",
+                path.display()
+            ),
+            ServiceError::ArtifactStale {
+                path,
+                indexed_docs,
+                corpus_docs,
+            } => write!(
+                f,
+                "index artifact {}: stale ({indexed_docs} docs indexed, corpus has \
+                 {corpus_docs})",
+                path.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::ArtifactLoad { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Which expansion engine ([`crate::expansion`]) serves the features.
+///
+/// (Not serde-derivable under the offline shim — data-carrying enum
+/// variants are unsupported there; the CLI surface uses
+/// [`ExpansionStrategy::parse`] instead.)
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExpansionStrategy {
+    /// No expansion: the response carries the linked entities only.
+    None,
+    /// Link-neighbourhood baseline of the related work.
+    DirectLinks {
+        /// Maximum number of features returned.
+        max_features: usize,
+    },
+    /// §4 future-work variant: redirect titles as features.
+    Redirects {
+        /// Maximum number of features returned.
+        max_features: usize,
+    },
+    /// The paper's prescription: dense cycles with ≈30 % categories.
+    Cycles(CycleExpanderConfig),
+}
+
+impl Default for ExpansionStrategy {
+    fn default() -> Self {
+        ExpansionStrategy::Cycles(CycleExpanderConfig::default())
+    }
+}
+
+impl ExpansionStrategy {
+    /// Short name for logs and bench records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExpansionStrategy::None => "none",
+            ExpansionStrategy::DirectLinks { .. } => "direct-links",
+            ExpansionStrategy::Redirects { .. } => "redirects",
+            ExpansionStrategy::Cycles(_) => "cycles",
+        }
+    }
+
+    /// Parse a CLI strategy name (`cycles`, `links`, `redirects`,
+    /// `none`). Non-cycle strategies default to 10 features.
+    pub fn parse(name: &str) -> Option<ExpansionStrategy> {
+        match name {
+            "none" => Some(ExpansionStrategy::None),
+            "links" | "direct-links" => Some(ExpansionStrategy::DirectLinks { max_features: 10 }),
+            "redirects" => Some(ExpansionStrategy::Redirects { max_features: 10 }),
+            "cycles" => Some(ExpansionStrategy::Cycles(CycleExpanderConfig::default())),
+            _ => None,
+        }
+    }
+
+    /// Run the selected engine.
+    fn features(&self, kb: &KnowledgeBase, query_articles: &[ArticleId]) -> Vec<ArticleId> {
+        match self {
+            ExpansionStrategy::None => Vec::new(),
+            ExpansionStrategy::DirectLinks { max_features } => DirectLinkExpander {
+                max_features: *max_features,
+            }
+            .expand(kb, query_articles),
+            ExpansionStrategy::Redirects { max_features } => RedirectExpander {
+                max_features: *max_features,
+            }
+            .expand(kb, query_articles),
+            ExpansionStrategy::Cycles(config) => CycleExpander {
+                config: config.clone(),
+            }
+            .expand(kb, query_articles),
+        }
+    }
+}
+
+/// One ad-hoc expansion request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpansionRequest {
+    /// The free-text query (the paper's `q.k`).
+    pub text: String,
+    /// Cap on returned features; combined with the builder's cap the
+    /// *lower* bound wins (a request can tighten the server's cap,
+    /// never raise it). `None` uses the builder's cap alone, which
+    /// itself defaults to the strategy's own limit.
+    pub max_features: Option<usize>,
+    /// Retrieve this many documents with the expanded query; `None`
+    /// falls back to the builder's default (off unless configured).
+    pub top_k: Option<usize>,
+}
+
+impl ExpansionRequest {
+    /// Request with the builder's defaults for every knob.
+    pub fn new(text: impl Into<String>) -> ExpansionRequest {
+        ExpansionRequest {
+            text: text.into(),
+            max_features: None,
+            top_k: None,
+        }
+    }
+
+    /// Cap the number of expansion features for this request.
+    pub fn with_max_features(mut self, max: usize) -> ExpansionRequest {
+        self.max_features = Some(max);
+        self
+    }
+
+    /// Also retrieve the top `k` documents with the expanded query.
+    pub fn with_retrieval(mut self, k: usize) -> ExpansionRequest {
+        self.top_k = Some(k);
+        self
+    }
+}
+
+/// One resolved article in a response: id plus its (main) title.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpansionTerm {
+    /// The article.
+    pub article: ArticleId,
+    /// Its title — the text actually added to the expanded query.
+    pub title: String,
+}
+
+/// One retrieved document (mirrors
+/// [`querygraph_retrieval::SearchHit`], serializable).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RetrievedDoc {
+    /// Document id.
+    pub doc: u32,
+    /// Query-likelihood score (log domain, higher is better).
+    pub score: f64,
+}
+
+/// The served expansion for one request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpansionResponse {
+    /// The query text as served (trimmed).
+    pub query: String,
+    /// L(q.k): the entities linked from the query text.
+    pub entities: Vec<ExpansionTerm>,
+    /// The expansion features, in rank order.
+    pub features: Vec<ExpansionTerm>,
+    /// The INDRI query over entity + feature titles (`#combine` of
+    /// exact `#1` phrases — what the paper feeds the engine).
+    pub expanded_query: String,
+    /// Retrieval results (empty unless the request asked for them).
+    pub hits: Vec<RetrievedDoc>,
+}
+
+impl ExpansionResponse {
+    /// The feature titles, in rank order.
+    pub fn feature_titles(&self) -> Vec<&str> {
+        self.features.iter().map(|t| t.title.as_str()).collect()
+    }
+}
+
+/// Knobs for a [`QueryExpander`]: expansion strategy, linker behaviour,
+/// feature caps, retrieval defaults, and — on the loading constructors —
+/// language-model smoothing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryExpanderBuilder {
+    strategy: ExpansionStrategy,
+    use_synonyms: bool,
+    max_features: Option<usize>,
+    default_top_k: Option<usize>,
+    lm: LmParams,
+}
+
+impl Default for QueryExpanderBuilder {
+    fn default() -> Self {
+        QueryExpanderBuilder {
+            strategy: ExpansionStrategy::default(),
+            use_synonyms: true,
+            max_features: None,
+            default_top_k: None,
+            lm: LmParams::default(),
+        }
+    }
+}
+
+impl QueryExpanderBuilder {
+    /// Select the expansion strategy (default: the paper's cycle-based
+    /// expander).
+    pub fn strategy(mut self, strategy: ExpansionStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Enable or disable the linker's synonym pass (default: on, the
+    /// paper's behaviour).
+    pub fn synonyms(mut self, on: bool) -> Self {
+        self.use_synonyms = on;
+        self
+    }
+
+    /// Cap features for every request (requests can still lower it).
+    pub fn max_features(mut self, max: usize) -> Self {
+        self.max_features = Some(max);
+        self
+    }
+
+    /// Retrieve this many documents per request by default (requests
+    /// can override; default: no retrieval).
+    pub fn retrieve_top(mut self, k: usize) -> Self {
+        self.default_top_k = Some(k);
+        self
+    }
+
+    /// Dirichlet smoothing for engines built by [`Self::load_world`] /
+    /// [`Self::open_world`] (borrowed engines keep their own params).
+    pub fn lm(mut self, params: LmParams) -> Self {
+        self.lm = params;
+        self
+    }
+
+    /// Build the expander over a borrowed world. Constructs the entity
+    /// linker's title dictionary — the expensive part — exactly once.
+    pub fn build<'w>(&self, kb: &'w KnowledgeBase, engine: &'w SearchEngine) -> QueryExpander<'w> {
+        self.assemble(kb, Some(engine))
+    }
+
+    /// [`Self::build`] without a search engine: expansion only, any
+    /// retrieval request fails with [`ServiceError::NoEngine`].
+    pub fn build_offline<'w>(&self, kb: &'w KnowledgeBase) -> QueryExpander<'w> {
+        self.assemble(kb, None)
+    }
+
+    /// Strictly load a [`ServingWorld`] from a cached artifact with
+    /// this builder's LM params (see [`ServingWorld::load`]).
+    pub fn load_world(
+        &self,
+        config: &ExperimentConfig,
+        cache_dir: &std::path::Path,
+    ) -> Result<ServingWorld, ServiceError> {
+        ServingWorld::load_with(config, cache_dir, self.lm)
+    }
+
+    /// Load-or-build a [`ServingWorld`] with this builder's LM params
+    /// (see [`ServingWorld::open`]).
+    pub fn open_world(
+        &self,
+        config: &ExperimentConfig,
+        cache_dir: Option<&std::path::Path>,
+    ) -> ServingWorld {
+        ServingWorld::open_with(config, cache_dir, self.lm)
+    }
+
+    fn assemble<'w>(
+        &self,
+        kb: &'w KnowledgeBase,
+        engine: Option<&'w SearchEngine>,
+    ) -> QueryExpander<'w> {
+        let linker = if self.use_synonyms {
+            EntityLinker::new(kb)
+        } else {
+            EntityLinker::new(kb).without_synonyms()
+        };
+        QueryExpander {
+            kb,
+            engine,
+            linker,
+            strategy: self.strategy.clone(),
+            max_features: self.max_features,
+            default_top_k: self.default_top_k,
+        }
+    }
+}
+
+/// The per-query serving facade: entity linking → expansion → INDRI
+/// query → optional retrieval, over a world built once.
+///
+/// Construction is the expensive step (the linker's title dictionary);
+/// [`QueryExpander::expand`] is allocation-light and lock-free except
+/// for the engine's memoizing phrase cache, so one expander can serve
+/// many threads ([`QueryExpander::expand_batch`] does exactly that).
+///
+/// ```
+/// use querygraph_core::config::ExperimentConfig;
+/// use querygraph_core::service::{ExpansionRequest, QueryExpander, ServingWorld};
+///
+/// let world = ServingWorld::open(&ExperimentConfig::tiny(), None);
+/// let expander = QueryExpander::new(&world.wiki.kb, &world.engine);
+/// let title = world.wiki.kb.title(world.wiki.kb.main_articles().next().unwrap());
+/// // Expand and also retrieve the top 5 documents.
+/// let response = expander
+///     .expand(&ExpansionRequest::new(title).with_retrieval(5))
+///     .unwrap();
+/// assert!(!response.hits.is_empty());
+/// ```
+pub struct QueryExpander<'w> {
+    kb: &'w KnowledgeBase,
+    engine: Option<&'w SearchEngine>,
+    linker: EntityLinker<'w>,
+    strategy: ExpansionStrategy,
+    max_features: Option<usize>,
+    default_top_k: Option<usize>,
+}
+
+impl<'w> QueryExpander<'w> {
+    /// Expander with the default knobs (cycle strategy, synonyms on,
+    /// no default retrieval). Use [`QueryExpander::builder`] for more.
+    pub fn new(kb: &'w KnowledgeBase, engine: &'w SearchEngine) -> QueryExpander<'w> {
+        QueryExpanderBuilder::default().build(kb, engine)
+    }
+
+    /// Start a [`QueryExpanderBuilder`].
+    pub fn builder() -> QueryExpanderBuilder {
+        QueryExpanderBuilder::default()
+    }
+
+    /// The knowledge base this expander serves from.
+    pub fn kb(&self) -> &'w KnowledgeBase {
+        self.kb
+    }
+
+    /// The search engine, when built with one.
+    pub fn engine(&self) -> Option<&'w SearchEngine> {
+        self.engine
+    }
+
+    /// The entity linker (title dictionary built at construction). The
+    /// reproduction pipeline links documents through this.
+    pub fn linker(&self) -> &EntityLinker<'w> {
+        &self.linker
+    }
+
+    /// The active expansion strategy.
+    pub fn strategy(&self) -> &ExpansionStrategy {
+        &self.strategy
+    }
+
+    /// Serve one request end to end.
+    ///
+    /// Pipeline: trim + entity-link the text (typed errors for empty or
+    /// unlinkable queries), run the expansion strategy, assemble the
+    /// INDRI `#combine`-of-phrases query, and — when the request (or
+    /// builder) asks — retrieve the top-k documents.
+    pub fn expand(&self, request: &ExpansionRequest) -> Result<ExpansionResponse, ServiceError> {
+        let text = request.text.trim();
+        if text.is_empty() {
+            return Err(ServiceError::EmptyQuery);
+        }
+        let entities = self.linker.link_articles(text);
+        if entities.is_empty() {
+            return Err(ServiceError::NoLinkedEntities {
+                query: text.to_string(),
+            });
+        }
+
+        let mut features = self.strategy.features(self.kb, &entities);
+        // The builder's cap is a server-side resource bound: a request
+        // can lower it, never raise it.
+        match (request.max_features, self.max_features) {
+            (Some(a), Some(b)) => features.truncate(a.min(b)),
+            (Some(a), None) => features.truncate(a),
+            (None, Some(b)) => features.truncate(b),
+            (None, None) => {}
+        }
+
+        let titles = expanded_titles(self.kb, &entities, &features);
+        let query_node = QueryNode::phrases_of_titles(&titles);
+        let expanded_query = query_node.to_string();
+
+        let hits = match request.top_k.or(self.default_top_k) {
+            None | Some(0) => Vec::new(),
+            Some(k) => {
+                let engine = self.engine.ok_or(ServiceError::NoEngine)?;
+                engine
+                    .search(&query_node, k)
+                    .into_iter()
+                    .map(|h| RetrievedDoc {
+                        doc: h.doc,
+                        score: h.score,
+                    })
+                    .collect()
+            }
+        };
+
+        Ok(ExpansionResponse {
+            query: text.to_string(),
+            entities: self.terms(&entities),
+            features: self.terms(&features),
+            expanded_query,
+            hits,
+        })
+    }
+
+    /// [`QueryExpander::expand`] for bare text with default knobs.
+    pub fn expand_text(&self, text: &str) -> Result<ExpansionResponse, ServiceError> {
+        self.expand(&ExpansionRequest::new(text))
+    }
+
+    /// Serve many requests across `threads` workers on the same
+    /// deterministic work-stealing runner the reproduction pipeline
+    /// uses. Results are in request order and identical to a sequential
+    /// loop regardless of thread count (each expansion is a pure
+    /// function of the shared read-only world and its request).
+    pub fn expand_batch(
+        &self,
+        requests: &[ExpansionRequest],
+        threads: usize,
+    ) -> Vec<Result<ExpansionResponse, ServiceError>> {
+        parallel_map(requests.len(), threads, |i| self.expand(&requests[i]))
+    }
+
+    fn terms(&self, articles: &[ArticleId]) -> Vec<ExpansionTerm> {
+        articles
+            .iter()
+            .map(|&article| ExpansionTerm {
+                article,
+                title: self.kb.title(article).to_string(),
+            })
+            .collect()
+    }
+}
+
+/// The owned world a long-lived server holds: knowledge base + engine,
+/// without the reproduction pipeline's corpus, ground truths, or
+/// report machinery.
+///
+/// The synthetic knowledge base is always regenerated (cheap, fully
+/// determined by the configuration); the index either loads strictly
+/// from a PR-3 artifact ([`ServingWorld::load`]) or falls back to
+/// build-and-persist ([`ServingWorld::open`]).
+pub struct ServingWorld {
+    /// The knowledge base (and topic inventory) queries link against.
+    pub wiki: SynthWiki,
+    /// The search engine over the corpus's linking text.
+    pub engine: SearchEngine,
+    /// The configuration that determines this world.
+    pub config: ExperimentConfig,
+    /// Build-vs-load wall-clock breakdown.
+    pub stats: crate::cache::BuildStats,
+}
+
+impl ServingWorld {
+    /// Strictly load the world from `cache_dir`: the fingerprint-keyed
+    /// artifact must exist and decode, or a typed [`ServiceError`]
+    /// explains why. The corpus is *not* regenerated on this path
+    /// (serving does not need it), so the doc-count staleness
+    /// cross-check of the lenient path does not apply; the artifact's
+    /// checksums and embedded fingerprint still do.
+    pub fn load(
+        config: &ExperimentConfig,
+        cache_dir: &std::path::Path,
+    ) -> Result<ServingWorld, ServiceError> {
+        Self::load_with(config, cache_dir, LmParams::default())
+    }
+
+    /// [`ServingWorld::load`] with explicit Dirichlet smoothing.
+    pub fn load_with(
+        config: &ExperimentConfig,
+        cache_dir: &std::path::Path,
+        lm: LmParams,
+    ) -> Result<ServingWorld, ServiceError> {
+        let t0 = Instant::now();
+        let wiki = generate(&config.wiki);
+        let world_seconds = t0.elapsed().as_secs_f64();
+        let t = Instant::now();
+        let engine = cache::load_engine(config, cache_dir, None, lm)?;
+        let stats = crate::cache::BuildStats {
+            world_seconds,
+            index_build_seconds: 0.0,
+            index_write_seconds: 0.0,
+            index_load_seconds: t.elapsed().as_secs_f64(),
+            index_source: crate::cache::IndexSource::Loaded,
+        };
+        Ok(ServingWorld {
+            wiki,
+            engine,
+            config: config.clone(),
+            stats,
+        })
+    }
+
+    /// Load the world from `cache_dir` when a valid artifact exists;
+    /// otherwise build the index (regenerating the corpus) and persist
+    /// it for the next run. Never fails: a cache can lose time, not
+    /// correctness.
+    pub fn open(config: &ExperimentConfig, cache_dir: Option<&std::path::Path>) -> ServingWorld {
+        Self::open_with(config, cache_dir, LmParams::default())
+    }
+
+    /// [`ServingWorld::open`] with explicit Dirichlet smoothing.
+    pub fn open_with(
+        config: &ExperimentConfig,
+        cache_dir: Option<&std::path::Path>,
+        lm: LmParams,
+    ) -> ServingWorld {
+        Self::open_with_corpus(config, cache_dir, lm).0
+    }
+
+    /// [`ServingWorld::open_with`], also returning the synthetic corpus
+    /// the open path regenerates anyway (for the staleness cross-check
+    /// and cache-miss indexing). Callers that need the query set or the
+    /// documents — `qgx --seed-queries` serves the generated queries —
+    /// reuse it instead of paying a second generation pass; a plain
+    /// long-lived server uses [`ServingWorld::open`] and lets the
+    /// corpus drop.
+    pub fn open_with_corpus(
+        config: &ExperimentConfig,
+        cache_dir: Option<&std::path::Path>,
+        lm: LmParams,
+    ) -> (ServingWorld, querygraph_corpus::synth::SynthCorpus) {
+        let (wiki, corpus, engine, stats) = cache::build_world(config, cache_dir, lm);
+        let world = ServingWorld {
+            wiki,
+            engine,
+            config: config.clone(),
+            stats,
+        };
+        (world, corpus)
+    }
+
+    /// An expander with default knobs over this world.
+    pub fn expander(&self) -> QueryExpander<'_> {
+        QueryExpander::new(&self.wiki.kb, &self.engine)
+    }
+
+    /// An expander with explicit knobs over this world.
+    pub fn expander_from(&self, builder: &QueryExpanderBuilder) -> QueryExpander<'_> {
+        builder.build(&self.wiki.kb, &self.engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use querygraph_wiki::fixture::venice_mini_wiki;
+
+    fn venice_expander(kb: &KnowledgeBase) -> QueryExpander<'_> {
+        QueryExpander::builder().build_offline(kb)
+    }
+
+    #[test]
+    fn expands_the_paper_query() {
+        let kb = venice_mini_wiki();
+        let ex = venice_expander(&kb);
+        let r = ex.expand_text("gondola in venice").expect("expands");
+        // L(q.k) is sorted by article id, like the pipeline's lqk.
+        let mut entity_titles: Vec<&str> = r.entities.iter().map(|t| t.title.as_str()).collect();
+        entity_titles.sort_unstable();
+        assert_eq!(entity_titles, ["Gondola", "Venice"]);
+        assert!(!r.features.is_empty(), "venice query grows features");
+        assert!(r.feature_titles().contains(&"Grand Canal (Venice)"));
+        assert!(r.expanded_query.starts_with("#combine("));
+        assert!(r.expanded_query.contains("#1(gondola)"));
+        assert!(r.hits.is_empty(), "no retrieval unless requested");
+    }
+
+    #[test]
+    fn empty_query_is_typed() {
+        let kb = venice_mini_wiki();
+        let ex = venice_expander(&kb);
+        assert_eq!(ex.expand_text("   ").unwrap_err(), ServiceError::EmptyQuery);
+        assert_eq!(ex.expand_text("").unwrap_err(), ServiceError::EmptyQuery);
+    }
+
+    #[test]
+    fn unlinkable_query_is_typed() {
+        let kb = venice_mini_wiki();
+        let ex = venice_expander(&kb);
+        let err = ex.expand_text("completely unrelated words").unwrap_err();
+        assert_eq!(
+            err,
+            ServiceError::NoLinkedEntities {
+                query: "completely unrelated words".to_string()
+            }
+        );
+        assert!(err.to_string().contains("unrelated"));
+    }
+
+    #[test]
+    fn retrieval_without_engine_is_typed() {
+        let kb = venice_mini_wiki();
+        let ex = venice_expander(&kb);
+        let err = ex
+            .expand(&ExpansionRequest::new("venice").with_retrieval(5))
+            .unwrap_err();
+        assert_eq!(err, ServiceError::NoEngine);
+        // top_k = 0 means "no retrieval" and must not need an engine.
+        let r = ex
+            .expand(&ExpansionRequest {
+                text: "venice".into(),
+                max_features: None,
+                top_k: Some(0),
+            })
+            .expect("k=0 is expansion-only");
+        assert!(r.hits.is_empty());
+    }
+
+    #[test]
+    fn request_feature_cap_can_lower_but_not_raise() {
+        let kb = venice_mini_wiki();
+        let ex = QueryExpander::builder().max_features(2).build_offline(&kb);
+        // A request can tighten the server's cap …
+        let lowered = ex
+            .expand(&ExpansionRequest::new("gondola in venice").with_max_features(1))
+            .expect("expands");
+        assert_eq!(lowered.features.len(), 1);
+        // … but never raise it past the builder's resource bound.
+        let raised = ex
+            .expand(&ExpansionRequest::new("gondola in venice").with_max_features(1000))
+            .expect("expands");
+        let capped = ex
+            .expand(&ExpansionRequest::new("gondola in venice"))
+            .expect("expands");
+        assert_eq!(raised.features.len(), capped.features.len());
+        assert!(raised.features.len() <= 2);
+    }
+
+    #[test]
+    fn strategies_differ() {
+        let kb = venice_mini_wiki();
+        let cycles = venice_expander(&kb);
+        let none = QueryExpander::builder()
+            .strategy(ExpansionStrategy::None)
+            .build_offline(&kb);
+        let a = cycles.expand_text("gondola in venice").unwrap();
+        let b = none.expand_text("gondola in venice").unwrap();
+        assert!(!a.features.is_empty());
+        assert!(b.features.is_empty());
+        assert_eq!(a.entities, b.entities, "linking is strategy-independent");
+    }
+
+    #[test]
+    fn strategy_names_parse() {
+        for (name, parsed) in [
+            ("cycles", "cycles"),
+            ("links", "direct-links"),
+            ("redirects", "redirects"),
+            ("none", "none"),
+        ] {
+            assert_eq!(ExpansionStrategy::parse(name).unwrap().name(), parsed);
+        }
+        assert_eq!(ExpansionStrategy::parse("bogus"), None);
+    }
+
+    #[test]
+    fn batch_matches_sequential_any_thread_count() {
+        let kb = venice_mini_wiki();
+        let ex = venice_expander(&kb);
+        let requests: Vec<ExpansionRequest> = [
+            "gondola in venice",
+            "the bridge of sighs",
+            "",
+            "unrelated words entirely",
+            "grand canal venice",
+        ]
+        .iter()
+        .map(|t| ExpansionRequest::new(*t))
+        .collect();
+        let sequential: Vec<_> = requests.iter().map(|r| ex.expand(r)).collect();
+        for threads in [1, 2, 8] {
+            let batch = ex.expand_batch(&requests, threads);
+            assert_eq!(batch, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn response_serializes_round_trip() {
+        let kb = venice_mini_wiki();
+        let ex = venice_expander(&kb);
+        let r = ex.expand_text("gondola in venice").unwrap();
+        let json = serde_json::to_string(&r).expect("serializes");
+        assert!(json.contains("expanded_query"));
+        let back: ExpansionResponse = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn serving_world_expands_with_retrieval() {
+        let world = ServingWorld::open(&ExperimentConfig::tiny(), None);
+        assert_eq!(world.stats.index_source, crate::cache::IndexSource::Built);
+        let expander = world.expander();
+        let title = world
+            .wiki
+            .kb
+            .title(world.wiki.kb.main_articles().next().unwrap());
+        let r = expander
+            .expand(&ExpansionRequest::new(title).with_retrieval(5))
+            .expect("tiny-world title expands");
+        assert!(!r.entities.is_empty());
+        assert!(!r.hits.is_empty(), "a topic title retrieves documents");
+        for w in r.hits.windows(2) {
+            assert!(w[0].score >= w[1].score, "hits sorted by score");
+        }
+    }
+
+    #[test]
+    fn serving_world_load_is_strict() {
+        let dir =
+            std::env::temp_dir().join(format!("querygraph-svc-missing-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("dir");
+        let config = ExperimentConfig::tiny();
+        std::fs::remove_file(crate::cache::artifact_path(&dir, &config)).ok();
+        match ServingWorld::load(&config, &dir) {
+            Err(ServiceError::ArtifactMissing { path }) => {
+                assert_eq!(path, crate::cache::artifact_path(&dir, &config));
+            }
+            other => panic!("expected ArtifactMissing, got {:?}", other.map(|_| ())),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serving_world_open_persists_then_load_agrees() {
+        let dir =
+            std::env::temp_dir().join(format!("querygraph-svc-roundtrip-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("dir");
+        let config = ExperimentConfig::tiny();
+        std::fs::remove_file(crate::cache::artifact_path(&dir, &config)).ok();
+
+        let built = ServingWorld::open(&config, Some(&dir));
+        assert_eq!(built.stats.index_source, crate::cache::IndexSource::Built);
+        let loaded = ServingWorld::load(&config, &dir).expect("artifact persisted");
+        assert_eq!(loaded.stats.index_source, crate::cache::IndexSource::Loaded);
+
+        let title = built
+            .wiki
+            .kb
+            .title(built.wiki.kb.main_articles().next().unwrap());
+        let request = ExpansionRequest::new(title).with_retrieval(10);
+        let a = built.expander().expand(&request).expect("built world");
+        let b = loaded.expander().expand(&request).expect("loaded world");
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap(),
+            "loaded-index responses must be byte-identical to built-index responses"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

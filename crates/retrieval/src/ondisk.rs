@@ -33,7 +33,8 @@
 //! * **DOCSTATS** — document count, total token count, one u32 length
 //!   per document.
 //! * **PHRASES** — the exported phrase dictionary
-//!   ([`SearchEngine::export_phrase_cache`]): per phrase its words,
+//!   ([`crate::engine::SearchEngine::export_phrase_cache`]): per
+//!   phrase its words,
 //!   delta-varint `(doc, tf)` hits, and the collection probability.
 //!
 //! ## Versioning and integrity

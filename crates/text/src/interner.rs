@@ -5,7 +5,7 @@
 //! all need to treat words as small integers. [`Interner`] assigns ids in
 //! insertion order, so an interner built from a deterministic input stream
 //! is itself deterministic — a property the reproduction harness relies on
-//! (DESIGN.md §7).
+//! (DESIGN.md §8).
 
 use std::collections::HashMap;
 

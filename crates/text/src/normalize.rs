@@ -15,7 +15,8 @@
 //!    whitespace collapse; leading/trailing whitespace is trimmed.
 //!
 //! The result is a space-separated sequence of lowercase alphanumeric
-//! words, which is exactly the token stream [`crate::tokenize`] produces.
+//! words, which is exactly the token stream [`crate::tokenize()`]
+//! produces.
 
 /// Fold one character to zero or more ASCII characters.
 ///

@@ -1,7 +1,7 @@
 //! Position-aware word tokenization.
 //!
 //! Tokens are maximal runs of alphanumeric characters in *normalized* text
-//! (see [`crate::normalize`]). Each token carries its word `position`
+//! (see [`crate::normalize()`]). Each token carries its word `position`
 //! (0-based index in the token sequence), which the positional inverted
 //! index in `querygraph-retrieval` uses for exact-phrase matching — the
 //! `#1(...)` operator of the INDRI query language the paper relies on

@@ -95,7 +95,7 @@ impl SynthWikiConfig {
     /// the English Wikipedia millions of articles; seed scale is 1.5k).
     /// Satellite titles beyond the base patterns use the combinatorial
     /// adjective × object / adjective × place patterns of
-    /// [`satellite_title`], so every title stays unique by
+    /// `satellite_title`, so every title stays unique by
     /// construction. Generation remains single-seed deterministic.
     pub fn stress() -> Self {
         SynthWikiConfig {
@@ -409,7 +409,7 @@ fn base_satellites_per_topic() -> usize {
 
 /// The largest `articles_per_topic` the title patterns can name
 /// uniquely: the three base patterns, then the two combinatorial
-/// stress-scale patterns (see [`satellite_title`]).
+/// stress-scale patterns (see `satellite_title`).
 pub fn max_satellites_per_topic() -> usize {
     base_satellites_per_topic()
         + vocab::ADJECTIVES.len() * vocab::OBJECTS.len()

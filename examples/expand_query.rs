@@ -1,0 +1,71 @@
+//! Serving-facade quickstart: expand one ad-hoc query without
+//! constructing an `Experiment` or computing ground truths.
+//!
+//! ```text
+//! cargo run --release --example expand_query [-- "your query text"]
+//! ```
+//!
+//! Builds (first run) or loads (subsequent runs) the tiny world's index
+//! from `.index-cache/`, constructs a `QueryExpander` once, and serves
+//! one query end to end: entity linking → cycle-based expansion → the
+//! INDRI query → top-5 retrieval. The CI `service-smoke` job runs this
+//! binary and `qgx` to prove the serving path stays alive.
+
+use querygraph::core::config::ExperimentConfig;
+use querygraph::core::service::{ExpansionRequest, ServingWorld};
+use std::time::Instant;
+
+fn main() {
+    let config = ExperimentConfig::tiny();
+    let cache_dir = std::path::Path::new(".index-cache");
+
+    // World + index, once per process (microsecond queries after this).
+    let world = ServingWorld::open(&config, Some(cache_dir));
+    println!(
+        "world ready: {} articles, index {} (world {:.3}s, build {:.3}s, load {:.3}s)",
+        world.wiki.kb.num_articles(),
+        world.stats.index_source.name(),
+        world.stats.world_seconds,
+        world.stats.index_build_seconds,
+        world.stats.index_load_seconds,
+    );
+    let expander = world.expander();
+
+    // Default query: two titles from the synthetic world, so the
+    // example works on any seed. Pass your own text as the first arg.
+    let query = std::env::args().nth(1).unwrap_or_else(|| {
+        let kb = &world.wiki.kb;
+        let mut mains = kb.main_articles();
+        let a = mains.next().expect("world has articles");
+        let b = mains.nth(6).unwrap_or(a);
+        format!("{} and {}", kb.title(a), kb.title(b))
+    });
+
+    let t = Instant::now();
+    let response = expander
+        .expand(&ExpansionRequest::new(&query).with_retrieval(5))
+        .unwrap_or_else(|e| {
+            eprintln!("typed serving error: {e}");
+            std::process::exit(1);
+        });
+    let micros = t.elapsed().as_secs_f64() * 1e6;
+
+    println!("\nquery: {:?} ({micros:.0} µs)", response.query);
+    println!("linked entities (L(q.k)):");
+    for term in &response.entities {
+        println!("  {:>4}  {}", term.article.to_string(), term.title);
+    }
+    println!("expansion features (cycle strategy):");
+    for term in &response.features {
+        println!("  {:>4}  {}", term.article.to_string(), term.title);
+    }
+    println!("INDRI query: {}", response.expanded_query);
+    println!("top documents:");
+    for hit in &response.hits {
+        println!("  doc {:>5}  score {:.4}", hit.doc, hit.score);
+    }
+    assert!(
+        !response.features.is_empty(),
+        "the tiny world's titles must produce expansion features"
+    );
+}

@@ -20,10 +20,29 @@
 //! * [`link`] — entity linking against article titles with redirect-based
 //!   synonym phrases (§2.1).
 //! * [`core`] — query graphs, ground-truth hill climbing (§2.2), cycle
-//!   analysis (§3), expansion engines, and the experiment pipeline that
-//!   regenerates every table and figure of the paper.
+//!   analysis (§3), expansion engines, the experiment pipeline that
+//!   regenerates every table and figure of the paper, and the serving
+//!   facade ([`core::service`]) that answers ad-hoc expansion queries
+//!   online.
 //!
-//! ## Quickstart
+//! ## Quickstart: serve a query
+//!
+//! ```
+//! use querygraph::core::config::ExperimentConfig;
+//! use querygraph::core::service::{ExpansionRequest, ServingWorld};
+//!
+//! // Build (or load from an on-disk cache) the world once …
+//! let world = ServingWorld::open(&ExperimentConfig::tiny(), None);
+//! let expander = world.expander();
+//! // … then expand ad-hoc queries in microseconds-to-milliseconds.
+//! let title = world.wiki.kb.title(world.wiki.kb.main_articles().next().unwrap());
+//! let response = expander
+//!     .expand(&ExpansionRequest::new(title).with_retrieval(5))
+//!     .unwrap();
+//! assert!(!response.features.is_empty());
+//! ```
+//!
+//! ## Quickstart: reproduce the paper
 //!
 //! ```
 //! use querygraph::core::experiment::{Experiment, ExperimentConfig};
@@ -37,8 +56,9 @@
 //! ```
 //!
 //! For the paper's worked example (query #90, "gondola in venice") see
-//! `examples/venice_gondola.rs`; for the full reproduction harness see
-//! `crates/bench/src/bin/repro_all.rs`.
+//! `examples/venice_gondola.rs`; for serving see
+//! `examples/expand_query.rs` and the `qgx` binary; for the full
+//! reproduction harness see `crates/bench/src/bin/repro_all.rs`.
 
 pub use querygraph_core as core;
 pub use querygraph_corpus as corpus;

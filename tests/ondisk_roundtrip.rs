@@ -8,8 +8,10 @@
 //! and the full §2–§3 pipeline — including the warm phrase dictionary a
 //! loaded engine starts with.
 
-use querygraph::core::cache::{artifact_path, IndexSource};
+use querygraph::core::cache::{artifact_path, load_engine, IndexSource};
 use querygraph::core::experiment::{Experiment, ExperimentConfig};
+use querygraph::core::service::{ServiceError, ServingWorld};
+use querygraph::retrieval::lm::LmParams;
 use querygraph::retrieval::ondisk::fnv1a;
 use std::path::{Path, PathBuf};
 
@@ -91,6 +93,145 @@ fn tiny_config_write_load_stable_across_loads() {
     assert_eq!(stats.index_source, IndexSource::Loaded);
     let json = serde_json::to_string(&experiment.run_parallel(2)).expect("report serializes");
     assert_eq!((json.len(), fnv1a(json.as_bytes())), built);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+// ── typed errors through the serving facade ─────────────────────────
+//
+// `ServingWorld::load` / `cache::load_engine` is the strict serving
+// path: unlike `build_experiment` it cannot fall back to rebuilding,
+// so every load failure must surface as a typed `ServiceError` — and
+// never a panic. The batteries below drive the same corruption space
+// the retrieval-crate format tests cover, but through the facade.
+
+/// Persist a micro-world artifact once and return its bytes.
+fn planted_artifact(dir: &Path, config: &ExperimentConfig) -> Vec<u8> {
+    let path = artifact_path(dir, config);
+    std::fs::remove_file(&path).ok();
+    let world = ServingWorld::open(config, Some(dir));
+    assert_eq!(world.stats.index_source, IndexSource::Built);
+    std::fs::read(&path).expect("artifact persisted")
+}
+
+/// Every single-byte corruption of the artifact must yield a typed
+/// error from the facade's strict loader — never a panic, never a
+/// silently wrong engine.
+#[test]
+fn facade_rejects_every_flipped_byte_with_typed_error() {
+    let dir = temp_cache("facade-flip");
+    let config = micro_config(7, 11, 3, 1);
+    let bytes = planted_artifact(&dir, &config);
+    let path = artifact_path(&dir, &config);
+    // Cap the battery at ~2k flips so the test stays fast at any
+    // artifact size; the step stays 1 (exhaustive) for small files.
+    let step = (bytes.len() / 2048).max(1);
+    for i in (0..bytes.len()).step_by(step) {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0xFF;
+        std::fs::write(&path, &corrupt).expect("write corrupt artifact");
+        match load_engine(&config, &dir, None, LmParams::default()) {
+            Err(ServiceError::ArtifactLoad { .. } | ServiceError::ArtifactFingerprint { .. }) => {}
+            Err(other) => panic!("byte {i}: unexpected error class {other:?}"),
+            Ok(_) => panic!("byte {i}: corrupted artifact loaded successfully"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Every truncation must fail typed as well (the loader's length and
+/// checksum validation run before any content is trusted).
+#[test]
+fn facade_rejects_every_truncation_with_typed_error() {
+    let dir = temp_cache("facade-trunc");
+    let config = micro_config(13, 17, 3, 1);
+    let bytes = planted_artifact(&dir, &config);
+    let path = artifact_path(&dir, &config);
+    let step = (bytes.len() / 512).max(1);
+    for len in (0..bytes.len()).step_by(step) {
+        std::fs::write(&path, &bytes[..len]).expect("write truncated artifact");
+        let err = load_engine(&config, &dir, None, LmParams::default())
+            .err()
+            .unwrap_or_else(|| panic!("truncation to {len} bytes loaded successfully"));
+        assert!(
+            matches!(err, ServiceError::ArtifactLoad { .. }),
+            "truncation to {len}: unexpected error class {err:?}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The non-corruption failure classes, each with its own typed variant:
+/// missing artifact, foreign fingerprint (renamed file), stale doc
+/// count (generator drift the fingerprint cannot see).
+#[test]
+fn facade_load_failure_classes_are_distinguished() {
+    let dir = temp_cache("facade-classes");
+    let config = micro_config(19, 23, 3, 1);
+
+    // Missing: nothing persisted yet.
+    std::fs::remove_file(artifact_path(&dir, &config)).ok();
+    assert!(matches!(
+        ServingWorld::load(&config, &dir),
+        Err(ServiceError::ArtifactMissing { .. })
+    ));
+
+    // Foreign fingerprint: pose another world's artifact as ours.
+    let mut other = config.clone();
+    other.wiki.seed ^= 0xBEEF;
+    planted_artifact(&dir, &other);
+    std::fs::rename(artifact_path(&dir, &other), artifact_path(&dir, &config))
+        .expect("rename artifact");
+    match load_engine(&config, &dir, None, LmParams::default()) {
+        Err(ServiceError::ArtifactFingerprint {
+            expected, found, ..
+        }) => {
+            assert_ne!(expected, found)
+        }
+        other => panic!("expected ArtifactFingerprint, got {:?}", other.map(|_| ())),
+    }
+
+    // Stale: right fingerprint, wrong doc count (only checked when the
+    // caller knows the corpus size, as `build_experiment` does).
+    let bytes = planted_artifact(&dir, &config);
+    std::fs::write(artifact_path(&dir, &config), &bytes).expect("restore artifact");
+    let world = ServingWorld::load(&config, &dir).expect("valid artifact loads");
+    let docs = world.engine.index().num_docs();
+    match load_engine(&config, &dir, Some(docs + 1), LmParams::default()) {
+        Err(ServiceError::ArtifactStale {
+            indexed_docs,
+            corpus_docs,
+            ..
+        }) => {
+            assert_eq!(indexed_docs, docs);
+            assert_eq!(corpus_docs, docs + 1);
+        }
+        other => panic!("expected ArtifactStale, got {:?}", other.map(|_| ())),
+    }
+    // Errors render human-readably (the qgx server prints them).
+    let err = load_engine(&config, &dir, Some(docs + 1), LmParams::default())
+        .err()
+        .expect("stale artifact must not load");
+    assert!(err.to_string().contains("stale"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A world loaded through the strict facade serves byte-identical
+/// expansions to the world that wrote the artifact.
+#[test]
+fn facade_loaded_world_serves_identical_expansions() {
+    use querygraph::core::service::ExpansionRequest;
+    let dir = temp_cache("facade-serve");
+    let config = micro_config(29, 31, 4, 2);
+    std::fs::remove_file(artifact_path(&dir, &config)).ok();
+    let built = ServingWorld::open(&config, Some(&dir));
+    let loaded = ServingWorld::load(&config, &dir).expect("artifact loads");
+    assert_eq!(loaded.stats.index_source, IndexSource::Loaded);
+    for article in built.wiki.kb.main_articles().take(5) {
+        let request = ExpansionRequest::new(built.wiki.kb.title(article)).with_retrieval(10);
+        let a = built.expander().expand(&request);
+        let b = loaded.expander().expand(&request);
+        assert_eq!(a, b, "expansion diverged for {:?}", request.text);
+    }
     std::fs::remove_dir_all(&dir).ok();
 }
 

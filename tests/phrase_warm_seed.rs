@@ -1,0 +1,107 @@
+//! The warm → export → seed phrase-dictionary triple must be invisible
+//! in search results.
+//!
+//! PR 3's index artifact persists the phrase dictionary
+//! (`SearchEngine::export_phrase_cache`) so a loaded engine starts warm
+//! (`seed_phrase_cache`). The retrieval unit tests cover each step in
+//! isolation; this property test closes the loop end to end: for
+//! arbitrary corpora and phrase workloads, an engine seeded with a
+//! warmed engine's export answers `search` **bit-identically** to a
+//! cold engine that never saw the dictionary — the cache is pure
+//! memoization, never a result change.
+
+use querygraph::retrieval::engine::SearchEngine;
+use querygraph::retrieval::index::IndexBuilder;
+use querygraph::retrieval::query_lang::QueryNode;
+
+const VOCAB: [&str; 8] = [
+    "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta",
+];
+
+/// Build an engine over documents sampled as vocab-index streams.
+fn engine_for(docs: &[Vec<u8>]) -> SearchEngine {
+    let mut ib = IndexBuilder::new();
+    for d in docs {
+        let text: Vec<&str> = d.iter().map(|&x| VOCAB[x as usize % VOCAB.len()]).collect();
+        ib.add_document(&text.join(" "));
+    }
+    SearchEngine::new(ib.build())
+}
+
+/// Phrase picks → normalized word vectors (the title-shaped phrases the
+/// hill climb evaluates).
+fn phrases_for(picks: &[Vec<u8>]) -> Vec<Vec<String>> {
+    picks
+        .iter()
+        .map(|p| {
+            p.iter()
+                .map(|&x| VOCAB[x as usize % VOCAB.len()].to_string())
+                .collect()
+        })
+        .collect()
+}
+
+/// Bit-exact view of a hit list (f64 scores compared by bits, so "the
+/// same up to rounding" cannot sneak through).
+fn bits(hits: &[querygraph::retrieval::SearchHit]) -> Vec<(u32, u64)> {
+    hits.iter().map(|h| (h.doc, h.score.to_bits())).collect()
+}
+
+proptest::proptest! {
+    /// For arbitrary corpora and phrase workloads: warm an engine over
+    /// every phrase, export its dictionary, seed a fresh engine with
+    /// the export — the seeded engine's `search` results are
+    /// bit-identical to a cold engine's, for single-phrase queries and
+    /// for `#combine`s over the whole workload.
+    #[test]
+    fn seeded_engine_matches_cold_engine(
+        docs in proptest::collection::vec(
+            proptest::collection::vec(0u8..8, 1..20),
+            1..12,
+        ),
+        picks in proptest::collection::vec(
+            proptest::collection::vec(0u8..8, 1..4),
+            1..8,
+        ),
+    ) {
+        let phrases = phrases_for(&picks);
+
+        // Cold: never warmed, never seeded.
+        let cold = engine_for(&docs);
+        // Warmed: evaluate every phrase, then export the dictionary.
+        let warmed = engine_for(&docs);
+        warmed.warm_phrases(phrases.iter().map(|p| p.as_slice()));
+        proptest::prop_assert!(warmed.phrase_cache_len() > 0);
+        let exported = warmed.export_phrase_cache();
+        // Seeded: a fresh engine starting from the export (exactly what
+        // a loaded on-disk artifact does).
+        let seeded = engine_for(&docs);
+        seeded.seed_phrase_cache(exported.clone());
+        let seeded_len = seeded.phrase_cache_len();
+        proptest::prop_assert_eq!(seeded_len, exported.len());
+
+        for phrase in &phrases {
+            let q = QueryNode::Phrase(phrase.clone());
+            proptest::prop_assert_eq!(
+                bits(&seeded.search(&q, 10)),
+                bits(&cold.search(&q, 10)),
+                "single phrase {:?} diverged", phrase
+            );
+        }
+        let combined = QueryNode::Combine(
+            phrases.iter().cloned().map(QueryNode::Phrase).collect(),
+        );
+        proptest::prop_assert_eq!(
+            bits(&seeded.search(&combined, 20)),
+            bits(&cold.search(&combined, 20)),
+            "#combine over the workload diverged"
+        );
+
+        // Every query above was answered from the seeded dictionary —
+        // the cache must not have grown (a growth means a re-match, so
+        // the seed missed).
+        proptest::prop_assert_eq!(seeded.phrase_cache_len(), seeded_len);
+        // And re-exporting reproduces the dictionary byte for byte.
+        proptest::prop_assert_eq!(seeded.export_phrase_cache(), exported);
+    }
+}
