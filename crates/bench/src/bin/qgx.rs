@@ -9,6 +9,7 @@
 //! ```text
 //! cargo run --release -p querygraph-bench --bin qgx -- \
 //!     [--tiny | --quick | --stress [--quick]] [--index-cache <dir>] \
+//!     [--shards <n>] [--shard-threads <n>] [--mmap] \
 //!     [--queries <file>] [--seed-queries] [--repeat <n>] \
 //!     [--strategy cycles|links|redirects|none] [--max-features <n>] \
 //!     [--top-k <k>] [--threads <n>] [--json] [--bench-out <path>]
@@ -28,8 +29,15 @@
 //!   stdout; the default is a compact human-readable line. Typed
 //!   per-query errors (unlinkable text, empty line) are reported and
 //!   served on — they never kill the loop.
+//! * `--shards <n>` serves through the doc-partitioned `ShardedEngine`
+//!   and the segmented artifact layout (manifest + per-shard segments,
+//!   loaded in parallel); expansion output is byte-identical to the
+//!   monolithic engine at any shard count. `--shard-threads <n>` fans
+//!   each query's per-shard retrieval across workers; `--mmap` maps
+//!   artifact bytes instead of reading them (read fallback on error).
 //! * `--bench-out <path>` archives a `ServeRecord` (p50/p90/p99 µs,
-//!   QPS, build-vs-load provenance) diffable by `repro_bench_diff`.
+//!   QPS + per-thread QPS, shard count and per-shard load seconds,
+//!   build-vs-load provenance) diffable by `repro_bench_diff`.
 //!
 //! With `--index-cache`, the first run builds and persists the index
 //! artifact and later runs load it (`index_source: "loaded"` in the
@@ -57,6 +65,7 @@ struct ServeOptions {
     max_features: Option<usize>,
     top_k: usize,
     threads: usize,
+    shard_threads: usize,
     json: bool,
 }
 
@@ -64,11 +73,14 @@ struct ServeOptions {
 /// Anything else starting with `--` is rejected — a typo'd flag must
 /// not silently fall back to a different workload (e.g. blocking on
 /// stdin in CI).
-const KNOWN_FLAGS: [(&str, bool); 13] = [
+const KNOWN_FLAGS: [(&str, bool); 16] = [
     ("--tiny", false),
     ("--quick", false),
     ("--stress", false),
     ("--index-cache", true),
+    ("--shards", true),
+    ("--shard-threads", true),
+    ("--mmap", false),
     ("--queries", true),
     ("--seed-queries", false),
     ("--repeat", true),
@@ -132,6 +144,7 @@ impl ServeOptions {
             max_features: flag_usize(args, "--max-features"),
             top_k: flag_usize(args, "--top-k").unwrap_or(0),
             threads: flag_usize(args, "--threads").unwrap_or(1).max(1),
+            shard_threads: flag_usize(args, "--shard-threads").unwrap_or(1).max(1),
             json: args.iter().any(|a| a == "--json"),
         }
     }
@@ -148,24 +161,33 @@ fn main() {
     // path regenerates the corpus anyway (staleness check, cache-miss
     // indexing); keep it only when `--seed-queries` needs its query
     // set — a plain long-lived server lets it drop.
-    let (world, seed_corpus) = if serve.seed_queries {
-        let (world, corpus) = ServingWorld::open_with_corpus(
+    let (mut world, seed_corpus) = {
+        let (world, corpus) = ServingWorld::open_with_options(
             &config,
             cli.index_cache.as_deref(),
             querygraph_retrieval::lm::LmParams::default(),
+            &cli.world_options(),
         );
-        (world, Some(corpus))
-    } else {
-        (
-            ServingWorld::open(&config, cli.index_cache.as_deref()),
-            None,
-        )
+        (world, serve.seed_queries.then_some(corpus))
+    };
+    let effective_shard_threads = match &mut world.engine {
+        querygraph_retrieval::backend::AnyEngine::Sharded(engine) => {
+            engine.set_search_threads(serve.shard_threads);
+            serve.shard_threads.min(engine.shard_count()).max(1)
+        }
+        querygraph_retrieval::backend::AnyEngine::Mono(_) => {
+            if serve.shard_threads > 1 {
+                eprintln!("# qgx: --shard-threads applies to --shards workloads only");
+            }
+            1
+        }
     };
     eprintln!(
-        "# qgx: {} articles, index {} (world {:.3}s, build {:.3}s, load {:.3}s); \
+        "# qgx: {} articles, index {} x{} shard(s) (world {:.3}s, build {:.3}s, load {:.3}s); \
          strategy {}, top-k {}",
         world.wiki.kb.num_articles(),
         world.stats.index_source.name(),
+        world.stats.shard_count,
         world.stats.world_seconds,
         world.stats.index_build_seconds,
         world.stats.index_load_seconds,
@@ -299,8 +321,10 @@ fn main() {
                 repeat: effective_repeat,
                 top_k: serve.top_k,
                 threads: effective_threads,
+                shard_threads: effective_shard_threads,
                 total_seconds,
                 qps,
+                qps_per_thread: qps / effective_threads.max(1) as f64,
                 latency,
             },
         );

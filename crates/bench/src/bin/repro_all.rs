@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p querygraph-bench --bin repro_all -- \
 //!     [--tiny | --quick | --stress [--quick]] [--index-cache <dir>] \
-//!     [--bench-out <path>] [--json out.json]
+//!     [--shards <n>] [--mmap] [--bench-out <path>] [--json out.json]
 //! ```
 //!
 //! Prints paper-vs-measured for Tables 2–4, Figs. 5, 6, 7a, 7b, 9 and
@@ -16,14 +16,21 @@
 //! subsequent runs; the record's `index_build_seconds` /
 //! `index_load_seconds` track the speedup. With `--json <path>` the
 //! full machine-readable [`querygraph_core::Report`] is written too.
+//! With `--shards <n>` the world runs on the doc-partitioned sharded
+//! backend (and segmented artifact layout) — the `Report` is
+//! byte-identical to the monolithic run at any shard count; `--mmap`
+//! maps artifacts instead of reading them.
 
 use querygraph_bench::{BenchRecord, CliOptions};
 
 fn main() {
     let options = CliOptions::from_args();
     let config = options.config();
-    let (report, summary, build) =
-        querygraph_bench::report_and_summary_cached(&config, options.index_cache.as_deref());
+    let (report, summary, build) = querygraph_bench::report_and_summary_with(
+        &config,
+        options.index_cache.as_deref(),
+        &options.world_options(),
+    );
     print!("{}", report.render_all());
 
     let bench_path = options.bench_path();

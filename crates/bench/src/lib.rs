@@ -14,8 +14,8 @@
 
 pub mod bench_diff;
 
-use querygraph_core::cache::BuildStats;
-use querygraph_core::experiment::{Experiment, ExperimentConfig, Report};
+use querygraph_core::cache::{BuildStats, WorldOptions};
+use querygraph_core::experiment::{ExperimentConfig, Report};
 use querygraph_core::pipeline::RunSummary;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -52,6 +52,11 @@ pub struct BenchRecord {
     pub index_load_seconds: f64,
     /// `"built"` or `"loaded"`.
     pub index_source: String,
+    /// Physical shards behind the engine (1 = monolithic).
+    pub shard_count: usize,
+    /// Per-shard segment load seconds, in shard order (empty unless a
+    /// sharded artifact was loaded).
+    pub shard_load_seconds: Vec<f64>,
     /// The pipeline run: mode, threads, wall clock, per-stage seconds.
     pub run: RunSummary,
 }
@@ -60,10 +65,14 @@ impl BenchRecord {
     /// Assemble a record from a finished run.
     pub fn new(config: &ExperimentConfig, build: &BuildStats, run: RunSummary) -> BenchRecord {
         BenchRecord {
+            // 4: shard-aware retrieval (shard_count, per-shard load
+            //    seconds; serve records additionally grew
+            //    qps_per_thread). Additive — repro_bench_diff reads
+            //    records of any schema tolerantly.
             // 3: build breakdown (world/index build/write/load seconds,
             //    index_source) for the on-disk index cache.
             // 2: RunSummary gained ground-truth evaluation counters.
-            schema: 3,
+            schema: 4,
             num_queries: config.corpus.num_queries,
             num_topics: config.wiki.num_topics,
             articles_per_topic: config.wiki.articles_per_topic,
@@ -75,6 +84,8 @@ impl BenchRecord {
             index_write_seconds: build.index_write_seconds,
             index_load_seconds: build.index_load_seconds,
             index_source: build.index_source.name().to_string(),
+            shard_count: build.shard_count,
+            shard_load_seconds: build.shard_load_seconds.clone(),
             run,
         }
     }
@@ -150,11 +161,18 @@ pub struct ServeSummary {
     pub top_k: usize,
     /// Worker threads (1 = the sequential serve loop).
     pub threads: usize,
+    /// Per-query scatter width across shards (`--shard-threads`;
+    /// always 1 for the monolithic engine), so records taken at
+    /// different scatter settings stay distinguishable.
+    pub shard_threads: usize,
     /// End-to-end seconds spent serving (excludes world/index setup).
     pub total_seconds: f64,
     /// Queries per second over `total_seconds` (errors included — they
     /// are answered requests too).
     pub qps: f64,
+    /// `qps / threads`: per-worker throughput, so thread-count scaling
+    /// is readable straight off the record trajectory.
+    pub qps_per_thread: f64,
     /// Per-query latency distribution.
     pub latency: LatencySummary,
 }
@@ -197,6 +215,11 @@ pub struct ServeRecord {
     pub index_load_seconds: f64,
     /// `"built"` or `"loaded"`.
     pub index_source: String,
+    /// Physical shards behind the engine (1 = monolithic).
+    pub shard_count: usize,
+    /// Per-shard segment load seconds, in shard order (empty unless a
+    /// sharded artifact was loaded).
+    pub shard_load_seconds: Vec<f64>,
     /// The serving measurements.
     pub serve: ServeSummary,
 }
@@ -213,9 +236,10 @@ impl ServeRecord {
         serve: ServeSummary,
     ) -> ServeRecord {
         ServeRecord {
-            // Shares the BenchRecord schema counter: 3 introduced the
-            // build breakdown these fields mirror; `serve` is additive.
-            schema: 3,
+            // Shares the BenchRecord schema counter (4: shard fields +
+            // per-thread QPS; 3 introduced the build breakdown these
+            // fields mirror).
+            schema: 4,
             kind: "serve".to_string(),
             num_queries: workload_queries,
             num_topics: config.wiki.num_topics,
@@ -228,6 +252,8 @@ impl ServeRecord {
             index_write_seconds: build.index_write_seconds,
             index_load_seconds: build.index_load_seconds,
             index_source: build.index_source.name().to_string(),
+            shard_count: build.shard_count,
+            shard_load_seconds: build.shard_load_seconds.clone(),
             serve,
         }
     }
@@ -258,15 +284,32 @@ pub fn report_and_summary_cached(
     config: &ExperimentConfig,
     index_cache: Option<&std::path::Path>,
 ) -> (Report, RunSummary, BuildStats) {
+    report_and_summary_with(config, index_cache, &WorldOptions::default())
+}
+
+/// [`report_and_summary_cached`] with explicit [`WorldOptions`]: the
+/// `--shards N` / `--mmap` knobs. The `Report` is byte-identical at any
+/// shard count.
+pub fn report_and_summary_with(
+    config: &ExperimentConfig,
+    index_cache: Option<&std::path::Path>,
+    options: &WorldOptions,
+) -> (Report, RunSummary, BuildStats) {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
     eprintln!(
-        "# querygraph reproduction: wiki seed {:#x}, corpus seed {:#x}, {} queries, {} threads",
-        config.wiki.seed, config.corpus.seed, config.corpus.num_queries, threads
+        "# querygraph reproduction: wiki seed {:#x}, corpus seed {:#x}, {} queries, {} threads, \
+         {} shard(s)",
+        config.wiki.seed,
+        config.corpus.seed,
+        config.corpus.num_queries,
+        threads,
+        options.shard_count(),
     );
     let t0 = Instant::now();
-    let (experiment, build) = Experiment::build_with_cache(config, index_cache);
+    let (experiment, build) =
+        querygraph_core::cache::build_experiment_with(config, index_cache, options);
     let build_seconds = t0.elapsed().as_secs_f64();
     eprintln!(
         "# built: {} articles, {} categories, {} docs, {build_seconds:.2}s \
@@ -370,6 +413,11 @@ pub struct CliOptions {
     /// `--bench-out <path>`: where to archive the bench record
     /// (defaults to the tier's [`Tier::default_bench_path`]).
     pub bench_out: Option<String>,
+    /// `--shards <n>`: doc-partitioned sharded backend + segmented
+    /// artifact layout (`None`: monolithic).
+    pub shards: Option<usize>,
+    /// `--mmap`: memory-map index artifacts instead of reading them.
+    pub mmap: bool,
 }
 
 /// The operand following `flag` in `args`, when the flag is present.
@@ -418,6 +466,16 @@ impl CliOptions {
             tier,
             index_cache: operand("--index-cache").map(PathBuf::from),
             bench_out: operand("--bench-out"),
+            shards: flag_usize(args, "--shards").map(|n| n.max(1)),
+            mmap: has("--mmap"),
+        }
+    }
+
+    /// The [`WorldOptions`] these flags select.
+    pub fn world_options(&self) -> WorldOptions {
+        WorldOptions {
+            shards: self.shards,
+            mmap: self.mmap,
         }
     }
 
@@ -444,6 +502,7 @@ pub fn config_from_args() -> ExperimentConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use querygraph_core::experiment::Experiment;
 
     fn opts(args: &[&str]) -> CliOptions {
         let v: Vec<String> = std::iter::once("bin".to_string())
@@ -495,6 +554,26 @@ mod tests {
     }
 
     #[test]
+    fn cli_shards_and_mmap() {
+        let defaults = opts(&[]);
+        assert_eq!(defaults.shards, None);
+        assert!(!defaults.mmap);
+        assert_eq!(defaults.world_options().shard_count(), 1);
+        let o = opts(&["--shards", "4", "--mmap"]);
+        assert_eq!(o.shards, Some(4));
+        assert!(o.mmap);
+        let wo = o.world_options();
+        assert_eq!(wo.shards, Some(4));
+        assert_eq!(wo.shard_count(), 4);
+        assert_eq!(
+            wo.source(),
+            querygraph_retrieval::ondisk::ArtifactSource::Mmap
+        );
+        // --shards 0 is clamped to 1 shard rather than rejected.
+        assert_eq!(opts(&["--shards", "0"]).shards, Some(1));
+    }
+
+    #[test]
     fn cli_bench_out_overrides_tier_default() {
         assert_eq!(opts(&["--tiny"]).bench_path(), "BENCH_tiny.json");
         let o = opts(&["--tiny", "--bench-out", "custom.json"]);
@@ -528,6 +607,8 @@ mod tests {
             index_write_seconds: 0.0,
             index_load_seconds: 0.125,
             index_source: IndexSource::Loaded,
+            shard_count: 1,
+            shard_load_seconds: Vec::new(),
         };
         let serve = ServeSummary {
             strategy: "cycles".to_string(),
@@ -535,9 +616,11 @@ mod tests {
             failures: 1,
             repeat: 2,
             top_k: 5,
-            threads: 1,
+            threads: 2,
+            shard_threads: 1,
             total_seconds: 0.5,
             qps: 20.0,
+            qps_per_thread: 10.0,
             latency: LatencySummary::of(&[100.0, 200.0]),
         };
         // A 5-query file served twice: the record says 5, not the
@@ -546,8 +629,17 @@ mod tests {
         assert_eq!(record.num_queries, 5, "workload size, not the tier's count");
         assert_eq!(record.kind, "serve");
         assert_eq!(record.index_source, "loaded");
+        assert_eq!(record.shard_count, 1);
         let json = serde_json::to_string(&record).expect("record serializes");
-        for field in ["\"kind\"", "\"serve\"", "p50_us", "qps", "strategy"] {
+        for field in [
+            "\"kind\"",
+            "\"serve\"",
+            "p50_us",
+            "qps",
+            "qps_per_thread",
+            "strategy",
+            "shard_count",
+        ] {
             assert!(json.contains(field), "record missing {field}");
         }
         let back: ServeRecord = serde_json::from_str(&json).expect("record parses");
@@ -555,7 +647,7 @@ mod tests {
     }
 
     #[test]
-    fn bench_record_schema_3_carries_build_breakdown() {
+    fn bench_record_schema_4_carries_build_breakdown() {
         use querygraph_core::cache::IndexSource;
         let build = BuildStats {
             world_seconds: 0.5,
@@ -563,12 +655,16 @@ mod tests {
             index_write_seconds: 0.0,
             index_load_seconds: 0.125,
             index_source: IndexSource::Loaded,
+            shard_count: 1,
+            shard_load_seconds: Vec::new(),
         };
         let exp = Experiment::build(&tiny_config());
         let (_, run) = exp.run_parallel_with_summary(2);
         let record = BenchRecord::new(&tiny_config(), &build, run);
-        assert_eq!(record.schema, 3);
+        assert_eq!(record.schema, 4);
         assert_eq!(record.index_source, "loaded");
+        assert_eq!(record.shard_count, 1);
+        assert!(record.shard_load_seconds.is_empty());
         assert!((record.build_seconds - 0.625).abs() < 1e-12);
         let json = serde_json::to_string(&record).expect("record serializes");
         for field in [
@@ -578,6 +674,8 @@ mod tests {
             "index_load_seconds",
             "index_source",
             "articles_per_topic",
+            "shard_count",
+            "shard_load_seconds",
         ] {
             assert!(json.contains(field), "record missing {field}");
         }

@@ -27,14 +27,55 @@ use crate::experiment::Experiment;
 use crate::service::ServiceError;
 use querygraph_corpus::imageclef::linking_text;
 use querygraph_corpus::synth::{generate_corpus, SynthCorpus};
+use querygraph_retrieval::backend::AnyEngine;
 use querygraph_retrieval::engine::SearchEngine;
 use querygraph_retrieval::index::IndexBuilder;
 use querygraph_retrieval::lm::LmParams;
-use querygraph_retrieval::ondisk;
+use querygraph_retrieval::ondisk::{self, ArtifactSource};
+use querygraph_retrieval::sharded::{self, ShardedEngine, ShardedError};
 use querygraph_wiki::synth::{generate, SynthWiki};
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+/// How to build (or load) the retrieval backend of a world: physical
+/// layout and artifact byte source. The default is today's behaviour —
+/// one monolithic engine, artifact read into memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorldOptions {
+    /// `Some(n)`: a [`ShardedEngine`] over `n` doc-partitioned shards
+    /// (manifest + per-shard segments on disk; results byte-identical
+    /// to the monolithic engine at any `n`, including 1). `None`: the
+    /// monolithic engine and single-artifact layout.
+    pub shards: Option<usize>,
+    /// Memory-map artifacts instead of reading them (opt-in; falls
+    /// back to reading on any error).
+    pub mmap: bool,
+}
+
+impl WorldOptions {
+    /// Options for an `n`-shard layout.
+    pub fn sharded(n: usize) -> WorldOptions {
+        WorldOptions {
+            shards: Some(n.max(1)),
+            mmap: false,
+        }
+    }
+
+    /// The artifact byte source these options select.
+    pub fn source(&self) -> ArtifactSource {
+        if self.mmap {
+            ArtifactSource::Mmap
+        } else {
+            ArtifactSource::Read
+        }
+    }
+
+    /// Physical shard count (1 for the monolithic layout).
+    pub fn shard_count(&self) -> usize {
+        self.shards.unwrap_or(1).max(1)
+    }
+}
 
 /// Where the experiment's index came from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -69,6 +110,12 @@ pub struct BuildStats {
     pub index_load_seconds: f64,
     /// Whether the index was built or loaded.
     pub index_source: IndexSource,
+    /// Physical shards behind the engine (1 = monolithic).
+    pub shard_count: usize,
+    /// Per-shard segment read+decode seconds, in shard order (empty
+    /// unless a sharded artifact was loaded; segments load in
+    /// parallel, so these can sum past `index_load_seconds`).
+    pub shard_load_seconds: Vec<f64>,
 }
 
 impl BuildStats {
@@ -100,6 +147,31 @@ pub fn artifact_path(dir: &Path, config: &ExperimentConfig) -> PathBuf {
     dir.join(format!("index-{:016x}.qgidx", config_fingerprint(config)))
 }
 
+/// Fingerprint of a **sharded** artifact: the configuration inputs
+/// *plus the shard count*. A 4-shard and an 8-shard cache of the same
+/// world are different artifacts (different doc partitions, different
+/// segment sets), so they must never satisfy each other's loads.
+pub fn sharded_fingerprint(config: &ExperimentConfig, shards: usize) -> u64 {
+    let wiki = serde_json::to_string(&config.wiki).expect("wiki config serializes");
+    let corpus = serde_json::to_string(&config.corpus).expect("corpus config serializes");
+    ondisk::fnv1a(format!("{wiki}\n{corpus}\nshards={shards}").as_bytes())
+}
+
+/// The file stem of a sharded artifact (`<stem>.qgman` +
+/// `<stem>.shard<i>.qgidx`, see [`querygraph_retrieval::sharded`]).
+pub fn sharded_stem(config: &ExperimentConfig, shards: usize) -> String {
+    format!(
+        "index-{:016x}-s{shards}",
+        sharded_fingerprint(config, shards)
+    )
+}
+
+/// The manifest path of the `shards`-way artifact for `config` in
+/// `dir` — the existence probe for a sharded cache hit.
+pub fn sharded_manifest_path(dir: &Path, config: &ExperimentConfig, shards: usize) -> PathBuf {
+    dir.join(sharded::manifest_file(&sharded_stem(config, shards)))
+}
+
 /// Strictly load the engine for `config` from the fingerprint-keyed
 /// artifact in `dir`: seeded phrase dictionary included, every failure
 /// a typed [`ServiceError`] (never a panic, never a silently wrong
@@ -116,14 +188,27 @@ pub fn load_engine(
     corpus_docs: Option<usize>,
     lm: LmParams,
 ) -> Result<SearchEngine, ServiceError> {
+    load_engine_with(config, dir, corpus_docs, lm, ArtifactSource::Read)
+}
+
+/// [`load_engine`] with an explicit artifact byte source
+/// ([`ArtifactSource::Mmap`] maps the file instead of reading it).
+pub fn load_engine_with(
+    config: &ExperimentConfig,
+    dir: &Path,
+    corpus_docs: Option<usize>,
+    lm: LmParams,
+    source: ArtifactSource,
+) -> Result<SearchEngine, ServiceError> {
     let path = artifact_path(dir, config);
     if !path.exists() {
         return Err(ServiceError::ArtifactMissing { path });
     }
-    let loaded = ondisk::load_index(&path).map_err(|source| ServiceError::ArtifactLoad {
-        path: path.clone(),
-        source,
-    })?;
+    let loaded =
+        ondisk::load_index_with(&path, source).map_err(|source| ServiceError::ArtifactLoad {
+            path: path.clone(),
+            source,
+        })?;
     let fingerprint = config_fingerprint(config);
     if loaded.meta_fingerprint != fingerprint {
         return Err(ServiceError::ArtifactFingerprint {
@@ -146,21 +231,90 @@ pub fn load_engine(
     Ok(engine)
 }
 
+/// Strictly load the `shards`-way engine for `config` from the
+/// manifest-keyed sharded artifact in `dir`: every segment is
+/// independently validated and its phrase dictionary seeded, segments
+/// load in parallel, and every failure is a typed [`ServiceError`]
+/// that — for segment failures — names the shard
+/// ([`ServiceError::ArtifactShard`]).
+///
+/// Returns the engine plus per-shard load seconds (for the bench
+/// records).
+pub fn load_sharded_engine(
+    config: &ExperimentConfig,
+    dir: &Path,
+    shards: usize,
+    corpus_docs: Option<usize>,
+    lm: LmParams,
+    source: ArtifactSource,
+) -> Result<(ShardedEngine, Vec<f64>), ServiceError> {
+    let manifest = sharded_manifest_path(dir, config, shards);
+    if !manifest.exists() {
+        return Err(ServiceError::ArtifactMissing { path: manifest });
+    }
+    let stem = sharded_stem(config, shards);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(shards);
+    let loaded = sharded::load_sharded(
+        dir,
+        &stem,
+        sharded_fingerprint(config, shards),
+        shards,
+        threads,
+        source,
+    )
+    .map_err(|e| match e {
+        ShardedError::Manifest(ondisk::OndiskError::MetaMismatch { expected, found }) => {
+            ServiceError::ArtifactFingerprint {
+                path: manifest.clone(),
+                expected,
+                found,
+            }
+        }
+        ShardedError::Manifest(source) => ServiceError::ArtifactLoad {
+            path: manifest.clone(),
+            source,
+        },
+        ShardedError::Shard { shard, source } => ServiceError::ArtifactShard {
+            path: dir.join(sharded::segment_file(&stem, shard)),
+            shard,
+            source,
+        },
+    })?;
+    let shard_load_seconds = loaded.shard_load_seconds.clone();
+    let engine = ShardedEngine::from_loaded(loaded, lm);
+    if let Some(docs) = corpus_docs {
+        if engine.num_docs() != docs {
+            return Err(ServiceError::ArtifactStale {
+                path: manifest,
+                indexed_docs: engine.num_docs(),
+                corpus_docs: docs,
+            });
+        }
+    }
+    Ok((engine, shard_load_seconds))
+}
+
 /// The single world-construction path behind [`Experiment::build`],
 /// [`Experiment::build_with_cache`] and
 /// [`crate::service::ServingWorld::open`]: synthesize the wiki and
-/// corpus, then load the index from the cache or build (and persist)
-/// it. Cache-backed and in-memory construction share every line except
-/// the load attempt, so they cannot drift.
+/// corpus, then load the backend from the cache or build (and persist)
+/// it — monolithic or sharded per [`WorldOptions`]. Cache-backed and
+/// in-memory construction share every line except the load attempt, so
+/// they cannot drift.
 pub(crate) fn build_world(
     config: &ExperimentConfig,
     cache_dir: Option<&Path>,
     lm: LmParams,
-) -> (SynthWiki, SynthCorpus, SearchEngine, BuildStats) {
+    options: &WorldOptions,
+) -> (SynthWiki, SynthCorpus, AnyEngine, BuildStats) {
     let t0 = Instant::now();
     let wiki = generate(&config.wiki);
     let corpus = generate_corpus(&wiki, &config.corpus);
     let world_seconds = t0.elapsed().as_secs_f64();
+    let shard_count = options.shard_count();
 
     if let Some(dir) = cache_dir {
         let t = Instant::now();
@@ -172,14 +326,23 @@ pub(crate) fn build_world(
         // document set shifts the doc count with overwhelming
         // likelihood, and anything subtler is caught by the
         // golden-fingerprint tests the moment results would change.
-        match load_engine(config, dir, Some(corpus.corpus.len()), lm) {
-            Ok(engine) => {
+        let docs = Some(corpus.corpus.len());
+        let loaded: Result<(AnyEngine, Vec<f64>), ServiceError> = match options.shards {
+            None => load_engine_with(config, dir, docs, lm, options.source())
+                .map(|e| (AnyEngine::Mono(e), Vec::new())),
+            Some(n) => load_sharded_engine(config, dir, n, docs, lm, options.source())
+                .map(|(e, secs)| (AnyEngine::Sharded(e), secs)),
+        };
+        match loaded {
+            Ok((engine, shard_load_seconds)) => {
                 let stats = BuildStats {
                     world_seconds,
                     index_build_seconds: 0.0,
                     index_write_seconds: 0.0,
                     index_load_seconds: t.elapsed().as_secs_f64(),
                     index_source: IndexSource::Loaded,
+                    shard_count,
+                    shard_load_seconds,
                 };
                 return (wiki, corpus, engine, stats);
             }
@@ -194,41 +357,96 @@ pub(crate) fn build_world(
     }
 
     let t = Instant::now();
-    let mut ib = IndexBuilder::new();
-    for (_, doc) in corpus.corpus.iter() {
-        ib.add_document(&linking_text(doc));
-    }
-    let engine = SearchEngine::with_params(ib.build(), lm);
-    if cache_dir.is_some() {
-        // Warm the phrase dictionary with every main-article title —
-        // the phrases the §2.2 hill climb evaluates — so the artifact
-        // ships a complete dictionary and loaded runs skip all phrase
-        // matching. The dictionary is a section of the artifact, so
-        // warming counts as index *build* time; uncached builds skip
-        // it and let the hill climb resolve phrases lazily, exactly as
-        // before (either way the Report is byte-identical — the
-        // dictionary is pure memoization).
-        for article in wiki.kb.main_articles() {
-            engine.warm_phrase(&querygraph_text::tokenize(wiki.kb.title(article)));
+    let engine = match options.shards {
+        None => {
+            let mut ib = IndexBuilder::new();
+            for (_, doc) in corpus.corpus.iter() {
+                ib.add_document(&linking_text(doc));
+            }
+            let engine = SearchEngine::with_params(ib.build(), lm);
+            if cache_dir.is_some() {
+                // Warm the phrase dictionary with every main-article
+                // title — the phrases the §2.2 hill climb evaluates —
+                // so the artifact ships a complete dictionary and
+                // loaded runs skip all phrase matching. The dictionary
+                // is a section of the artifact, so warming counts as
+                // index *build* time; uncached builds skip it and let
+                // the hill climb resolve phrases lazily, exactly as
+                // before (either way the Report is byte-identical —
+                // the dictionary is pure memoization).
+                for article in wiki.kb.main_articles() {
+                    engine.warm_phrase(&querygraph_text::tokenize(wiki.kb.title(article)));
+                }
+            }
+            AnyEngine::Mono(engine)
         }
-    }
+        Some(n) => {
+            // Doc-partition the corpus into contiguous shards (global
+            // doc id = shard base + local id, so iteration order here
+            // *is* the global order).
+            let n = n.max(1);
+            let num_docs = corpus.corpus.len();
+            let mut builders: Vec<IndexBuilder> = (0..n).map(|_| IndexBuilder::new()).collect();
+            let ranges = sharded::doc_ranges(num_docs, n);
+            let mut shard_of_doc = 0usize;
+            for (i, (_, doc)) in corpus.corpus.iter().enumerate() {
+                while i >= ranges[shard_of_doc].end {
+                    shard_of_doc += 1;
+                }
+                builders[shard_of_doc].add_document(&linking_text(doc));
+            }
+            let shards: Vec<SearchEngine> = builders
+                .into_iter()
+                .map(|b| SearchEngine::with_params(b.build(), lm))
+                .collect();
+            let engine = ShardedEngine::from_shards(shards, lm);
+            if cache_dir.is_some() {
+                // Same warming as the monolithic path, on every shard:
+                // each segment ships its own complete local dictionary.
+                for article in wiki.kb.main_articles() {
+                    engine.warm_phrase(&querygraph_text::tokenize(wiki.kb.title(article)));
+                }
+            }
+            AnyEngine::Sharded(engine)
+        }
+    };
     let index_build_seconds = t.elapsed().as_secs_f64();
 
     let mut index_write_seconds = 0.0;
     if let Some(dir) = cache_dir {
         let t = Instant::now();
-        let path = artifact_path(dir, config);
-        let written = std::fs::create_dir_all(dir).and_then(|()| {
-            ondisk::save_index(
-                &path,
-                engine.index(),
-                &engine.export_phrase_cache(),
-                config_fingerprint(config),
-            )
-        });
+        // Persistence failures (read-only cache directory, full disk,
+        // a file in the way …) must not fail the run: log one warning
+        // and serve from the freshly built in-memory engine — the
+        // cache loses time, never correctness.
+        let (label, written) = match &engine {
+            AnyEngine::Mono(e) => {
+                let path = artifact_path(dir, config);
+                let written = std::fs::create_dir_all(dir).and_then(|()| {
+                    ondisk::save_index(
+                        &path,
+                        e.index(),
+                        &e.export_phrase_cache(),
+                        config_fingerprint(config),
+                    )
+                });
+                (path.display().to_string(), written)
+            }
+            AnyEngine::Sharded(e) => {
+                let stem = sharded_stem(config, shard_count);
+                let written = std::fs::create_dir_all(dir).and_then(|()| {
+                    sharded::save_sharded(
+                        dir,
+                        &stem,
+                        e.shards(),
+                        sharded_fingerprint(config, shard_count),
+                    )
+                });
+                (dir.join(&stem).display().to_string(), written)
+            }
+        };
         if let Err(e) = written {
-            // Failure to persist must not fail the run.
-            eprintln!("# index cache write {} failed: {e}", path.display());
+            eprintln!("# index cache write {label} failed: {e} — serving from the in-memory build");
         }
         index_write_seconds = t.elapsed().as_secs_f64();
     }
@@ -239,6 +457,8 @@ pub(crate) fn build_world(
         index_write_seconds,
         index_load_seconds: 0.0,
         index_source: IndexSource::Built,
+        shard_count,
+        shard_load_seconds: Vec::new(),
     };
     (wiki, corpus, engine, stats)
 }
@@ -255,7 +475,20 @@ pub fn build_experiment(
     config: &ExperimentConfig,
     cache_dir: Option<&Path>,
 ) -> (Experiment, BuildStats) {
-    let (wiki, corpus, engine, stats) = build_world(config, cache_dir, LmParams::default());
+    build_experiment_with(config, cache_dir, &WorldOptions::default())
+}
+
+/// [`build_experiment`] with explicit [`WorldOptions`] — the sharded
+/// layout and/or mmap-backed loading. The `Report` produced is
+/// byte-identical at any shard count (golden-pinned and
+/// property-tested).
+pub fn build_experiment_with(
+    config: &ExperimentConfig,
+    cache_dir: Option<&Path>,
+    options: &WorldOptions,
+) -> (Experiment, BuildStats) {
+    let (wiki, corpus, engine, stats) =
+        build_world(config, cache_dir, LmParams::default(), options);
     let experiment = Experiment {
         wiki,
         corpus,
@@ -318,15 +551,15 @@ mod tests {
         let (built, _) = build_experiment(&config, Some(&dir));
         let (loaded, stats) = build_experiment(&config, Some(&dir));
         assert_eq!(stats.index_source, IndexSource::Loaded);
-        let a = built.engine.index();
-        let b = loaded.engine.index();
+        let a = built.engine.as_mono().expect("mono build").index();
+        let b = loaded.engine.as_mono().expect("mono load").index();
         assert_eq!(a.num_docs(), b.num_docs());
         assert_eq!(a.num_terms(), b.num_terms());
         assert_eq!(a.total_tokens(), b.total_tokens());
         // The persisted phrase dictionary arrives warm and identical.
         assert_eq!(
-            built.engine.export_phrase_cache(),
-            loaded.engine.export_phrase_cache()
+            built.engine.as_mono().unwrap().export_phrase_cache(),
+            loaded.engine.as_mono().unwrap().export_phrase_cache()
         );
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -365,7 +598,7 @@ mod tests {
         let (wrong_world, _) = build_experiment(&other, None);
         ondisk::save_index(
             &artifact_path(&dir, &config),
-            wrong_world.engine.index(),
+            wrong_world.engine.as_mono().expect("mono").index(),
             &[],
             config_fingerprint(&config),
         )
@@ -376,10 +609,7 @@ mod tests {
             IndexSource::Built,
             "stale artifact must be rejected by the doc-count guard"
         );
-        assert_eq!(
-            experiment.engine.index().num_docs(),
-            experiment.corpus.corpus.len()
-        );
+        assert_eq!(experiment.engine.num_docs(), experiment.corpus.corpus.len());
         // …and the rewritten artifact loads next time.
         let (_, again) = build_experiment(&config, Some(&dir));
         assert_eq!(again.index_source, IndexSource::Loaded);
@@ -406,6 +636,63 @@ mod tests {
     }
 
     #[test]
+    fn sharded_cold_build_writes_then_warm_run_loads() {
+        let dir = temp_cache("sharded-cold-warm");
+        let config = ExperimentConfig::tiny();
+        let options = WorldOptions::sharded(3);
+        std::fs::remove_file(sharded_manifest_path(&dir, &config, 3)).ok();
+
+        let (cold_exp, cold) = build_experiment_with(&config, Some(&dir), &options);
+        assert_eq!(cold.index_source, IndexSource::Built);
+        assert_eq!(cold.shard_count, 3);
+        assert!(cold_exp.engine.as_sharded().is_some());
+        assert!(
+            sharded_manifest_path(&dir, &config, 3).exists(),
+            "cold run must persist the manifest"
+        );
+
+        let (warm_exp, warm) = build_experiment_with(&config, Some(&dir), &options);
+        assert_eq!(warm.index_source, IndexSource::Loaded);
+        assert_eq!(warm.shard_count, 3);
+        assert_eq!(warm.shard_load_seconds.len(), 3);
+        assert_eq!(warm_exp.engine.num_docs(), cold_exp.engine.num_docs());
+
+        // A different shard count is a different artifact: cold again.
+        let (_, other) = build_experiment_with(&config, Some(&dir), &WorldOptions::sharded(2));
+        assert_eq!(
+            other.index_source,
+            IndexSource::Built,
+            "shard count keys the fingerprint"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unwritable_cache_dir_serves_built_engine() {
+        // A cache path that cannot be a directory (it's a file): the
+        // write fails, the run must log one warning and serve from the
+        // freshly built in-memory engine — monolithic and sharded
+        // alike. (A 0o555 directory doesn't cut it as a fixture: the
+        // test user may be root, for whom read-only modes are
+        // advisory.)
+        let blocker =
+            std::env::temp_dir().join(format!("querygraph-cache-blocker-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").expect("blocker file");
+        let config = ExperimentConfig::tiny();
+        for options in [WorldOptions::default(), WorldOptions::sharded(2)] {
+            let (experiment, stats) = build_experiment_with(&config, Some(&blocker), &options);
+            assert_eq!(stats.index_source, IndexSource::Built);
+            assert_eq!(
+                experiment.engine.num_docs(),
+                experiment.corpus.corpus.len(),
+                "in-memory engine must serve despite the failed write"
+            );
+            assert_eq!(experiment.engine.shard_count(), options.shard_count());
+        }
+        std::fs::remove_file(&blocker).ok();
+    }
+
+    #[test]
     fn build_stats_total_covers_all_parts() {
         let stats = BuildStats {
             world_seconds: 1.0,
@@ -413,6 +700,8 @@ mod tests {
             index_write_seconds: 0.25,
             index_load_seconds: 0.5,
             index_source: IndexSource::Built,
+            shard_count: 1,
+            shard_load_seconds: Vec::new(),
         };
         assert!((stats.total_seconds() - 3.75).abs() < 1e-12);
         assert_eq!(IndexSource::Built.name(), "built");

@@ -31,7 +31,7 @@ use crate::tables::{
 };
 use querygraph_corpus::synth::SynthCorpus;
 use querygraph_link::EntityLinker;
-use querygraph_retrieval::engine::SearchEngine;
+use querygraph_retrieval::backend::AnyEngine;
 use querygraph_retrieval::stats::{five_number, ols, FiveNumber};
 use querygraph_wiki::stats::{kb_stats, KbStats};
 use querygraph_wiki::synth::SynthWiki;
@@ -44,8 +44,10 @@ pub struct Experiment {
     pub wiki: SynthWiki,
     /// The synthetic ImageCLEF-like corpus and query set.
     pub corpus: SynthCorpus,
-    /// The INDRI-like engine over the documents' linking text.
-    pub engine: SearchEngine,
+    /// The INDRI-like retrieval backend over the documents' linking
+    /// text — monolithic or sharded ([`AnyEngine`]); the analysis is
+    /// byte-identical either way.
+    pub engine: AnyEngine,
     /// The configuration used to build this experiment.
     pub config: ExperimentConfig,
 }
@@ -118,6 +120,20 @@ impl Experiment {
         crate::cache::build_experiment(config, cache_dir)
     }
 
+    /// [`Experiment::build`] over a sharded backend: `shards`
+    /// doc-partitioned shards behind deterministic scatter-gather. The
+    /// `Report` is byte-identical to the monolithic build at any shard
+    /// count (golden-pinned and property-tested in
+    /// `tests/sharded_equivalence.rs`).
+    pub fn build_sharded(config: &ExperimentConfig, shards: usize) -> Experiment {
+        crate::cache::build_experiment_with(
+            config,
+            None,
+            &crate::cache::WorldOptions::sharded(shards),
+        )
+        .0
+    }
+
     /// A serving facade ([`crate::service::QueryExpander`]) over this
     /// experiment's world, with default knobs. Builds the entity
     /// linker; construct once and reuse.
@@ -168,7 +184,7 @@ impl Experiment {
         pipeline::analyze_one(
             &self.config,
             &self.corpus,
-            &self.engine,
+            self.engine.backend(),
             &self.wiki.kb,
             linker,
             qi,

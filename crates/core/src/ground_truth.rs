@@ -18,7 +18,7 @@
 //! termination is guaranteed; a `max_iterations` cap guards degenerate
 //! configurations anyway.
 
-use querygraph_retrieval::engine::SearchEngine;
+use querygraph_retrieval::backend::RetrievalBackend;
 use querygraph_retrieval::metrics::{average_quality, precisions};
 use querygraph_retrieval::workspace::{LeafId, ScoreWorkspace};
 use querygraph_wiki::{ArticleId, KnowledgeBase};
@@ -119,7 +119,7 @@ pub struct QualityEvaluator<'a> {
 }
 
 struct EvalState<'a> {
-    workspace: ScoreWorkspace<'a>,
+    workspace: ScoreWorkspace<'a, dyn RetrievalBackend + 'a>,
     /// Article → resolved leaf (`None`: title normalizes to nothing).
     leaf_of: HashMap<ArticleId, Option<LeafId>>,
     /// Sorted article-id multiset → quality.
@@ -148,7 +148,7 @@ impl<'a> QualityEvaluator<'a> {
     /// Evaluator for one query's relevant set (doc ids in any order).
     pub fn new(
         kb: &'a KnowledgeBase,
-        engine: &'a SearchEngine,
+        engine: &'a dyn RetrievalBackend,
         relevant: &[u32],
         search_depth: usize,
     ) -> Self {
@@ -160,7 +160,7 @@ impl<'a> QualityEvaluator<'a> {
     /// memoized and unmemoized climbs.
     pub fn without_memo(
         kb: &'a KnowledgeBase,
-        engine: &'a SearchEngine,
+        engine: &'a dyn RetrievalBackend,
         relevant: &[u32],
         search_depth: usize,
     ) -> Self {
@@ -169,7 +169,7 @@ impl<'a> QualityEvaluator<'a> {
 
     fn with_memo(
         kb: &'a KnowledgeBase,
-        engine: &'a SearchEngine,
+        engine: &'a dyn RetrievalBackend,
         relevant: &[u32],
         search_depth: usize,
         memo_enabled: bool,
@@ -453,6 +453,7 @@ pub fn find_ground_truth(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use querygraph_retrieval::engine::SearchEngine;
     use querygraph_retrieval::index::IndexBuilder;
     use querygraph_wiki::KbBuilder;
 

@@ -12,12 +12,14 @@
 //!   phrase cache is interior-mutable behind a lock but only memoizes).
 //! * [`analyze_timed`](PipelineCtx::analyze_timed) — the paper's §2–§3
 //!   per-query pipeline, instrumented per [`Stage`].
-//! * [`parallel_map`] — the deterministic work-stealing runner itself,
-//!   generalized: map `0..n` through a pure function over
-//!   `std::thread::scope` workers with chunked work stealing, results
-//!   reassembled in index order. [`run_queries`] and the serving
-//!   facade's [`crate::service::QueryExpander::expand_batch`] are both
-//!   clients.
+//! * [`parallel_map`] — the deterministic work-stealing runner,
+//!   re-exported from `querygraph_retrieval::par` (it moved down so the
+//!   sharded engine can scatter per-shard work on it too): map `0..n`
+//!   through a pure function over `std::thread::scope` workers with
+//!   chunked work stealing, results reassembled in index order.
+//!   [`run_queries`], the serving facade's
+//!   [`crate::service::QueryExpander::expand_batch`], per-shard
+//!   retrieval, and parallel segment loading are all clients.
 //! * [`run_queries`] — distributes queries over [`parallel_map`].
 //!   Output is **deterministic**: each analysis depends only on the
 //!   read-only context and its query index, and results are
@@ -39,13 +41,14 @@ use crate::service::QueryExpander;
 use querygraph_corpus::imageclef::linking_text;
 use querygraph_corpus::synth::SynthCorpus;
 use querygraph_link::EntityLinker;
-use querygraph_retrieval::engine::SearchEngine;
+use querygraph_retrieval::backend::RetrievalBackend;
 use querygraph_wiki::{ArticleId, KnowledgeBase};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
+
+pub use querygraph_retrieval::par::parallel_map;
 
 /// The instrumented stages of one query's analysis, in execution order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -139,8 +142,9 @@ pub struct PipelineCtx<'a> {
     pub config: &'a ExperimentConfig,
     /// The corpus and query set under analysis.
     pub corpus: &'a SynthCorpus,
-    /// The search engine over the documents' linking text.
-    pub engine: &'a SearchEngine,
+    /// The retrieval backend over the documents' linking text —
+    /// monolithic or sharded, byte-identical either way.
+    pub engine: &'a dyn RetrievalBackend,
     /// The knowledge base the query graphs are induced from.
     pub kb: &'a KnowledgeBase,
     /// The serving facade over the same world (entity linker built
@@ -155,9 +159,9 @@ impl<'a> PipelineCtx<'a> {
         PipelineCtx {
             config: &experiment.config,
             corpus: &experiment.corpus,
-            engine: &experiment.engine,
+            engine: experiment.engine.backend(),
             kb: &experiment.wiki.kb,
-            expander: QueryExpander::new(&experiment.wiki.kb, &experiment.engine),
+            expander: QueryExpander::new(&experiment.wiki.kb, experiment.engine.backend()),
         }
     }
 
@@ -326,100 +330,11 @@ pub fn run_queries(ctx: &PipelineCtx<'_>, threads: usize) -> (Vec<QueryAnalysis>
     (per_query, summary)
 }
 
-/// Map `0..n` through `f` across `threads` scoped workers with chunked
-/// work stealing, reassembling results in index order.
-///
-/// This is the execution engine under [`run_queries`] and
-/// [`crate::service::QueryExpander::expand_batch`]. Output is
-/// **deterministic** for pure `f`: the steal schedule only decides
-/// *who* computes an index, never *what* is computed, and slot `i`
-/// always receives `f(i)`. `threads <= 1` runs inline on the calling
-/// thread (no spawn overhead); workers are capped at `n`.
-pub fn parallel_map<T, F>(n: usize, threads: usize, f: F) -> Vec<T>
-where
-    T: Send,
-    F: Fn(usize) -> T + Sync,
-{
-    let workers = threads.max(1).min(n.max(1));
-    if workers <= 1 {
-        return (0..n).map(f).collect();
-    }
-    let queue = StealQueue::new(n, workers);
-    let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|w| {
-                let queue = &queue;
-                let f = &f;
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    while let Some(i) = queue.claim(w) {
-                        local.push((i, f(i)));
-                    }
-                    local
-                })
-            })
-            .collect();
-        for handle in handles {
-            for (i, value) in handle.join().expect("parallel_map worker panicked") {
-                debug_assert!(slots[i].is_none(), "index {i} claimed twice");
-                slots[i] = Some(value);
-            }
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| slot.expect("every index mapped exactly once"))
-        .collect()
-}
-
-/// Chunked work-stealing index queue over `0..n`.
-///
-/// Worker `w` drains its own chunk with `fetch_add`, then sweeps the
-/// other chunks in ring order. A cursor may overshoot its chunk end by
-/// at most one claim per polling worker; overshoots are discarded, so
-/// every index in `0..n` is handed out exactly once.
-struct StealQueue {
-    cursors: Vec<AtomicUsize>,
-    ends: Vec<usize>,
-}
-
-impl StealQueue {
-    fn new(n: usize, workers: usize) -> StealQueue {
-        let base = n / workers;
-        let extra = n % workers;
-        let mut cursors = Vec::with_capacity(workers);
-        let mut ends = Vec::with_capacity(workers);
-        let mut next = 0usize;
-        for w in 0..workers {
-            let len = base + usize::from(w < extra);
-            cursors.push(AtomicUsize::new(next));
-            next += len;
-            ends.push(next);
-        }
-        StealQueue { cursors, ends }
-    }
-
-    /// Claim the next index for `worker`, stealing when its own chunk is
-    /// drained. Returns `None` when the whole queue is exhausted.
-    fn claim(&self, worker: usize) -> Option<usize> {
-        let w = self.cursors.len();
-        for k in 0..w {
-            let chunk = (worker + k) % w;
-            let idx = self.cursors[chunk].fetch_add(1, Ordering::Relaxed);
-            if idx < self.ends[chunk] {
-                return Some(idx);
-            }
-        }
-        None
-    }
-}
-
 /// The §2–§3 pipeline for one query, instrumented per stage.
 pub(crate) fn analyze_one(
     config: &ExperimentConfig,
     corpus: &SynthCorpus,
-    engine: &SearchEngine,
+    engine: &dyn RetrievalBackend,
     kb: &KnowledgeBase,
     linker: &EntityLinker<'_>,
     qi: usize,
@@ -518,48 +433,6 @@ pub(crate) fn analyze_one(
 mod tests {
     use super::*;
     use crate::experiment::ExperimentConfig;
-
-    #[test]
-    fn steal_queue_hands_out_every_index_once() {
-        for (n, workers) in [(0, 3), (1, 4), (7, 3), (24, 4), (5, 8)] {
-            let queue = StealQueue::new(n, workers.min(n.max(1)));
-            let mut seen = vec![0usize; n];
-            for w in 0..queue.cursors.len() {
-                while let Some(idx) = queue.claim(w) {
-                    seen[idx] += 1;
-                }
-            }
-            assert!(seen.iter().all(|&c| c == 1), "n={n} w={workers}: {seen:?}");
-        }
-    }
-
-    #[test]
-    fn steal_queue_is_exhaustive_under_contention() {
-        let n = 97;
-        let workers = 8;
-        let queue = StealQueue::new(n, workers);
-        let claimed: Vec<usize> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let queue = &queue;
-                    scope.spawn(move || {
-                        let mut mine = Vec::new();
-                        while let Some(idx) = queue.claim(w) {
-                            mine.push(idx);
-                        }
-                        mine
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("claimer panicked"))
-                .collect()
-        });
-        let mut sorted = claimed;
-        sorted.sort_unstable();
-        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
-    }
 
     #[test]
     fn stage_timings_accumulate_and_total() {

@@ -10,7 +10,7 @@
 //! queries end to end:
 //!
 //! * [`QueryExpander`] — built once from a knowledge base and a
-//!   [`SearchEngine`]; answers [`ExpansionRequest`]s (entity linking →
+//!   [`RetrievalBackend`]; answers [`ExpansionRequest`]s (entity linking →
 //!   expansion features → INDRI query → optional retrieval) through
 //!   [`ExpansionResponse`]s. Every failure on the serving path is a
 //!   typed [`ServiceError`], never a panic.
@@ -44,7 +44,7 @@
 //! assert!(response.expanded_query.starts_with("#combine("));
 //! ```
 
-use crate::cache;
+use crate::cache::{self, WorldOptions};
 use crate::config::ExperimentConfig;
 use crate::expansion::{
     expanded_titles, CycleExpander, CycleExpanderConfig, DirectLinkExpander, Expander,
@@ -52,7 +52,7 @@ use crate::expansion::{
 };
 use crate::pipeline::parallel_map;
 use querygraph_link::EntityLinker;
-use querygraph_retrieval::engine::SearchEngine;
+use querygraph_retrieval::backend::{AnyEngine, RetrievalBackend};
 use querygraph_retrieval::lm::LmParams;
 use querygraph_retrieval::ondisk::OndiskError;
 use querygraph_retrieval::query_lang::QueryNode;
@@ -86,11 +86,24 @@ pub enum ServiceError {
         path: PathBuf,
     },
     /// The artifact exists but failed to load (corruption, truncation,
-    /// version skew — see the wrapped [`OndiskError`]).
+    /// version skew — see the wrapped [`OndiskError`]). For sharded
+    /// artifacts this covers the *manifest*; segment failures carry
+    /// their shard index in [`ServiceError::ArtifactShard`].
     ArtifactLoad {
         /// The artifact path.
         path: PathBuf,
         /// The loader's typed failure.
+        source: OndiskError,
+    },
+    /// One segment of a sharded artifact failed to load — corruption,
+    /// truncation, a segment swapped into the wrong slot. Names the
+    /// shard so an operator knows exactly which segment to replace.
+    ArtifactShard {
+        /// The failing segment's path.
+        path: PathBuf,
+        /// Index of the failing shard.
+        shard: usize,
+        /// The segment loader's typed failure.
         source: OndiskError,
     },
     /// The artifact loaded but was written for a different world
@@ -133,6 +146,15 @@ impl fmt::Display for ServiceError {
             ServiceError::ArtifactLoad { path, source } => {
                 write!(f, "index artifact {}: {source}", path.display())
             }
+            ServiceError::ArtifactShard {
+                path,
+                shard,
+                source,
+            } => write!(
+                f,
+                "index artifact shard {shard} ({}): {source}",
+                path.display()
+            ),
             ServiceError::ArtifactFingerprint {
                 path,
                 expected,
@@ -160,7 +182,8 @@ impl fmt::Display for ServiceError {
 impl std::error::Error for ServiceError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ServiceError::ArtifactLoad { source, .. } => Some(source),
+            ServiceError::ArtifactLoad { source, .. }
+            | ServiceError::ArtifactShard { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -379,7 +402,13 @@ impl QueryExpanderBuilder {
 
     /// Build the expander over a borrowed world. Constructs the entity
     /// linker's title dictionary — the expensive part — exactly once.
-    pub fn build<'w>(&self, kb: &'w KnowledgeBase, engine: &'w SearchEngine) -> QueryExpander<'w> {
+    /// Takes any [`RetrievalBackend`] — a `&SearchEngine`, a
+    /// `&ShardedEngine`, or an `&AnyEngine` all coerce.
+    pub fn build<'w>(
+        &self,
+        kb: &'w KnowledgeBase,
+        engine: &'w dyn RetrievalBackend,
+    ) -> QueryExpander<'w> {
         self.assemble(kb, Some(engine))
     }
 
@@ -412,7 +441,7 @@ impl QueryExpanderBuilder {
     fn assemble<'w>(
         &self,
         kb: &'w KnowledgeBase,
-        engine: Option<&'w SearchEngine>,
+        engine: Option<&'w dyn RetrievalBackend>,
     ) -> QueryExpander<'w> {
         let linker = if self.use_synonyms {
             EntityLinker::new(kb)
@@ -453,7 +482,7 @@ impl QueryExpanderBuilder {
 /// ```
 pub struct QueryExpander<'w> {
     kb: &'w KnowledgeBase,
-    engine: Option<&'w SearchEngine>,
+    engine: Option<&'w dyn RetrievalBackend>,
     linker: EntityLinker<'w>,
     strategy: ExpansionStrategy,
     max_features: Option<usize>,
@@ -463,7 +492,7 @@ pub struct QueryExpander<'w> {
 impl<'w> QueryExpander<'w> {
     /// Expander with the default knobs (cycle strategy, synonyms on,
     /// no default retrieval). Use [`QueryExpander::builder`] for more.
-    pub fn new(kb: &'w KnowledgeBase, engine: &'w SearchEngine) -> QueryExpander<'w> {
+    pub fn new(kb: &'w KnowledgeBase, engine: &'w dyn RetrievalBackend) -> QueryExpander<'w> {
         QueryExpanderBuilder::default().build(kb, engine)
     }
 
@@ -477,8 +506,8 @@ impl<'w> QueryExpander<'w> {
         self.kb
     }
 
-    /// The search engine, when built with one.
-    pub fn engine(&self) -> Option<&'w SearchEngine> {
+    /// The retrieval backend, when built with one.
+    pub fn engine(&self) -> Option<&'w dyn RetrievalBackend> {
         self.engine
     }
 
@@ -589,8 +618,9 @@ impl<'w> QueryExpander<'w> {
 pub struct ServingWorld {
     /// The knowledge base (and topic inventory) queries link against.
     pub wiki: SynthWiki,
-    /// The search engine over the corpus's linking text.
-    pub engine: SearchEngine,
+    /// The retrieval backend over the corpus's linking text —
+    /// monolithic or sharded per the options it was opened with.
+    pub engine: AnyEngine,
     /// The configuration that determines this world.
     pub config: ExperimentConfig,
     /// Build-vs-load wall-clock breakdown.
@@ -617,17 +647,48 @@ impl ServingWorld {
         cache_dir: &std::path::Path,
         lm: LmParams,
     ) -> Result<ServingWorld, ServiceError> {
+        Self::load_with_options(config, cache_dir, lm, &WorldOptions::default())
+    }
+
+    /// [`ServingWorld::load_with`] with explicit [`WorldOptions`]:
+    /// `shards: Some(n)` loads the `n`-way sharded artifact (manifest +
+    /// segments, segments in parallel, typed per-shard errors); `mmap`
+    /// maps artifact bytes instead of reading them.
+    pub fn load_with_options(
+        config: &ExperimentConfig,
+        cache_dir: &std::path::Path,
+        lm: LmParams,
+        options: &WorldOptions,
+    ) -> Result<ServingWorld, ServiceError> {
         let t0 = Instant::now();
         let wiki = generate(&config.wiki);
         let world_seconds = t0.elapsed().as_secs_f64();
         let t = Instant::now();
-        let engine = cache::load_engine(config, cache_dir, None, lm)?;
+        let (engine, shard_load_seconds) = match options.shards {
+            None => (
+                AnyEngine::Mono(cache::load_engine_with(
+                    config,
+                    cache_dir,
+                    None,
+                    lm,
+                    options.source(),
+                )?),
+                Vec::new(),
+            ),
+            Some(n) => {
+                let (engine, secs) =
+                    cache::load_sharded_engine(config, cache_dir, n, None, lm, options.source())?;
+                (AnyEngine::Sharded(engine), secs)
+            }
+        };
         let stats = crate::cache::BuildStats {
             world_seconds,
             index_build_seconds: 0.0,
             index_write_seconds: 0.0,
             index_load_seconds: t.elapsed().as_secs_f64(),
             index_source: crate::cache::IndexSource::Loaded,
+            shard_count: options.shard_count(),
+            shard_load_seconds,
         };
         Ok(ServingWorld {
             wiki,
@@ -666,7 +727,20 @@ impl ServingWorld {
         cache_dir: Option<&std::path::Path>,
         lm: LmParams,
     ) -> (ServingWorld, querygraph_corpus::synth::SynthCorpus) {
-        let (wiki, corpus, engine, stats) = cache::build_world(config, cache_dir, lm);
+        Self::open_with_options(config, cache_dir, lm, &WorldOptions::default())
+    }
+
+    /// [`ServingWorld::open_with_corpus`] with explicit
+    /// [`WorldOptions`] — the `--shards N` / `--mmap` knobs of the
+    /// `qgx` server. Expansion (and retrieval) results are
+    /// byte-identical at any shard count.
+    pub fn open_with_options(
+        config: &ExperimentConfig,
+        cache_dir: Option<&std::path::Path>,
+        lm: LmParams,
+        options: &WorldOptions,
+    ) -> (ServingWorld, querygraph_corpus::synth::SynthCorpus) {
+        let (wiki, corpus, engine, stats) = cache::build_world(config, cache_dir, lm, options);
         let world = ServingWorld {
             wiki,
             engine,

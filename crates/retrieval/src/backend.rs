@@ -1,0 +1,252 @@
+//! The retrieval surface the rest of the workspace scores through.
+//!
+//! Everything above this crate — the §2.2 hill climb's
+//! [`crate::workspace::ScoreWorkspace`], the serving facade, the
+//! reproduction pipeline — used to talk to [`SearchEngine`] directly,
+//! hard-wiring "one engine, one artifact" into every layer.
+//! [`RetrievalBackend`] extracts exactly the surface those consumers
+//! use, so a backend can be the monolithic engine *or* the
+//! doc-partitioned [`ShardedEngine`] —
+//! and, once a shard is a process, a remote scatter-gather client —
+//! without the science noticing.
+//!
+//! ## The byte-identity contract
+//!
+//! Every implementation must return **bit-identical** results for the
+//! same logical collection, whatever its physical layout:
+//!
+//! * [`RetrievalBackend::search`] — same hits, same scores, same order
+//!   (descending score, ties by ascending *global* doc id).
+//! * [`RetrievalBackend::resolve_phrase`] — same hits in global doc-id
+//!   order and the same collection probability (exact integer counts
+//!   divided by the global token total).
+//! * [`RetrievalBackend::epsilon_prob`] / collection statistics — the
+//!   *global* values, aggregated once at build/load, never a shard's
+//!   local view (Dirichlet smoothing reads them directly, so a local
+//!   value would silently shift every score).
+//!
+//! The golden `Report` pins and the sharded-equivalence property tests
+//! enforce this contract across the whole pipeline.
+
+use crate::engine::{PhraseInfo, SearchEngine, SearchHit};
+use crate::index::InvertedIndex;
+use crate::lm::LmParams;
+use crate::query_lang::QueryNode;
+use crate::sharded::ShardedEngine;
+use std::sync::Arc;
+
+/// The scoring/retrieval surface consumed by the workspace, the
+/// pipeline, and the serving facade. Object-safe; `Send + Sync` so one
+/// backend serves every worker thread.
+pub trait RetrievalBackend: Send + Sync {
+    /// The Dirichlet smoothing parameters scoring uses.
+    fn params(&self) -> LmParams;
+
+    /// The smoothing floor for unseen components: the smallest nonzero
+    /// probability of the **global** collection (0.5 / total tokens).
+    fn epsilon_prob(&self) -> f64;
+
+    /// Total token count of the global collection.
+    fn total_tokens(&self) -> u64;
+
+    /// Number of documents in the global collection.
+    fn num_docs(&self) -> usize;
+
+    /// Length (token count) of document `doc` (global doc id).
+    fn doc_len(&self, doc: u32) -> u32;
+
+    /// Resolve (and memoize) one exact phrase: hits in global doc-id
+    /// order plus the global collection probability.
+    fn resolve_phrase(&self, words: &[String]) -> Arc<PhraseInfo>;
+
+    /// Execute a parsed query, returning the best `k` documents
+    /// (descending score, ties by ascending global doc id).
+    fn search(&self, query: &QueryNode, k: usize) -> Vec<SearchHit>;
+
+    /// Number of physical shards behind this backend (1 = monolithic).
+    fn shard_count(&self) -> usize;
+
+    /// Total phrase-cache entries across shards (observability).
+    fn phrase_cache_len(&self) -> usize;
+}
+
+impl RetrievalBackend for SearchEngine {
+    fn params(&self) -> LmParams {
+        SearchEngine::params(self)
+    }
+
+    fn epsilon_prob(&self) -> f64 {
+        self.index().epsilon_prob()
+    }
+
+    fn total_tokens(&self) -> u64 {
+        self.index().total_tokens()
+    }
+
+    fn num_docs(&self) -> usize {
+        self.index().num_docs()
+    }
+
+    fn doc_len(&self, doc: u32) -> u32 {
+        self.index().doc_len(doc)
+    }
+
+    fn resolve_phrase(&self, words: &[String]) -> Arc<PhraseInfo> {
+        self.phrase_info(words)
+    }
+
+    fn search(&self, query: &QueryNode, k: usize) -> Vec<SearchHit> {
+        SearchEngine::search(self, query, k)
+    }
+
+    fn shard_count(&self) -> usize {
+        1
+    }
+
+    fn phrase_cache_len(&self) -> usize {
+        SearchEngine::phrase_cache_len(self)
+    }
+}
+
+/// An owned backend of either physical layout — what world builders
+/// return and [`Experiment`](../../querygraph_core) / `ServingWorld`
+/// hold. Dispatch to the trait with [`AnyEngine::backend`], or coerce a
+/// `&AnyEngine` to `&dyn RetrievalBackend` directly (it implements the
+/// trait by delegation).
+pub enum AnyEngine {
+    /// The monolithic engine over one index.
+    Mono(SearchEngine),
+    /// N doc-partitioned shards behind deterministic scatter-gather.
+    Sharded(ShardedEngine),
+}
+
+impl AnyEngine {
+    /// This engine as a trait object.
+    pub fn backend(&self) -> &(dyn RetrievalBackend + 'static) {
+        match self {
+            AnyEngine::Mono(e) => e,
+            AnyEngine::Sharded(e) => e,
+        }
+    }
+
+    /// The monolithic engine, when this is one.
+    pub fn as_mono(&self) -> Option<&SearchEngine> {
+        match self {
+            AnyEngine::Mono(e) => Some(e),
+            AnyEngine::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded engine, when this is one.
+    pub fn as_sharded(&self) -> Option<&ShardedEngine> {
+        match self {
+            AnyEngine::Mono(_) => None,
+            AnyEngine::Sharded(e) => Some(e),
+        }
+    }
+
+    /// The monolithic engine's index (None when sharded); kept for the
+    /// single-artifact cache paths and tests.
+    pub fn index(&self) -> Option<&InvertedIndex> {
+        self.as_mono().map(SearchEngine::index)
+    }
+
+    /// Execute a query (convenience delegation, so callers holding the
+    /// enum don't need the trait in scope).
+    pub fn search(&self, query: &QueryNode, k: usize) -> Vec<SearchHit> {
+        self.backend().search(query, k)
+    }
+
+    /// Number of documents in the global collection.
+    pub fn num_docs(&self) -> usize {
+        self.backend().num_docs()
+    }
+
+    /// Number of physical shards (1 = monolithic).
+    pub fn shard_count(&self) -> usize {
+        self.backend().shard_count()
+    }
+}
+
+impl RetrievalBackend for AnyEngine {
+    fn params(&self) -> LmParams {
+        self.backend().params()
+    }
+
+    fn epsilon_prob(&self) -> f64 {
+        self.backend().epsilon_prob()
+    }
+
+    fn total_tokens(&self) -> u64 {
+        self.backend().total_tokens()
+    }
+
+    fn num_docs(&self) -> usize {
+        self.backend().num_docs()
+    }
+
+    fn doc_len(&self, doc: u32) -> u32 {
+        self.backend().doc_len(doc)
+    }
+
+    fn resolve_phrase(&self, words: &[String]) -> Arc<PhraseInfo> {
+        self.backend().resolve_phrase(words)
+    }
+
+    fn search(&self, query: &QueryNode, k: usize) -> Vec<SearchHit> {
+        self.backend().search(query, k)
+    }
+
+    fn shard_count(&self) -> usize {
+        self.backend().shard_count()
+    }
+
+    fn phrase_cache_len(&self) -> usize {
+        self.backend().phrase_cache_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::IndexBuilder;
+    use crate::query_lang::parse;
+
+    fn engine() -> SearchEngine {
+        let mut b = IndexBuilder::new();
+        b.add_document("a gondola on the grand canal of venice");
+        b.add_document("the grand hotel beside a small canal");
+        SearchEngine::new(b.build())
+    }
+
+    #[test]
+    fn trait_methods_mirror_the_engine() {
+        let e = engine();
+        let b: &dyn RetrievalBackend = &e;
+        assert_eq!(b.num_docs(), 2);
+        assert_eq!(b.total_tokens(), e.index().total_tokens());
+        assert_eq!(b.epsilon_prob(), e.index().epsilon_prob());
+        assert_eq!(b.doc_len(0), e.index().doc_len(0));
+        assert_eq!(b.shard_count(), 1);
+        let q = parse("#combine(#1(grand canal) venice)").unwrap();
+        assert_eq!(b.search(&q, 5), e.search(&q, 5));
+        let words = vec!["grand".to_string(), "canal".to_string()];
+        let p = b.resolve_phrase(&words);
+        // Adjacent only in doc 0 ("grand canal"); doc 1 has the words
+        // scattered.
+        assert_eq!(p.hits.len(), 1);
+        assert_eq!(p.hits[0].doc, 0);
+        assert!(b.phrase_cache_len() >= 1);
+    }
+
+    #[test]
+    fn any_engine_delegates_to_mono() {
+        let any = AnyEngine::Mono(engine());
+        assert!(any.as_mono().is_some());
+        assert!(any.as_sharded().is_none());
+        assert_eq!(any.shard_count(), 1);
+        assert_eq!(any.num_docs(), 2);
+        let q = parse("#1(grand canal)").unwrap();
+        assert_eq!(any.search(&q, 5), any.backend().search(&q, 5));
+    }
+}

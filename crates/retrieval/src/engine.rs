@@ -34,11 +34,18 @@ pub struct SearchHit {
     pub score: f64,
 }
 
-/// Cached evaluation of one phrase.
+/// Cached evaluation of one phrase: exact hits (ascending doc id) plus
+/// the exact phrase collection probability. This is what
+/// [`crate::backend::RetrievalBackend::resolve_phrase`] hands the score
+/// workspace — for the monolithic engine straight out of the phrase
+/// cache, for the sharded engine assembled from per-shard hits with
+/// globally aggregated statistics.
 #[derive(Debug)]
-pub(crate) struct PhraseInfo {
-    pub(crate) hits: Vec<PhraseHit>,
-    pub(crate) collection_prob: f64,
+pub struct PhraseInfo {
+    /// Exact hits in (global) doc-id order.
+    pub hits: Vec<PhraseHit>,
+    /// Exact phrase collection probability over the whole collection.
+    pub collection_prob: f64,
 }
 
 /// One exported phrase-dictionary entry: a phrase's words and its full
@@ -60,6 +67,63 @@ struct Leaf {
     weight: f64,
     tf_by_doc: HashMap<u32, u32>,
     collection_prob: f64,
+}
+
+/// One unresolved leaf of a flattened query AST: what the query asks
+/// for, before any index lookup. Shared by the monolithic and sharded
+/// engines so both resolve the *same* leaves with the *same* weights.
+pub(crate) enum LeafSpec<'q> {
+    /// A bare term.
+    Term(&'q str),
+    /// An exact `#1(...)` phrase.
+    Phrase(&'q [String]),
+}
+
+/// The phrase-cache slot for `words` among `slots` locks — shared by
+/// the engine's cache and the sharded engine's global cache.
+pub(crate) fn phrase_cache_slot(words: &[String], slots: usize) -> usize {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    words.hash(&mut h);
+    h.finish() as usize % slots
+}
+
+/// Flatten the AST into weighted leaf specs. `#combine` distributes its
+/// weight uniformly; `#weight` distributes proportionally (normalized
+/// by the sum of child weights, INDRI-style).
+///
+/// The weight arithmetic here is the *only* place query weights are
+/// computed — [`SearchEngine`] and the sharded engine both flatten
+/// through it, so their per-leaf weights are bit-identical by
+/// construction.
+pub(crate) fn flatten_specs<'q>(
+    node: &'q QueryNode,
+    weight: f64,
+    out: &mut Vec<(f64, LeafSpec<'q>)>,
+) {
+    match node {
+        QueryNode::Term(t) => out.push((weight, LeafSpec::Term(t))),
+        QueryNode::Phrase(words) => out.push((weight, LeafSpec::Phrase(words))),
+        QueryNode::Combine(children) => {
+            if children.is_empty() {
+                return;
+            }
+            let w = weight / children.len() as f64;
+            for c in children {
+                flatten_specs(c, w, out);
+            }
+        }
+        QueryNode::Weight(children) => {
+            let total: f64 = children.iter().map(|(w, _)| w.max(0.0)).sum();
+            if total <= 0.0 {
+                return;
+            }
+            for (w, c) in children {
+                if *w > 0.0 {
+                    flatten_specs(c, weight * w / total, out);
+                }
+            }
+        }
+    }
 }
 
 /// The search engine. Cheap to share behind `Arc`; `search` takes
@@ -94,8 +158,9 @@ impl SearchEngine {
         &self.index
     }
 
-    /// The scoring parameters (shared with [`crate::workspace`]).
-    pub(crate) fn params(&self) -> LmParams {
+    /// The scoring parameters (shared with [`crate::workspace`] and the
+    /// backend trait).
+    pub fn params(&self) -> LmParams {
         self.params
     }
 
@@ -104,8 +169,12 @@ impl SearchEngine {
     /// least one leaf are candidates; an all-background document can
     /// never enter the top-k.
     pub fn search(&self, query: &QueryNode, k: usize) -> Vec<SearchHit> {
-        let mut leaves = Vec::new();
-        self.flatten(query, 1.0, &mut leaves);
+        let mut specs = Vec::new();
+        flatten_specs(query, 1.0, &mut specs);
+        let leaves: Vec<Leaf> = specs
+            .into_iter()
+            .map(|(weight, spec)| self.resolve_leaf(weight, &spec))
+            .collect();
         if leaves.is_empty() {
             return Vec::new();
         }
@@ -138,45 +207,23 @@ impl SearchEngine {
             .collect()
     }
 
-    /// Flatten the AST into weighted leaves. `#combine` distributes its
-    /// weight uniformly; `#weight` distributes proportionally
-    /// (normalized by the sum of child weights, INDRI-style).
-    fn flatten(&self, node: &QueryNode, weight: f64, out: &mut Vec<Leaf>) {
-        match node {
-            QueryNode::Term(t) => {
+    /// Resolve one flattened leaf spec against this engine's index.
+    fn resolve_leaf(&self, weight: f64, spec: &LeafSpec<'_>) -> Leaf {
+        match spec {
+            LeafSpec::Term(t) => {
                 let (tf_by_doc, collection_prob) = self.term_postings(t);
-                out.push(Leaf {
+                Leaf {
                     weight,
                     tf_by_doc,
                     collection_prob,
-                });
+                }
             }
-            QueryNode::Phrase(words) => {
+            LeafSpec::Phrase(words) => {
                 let info = self.phrase_info(words);
-                out.push(Leaf {
+                Leaf {
                     weight,
                     tf_by_doc: info.hits.iter().map(|h| (h.doc, h.tf)).collect(),
                     collection_prob: info.collection_prob,
-                });
-            }
-            QueryNode::Combine(children) => {
-                if children.is_empty() {
-                    return;
-                }
-                let w = weight / children.len() as f64;
-                for c in children {
-                    self.flatten(c, w, out);
-                }
-            }
-            QueryNode::Weight(children) => {
-                let total: f64 = children.iter().map(|(w, _)| w.max(0.0)).sum();
-                if total <= 0.0 {
-                    return;
-                }
-                for (w, c) in children {
-                    if *w > 0.0 {
-                        self.flatten(c, weight * w / total, out);
-                    }
                 }
             }
         }
@@ -194,9 +241,7 @@ impl SearchEngine {
 
     /// The shard responsible for `words`.
     fn shard(&self, words: &[String]) -> &Mutex<HashMap<Vec<String>, Arc<PhraseInfo>>> {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
-        words.hash(&mut h);
-        &self.phrase_cache[h.finish() as usize % self.phrase_cache.len()]
+        &self.phrase_cache[phrase_cache_slot(words, self.phrase_cache.len())]
     }
 
     /// Cached phrase evaluation: exact hits plus the exact phrase

@@ -170,11 +170,19 @@ impl InvertedIndex {
     /// The smallest nonzero probability representable in this
     /// collection; the smoothing floor for unseen terms and phrases.
     pub fn epsilon_prob(&self) -> f64 {
-        if self.total_tokens == 0 {
-            1e-9
-        } else {
-            0.5 / self.total_tokens as f64
-        }
+        epsilon_for(self.total_tokens)
+    }
+}
+
+/// The smoothing floor for a collection of `total_tokens` tokens — the
+/// one formula behind [`InvertedIndex::epsilon_prob`] and the sharded
+/// engine's globally aggregated floor, so the two can never drift (the
+/// byte-identity contract divides by *this* value on both layouts).
+pub fn epsilon_for(total_tokens: u64) -> f64 {
+    if total_tokens == 0 {
+        1e-9
+    } else {
+        0.5 / total_tokens as f64
     }
 }
 

@@ -18,6 +18,17 @@
 //!   returns deterministic top-k results (ties broken by doc id), with a
 //!   sharded phrase-postings cache (the ground-truth hill climb
 //!   re-evaluates the same titles thousands of times, from many threads).
+//! * [`backend`] — [`backend::RetrievalBackend`]: the scoring/retrieval
+//!   surface everything above this crate consumes, implemented by the
+//!   monolithic engine and by [`sharded::ShardedEngine`] with a strict
+//!   byte-identity contract between layouts.
+//! * [`sharded`] — [`sharded::ShardedEngine`]: N doc-partitioned shards
+//!   behind deterministic scatter-gather, plus the segmented artifact
+//!   (manifest + independently checksummed per-shard `QGIX` segments).
+//! * [`par`] — the deterministic work-stealing [`par::parallel_map`]
+//!   runner (shared with `core::pipeline`, which re-exports it).
+//! * [`mmap`] — opt-in read-only file mapping behind
+//!   [`ondisk::ArtifactSource::Mmap`], with read fallback.
 //! * [`workspace`] — [`workspace::ScoreWorkspace`]: the hill climb's
 //!   fast path. Resolves each title phrase once, precomputes per-leaf
 //!   per-document log-beliefs, and scores candidate title sets without
@@ -45,21 +56,28 @@
 //! assert_eq!(hits[0].doc, 0); // exact phrase + term beats scattered terms
 //! ```
 
+pub mod backend;
 pub mod engine;
 pub mod index;
 pub mod lm;
 pub mod metrics;
+pub mod mmap;
 pub mod ondisk;
+pub mod par;
 pub mod phrase;
 pub mod postings;
 pub mod query_lang;
+pub mod sharded;
 pub mod stats;
 pub mod topk;
 pub mod workspace;
 
+pub use backend::{AnyEngine, RetrievalBackend};
 pub use engine::{PhraseCacheEntry, SearchEngine, SearchHit};
 pub use index::{IndexBuilder, InvertedIndex};
 pub use metrics::{average_quality, precision_at, EVAL_CUTOFFS};
-pub use ondisk::{LoadedIndex, OndiskError};
+pub use ondisk::{ArtifactSource, LoadedIndex, OndiskError};
+pub use par::parallel_map;
 pub use query_lang::{parse, QueryNode};
+pub use sharded::{ShardedEngine, ShardedError};
 pub use workspace::{LeafId, ScoreWorkspace};

@@ -45,7 +45,25 @@ pub fn log_belief(
     doc_len: u32,
     collection_prob: f64,
 ) -> f64 {
-    let p = collection_prob.max(index.epsilon_prob());
+    log_belief_with_floor(params, index.epsilon_prob(), tf, doc_len, collection_prob)
+}
+
+/// [`log_belief`] with the smoothing floor passed explicitly instead of
+/// derived from an index — the form backends whose collection
+/// statistics are aggregated across shards use
+/// ([`crate::backend::RetrievalBackend::epsilon_prob`]). Performs the
+/// exact same floating-point operations in the same order as
+/// [`log_belief`], so a sharded engine fed the global floor scores
+/// bit-identically to the monolithic engine.
+#[inline]
+pub fn log_belief_with_floor(
+    params: LmParams,
+    epsilon: f64,
+    tf: u32,
+    doc_len: u32,
+    collection_prob: f64,
+) -> f64 {
+    let p = collection_prob.max(epsilon);
     let numerator = tf as f64 + params.mu * p;
     let denominator = doc_len as f64 + params.mu;
     (numerator / denominator).ln()

@@ -239,14 +239,33 @@ pub fn encode_index(
     out
 }
 
-/// Write the artifact to `path` (via [`encode_index`]).
+/// Write the artifact to `path` (via [`encode_index`]), atomically.
 pub fn save_index(
     path: &Path,
     index: &InvertedIndex,
     phrases: &[PhraseCacheEntry],
     meta_fingerprint: u64,
 ) -> std::io::Result<()> {
-    std::fs::write(path, encode_index(index, phrases, meta_fingerprint))
+    write_atomic(path, &encode_index(index, phrases, meta_fingerprint))
+}
+
+/// Write `bytes` to `path` via a same-directory temp file + rename.
+///
+/// Never truncates or mutates the destination inode in place: a
+/// concurrent reader — in particular a long-lived server that
+/// *memory-mapped* the old artifact ([`ArtifactSource::Mmap`]) — keeps
+/// its old inode alive and intact, instead of having pages shrink
+/// (SIGBUS) or silently change under an already-validated mapping.
+/// Also means a crashed write leaves the old artifact, not half a new
+/// one.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path).inspect_err(|_| {
+        std::fs::remove_file(&tmp).ok();
+    })
 }
 
 // The encoders build `Vec<u8>` directly (via the shim's
@@ -322,10 +341,55 @@ fn encode_phrases(phrases: &[PhraseCacheEntry]) -> Vec<u8> {
 
 // ─── loading ────────────────────────────────────────────────────────
 
+/// How artifact bytes reach memory.
+///
+/// The format is offset/length-shaped precisely so the buffer's origin
+/// doesn't matter: every postings list is a view into one `Bytes`,
+/// whether that wraps a heap read or a mapped file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArtifactSource {
+    /// Read the whole file into memory once (the default).
+    #[default]
+    Read,
+    /// Memory-map the file (opt-in; unix only). Falls back to
+    /// [`ArtifactSource::Read`] on **any** mapping error — including
+    /// unsupported platforms — so the knob can only change paging
+    /// behaviour, never correctness or availability.
+    Mmap,
+}
+
+impl ArtifactSource {
+    /// Lower-case name for logs and records.
+    pub fn name(self) -> &'static str {
+        match self {
+            ArtifactSource::Read => "read",
+            ArtifactSource::Mmap => "mmap",
+        }
+    }
+}
+
+/// The artifact's bytes via the selected source. `Mmap` falls back to a
+/// plain read on any error.
+pub fn artifact_bytes(path: &Path, source: ArtifactSource) -> Result<Bytes, OndiskError> {
+    if source == ArtifactSource::Mmap {
+        if let Ok(bytes) = crate::mmap::map_file(path) {
+            return Ok(bytes);
+        }
+    }
+    let data = std::fs::read(path).map_err(|e| OndiskError::Io(e.to_string()))?;
+    Ok(Bytes::from(data))
+}
+
 /// Load an artifact from `path`. IO failures map to [`OndiskError::Io`].
 pub fn load_index(path: &Path) -> Result<LoadedIndex, OndiskError> {
-    let data = std::fs::read(path).map_err(|e| OndiskError::Io(e.to_string()))?;
-    load_index_bytes(Bytes::from(data))
+    load_index_with(path, ArtifactSource::Read)
+}
+
+/// [`load_index`] with an explicit byte source ([`ArtifactSource`]).
+/// With `Mmap`, postings become zero-copy views into the mapping —
+/// pages fault in on demand instead of being copied up front.
+pub fn load_index_with(path: &Path, source: ArtifactSource) -> Result<LoadedIndex, OndiskError> {
+    load_index_bytes(artifact_bytes(path, source)?)
 }
 
 /// Decode an artifact from an in-memory buffer. Postings lists become

@@ -1,0 +1,982 @@
+//! Doc-partitioned sharded retrieval with deterministic scatter-gather.
+//!
+//! The paper targets full-Wikipedia scale (millions of articles); one
+//! monolithic index caps that at whatever a single load/build can hold.
+//! [`ShardedEngine`] owns N document-partitioned shards — shard *i*
+//! holds the contiguous global doc-id range [`doc_ranges`]`(n, N)[i]`,
+//! re-based to local ids — and answers the full
+//! [`RetrievalBackend`](crate::backend::RetrievalBackend) surface with
+//! results **byte-identical** to the monolithic [`SearchEngine`] at any
+//! shard count:
+//!
+//! * **Global statistics, aggregated once.** Dirichlet smoothing reads
+//!   the collection probability (cf / total tokens) and the epsilon
+//!   floor (0.5 / total tokens). Both are ratios of exact integer
+//!   counts, and integer sums are associative — so summing per-shard
+//!   counts reproduces the monolithic values *bit for bit*. Per-shard
+//!   *local* statistics are never used for scoring.
+//! * **Shared flattening.** Query weights come from the one
+//!   `flatten_specs` pass both engines use, so per-leaf weights are
+//!   identical by construction.
+//! * **Same per-document float sequence.** Each shard scores its own
+//!   candidates with the same leaf-order accumulation the monolithic
+//!   engine uses (`score += weight · log_belief`), with the same global
+//!   inputs — identical doc ⇒ identical f64 ops ⇒ identical score.
+//! * **Total-order merge.** Each shard returns its top-k under the
+//!   total order (score desc, then *global* doc id asc); the union of
+//!   per-shard top-k's is a superset of the global top-k, so sorting
+//!   the union under the same order and truncating to k yields exactly
+//!   the monolithic result.
+//!
+//! Per-shard scatter runs on [`crate::par::parallel_map`] (inline at
+//! one thread), the same deterministic runner as the rest of the
+//! workspace.
+//!
+//! ## Sharded artifact layout
+//!
+//! A sharded index persists as one **manifest** plus N independently
+//! checksummed, independently loadable `QGIX` segments (the PR-3
+//! format, one per shard, local doc ids):
+//!
+//! ```text
+//! <stem>.qgman            manifest (see below)
+//! <stem>.shard0.qgidx     segment: shard 0's index + phrase dictionary
+//! <stem>.shard1.qgidx     …
+//! ```
+//!
+//! Manifest (all integers little-endian):
+//!
+//! ```text
+//! magic "QGSM" (4)  version u32  fingerprint u64  shard_count u32
+//! total_docs u64    total_tokens u64
+//! per-shard num_docs u32 × shard_count
+//! checksum u64 — FNV-1a of every preceding byte
+//! ```
+//!
+//! `fingerprint` is keyed by configuration **and shard count** (a
+//! 4-shard and an 8-shard cache of the same world are different
+//! artifacts); each segment embeds [`segment_fingerprint`]`(fp, i)` so
+//! segments cannot be swapped between slots or shard counts. Segments
+//! are written first and the manifest last, so a crashed write leaves
+//! no valid manifest — just a cold cache. Every load failure is a
+//! typed [`ShardedError`] that names the failing shard; loading never
+//! panics.
+
+use crate::engine::SearchHit;
+use crate::engine::{flatten_specs, phrase_cache_slot, LeafSpec, PhraseInfo, SearchEngine};
+use crate::index::epsilon_for;
+use crate::lm::{log_belief_with_floor, LmParams};
+use crate::ondisk::{
+    encode_index, fnv1a, load_index_with, write_atomic, ArtifactSource, LoadedIndex, OndiskError,
+};
+use crate::par::parallel_map;
+use crate::phrase::PhraseHit;
+use crate::query_lang::QueryNode;
+use crate::topk::{Scored, TopK};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Manifest magic: "QGSM" (QueryGraph Shard Manifest).
+pub const SHARD_MAGIC: [u8; 4] = *b"QGSM";
+
+/// Manifest format version; the loader refuses other versions.
+pub const SHARD_FORMAT_VERSION: u32 = 1;
+
+/// Number of global phrase-cache locks (same rationale as the engine's
+/// own sharded cache: comfortably above worker counts).
+const PHRASE_CACHE_LOCKS: usize = 16;
+
+/// Typed failure loading a sharded artifact. Always names the failing
+/// piece — the manifest or a specific shard — so an operator (or the
+/// rebuild fallback) knows exactly which segment to replace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardedError {
+    /// The manifest itself failed (missing, corrupt, foreign
+    /// fingerprint, inconsistent totals).
+    Manifest(OndiskError),
+    /// One shard segment failed to load or didn't match the manifest.
+    Shard {
+        /// Index of the failing shard.
+        shard: usize,
+        /// The segment loader's typed failure.
+        source: OndiskError,
+    },
+}
+
+impl fmt::Display for ShardedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardedError::Manifest(e) => write!(f, "shard manifest: {e}"),
+            ShardedError::Shard { shard, source } => write!(f, "shard {shard}: {source}"),
+        }
+    }
+}
+
+impl std::error::Error for ShardedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardedError::Manifest(e) => Some(e),
+            ShardedError::Shard { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Contiguous doc-id partition of `num_docs` documents into `shards`
+/// ranges: shard *i* owns `[i·n/N, (i+1)·n/N)`. Deterministic, covers
+/// every document exactly once, and balanced to within one document.
+pub fn doc_ranges(num_docs: usize, shards: usize) -> Vec<std::ops::Range<usize>> {
+    let shards = shards.max(1);
+    (0..shards)
+        .map(|i| (i * num_docs / shards)..((i + 1) * num_docs / shards))
+        .collect()
+}
+
+/// The embedded fingerprint of shard `shard` inside an artifact keyed
+/// by `manifest_fingerprint` — segments are pinned to their slot, so a
+/// renamed or cross-copied segment is rejected at load.
+pub fn segment_fingerprint(manifest_fingerprint: u64, shard: usize) -> u64 {
+    let mut bytes = [0u8; 16];
+    bytes[..8].copy_from_slice(&manifest_fingerprint.to_le_bytes());
+    bytes[8..].copy_from_slice(&(shard as u64).to_le_bytes());
+    fnv1a(&bytes)
+}
+
+/// Manifest file name for an artifact stem.
+pub fn manifest_file(stem: &str) -> String {
+    format!("{stem}.qgman")
+}
+
+/// Segment file name for shard `shard` of an artifact stem.
+pub fn segment_file(stem: &str, shard: usize) -> String {
+    format!("{stem}.shard{shard}.qgidx")
+}
+
+/// Write a sharded artifact: every shard's `QGIX` segment (index +
+/// exported phrase dictionary, local doc ids), then the manifest as the
+/// commit point. Any error leaves at worst segments without a manifest
+/// — a cold cache, never a half-trusted one. Every file is written
+/// atomically (temp + rename), so concurrent loaders — including
+/// mmap-backed ones — only ever see a complete old or new inode.
+pub fn save_sharded(
+    dir: &Path,
+    stem: &str,
+    shards: &[SearchEngine],
+    fingerprint: u64,
+) -> std::io::Result<()> {
+    use bytes::BufMut;
+    for (i, engine) in shards.iter().enumerate() {
+        let bytes = encode_index(
+            engine.index(),
+            &engine.export_phrase_cache(),
+            segment_fingerprint(fingerprint, i),
+        );
+        write_atomic(&dir.join(segment_file(stem, i)), &bytes)?;
+    }
+    let mut m: Vec<u8> = Vec::new();
+    m.put_slice(&SHARD_MAGIC);
+    m.put_u32_le(SHARD_FORMAT_VERSION);
+    m.put_u64_le(fingerprint);
+    m.put_u32_le(shards.len() as u32);
+    let total_docs: u64 = shards.iter().map(|s| s.index().num_docs() as u64).sum();
+    let total_tokens: u64 = shards.iter().map(|s| s.index().total_tokens()).sum();
+    m.put_u64_le(total_docs);
+    m.put_u64_le(total_tokens);
+    for engine in shards {
+        m.put_u32_le(engine.index().num_docs() as u32);
+    }
+    let checksum = fnv1a(&m);
+    m.put_u64_le(checksum);
+    write_atomic(&dir.join(manifest_file(stem)), &m)
+}
+
+/// A successfully loaded sharded artifact.
+#[derive(Debug)]
+pub struct LoadedShards {
+    /// One loaded segment per shard, in shard order.
+    pub shards: Vec<LoadedIndex>,
+    /// The manifest fingerprint (config + shard count).
+    pub fingerprint: u64,
+    /// Wall-clock seconds each segment took to read + decode
+    /// (observability; archived in the bench records).
+    pub shard_load_seconds: Vec<f64>,
+}
+
+/// Load a sharded artifact: validate the manifest, then load every
+/// segment in parallel over `threads` workers (each segment is
+/// independently checksummed and structurally validated by the `QGIX`
+/// loader). `expected_fingerprint` keys the artifact to one
+/// configuration + shard count; `expected_shards` must match the
+/// manifest.
+pub fn load_sharded(
+    dir: &Path,
+    stem: &str,
+    expected_fingerprint: u64,
+    expected_shards: usize,
+    threads: usize,
+    source: ArtifactSource,
+) -> Result<LoadedShards, ShardedError> {
+    let manifest_path = dir.join(manifest_file(stem));
+    let m = std::fs::read(&manifest_path)
+        .map_err(|e| ShardedError::Manifest(OndiskError::Io(e.to_string())))?;
+    // Fixed head: magic + version + fingerprint + count + totals.
+    const HEAD: usize = 4 + 4 + 8 + 4 + 8 + 8;
+    if m.len() < HEAD + 8 {
+        return Err(ShardedError::Manifest(OndiskError::Truncated {
+            context: "shard manifest",
+        }));
+    }
+    if m[0..4] != SHARD_MAGIC {
+        let mut found = [0u8; 4];
+        found.copy_from_slice(&m[0..4]);
+        return Err(ShardedError::Manifest(OndiskError::BadMagic { found }));
+    }
+    let u32_at = |at: usize| u32::from_le_bytes(m[at..at + 4].try_into().expect("bounds checked"));
+    let u64_at = |at: usize| u64::from_le_bytes(m[at..at + 8].try_into().expect("bounds checked"));
+    let version = u32_at(4);
+    if version != SHARD_FORMAT_VERSION {
+        return Err(ShardedError::Manifest(OndiskError::UnsupportedVersion {
+            found: version,
+        }));
+    }
+    let fingerprint = u64_at(8);
+    if fingerprint != expected_fingerprint {
+        return Err(ShardedError::Manifest(OndiskError::MetaMismatch {
+            expected: expected_fingerprint,
+            found: fingerprint,
+        }));
+    }
+    let shard_count = u32_at(16) as usize;
+    let total_docs = u64_at(20);
+    let total_tokens = u64_at(28);
+    let expected_len = HEAD + shard_count * 4 + 8;
+    if m.len() != expected_len {
+        return Err(ShardedError::Manifest(if m.len() < expected_len {
+            OndiskError::Truncated {
+                context: "shard manifest",
+            }
+        } else {
+            OndiskError::TrailingBytes {
+                expected_len,
+                actual_len: m.len(),
+            }
+        }));
+    }
+    let recorded = u64_at(expected_len - 8);
+    if fnv1a(&m[..expected_len - 8]) != recorded {
+        return Err(ShardedError::Manifest(OndiskError::ChecksumMismatch {
+            section: "shard manifest",
+        }));
+    }
+    if shard_count == 0 || shard_count != expected_shards {
+        return Err(ShardedError::Manifest(OndiskError::Malformed {
+            context: "shard count",
+        }));
+    }
+    let per_shard_docs: Vec<u32> = (0..shard_count).map(|i| u32_at(HEAD + i * 4)).collect();
+    if per_shard_docs.iter().map(|&d| d as u64).sum::<u64>() != total_docs {
+        return Err(ShardedError::Manifest(OndiskError::Malformed {
+            context: "shard doc counts do not sum to total",
+        }));
+    }
+
+    // Scatter the segment loads; each result carries its shard index so
+    // the first failure (by shard order) is reported deterministically.
+    let results: Vec<(Result<LoadedIndex, OndiskError>, f64)> =
+        parallel_map(shard_count, threads, |i| {
+            let t = Instant::now();
+            let result = load_index_with(&dir.join(segment_file(stem, i)), source);
+            (result, t.elapsed().as_secs_f64())
+        });
+    let mut shards = Vec::with_capacity(shard_count);
+    let mut shard_load_seconds = Vec::with_capacity(shard_count);
+    for (i, (result, seconds)) in results.into_iter().enumerate() {
+        let loaded = result.map_err(|source| ShardedError::Shard { shard: i, source })?;
+        let want = segment_fingerprint(fingerprint, i);
+        if loaded.meta_fingerprint != want {
+            return Err(ShardedError::Shard {
+                shard: i,
+                source: OndiskError::MetaMismatch {
+                    expected: want,
+                    found: loaded.meta_fingerprint,
+                },
+            });
+        }
+        if loaded.index.num_docs() != per_shard_docs[i] as usize {
+            return Err(ShardedError::Shard {
+                shard: i,
+                source: OndiskError::Malformed {
+                    context: "segment doc count disagrees with manifest",
+                },
+            });
+        }
+        shards.push(loaded);
+        shard_load_seconds.push(seconds);
+    }
+    if shards.iter().map(|s| s.index.total_tokens()).sum::<u64>() != total_tokens {
+        return Err(ShardedError::Manifest(OndiskError::Malformed {
+            context: "segment token counts do not sum to manifest total",
+        }));
+    }
+    Ok(LoadedShards {
+        shards,
+        fingerprint,
+        shard_load_seconds,
+    })
+}
+
+/// One resolved leaf of a sharded query: the global collection
+/// probability plus each shard's local `doc → tf` map.
+struct GlobalLeaf {
+    weight: f64,
+    collection_prob: f64,
+    per_shard_tf: Vec<HashMap<u32, u32>>,
+}
+
+/// N doc-partitioned shards behind one
+/// [`RetrievalBackend`](crate::backend::RetrievalBackend) surface.
+///
+/// Construction aggregates the global collection statistics (doc
+/// bases, total docs, total tokens) **once**; every query then scores
+/// with the global values, so results are byte-identical to the
+/// monolithic engine (see the module docs for the argument).
+pub struct ShardedEngine {
+    shards: Vec<SearchEngine>,
+    /// Global doc id of each shard's first document (prefix sums).
+    doc_bases: Vec<u32>,
+    num_docs: usize,
+    total_tokens: u64,
+    params: LmParams,
+    /// Workers for per-query scatter (1 = inline; serving batches
+    /// usually parallelize across *queries* instead).
+    search_threads: usize,
+    /// Globally assembled phrase resolutions (hits re-based to global
+    /// doc ids), sharded by phrase-word hash like the engine's cache.
+    phrase_cache: Vec<Mutex<HashMap<Vec<String>, Arc<PhraseInfo>>>>,
+}
+
+impl ShardedEngine {
+    /// Assemble from per-shard engines (shard order = ascending global
+    /// doc ranges). Aggregates global statistics once.
+    ///
+    /// # Panics
+    /// If `shards` is empty.
+    pub fn from_shards(shards: Vec<SearchEngine>, params: LmParams) -> ShardedEngine {
+        assert!(!shards.is_empty(), "sharded engine needs >= 1 shard");
+        let mut doc_bases = Vec::with_capacity(shards.len());
+        let mut next = 0u64;
+        let mut total_tokens = 0u64;
+        for s in &shards {
+            doc_bases.push(u32::try_from(next).expect("doc ids fit u32"));
+            next += s.index().num_docs() as u64;
+            total_tokens += s.index().total_tokens();
+        }
+        ShardedEngine {
+            shards,
+            doc_bases,
+            num_docs: next as usize,
+            total_tokens,
+            params,
+            search_threads: 1,
+            phrase_cache: (0..PHRASE_CACHE_LOCKS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
+
+    /// Assemble from a loaded sharded artifact, seeding every shard's
+    /// phrase dictionary from its segment.
+    pub fn from_loaded(loaded: LoadedShards, params: LmParams) -> ShardedEngine {
+        let shards = loaded
+            .shards
+            .into_iter()
+            .map(|l| {
+                let engine = SearchEngine::with_params(l.index, params);
+                engine.seed_phrase_cache(l.phrases);
+                engine
+            })
+            .collect();
+        Self::from_shards(shards, params)
+    }
+
+    /// Set the per-query scatter width (capped at the shard count by
+    /// the runner; 1 = inline). Scatter parallelism never changes
+    /// results — only who computes them.
+    ///
+    /// Tradeoff: the runner spawns scoped workers *per search call*
+    /// (no persistent pool yet), costing tens of microseconds per
+    /// query — worthwhile for large shard counts / deep candidate
+    /// sets, a tax for sub-millisecond queries. Batch workloads
+    /// usually prefer parallelizing across queries
+    /// (`expand_batch` / `qgx --threads`) and leaving this at 1.
+    pub fn with_search_threads(mut self, threads: usize) -> ShardedEngine {
+        self.set_search_threads(threads);
+        self
+    }
+
+    /// In-place form of [`ShardedEngine::with_search_threads`].
+    pub fn set_search_threads(&mut self, threads: usize) {
+        self.search_threads = threads.max(1);
+    }
+
+    /// The per-shard engines, in shard order (used by warming and
+    /// persistence).
+    pub fn shards(&self) -> &[SearchEngine] {
+        &self.shards
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of documents in the global collection.
+    pub fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    /// Total token count of the global collection.
+    pub fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    /// Global doc id of each shard's first document.
+    pub fn doc_bases(&self) -> &[u32] {
+        &self.doc_bases
+    }
+
+    /// Evaluate (and cache) one phrase on every shard — the warming
+    /// loop the cache builder runs per article title. Empty phrases are
+    /// skipped.
+    pub fn warm_phrase(&self, words: &[String]) {
+        if words.is_empty() {
+            return;
+        }
+        for shard in &self.shards {
+            shard.warm_phrase(words);
+        }
+    }
+
+    /// The shard owning global doc `doc`.
+    fn shard_of(&self, doc: u32) -> usize {
+        self.doc_bases.partition_point(|&base| base <= doc) - 1
+    }
+
+    /// The global phrase-cache lock responsible for `words`.
+    fn cache_lock(&self, words: &[String]) -> &Mutex<HashMap<Vec<String>, Arc<PhraseInfo>>> {
+        &self.phrase_cache[phrase_cache_slot(words, self.phrase_cache.len())]
+    }
+
+    /// Global smoothing floor — [`epsilon_for`] (the exact formula
+    /// behind [`crate::index::InvertedIndex::epsilon_prob`]) over the
+    /// global token total.
+    pub fn epsilon_prob(&self) -> f64 {
+        epsilon_for(self.total_tokens)
+    }
+
+    /// Execute `query` with deterministic scatter-gather (see the
+    /// module docs for the byte-identity argument).
+    pub fn search(&self, query: &QueryNode, k: usize) -> Vec<SearchHit> {
+        let mut specs = Vec::new();
+        flatten_specs(query, 1.0, &mut specs);
+        if specs.is_empty() {
+            return Vec::new();
+        }
+        let leaves: Vec<GlobalLeaf> = specs
+            .iter()
+            .map(|(weight, spec)| self.resolve_global_leaf(*weight, spec))
+            .collect();
+        let epsilon = self.epsilon_prob();
+
+        // Scatter: each shard scores its own candidate union into a
+        // local top-k heap under the (score, global doc id) total order.
+        let per_shard: Vec<Vec<Scored>> =
+            parallel_map(self.shards.len(), self.search_threads, |si| {
+                let engine = &self.shards[si];
+                let base = self.doc_bases[si];
+                let mut candidates: Vec<u32> = leaves
+                    .iter()
+                    .flat_map(|l| l.per_shard_tf[si].keys().copied())
+                    .collect();
+                candidates.sort_unstable();
+                candidates.dedup();
+                let mut topk = TopK::new(k);
+                for doc in candidates {
+                    let len = engine.index().doc_len(doc);
+                    let mut score = 0.0;
+                    for leaf in &leaves {
+                        let tf = leaf.per_shard_tf[si].get(&doc).copied().unwrap_or(0);
+                        score += leaf.weight
+                            * log_belief_with_floor(
+                                self.params,
+                                epsilon,
+                                tf,
+                                len,
+                                leaf.collection_prob,
+                            );
+                    }
+                    topk.push(base + doc, score);
+                }
+                topk.into_sorted()
+            });
+
+        // Gather: merge under the same total order and keep k. Every
+        // global top-k document survives its own shard's heap, so this
+        // is exactly the monolithic result.
+        let mut merged: Vec<Scored> = per_shard.into_iter().flatten().collect();
+        merged.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.doc.cmp(&b.doc)));
+        merged.truncate(k);
+        merged
+            .into_iter()
+            .map(|s| SearchHit {
+                doc: s.doc,
+                score: s.score,
+            })
+            .collect()
+    }
+
+    /// Resolve one leaf spec: per-shard tf maps (local doc ids) plus
+    /// the globally aggregated collection probability.
+    fn resolve_global_leaf(&self, weight: f64, spec: &LeafSpec<'_>) -> GlobalLeaf {
+        match spec {
+            LeafSpec::Term(t) => {
+                let mut per_shard_tf = Vec::with_capacity(self.shards.len());
+                let mut cf = 0u64;
+                for shard in &self.shards {
+                    match shard.index().postings_for(t) {
+                        Some(list) => {
+                            cf += list.collection_freq();
+                            per_shard_tf.push(list.iter().map(|p| (p.doc, p.tf())).collect());
+                        }
+                        None => per_shard_tf.push(HashMap::new()),
+                    }
+                }
+                GlobalLeaf {
+                    weight,
+                    collection_prob: cf as f64 / self.total_tokens.max(1) as f64,
+                    per_shard_tf,
+                }
+            }
+            LeafSpec::Phrase(words) => {
+                let infos: Vec<Arc<PhraseInfo>> =
+                    self.shards.iter().map(|s| s.phrase_info(words)).collect();
+                let cf: u64 = infos
+                    .iter()
+                    .flat_map(|i| i.hits.iter())
+                    .map(|h| h.tf as u64)
+                    .sum();
+                GlobalLeaf {
+                    weight,
+                    collection_prob: cf as f64 / self.total_tokens.max(1) as f64,
+                    per_shard_tf: infos
+                        .iter()
+                        .map(|i| i.hits.iter().map(|h| (h.doc, h.tf)).collect())
+                        .collect(),
+                }
+            }
+        }
+    }
+
+    /// Resolve (and cache) one phrase globally: per-shard hits re-based
+    /// to global doc ids (shard order = ascending global order), with
+    /// the collection probability over the global token total.
+    pub fn resolve_phrase(&self, words: &[String]) -> Arc<PhraseInfo> {
+        let lock = self.cache_lock(words);
+        if let Some(hit) = lock.lock().get(words) {
+            return hit.clone();
+        }
+        let mut hits = Vec::new();
+        for (si, shard) in self.shards.iter().enumerate() {
+            let info = shard.phrase_info(words);
+            let base = self.doc_bases[si];
+            hits.extend(info.hits.iter().map(|h| PhraseHit {
+                doc: base + h.doc,
+                tf: h.tf,
+            }));
+        }
+        let cf: u64 = hits.iter().map(|h| h.tf as u64).sum();
+        let info = Arc::new(PhraseInfo {
+            hits,
+            collection_prob: cf as f64 / self.total_tokens.max(1) as f64,
+        });
+        lock.lock().insert(words.to_vec(), info.clone());
+        info
+    }
+}
+
+impl crate::backend::RetrievalBackend for ShardedEngine {
+    fn params(&self) -> LmParams {
+        self.params
+    }
+
+    fn epsilon_prob(&self) -> f64 {
+        ShardedEngine::epsilon_prob(self)
+    }
+
+    fn total_tokens(&self) -> u64 {
+        self.total_tokens
+    }
+
+    fn num_docs(&self) -> usize {
+        self.num_docs
+    }
+
+    fn doc_len(&self, doc: u32) -> u32 {
+        let si = self.shard_of(doc);
+        self.shards[si].index().doc_len(doc - self.doc_bases[si])
+    }
+
+    fn resolve_phrase(&self, words: &[String]) -> Arc<PhraseInfo> {
+        ShardedEngine::resolve_phrase(self, words)
+    }
+
+    fn search(&self, query: &QueryNode, k: usize) -> Vec<SearchHit> {
+        ShardedEngine::search(self, query, k)
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn phrase_cache_len(&self) -> usize {
+        self.shards.iter().map(|s| s.phrase_cache_len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::RetrievalBackend;
+    use crate::index::IndexBuilder;
+    use crate::query_lang::parse;
+
+    const DOCS: [&str; 7] = [
+        "a gondola on the grand canal of venice",
+        "the grand hotel beside a small canal",
+        "",
+        "venice has many bridges and one grand canal",
+        "completely unrelated text about mountains",
+        "gondola gondola gondola",
+        "the grand canal venice gondola rides",
+    ];
+
+    fn mono(docs: &[&str]) -> SearchEngine {
+        let mut b = IndexBuilder::new();
+        for d in docs {
+            b.add_document(d);
+        }
+        SearchEngine::new(b.build())
+    }
+
+    fn sharded(docs: &[&str], n: usize) -> ShardedEngine {
+        let shards = doc_ranges(docs.len(), n)
+            .into_iter()
+            .map(|range| {
+                let mut b = IndexBuilder::new();
+                for d in &docs[range] {
+                    b.add_document(d);
+                }
+                SearchEngine::new(b.build())
+            })
+            .collect();
+        ShardedEngine::from_shards(shards, LmParams::default())
+    }
+
+    const QUERIES: [&str; 7] = [
+        "#1(grand canal)",
+        "#combine(#1(grand canal) venice)",
+        "#combine(gondola venice #1(small canal))",
+        "#weight(0.9 venice 0.1 canal)",
+        "the",
+        "#combine(zzzz gondola)",
+        "#1(zz yy)",
+    ];
+
+    #[test]
+    fn doc_ranges_cover_everything_contiguously() {
+        for (n, shards) in [(0, 3), (1, 1), (7, 3), (7, 7), (7, 9), (100, 8)] {
+            let ranges = doc_ranges(n, shards);
+            assert_eq!(ranges.len(), shards.max(1));
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next, "ranges must be contiguous");
+                next = r.end;
+            }
+            assert_eq!(next, n, "ranges must cover every doc");
+            let (min, max) = ranges
+                .iter()
+                .map(|r| r.len())
+                .fold((usize::MAX, 0), |(lo, hi), l| (lo.min(l), hi.max(l)));
+            assert!(max - min <= 1, "balanced to within one doc");
+        }
+    }
+
+    #[test]
+    fn sharded_search_is_bit_identical_to_monolithic() {
+        let m = mono(&DOCS);
+        for n in [1, 2, 3, 7] {
+            let s = sharded(&DOCS, n);
+            for q in QUERIES {
+                let q = parse(q).unwrap();
+                for k in [0, 1, 3, 20] {
+                    assert_eq!(
+                        s.search(&q, k),
+                        m.search(&q, k),
+                        "diverged at {n} shards, k={k}, query {q:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_threads_never_change_results() {
+        let base = sharded(&DOCS, 3);
+        let threaded = sharded(&DOCS, 3).with_search_threads(4);
+        for q in QUERIES {
+            let q = parse(q).unwrap();
+            assert_eq!(base.search(&q, 10), threaded.search(&q, 10), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn global_stats_match_monolithic() {
+        let m = mono(&DOCS);
+        for n in [1, 2, 3, 7] {
+            let s = sharded(&DOCS, n);
+            assert_eq!(s.num_docs, m.index().num_docs());
+            assert_eq!(s.total_tokens, m.index().total_tokens());
+            assert_eq!(
+                ShardedEngine::epsilon_prob(&s).to_bits(),
+                m.index().epsilon_prob().to_bits(),
+                "epsilon must be bit-identical"
+            );
+            for doc in 0..DOCS.len() as u32 {
+                assert_eq!(RetrievalBackend::doc_len(&s, doc), m.index().doc_len(doc));
+            }
+        }
+    }
+
+    #[test]
+    fn resolve_phrase_matches_monolithic_bitwise() {
+        let m = mono(&DOCS);
+        for n in [1, 2, 3, 7] {
+            let s = sharded(&DOCS, n);
+            for phrase in [
+                vec!["grand".to_string(), "canal".to_string()],
+                vec!["gondola".to_string()],
+                vec!["zzzz".to_string()],
+            ] {
+                let a = RetrievalBackend::resolve_phrase(&m, &phrase);
+                let b = s.resolve_phrase(&phrase);
+                assert_eq!(a.hits, b.hits, "{phrase:?} hits at {n} shards");
+                assert_eq!(
+                    a.collection_prob.to_bits(),
+                    b.collection_prob.to_bits(),
+                    "{phrase:?} collection prob at {n} shards"
+                );
+                // Second resolve hits the global cache.
+                let again = s.resolve_phrase(&phrase);
+                assert!(Arc::ptr_eq(&b, &again), "global cache must memoize");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_collection_sharded() {
+        let s = sharded(&[], 3);
+        assert_eq!(s.num_docs, 0);
+        assert!(s.search(&parse("anything").unwrap(), 5).is_empty());
+        assert_eq!(
+            ShardedEngine::epsilon_prob(&s),
+            mono(&[]).index().epsilon_prob()
+        );
+    }
+
+    proptest::proptest! {
+        /// Scatter-gather equivalence on arbitrary worlds, queries, and
+        /// shard counts.
+        #[test]
+        fn sharded_equals_monolithic_on_random_worlds(
+            docs in proptest::collection::vec(
+                proptest::collection::vec(0u8..6, 0..20),
+                1..16,
+            ),
+            shards in 1usize..8,
+            qpick in 0u8..6,
+        ) {
+            const VOCAB: [&str; 6] =
+                ["alpha", "beta", "gamma", "delta", "beta gamma", "alpha beta"];
+            let texts: Vec<String> = docs
+                .iter()
+                .map(|d| {
+                    d.iter()
+                        .map(|&x| VOCAB[x as usize])
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .collect();
+            let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+            let m = mono(&refs);
+            let s = sharded(&refs, shards);
+            let queries = [
+                "#combine(alpha beta)",
+                "#1(beta gamma)",
+                "#weight(0.7 alpha 0.3 #1(alpha beta))",
+                "#combine(#1(gamma delta) delta)",
+                "delta",
+                "#combine(alpha #1(beta gamma) zeta)",
+            ];
+            let q = parse(queries[qpick as usize % queries.len()]).unwrap();
+            proptest::prop_assert_eq!(s.search(&q, 10), m.search(&q, 10));
+        }
+    }
+
+    // ── sharded artifact round trip + corruption ────────────────────
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("querygraph-sharded-{tag}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    fn saved_sharded(dir: &Path, stem: &str, n: usize, fp: u64) -> ShardedEngine {
+        let s = sharded(&DOCS, n);
+        // Warm some phrases so segments carry non-empty dictionaries.
+        s.warm_phrase(&["grand".to_string(), "canal".to_string()]);
+        s.warm_phrase(&["venice".to_string()]);
+        save_sharded(dir, stem, s.shards(), fp).expect("saves");
+        s
+    }
+
+    #[test]
+    fn sharded_round_trip_preserves_search_and_phrases() {
+        let dir = temp_dir("roundtrip");
+        let fp = 0xABCD_EF01;
+        let original = saved_sharded(&dir, "rt", 3, fp);
+        let loaded = load_sharded(&dir, "rt", fp, 3, 2, ArtifactSource::Read).expect("loads");
+        assert_eq!(loaded.fingerprint, fp);
+        assert_eq!(loaded.shard_load_seconds.len(), 3);
+        let engine = ShardedEngine::from_loaded(loaded, LmParams::default());
+        for q in QUERIES {
+            let q = parse(q).unwrap();
+            assert_eq!(engine.search(&q, 10), original.search(&q, 10), "{q:?}");
+        }
+        // Seeded phrase dictionaries arrived warm.
+        assert!(RetrievalBackend::phrase_cache_len(&engine) >= 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wrong_fingerprint_or_shard_count_rejected() {
+        let dir = temp_dir("fp");
+        saved_sharded(&dir, "fp", 2, 7);
+        match load_sharded(&dir, "fp", 8, 2, 1, ArtifactSource::Read) {
+            Err(ShardedError::Manifest(OndiskError::MetaMismatch { expected, found })) => {
+                assert_eq!((expected, found), (8, 7));
+            }
+            other => panic!("expected manifest MetaMismatch, got {other:?}"),
+        }
+        assert!(matches!(
+            load_sharded(&dir, "fp", 7, 3, 1, ArtifactSource::Read),
+            Err(ShardedError::Manifest(OndiskError::Malformed { .. }))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_manifest_is_manifest_io_error() {
+        let dir = temp_dir("missing");
+        assert!(matches!(
+            load_sharded(&dir, "nope", 1, 1, 1, ArtifactSource::Read),
+            Err(ShardedError::Manifest(OndiskError::Io(_)))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_segment_names_its_shard_never_panics() {
+        let dir = temp_dir("corrupt");
+        saved_sharded(&dir, "c", 3, 99);
+        let victim = dir.join(segment_file("c", 1));
+        let bytes = std::fs::read(&victim).expect("segment exists");
+        // Flip a sample of bytes across the whole segment; every flip
+        // must produce a typed error naming shard 1.
+        let step = (bytes.len() / 200).max(1);
+        for i in (0..bytes.len()).step_by(step) {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0xFF;
+            std::fs::write(&victim, &corrupt).expect("write corrupt segment");
+            match load_sharded(&dir, "c", 99, 3, 2, ArtifactSource::Read) {
+                Err(ShardedError::Shard {
+                    shard: 1,
+                    source: _,
+                }) => {}
+                other => panic!("flip at byte {i}: expected Shard{{1}}, got {other:?}"),
+            }
+        }
+        // Truncations too.
+        for len in [0, bytes.len() / 2, bytes.len() - 1] {
+            std::fs::write(&victim, &bytes[..len]).expect("truncate segment");
+            let err = load_sharded(&dir, "c", 99, 3, 2, ArtifactSource::Read)
+                .map(|_| ())
+                .expect_err("truncated segment must fail");
+            assert!(
+                matches!(err, ShardedError::Shard { shard: 1, .. }),
+                "truncation to {len}: {err:?}"
+            );
+            assert!(err.to_string().contains("shard 1"), "{err}");
+        }
+        // Restore; loads again.
+        std::fs::write(&victim, &bytes).expect("restore");
+        assert!(load_sharded(&dir, "c", 99, 3, 2, ArtifactSource::Read).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn swapped_segments_rejected_per_shard() {
+        let dir = temp_dir("swap");
+        saved_sharded(&dir, "s", 2, 123);
+        // Swap shard 0 and shard 1 segment files: the embedded
+        // per-slot fingerprints must catch it.
+        let a = dir.join(segment_file("s", 0));
+        let b = dir.join(segment_file("s", 1));
+        let tmp = dir.join("tmp.qgidx");
+        std::fs::rename(&a, &tmp).unwrap();
+        std::fs::rename(&b, &a).unwrap();
+        std::fs::rename(&tmp, &b).unwrap();
+        match load_sharded(&dir, "s", 123, 2, 1, ArtifactSource::Read) {
+            Err(ShardedError::Shard {
+                shard: 0,
+                source: OndiskError::MetaMismatch { .. },
+            }) => {}
+            other => panic!("expected shard-0 MetaMismatch, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_manifest_is_typed() {
+        let dir = temp_dir("manifest");
+        saved_sharded(&dir, "m", 2, 5);
+        let path = dir.join(manifest_file("m"));
+        let bytes = std::fs::read(&path).expect("manifest exists");
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0xFF;
+            std::fs::write(&path, &corrupt).expect("write corrupt manifest");
+            assert!(
+                matches!(
+                    load_sharded(&dir, "m", 5, 2, 1, ArtifactSource::Read),
+                    Err(ShardedError::Manifest(_))
+                ),
+                "manifest flip at byte {i} must fail as Manifest"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

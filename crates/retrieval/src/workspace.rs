@@ -24,8 +24,9 @@
 //! order, candidates in ascending document order, the same [`TopK`].
 //! The pipeline's byte-identical-`Report` contract rests on this.
 
+use crate::backend::RetrievalBackend;
 use crate::engine::{SearchEngine, SearchHit};
-use crate::lm::log_belief;
+use crate::lm::log_belief_with_floor;
 use crate::query_lang::QueryNode;
 use crate::topk::TopK;
 use querygraph_text::tokenize;
@@ -52,13 +53,16 @@ struct WsLeaf {
     beliefs: Vec<f64>,
 }
 
-/// Per-query scoring workspace over a shared [`SearchEngine`].
+/// Per-query scoring workspace over a shared
+/// [`RetrievalBackend`] (defaulting to the monolithic
+/// [`SearchEngine`]; the sharded engine plugs in through the same
+/// trait, with bit-identical output by the backend contract).
 ///
 /// Single-threaded by design: the pipeline builds one per query on the
-/// worker that owns it. The engine's sharded phrase cache still
-/// de-duplicates resolution work *across* workspaces.
-pub struct ScoreWorkspace<'a> {
-    engine: &'a SearchEngine,
+/// worker that owns it. The backend's phrase cache still de-duplicates
+/// resolution work *across* workspaces.
+pub struct ScoreWorkspace<'a, B: RetrievalBackend + ?Sized = SearchEngine> {
+    engine: &'a B,
     leaves: Vec<WsLeaf>,
     /// Tokenized title → leaf, so a title is resolved exactly once.
     leaf_by_words: HashMap<Vec<String>, LeafId>,
@@ -87,9 +91,9 @@ struct Scratch {
     epoch: u64,
 }
 
-impl<'a> ScoreWorkspace<'a> {
+impl<'a, B: RetrievalBackend + ?Sized> ScoreWorkspace<'a, B> {
     /// Empty workspace over `engine`.
-    pub fn new(engine: &'a SearchEngine) -> Self {
+    pub fn new(engine: &'a B) -> Self {
         ScoreWorkspace {
             engine,
             leaves: Vec::new(),
@@ -113,10 +117,9 @@ impl<'a> ScoreWorkspace<'a> {
         if let Some(&id) = self.leaf_by_words.get(&words) {
             return Some(id);
         }
-        let info = self.engine.phrase_info(&words);
+        let info = self.engine.resolve_phrase(&words);
         self.resolutions += 1;
 
-        let index = self.engine.index();
         let mut matches = Vec::with_capacity(info.hits.len());
         let mut match_tfs = Vec::with_capacity(info.hits.len());
         for hit in &info.hits {
@@ -124,7 +127,7 @@ impl<'a> ScoreWorkspace<'a> {
                 Some(&s) => s,
                 None => {
                     let s = self.docs.len() as u32;
-                    self.docs.push((hit.doc, index.doc_len(hit.doc)));
+                    self.docs.push((hit.doc, self.engine.doc_len(hit.doc)));
                     self.slot_by_doc.insert(hit.doc, s);
                     s
                 }
@@ -147,7 +150,7 @@ impl<'a> ScoreWorkspace<'a> {
     /// Extend `leaf`'s belief vector to cover the current universe.
     fn ensure_beliefs(&mut self, leaf: LeafId) {
         let params = self.engine.params();
-        let index = self.engine.index();
+        let epsilon = self.engine.epsilon_prob();
         let l = &mut self.leaves[leaf.0 as usize];
         let from = l.beliefs.len();
         if from == self.docs.len() {
@@ -157,14 +160,14 @@ impl<'a> ScoreWorkspace<'a> {
         l.beliefs.extend(
             self.docs[from..]
                 .iter()
-                .map(|&(_, len)| log_belief(params, index, 0, len, l.collection_prob)),
+                .map(|&(_, len)| log_belief_with_floor(params, epsilon, 0, len, l.collection_prob)),
         );
         // …then overwrite the slots this leaf actually matches.
         for (i, &(_, slot)) in l.matches.iter().enumerate() {
             if slot as usize >= from {
                 let (_, len) = self.docs[slot as usize];
                 l.beliefs[slot as usize] =
-                    log_belief(params, index, l.match_tfs[i], len, l.collection_prob);
+                    log_belief_with_floor(params, epsilon, l.match_tfs[i], len, l.collection_prob);
             }
         }
     }

@@ -195,7 +195,7 @@ fn facade_load_failure_classes_are_distinguished() {
     let bytes = planted_artifact(&dir, &config);
     std::fs::write(artifact_path(&dir, &config), &bytes).expect("restore artifact");
     let world = ServingWorld::load(&config, &dir).expect("valid artifact loads");
-    let docs = world.engine.index().num_docs();
+    let docs = world.engine.num_docs();
     match load_engine(&config, &dir, Some(docs + 1), LmParams::default()) {
         Err(ServiceError::ArtifactStale {
             indexed_docs,
