@@ -4,7 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use querygraph_corpus::imageclef::linking_text;
 use querygraph_corpus::synth::{generate_corpus, SynthCorpusConfig};
-use querygraph_retrieval::engine::SearchEngine;
+use querygraph_retrieval::engine::{SearchEngine, SearchMode};
 use querygraph_retrieval::index::IndexBuilder;
 use querygraph_retrieval::query_lang::{parse, QueryNode};
 use querygraph_wiki::synth::{generate, SynthWikiConfig};
@@ -60,6 +60,26 @@ fn bench_queries(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_pruned_vs_exact(c: &mut Criterion) {
+    let texts = corpus_texts();
+    let engine = build_engine(&texts);
+    // Bare-term #combine: the broad-candidate shape where block-max
+    // pruning earns its keep (phrase queries have selective candidate
+    // sets, so exact and pruned converge there).
+    let node = parse("#combine(harbor glacier temple northern gate market)").expect("parses");
+    let mut group = c.benchmark_group("retrieval/pruned_vs_exact");
+    for mode in [SearchMode::Exact, SearchMode::Pruned] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(mode.name()),
+            &node,
+            |b, node| {
+                b.iter(|| black_box(engine.search_with(black_box(node), 10, mode).len()));
+            },
+        );
+    }
+    group.finish();
+}
+
 fn bench_ground_truth_query_shape(c: &mut Criterion) {
     let texts = corpus_texts();
     let engine = build_engine(&texts);
@@ -84,6 +104,7 @@ criterion_group!(
     benches,
     bench_index_build,
     bench_queries,
+    bench_pruned_vs_exact,
     bench_ground_truth_query_shape
 );
 criterion_main!(benches);

@@ -223,6 +223,10 @@ pub fn diff_records(baseline: &Value, candidate: &Value) -> BenchDiff {
         ("serve_qps", &["serve", "qps"][..]),
         ("serve_p50_us", &["serve", "latency", "p50_us"][..]),
         ("serve_p99_us", &["serve", "latency", "p99_us"][..]),
+        // Schema-5 expansion-cache counters; older serve records simply
+        // lack these paths and contribute no rows.
+        ("serve_cache_hits", &["serve", "cache_hits"][..]),
+        ("serve_cache_hit_rate", &["serve", "cache_hit_rate"][..]),
     ]
     .iter()
     .filter_map(|(name, path)| {
@@ -477,6 +481,43 @@ mod tests {
         // Serve records carry no pipeline wall clock — the gate stays
         // silent rather than misfiring.
         assert_eq!(diff.wall_regression_pct(), 0.0);
+    }
+
+    #[test]
+    fn schema5_cache_counters_diff_and_tolerate_old_serve_records() {
+        let cached = parse_record(
+            r#"{"schema":5,"kind":"serve","build_seconds":0.02,
+                "num_queries":50,"num_topics":50,
+                "serve":{"total_seconds":1.6,"qps":600.0,
+                    "cache_hits":450,"cache_lookups":500,"cache_hit_rate":0.9,
+                    "latency":{"p50_us":900.0,"p90_us":2000.0,"p99_us":2500.0}}}"#,
+        )
+        .unwrap();
+        // Old serve baseline (schema ≤ 4, no cache fields) vs cached
+        // candidate: cache rows appear with a dashed baseline side.
+        let diff = diff_records(&serve_record(3000.0, 300.0), &cached);
+        let rate = diff
+            .serve_stages
+            .iter()
+            .find(|d| d.name == "serve_cache_hit_rate")
+            .unwrap();
+        assert_eq!(rate.base, None);
+        assert_eq!(rate.cand, Some(0.9));
+        assert_eq!(rate.pct_delta(), None, "half-missing row cannot gate");
+        // Cached vs cached: real deltas, rendered in both formats.
+        let diff = diff_records(&cached, &cached);
+        let hits = diff
+            .serve_stages
+            .iter()
+            .find(|d| d.name == "serve_cache_hits")
+            .unwrap();
+        assert_eq!(hits.abs_delta(), Some(0.0));
+        assert!(diff
+            .render_markdown()
+            .contains("| `serve_cache_hit_rate` |"));
+        // Two pre-cache serve records grow no phantom cache rows.
+        let old = diff_records(&serve_record(3000.0, 300.0), &serve_record(1500.0, 600.0));
+        assert!(!old.serve_stages.iter().any(|d| d.name.contains("cache")));
     }
 
     #[test]

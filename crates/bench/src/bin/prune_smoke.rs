@@ -1,0 +1,134 @@
+//! `prune_smoke` — the block-max pruning gate.
+//!
+//! Builds (or loads) a world, assembles a retrieval-heavy workload from
+//! the tier's seed queries — each served both as a bag of bare keyword
+//! terms and as its cycle-expanded `#combine`-of-phrases query — and
+//! then enforces the two halves of the pruning contract:
+//!
+//! 1. **Rank-equivalence**: for every workload query,
+//!    `SearchMode::Pruned` must return the same documents in the same
+//!    order as `SearchMode::Exact`, with scores within 1e-9.
+//! 2. **Speedup**: over the whole workload (min-of-`--reps` timing for
+//!    each mode), pruned search must be at least `--min-speedup` times
+//!    faster than exact (default 1.5×, the CI gate; pass `0` to report
+//!    without gating).
+//!
+//! Any violation prints the offending query and exits nonzero, so CI
+//! can run this binary directly:
+//!
+//! ```text
+//! cargo run --release -p querygraph-bench --bin prune_smoke -- \
+//!     [--tiny | --quick | --stress [--quick]] [--index-cache <dir>] \
+//!     [--shards <n>] [--mmap] [--top-k <k>] [--reps <n>] \
+//!     [--min-speedup <x>]
+//! ```
+
+use querygraph_bench::{flag_f64, flag_usize, CliOptions};
+use querygraph_core::service::ServingWorld;
+use querygraph_retrieval::engine::SearchMode;
+use querygraph_retrieval::query_lang::{parse, QueryNode};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cli = CliOptions::from_vec(&args);
+    let config = cli.config();
+    let top_k = flag_usize(&args, "--top-k").unwrap_or(10);
+    let reps = flag_usize(&args, "--reps").unwrap_or(5).max(1);
+    let min_speedup = flag_f64(&args, "--min-speedup").unwrap_or(1.5);
+
+    let (world, corpus) = ServingWorld::open_with_options(
+        &config,
+        cli.index_cache.as_deref(),
+        querygraph_retrieval::lm::LmParams::default(),
+        &cli.world_options(),
+    );
+    eprintln!(
+        "# prune_smoke: {} docs, {} shard(s), top-k {top_k}, {} seed queries",
+        world.engine.num_docs(),
+        world.engine.shard_count(),
+        corpus.queries.queries.len(),
+    );
+
+    // The workload: every seed query as bare terms (broad candidate
+    // sets — where pruning earns its keep) and as its cycle-expanded
+    // phrase query (the serving path's actual shape).
+    let expander = world.expander();
+    let mut queries: Vec<QueryNode> = Vec::new();
+    for q in &corpus.queries.queries {
+        if let Ok(node) = parse(&format!("#combine({})", q.keywords)) {
+            queries.push(node);
+        }
+        if let Ok(response) = expander.expand_text(&q.keywords) {
+            queries.push(parse(&response.expanded_query).expect("expander emits valid queries"));
+        }
+    }
+    assert!(!queries.is_empty(), "empty workload");
+
+    // Contract half 1: rank-equivalence on every query.
+    let mut equivalent = 0usize;
+    for (i, q) in queries.iter().enumerate() {
+        let exact = world.engine.search_with(q, top_k, SearchMode::Exact);
+        let pruned = world.engine.search_with(q, top_k, SearchMode::Pruned);
+        let docs = |hits: &[querygraph_retrieval::engine::SearchHit]| {
+            hits.iter().map(|h| h.doc).collect::<Vec<_>>()
+        };
+        if docs(&exact) != docs(&pruned) {
+            eprintln!(
+                "FAIL: query {i} ({q}) ranks differ: exact {:?} vs pruned {:?}",
+                docs(&exact),
+                docs(&pruned)
+            );
+            std::process::exit(1);
+        }
+        for (a, b) in exact.iter().zip(&pruned) {
+            if (a.score - b.score).abs() > 1e-9 {
+                eprintln!(
+                    "FAIL: query {i} ({q}) doc {} score drift: {} vs {}",
+                    a.doc, a.score, b.score
+                );
+                std::process::exit(1);
+            }
+        }
+        equivalent += 1;
+    }
+    println!(
+        "rank-equivalence: {equivalent}/{} queries identical",
+        queries.len()
+    );
+
+    // Contract half 2: the speedup gate. Min-of-reps on each side
+    // absorbs scheduler noise; one untimed warmup pass fills the
+    // phrase cache so both modes race over identical warm state.
+    let run_all = |mode: SearchMode| {
+        for q in &queries {
+            black_box(world.engine.search_with(q, top_k, mode));
+        }
+    };
+    run_all(SearchMode::Exact);
+    let time = |mode: SearchMode| {
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                run_all(mode);
+                t.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+    let exact_s = time(SearchMode::Exact);
+    let pruned_s = time(SearchMode::Pruned);
+    let speedup = exact_s / pruned_s.max(1e-12);
+    println!(
+        "exact {:.1}ms  pruned {:.1}ms  speedup {speedup:.2}x (min of {reps} reps, \
+         {} queries, k={top_k})",
+        exact_s * 1e3,
+        pruned_s * 1e3,
+        queries.len(),
+    );
+    if min_speedup > 0.0 && speedup < min_speedup {
+        eprintln!("FAIL: pruned speedup {speedup:.2}x below the {min_speedup:.2}x gate");
+        std::process::exit(1);
+    }
+    println!("ok");
+}

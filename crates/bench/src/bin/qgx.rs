@@ -10,9 +10,10 @@
 //! cargo run --release -p querygraph-bench --bin qgx -- \
 //!     [--tiny | --quick | --stress [--quick]] [--index-cache <dir>] \
 //!     [--shards <n>] [--shard-threads <n>] [--mmap] \
-//!     [--queries <file>] [--seed-queries] [--repeat <n>] \
+//!     [--queries <file>] [--seed-queries] [--repeat <n>] [--zipf <s>] \
 //!     [--strategy cycles|links|redirects|none] [--max-features <n>] \
-//!     [--top-k <k>] [--threads <n>] [--json] [--bench-out <path>]
+//!     [--top-k <k>] [--threads <n>] [--prune] [--expansion-cache <n>] \
+//!     [--json] [--bench-out <path>]
 //! ```
 //!
 //! * Without `--queries`/`--seed-queries`, queries are read from stdin,
@@ -35,9 +36,22 @@
 //!   monolithic engine at any shard count. `--shard-threads <n>` fans
 //!   each query's per-shard retrieval across workers; `--mmap` maps
 //!   artifact bytes instead of reading them (read fallback on error).
+//! * `--zipf <s>` reshapes a `--queries`/`--seed-queries` workload
+//!   into a seeded head-heavy one: each repetition serves the same
+//!   number of requests, drawn Zipf(s)-distributed over the pool
+//!   (rank 1 = first query), deterministically for the tier's seeds —
+//!   the repeat-heavy traffic a serving cache exists for.
+//! * `--prune` retrieves with block-max top-k pruning (`SearchMode::
+//!   Pruned`): rank-equivalent to exact scoring — same documents, same
+//!   order, scores within 1e-9 — but skips candidates whose score
+//!   bound cannot reach the current top-k floor.
+//! * `--expansion-cache <n>` memoizes up to n complete expansion
+//!   responses (single-flight, failures never cached); hits and the
+//!   hit rate land in the archived record and the closing stderr line.
 //! * `--bench-out <path>` archives a `ServeRecord` (p50/p90/p99 µs,
 //!   QPS + per-thread QPS, shard count and per-shard load seconds,
-//!   build-vs-load provenance) diffable by `repro_bench_diff`.
+//!   search mode, expansion-cache hit counters, build-vs-load
+//!   provenance) diffable by `repro_bench_diff`.
 //!
 //! With `--index-cache`, the first run builds and persists the index
 //! artifact and later runs load it (`index_source: "loaded"` in the
@@ -45,13 +59,17 @@
 //! artifact read instead of a full indexing pass.
 
 use querygraph_bench::{
-    flag_operand, flag_usize, CliOptions, LatencySummary, ServeRecord, ServeSummary,
+    flag_f64, flag_operand, flag_usize, CliOptions, LatencySummary, ServeRecord, ServeSummary,
+    ZipfSampler,
 };
+use querygraph_core::expcache::ExpansionCache;
 use querygraph_core::service::{
     ExpansionRequest, ExpansionResponse, ExpansionStrategy, QueryExpander, ServiceError,
     ServingWorld,
 };
+use querygraph_retrieval::engine::SearchMode;
 use std::io::{BufRead, Write};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Flags beyond the shared repro CLI (`--bench-out` rides in
@@ -61,11 +79,14 @@ struct ServeOptions {
     queries_file: Option<String>,
     seed_queries: bool,
     repeat: usize,
+    zipf: Option<f64>,
     strategy: ExpansionStrategy,
     max_features: Option<usize>,
     top_k: usize,
     threads: usize,
     shard_threads: usize,
+    prune: bool,
+    expansion_cache: Option<usize>,
     json: bool,
 }
 
@@ -73,7 +94,7 @@ struct ServeOptions {
 /// Anything else starting with `--` is rejected — a typo'd flag must
 /// not silently fall back to a different workload (e.g. blocking on
 /// stdin in CI).
-const KNOWN_FLAGS: [(&str, bool); 16] = [
+const KNOWN_FLAGS: [(&str, bool); 19] = [
     ("--tiny", false),
     ("--quick", false),
     ("--stress", false),
@@ -84,10 +105,13 @@ const KNOWN_FLAGS: [(&str, bool); 16] = [
     ("--queries", true),
     ("--seed-queries", false),
     ("--repeat", true),
+    ("--zipf", true),
     ("--strategy", true),
     ("--max-features", true),
     ("--top-k", true),
     ("--threads", true),
+    ("--prune", false),
+    ("--expansion-cache", true),
     ("--json", false),
     ("--bench-out", true),
 ];
@@ -136,15 +160,25 @@ impl ServeOptions {
             eprintln!("error: --queries and --seed-queries are mutually exclusive");
             std::process::exit(2);
         }
+        let zipf = flag_f64(args, "--zipf");
+        if let Some(s) = zipf {
+            if !(s >= 0.0 && s.is_finite()) {
+                eprintln!("error: --zipf exponent must be a finite number ≥ 0, got {s}");
+                std::process::exit(2);
+            }
+        }
         ServeOptions {
             queries_file,
             seed_queries,
             repeat: flag_usize(args, "--repeat").unwrap_or(1).max(1),
+            zipf,
             strategy,
             max_features: flag_usize(args, "--max-features"),
             top_k: flag_usize(args, "--top-k").unwrap_or(0),
             threads: flag_usize(args, "--threads").unwrap_or(1).max(1),
             shard_threads: flag_usize(args, "--shard-threads").unwrap_or(1).max(1),
+            prune: args.iter().any(|a| a == "--prune"),
+            expansion_cache: flag_usize(args, "--expansion-cache"),
             json: args.iter().any(|a| a == "--json"),
         }
     }
@@ -182,9 +216,14 @@ fn main() {
             1
         }
     };
+    let search_mode = if serve.prune {
+        SearchMode::Pruned
+    } else {
+        SearchMode::Exact
+    };
     eprintln!(
         "# qgx: {} articles, index {} x{} shard(s) (world {:.3}s, build {:.3}s, load {:.3}s); \
-         strategy {}, top-k {}",
+         strategy {}, top-k {}, search {}, cache {}",
         world.wiki.kb.num_articles(),
         world.stats.index_source.name(),
         world.stats.shard_count,
@@ -193,13 +232,29 @@ fn main() {
         world.stats.index_load_seconds,
         serve.strategy.name(),
         serve.top_k,
+        search_mode.name(),
+        serve
+            .expansion_cache
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "off".to_string()),
     );
-    let mut builder = QueryExpander::builder().strategy(serve.strategy.clone());
+    let mut builder = QueryExpander::builder()
+        .strategy(serve.strategy.clone())
+        .search_mode(search_mode);
     if let Some(max) = serve.max_features {
         builder = builder.max_features(max);
     }
     if serve.top_k > 0 {
         builder = builder.retrieve_top(serve.top_k);
+    }
+    // Keep our own handle on the cache so its hit counters can be
+    // read after the serve loop (the expander shares the same Arc).
+    let cache: Option<Arc<ExpansionCache>> = serve
+        .expansion_cache
+        .filter(|&n| n > 0)
+        .map(|n| Arc::new(ExpansionCache::new(n)));
+    if let Some(cache) = &cache {
+        builder = builder.expansion_cache(cache.clone());
     }
     let expander = world.expander_from(&builder);
 
@@ -210,8 +265,10 @@ fn main() {
     // `num_queries`); stdin mode counts as it goes.
     let workload_queries;
     let fixed_workload = serve.seed_queries || serve.queries_file.is_some();
-    if !fixed_workload && (serve.threads > 1 || serve.repeat > 1) {
-        eprintln!("# qgx: --threads/--repeat apply to --queries/--seed-queries workloads only");
+    if !fixed_workload && (serve.threads > 1 || serve.repeat > 1 || serve.zipf.is_some()) {
+        eprintln!(
+            "# qgx: --threads/--repeat/--zipf apply to --queries/--seed-queries workloads only"
+        );
     }
     let t_serve = Instant::now();
 
@@ -246,19 +303,38 @@ fn main() {
             .iter()
             .map(|text| ExpansionRequest::new(text.clone()))
             .collect();
+        // --zipf: one seeded sampler across all repetitions, so the
+        // whole served stream is a deterministic function of the
+        // tier's seeds and the exponent.
+        let mut zipf = serve.zipf.map(|s| {
+            ZipfSampler::new(
+                requests.len(),
+                s,
+                config.wiki.seed ^ config.corpus.seed.rotate_left(17),
+            )
+        });
         for _ in 0..serve.repeat {
+            let sampled: Vec<ExpansionRequest>;
+            let batch: &[ExpansionRequest] = match &mut zipf {
+                Some(sampler) => {
+                    sampled = (0..requests.len())
+                        .map(|_| requests[sampler.sample()].clone())
+                        .collect();
+                    &sampled
+                }
+                None => &requests,
+            };
             // The same deterministic work-stealing runner `expand_batch`
             // uses (inline on this thread at --threads 1), timing each
             // request inside its worker — the archived percentiles are
             // real per-request service times, while QPS reflects the
             // parallel wall clock.
-            let timed =
-                querygraph_core::pipeline::parallel_map(requests.len(), serve.threads, |i| {
-                    let t = Instant::now();
-                    let response = expander.expand(&requests[i]);
-                    (t.elapsed().as_secs_f64() * 1e6, response)
-                });
-            for (request, (micros, response)) in requests.iter().zip(timed) {
+            let timed = querygraph_core::pipeline::parallel_map(batch.len(), serve.threads, |i| {
+                let t = Instant::now();
+                let response = expander.expand(&batch[i]);
+                (t.elapsed().as_secs_f64() * 1e6, response)
+            });
+            for (request, (micros, response)) in batch.iter().zip(timed) {
                 latencies_us.push(micros);
                 report(
                     &request.text,
@@ -295,11 +371,21 @@ fn main() {
     let answered = served + failures;
     let latency = LatencySummary::of(&latencies_us);
     let qps = answered as f64 / total_seconds.max(1e-9);
+    let (cache_hits, cache_lookups, cache_hit_rate) = cache
+        .as_ref()
+        .map(|c| (c.hits(), c.lookups(), c.hit_rate()))
+        .unwrap_or((0, 0, 0.0));
     eprintln!(
         "# served {answered} queries ({failures} typed errors) in {total_seconds:.3}s \
          — {qps:.0} q/s; {}",
         latency.render()
     );
+    if cache.is_some() {
+        eprintln!(
+            "# expansion cache: {cache_hits}/{cache_lookups} hits ({:.1}%)",
+            100.0 * cache_hit_rate
+        );
+    }
 
     if let Some(path) = &cli.bench_out {
         // The record attributes measurements to what actually ran:
@@ -325,6 +411,10 @@ fn main() {
                 total_seconds,
                 qps,
                 qps_per_thread: qps / effective_threads.max(1) as f64,
+                search_mode: search_mode.name().to_string(),
+                cache_hits,
+                cache_lookups,
+                cache_hit_rate,
                 latency,
             },
         );

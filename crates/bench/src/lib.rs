@@ -65,14 +65,18 @@ impl BenchRecord {
     /// Assemble a record from a finished run.
     pub fn new(config: &ExperimentConfig, build: &BuildStats, run: RunSummary) -> BenchRecord {
         BenchRecord {
+            // 5: serving-side expansion cache (serve records grew
+            //    cache_hits/cache_lookups/cache_hit_rate and the
+            //    search_mode discriminator). Additive —
+            //    repro_bench_diff reads records of any schema
+            //    tolerantly.
             // 4: shard-aware retrieval (shard_count, per-shard load
             //    seconds; serve records additionally grew
-            //    qps_per_thread). Additive — repro_bench_diff reads
-            //    records of any schema tolerantly.
+            //    qps_per_thread).
             // 3: build breakdown (world/index build/write/load seconds,
             //    index_source) for the on-disk index cache.
             // 2: RunSummary gained ground-truth evaluation counters.
-            schema: 4,
+            schema: 5,
             num_queries: config.corpus.num_queries,
             num_topics: config.wiki.num_topics,
             articles_per_topic: config.wiki.articles_per_topic,
@@ -173,6 +177,15 @@ pub struct ServeSummary {
     /// `qps / threads`: per-worker throughput, so thread-count scaling
     /// is readable straight off the record trajectory.
     pub qps_per_thread: f64,
+    /// Retrieval execution mode served (`exact` or `pruned`), so
+    /// records taken at different modes stay distinguishable.
+    pub search_mode: String,
+    /// Expansion-cache hits over the serve loop (0 without a cache).
+    pub cache_hits: u64,
+    /// Expansion-cache lookups over the serve loop (0 without a cache).
+    pub cache_lookups: u64,
+    /// `cache_hits / cache_lookups` (0.0 without a cache or lookups).
+    pub cache_hit_rate: f64,
     /// Per-query latency distribution.
     pub latency: LatencySummary,
 }
@@ -236,10 +249,10 @@ impl ServeRecord {
         serve: ServeSummary,
     ) -> ServeRecord {
         ServeRecord {
-            // Shares the BenchRecord schema counter (4: shard fields +
-            // per-thread QPS; 3 introduced the build breakdown these
-            // fields mirror).
-            schema: 4,
+            // Shares the BenchRecord schema counter (5: expansion-cache
+            // counters + search_mode; 4: shard fields + per-thread QPS;
+            // 3 introduced the build breakdown these fields mirror).
+            schema: 5,
             kind: "serve".to_string(),
             num_queries: workload_queries,
             num_topics: config.wiki.num_topics,
@@ -443,6 +456,63 @@ pub fn flag_usize(args: &[String], flag: &str) -> Option<usize> {
     })
 }
 
+/// [`flag_operand`] parsed as a float; exits with a message on a
+/// non-numeric operand.
+pub fn flag_f64(args: &[String], flag: &str) -> Option<f64> {
+    flag_operand(args, flag).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: {flag} operand must be a number, got {v:?}");
+            std::process::exit(2);
+        })
+    })
+}
+
+/// Seeded Zipf-distributed index sampler — `qgx --zipf <s>`'s
+/// head-heavy workload generator. Index `i` (0-based rank) is drawn
+/// with probability ∝ 1/(i+1)^s via inverse-CDF over the cumulative
+/// weights, so `s = 0` is uniform and larger `s` concentrates mass on
+/// the first few queries of the pool — the repeat-heavy distribution a
+/// serving cache exists for. Deterministic for a given `(n, s, seed)`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    /// Cumulative unnormalized weights; `cum[i]` = Σ_{r≤i} 1/(r+1)^s.
+    cum: Vec<f64>,
+    rng: rand::rngs::StdRng,
+}
+
+impl ZipfSampler {
+    /// Sampler over `0..n` with exponent `s ≥ 0`.
+    ///
+    /// # Panics
+    /// If `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64, seed: u64) -> ZipfSampler {
+        use rand::SeedableRng;
+        assert!(n > 0, "ZipfSampler over an empty pool");
+        assert!(s >= 0.0 && s.is_finite(), "Zipf exponent must be ≥ 0");
+        let mut cum = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 1..=n {
+            total += 1.0 / (rank as f64).powf(s);
+            cum.push(total);
+        }
+        ZipfSampler {
+            cum,
+            rng: rand::rngs::StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Draw one index in `0..n`.
+    pub fn sample(&mut self) -> usize {
+        use rand::Rng;
+        let total = *self.cum.last().expect("nonempty pool");
+        let x = self.rng.gen_range(0.0..total);
+        // First rank whose cumulative weight exceeds the draw.
+        self.cum
+            .partition_point(|&c| c <= x)
+            .min(self.cum.len() - 1)
+    }
+}
+
 impl CliOptions {
     /// Parse `std::env::args`. Exits with a message on malformed flags
     /// (missing `--index-cache` / `--bench-out` operand).
@@ -582,6 +652,46 @@ mod tests {
     }
 
     #[test]
+    fn zipf_sampler_is_seeded_head_heavy_and_in_range() {
+        let draws = 4000;
+        let mut counts = [0usize; 10];
+        let mut a = ZipfSampler::new(10, 1.2, 0xBEEF);
+        for _ in 0..draws {
+            let i = a.sample();
+            assert!(i < 10, "sample out of range: {i}");
+            counts[i] += 1;
+        }
+        // Head-heavy: rank 0 dominates, and the head outweighs the tail.
+        assert!(counts[0] > counts[1], "rank 0 must lead: {counts:?}");
+        assert!(
+            counts[0] + counts[1] > counts[5..].iter().sum::<usize>(),
+            "head must outweigh the tail: {counts:?}"
+        );
+        // Deterministic: the same (n, s, seed) replays the same stream.
+        let mut b = ZipfSampler::new(10, 1.2, 0xBEEF);
+        let mut c = ZipfSampler::new(10, 1.2, 0xBEEF);
+        let replay: Vec<usize> = (0..100).map(|_| b.sample()).collect();
+        assert_eq!(replay, (0..100).map(|_| c.sample()).collect::<Vec<_>>());
+        // s = 0 degenerates to uniform: every index is reachable.
+        let mut u = ZipfSampler::new(4, 0.0, 7);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[u.sample()] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn flag_f64_parses() {
+        let args: Vec<String> = ["bin", "--zipf", "1.5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_f64(&args, "--zipf"), Some(1.5));
+        assert_eq!(flag_f64(&args, "--absent"), None);
+    }
+
+    #[test]
     fn latency_summary_percentiles_nearest_rank() {
         let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
         let s = LatencySummary::of(&samples);
@@ -621,6 +731,10 @@ mod tests {
             total_seconds: 0.5,
             qps: 20.0,
             qps_per_thread: 10.0,
+            search_mode: "exact".to_string(),
+            cache_hits: 4,
+            cache_lookups: 10,
+            cache_hit_rate: 0.4,
             latency: LatencySummary::of(&[100.0, 200.0]),
         };
         // A 5-query file served twice: the record says 5, not the
@@ -639,6 +753,10 @@ mod tests {
             "qps_per_thread",
             "strategy",
             "shard_count",
+            "search_mode",
+            "cache_hits",
+            "cache_lookups",
+            "cache_hit_rate",
         ] {
             assert!(json.contains(field), "record missing {field}");
         }
@@ -647,7 +765,7 @@ mod tests {
     }
 
     #[test]
-    fn bench_record_schema_4_carries_build_breakdown() {
+    fn bench_record_schema_5_carries_build_breakdown() {
         use querygraph_core::cache::IndexSource;
         let build = BuildStats {
             world_seconds: 0.5,
@@ -661,7 +779,7 @@ mod tests {
         let exp = Experiment::build(&tiny_config());
         let (_, run) = exp.run_parallel_with_summary(2);
         let record = BenchRecord::new(&tiny_config(), &build, run);
-        assert_eq!(record.schema, 4);
+        assert_eq!(record.schema, 5);
         assert_eq!(record.index_source, "loaded");
         assert_eq!(record.shard_count, 1);
         assert!(record.shard_load_seconds.is_empty());

@@ -586,6 +586,48 @@ mod tests {
     }
 
     #[test]
+    fn valid_v1_artifact_loads_and_is_never_rebuilt() {
+        let dir = temp_cache("v1-compat");
+        let config = ExperimentConfig::tiny();
+        let path = artifact_path(&dir, &config);
+        std::fs::remove_file(&path).ok();
+        let (built, _) = build_experiment(&config, Some(&dir));
+        // Downgrade the cached artifact to the legacy v1 format (no
+        // BOUNDS section), as a pre-upgrade deployment would have
+        // written it.
+        let engine = built.engine.as_mono().expect("tiny world is monolithic");
+        let v1 = ondisk::encode_index_v1(
+            engine.index(),
+            &engine.export_phrase_cache(),
+            config_fingerprint(&config),
+        );
+        std::fs::write(&path, &v1).expect("plant v1 artifact");
+
+        let (warm, stats) = build_experiment(&config, Some(&dir));
+        assert_eq!(
+            stats.index_source,
+            IndexSource::Loaded,
+            "an otherwise-valid v1 artifact must load (bounds recomputed), never rebuild"
+        );
+        assert_eq!(
+            std::fs::read(&path).expect("artifact still there"),
+            v1,
+            "loading must not rewrite the legacy artifact"
+        );
+        // The recomputed-on-load bounds uphold the pruning contract.
+        let loaded = warm.engine.as_mono().expect("mono load");
+        use querygraph_retrieval::engine::SearchMode;
+        use querygraph_retrieval::query_lang::parse;
+        let q = parse("#combine(the a of)").expect("query parses");
+        assert_eq!(
+            loaded.search_with(&q, 10, SearchMode::Pruned),
+            loaded.search(&q, 10),
+            "pruned search over recomputed v1 bounds must match exact"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn stale_artifact_with_matching_fingerprint_rebuilds() {
         // The fingerprint can't see generator-code changes; simulate
         // one by saving an index of the wrong world under the right

@@ -35,6 +35,9 @@
 //!   once — directly from a cached on-disk index if available — with
 //!   typed errors and a deterministic batch entrypoint. The
 //!   reproduction pipeline is itself a consumer of this facade.
+//! * [`expcache`] — a bounded, shard-aware memoization of complete
+//!   expansion responses with single-flight misses, for the
+//!   head-heavy query distributions real serving sees.
 //!
 //! ```
 //! use querygraph_core::experiment::{Experiment, ExperimentConfig};
@@ -52,6 +55,7 @@ pub mod config;
 pub mod contribution;
 pub mod cycle_analysis;
 pub mod expansion;
+pub mod expcache;
 pub mod experiment;
 pub mod ground_truth;
 pub mod pipeline;
@@ -60,6 +64,7 @@ pub mod service;
 pub mod tables;
 
 pub use cache::{BuildStats, IndexSource};
+pub use expcache::ExpansionCache;
 pub use experiment::{Experiment, ExperimentConfig, Report};
 pub use pipeline::{PipelineCtx, RunSummary, Stage, StageTimings};
 pub use query_graph::QueryGraph;

@@ -50,9 +50,11 @@ use crate::expansion::{
     expanded_titles, CycleExpander, CycleExpanderConfig, DirectLinkExpander, Expander,
     RedirectExpander,
 };
+use crate::expcache::{CacheKey, ExpansionCache};
 use crate::pipeline::parallel_map;
 use querygraph_link::EntityLinker;
 use querygraph_retrieval::backend::{AnyEngine, RetrievalBackend};
+use querygraph_retrieval::engine::SearchMode;
 use querygraph_retrieval::lm::LmParams;
 use querygraph_retrieval::ondisk::OndiskError;
 use querygraph_retrieval::query_lang::QueryNode;
@@ -61,6 +63,7 @@ use querygraph_wiki::{ArticleId, KnowledgeBase};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Typed failure on the serving path. Everything reachable from
@@ -344,13 +347,15 @@ impl ExpansionResponse {
 /// Knobs for a [`QueryExpander`]: expansion strategy, linker behaviour,
 /// feature caps, retrieval defaults, and — on the loading constructors —
 /// language-model smoothing.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct QueryExpanderBuilder {
     strategy: ExpansionStrategy,
     use_synonyms: bool,
     max_features: Option<usize>,
     default_top_k: Option<usize>,
     lm: LmParams,
+    search_mode: SearchMode,
+    cache: Option<Arc<ExpansionCache>>,
 }
 
 impl Default for QueryExpanderBuilder {
@@ -361,6 +366,8 @@ impl Default for QueryExpanderBuilder {
             max_features: None,
             default_top_k: None,
             lm: LmParams::default(),
+            search_mode: SearchMode::Exact,
+            cache: None,
         }
     }
 }
@@ -397,6 +404,25 @@ impl QueryExpanderBuilder {
     /// [`Self::open_world`] (borrowed engines keep their own params).
     pub fn lm(mut self, params: LmParams) -> Self {
         self.lm = params;
+        self
+    }
+
+    /// Retrieval execution mode (default: [`SearchMode::Exact`]).
+    /// [`SearchMode::Pruned`] trades bit-identical scores for block-max
+    /// top-k pruning; results stay rank-equivalent (same documents in
+    /// the same order, scores within 1e-9).
+    pub fn search_mode(mut self, mode: SearchMode) -> Self {
+        self.search_mode = mode;
+        self
+    }
+
+    /// Memoize complete responses in `cache` (shared via `Arc`, so a
+    /// server can also read its hit statistics; default: no cache).
+    /// Safe because expansion is a pure function of the read-only world
+    /// and the effective request knobs — all of which are in the cache
+    /// key.
+    pub fn expansion_cache(mut self, cache: Arc<ExpansionCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -455,6 +481,8 @@ impl QueryExpanderBuilder {
             strategy: self.strategy.clone(),
             max_features: self.max_features,
             default_top_k: self.default_top_k,
+            search_mode: self.search_mode,
+            cache: self.cache.clone(),
         }
     }
 }
@@ -487,6 +515,8 @@ pub struct QueryExpander<'w> {
     strategy: ExpansionStrategy,
     max_features: Option<usize>,
     default_top_k: Option<usize>,
+    search_mode: SearchMode,
+    cache: Option<Arc<ExpansionCache>>,
 }
 
 impl<'w> QueryExpander<'w> {
@@ -522,13 +552,60 @@ impl<'w> QueryExpander<'w> {
         &self.strategy
     }
 
+    /// The retrieval execution mode requests are served with.
+    pub fn search_mode(&self) -> SearchMode {
+        self.search_mode
+    }
+
+    /// The response cache, when built with one (read it for hit
+    /// statistics; the server's `Arc` is the same cache).
+    pub fn cache(&self) -> Option<&Arc<ExpansionCache>> {
+        self.cache.as_ref()
+    }
+
     /// Serve one request end to end.
     ///
     /// Pipeline: trim + entity-link the text (typed errors for empty or
     /// unlinkable queries), run the expansion strategy, assemble the
     /// INDRI `#combine`-of-phrases query, and — when the request (or
     /// builder) asks — retrieve the top-k documents.
+    ///
+    /// With an [`ExpansionCache`] configured, the whole pipeline is
+    /// memoized by served text + *effective* knobs: repeats cost one
+    /// probe and a clone, concurrent identical misses compute once
+    /// (single-flight), and failures are never cached. The cached
+    /// response is byte-for-byte what recomputing would return.
     pub fn expand(&self, request: &ExpansionRequest) -> Result<ExpansionResponse, ServiceError> {
+        let Some(cache) = &self.cache else {
+            return self.expand_uncached(request);
+        };
+        let text = request.text.trim();
+        if text.is_empty() {
+            // Trivially malformed requests never touch (or count
+            // against) the cache.
+            return Err(ServiceError::EmptyQuery);
+        }
+        // Two requests with the same *effective* knobs get identical
+        // responses, so they share an entry even if their raw knobs
+        // differ (e.g. a request cap above the builder cap).
+        let max_features = match (request.max_features, self.max_features) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let key = CacheKey {
+            query: text.to_string(),
+            max_features,
+            // None and Some(0) both mean "no retrieval" — same response.
+            top_k: request.top_k.or(self.default_top_k).unwrap_or(0),
+            mode: self.search_mode.name(),
+        };
+        cache.get_or_compute(&key, || self.expand_uncached(request))
+    }
+
+    fn expand_uncached(
+        &self,
+        request: &ExpansionRequest,
+    ) -> Result<ExpansionResponse, ServiceError> {
         let text = request.text.trim();
         if text.is_empty() {
             return Err(ServiceError::EmptyQuery);
@@ -559,7 +636,7 @@ impl<'w> QueryExpander<'w> {
             Some(k) => {
                 let engine = self.engine.ok_or(ServiceError::NoEngine)?;
                 engine
-                    .search(&query_node, k)
+                    .search_with(&query_node, k, self.search_mode)
                     .into_iter()
                     .map(|h| RetrievedDoc {
                         doc: h.doc,
@@ -967,5 +1044,140 @@ mod tests {
             "loaded-index responses must be byte-identical to built-index responses"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn cached_expander_matches_uncached_and_reports_hits() {
+        let kb = venice_mini_wiki();
+        let uncached = venice_expander(&kb);
+        let cache = Arc::new(ExpansionCache::new(64));
+        let cached = QueryExpander::builder()
+            .expansion_cache(cache.clone())
+            .build_offline(&kb);
+        let queries = [
+            "gondola in venice",
+            "the bridge of sighs",
+            "grand canal venice",
+        ];
+        // Two passes: the first fills the cache, the second must hit —
+        // and every response (cold or warm) must equal the uncached one.
+        for pass in 0..2 {
+            for q in queries {
+                let a = cached.expand_text(q).expect("expands");
+                let b = uncached.expand_text(q).expect("expands");
+                assert_eq!(a, b, "pass {pass}, query {q:?}");
+            }
+        }
+        assert_eq!(cache.lookups(), 6);
+        assert_eq!(cache.hits(), 3, "second pass hits every query");
+        assert!((cache.hit_rate() - 0.5).abs() < 1e-12);
+        assert_eq!(cache.len(), 3);
+        assert!(cached.cache().is_some() && uncached.cache().is_none());
+    }
+
+    #[test]
+    fn cache_never_stores_failures_and_splits_by_effective_knobs() {
+        let kb = venice_mini_wiki();
+        let cache = Arc::new(ExpansionCache::new(64));
+        let ex = QueryExpander::builder()
+            .max_features(2)
+            .expansion_cache(cache.clone())
+            .build_offline(&kb);
+        // Typed failures pass through uncached: empty queries never
+        // reach the cache, unlinkable ones count a lookup but store
+        // nothing (a retry recomputes).
+        assert_eq!(ex.expand_text("   ").unwrap_err(), ServiceError::EmptyQuery);
+        for _ in 0..2 {
+            assert!(matches!(
+                ex.expand_text("completely unrelated words").unwrap_err(),
+                ServiceError::NoLinkedEntities { .. }
+            ));
+        }
+        assert_eq!(cache.lookups(), 2);
+        assert_eq!(cache.hits(), 0);
+        assert!(cache.is_empty(), "failures must not occupy capacity");
+        // A request cap above the builder cap is the same effective
+        // request — one entry; a lower cap is a different one.
+        let q = "gondola in venice";
+        let base = ex.expand(&ExpansionRequest::new(q)).unwrap();
+        let raised = ex
+            .expand(&ExpansionRequest::new(q).with_max_features(1000))
+            .unwrap();
+        assert_eq!(raised, base, "ineffective caps share the entry");
+        assert_eq!(cache.len(), 1);
+        let lowered = ex
+            .expand(&ExpansionRequest::new(q).with_max_features(1))
+            .unwrap();
+        assert_eq!(lowered.features.len(), 1);
+        assert_eq!(cache.len(), 2, "a tighter cap is its own entry");
+    }
+
+    #[test]
+    fn cached_batch_matches_uncached_sequential_any_thread_count() {
+        let kb = venice_mini_wiki();
+        let uncached = venice_expander(&kb);
+        let cache = Arc::new(ExpansionCache::new(64));
+        let cached = QueryExpander::builder()
+            .expansion_cache(cache.clone())
+            .build_offline(&kb);
+        // A head-heavy batch: repeats exercise hits and the
+        // single-flight path under the real work-stealing runner.
+        let requests: Vec<ExpansionRequest> = [
+            "gondola in venice",
+            "grand canal venice",
+            "gondola in venice",
+            "the bridge of sighs",
+            "gondola in venice",
+            "grand canal venice",
+        ]
+        .iter()
+        .map(|t| ExpansionRequest::new(*t))
+        .collect();
+        let expected: Vec<_> = requests.iter().map(|r| uncached.expand(r)).collect();
+        for threads in [1, 2, 8] {
+            assert_eq!(
+                cached.expand_batch(&requests, threads),
+                expected,
+                "threads={threads}"
+            );
+        }
+        assert_eq!(cache.lookups(), 18);
+        assert!(cache.hits() >= 12, "repeats across passes must hit");
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn pruned_serving_is_rank_equivalent_to_exact() {
+        let world = ServingWorld::open(&ExperimentConfig::tiny(), None);
+        let exact = world.expander();
+        let pruned_builder = QueryExpander::builder().search_mode(SearchMode::Pruned);
+        let pruned = world.expander_from(&pruned_builder);
+        assert_eq!(pruned.search_mode(), SearchMode::Pruned);
+        let titles: Vec<String> = world
+            .wiki
+            .kb
+            .main_articles()
+            .take(8)
+            .map(|a| world.wiki.kb.title(a).to_string())
+            .collect();
+        for title in &titles {
+            let request = ExpansionRequest::new(title).with_retrieval(10);
+            let a = exact.expand(&request).expect("exact serves");
+            let b = pruned.expand(&request).expect("pruned serves");
+            // The rank-equivalence contract: same expansion, same
+            // documents in the same order, scores within 1e-9.
+            assert_eq!(a.expanded_query, b.expanded_query);
+            assert_eq!(
+                a.hits.iter().map(|h| h.doc).collect::<Vec<_>>(),
+                b.hits.iter().map(|h| h.doc).collect::<Vec<_>>(),
+                "doc ranking must match for {title:?}"
+            );
+            for (x, y) in a.hits.iter().zip(&b.hits) {
+                assert!(
+                    (x.score - y.score).abs() <= 1e-9,
+                    "score drift for {title:?}"
+                );
+            }
+        }
     }
 }

@@ -28,7 +28,7 @@
 //! The golden `Report` pins and the sharded-equivalence property tests
 //! enforce this contract across the whole pipeline.
 
-use crate::engine::{PhraseInfo, SearchEngine, SearchHit};
+use crate::engine::{PhraseInfo, SearchEngine, SearchHit, SearchMode};
 use crate::index::InvertedIndex;
 use crate::lm::LmParams;
 use crate::query_lang::QueryNode;
@@ -62,6 +62,17 @@ pub trait RetrievalBackend: Send + Sync {
     /// Execute a parsed query, returning the best `k` documents
     /// (descending score, ties by ascending global doc id).
     fn search(&self, query: &QueryNode, k: usize) -> Vec<SearchHit>;
+
+    /// [`RetrievalBackend::search`] with an explicit execution mode.
+    /// [`SearchMode::Exact`] must equal `search` bitwise;
+    /// [`SearchMode::Pruned`] must be rank-equivalent (same documents
+    /// in the same order, scores within 1e-9). The default ignores the
+    /// mode and scores exactly — always a valid (if unaccelerated)
+    /// implementation of that contract.
+    fn search_with(&self, query: &QueryNode, k: usize, mode: SearchMode) -> Vec<SearchHit> {
+        let _ = mode;
+        self.search(query, k)
+    }
 
     /// Number of physical shards behind this backend (1 = monolithic).
     fn shard_count(&self) -> usize;
@@ -97,6 +108,10 @@ impl RetrievalBackend for SearchEngine {
 
     fn search(&self, query: &QueryNode, k: usize) -> Vec<SearchHit> {
         SearchEngine::search(self, query, k)
+    }
+
+    fn search_with(&self, query: &QueryNode, k: usize, mode: SearchMode) -> Vec<SearchHit> {
+        SearchEngine::search_with(self, query, k, mode)
     }
 
     fn shard_count(&self) -> usize {
@@ -157,6 +172,11 @@ impl AnyEngine {
         self.backend().search(query, k)
     }
 
+    /// Execute a query with an explicit [`SearchMode`].
+    pub fn search_with(&self, query: &QueryNode, k: usize, mode: SearchMode) -> Vec<SearchHit> {
+        self.backend().search_with(query, k, mode)
+    }
+
     /// Number of documents in the global collection.
     pub fn num_docs(&self) -> usize {
         self.backend().num_docs()
@@ -195,6 +215,10 @@ impl RetrievalBackend for AnyEngine {
 
     fn search(&self, query: &QueryNode, k: usize) -> Vec<SearchHit> {
         self.backend().search(query, k)
+    }
+
+    fn search_with(&self, query: &QueryNode, k: usize, mode: SearchMode) -> Vec<SearchHit> {
+        self.backend().search_with(query, k, mode)
     }
 
     fn shard_count(&self) -> usize {

@@ -9,11 +9,11 @@
 //! §2.2 re-evaluates the same title phrases thousands of times per
 //! query, so this cache dominates end-to-end ground-truth time.
 
-use crate::index::InvertedIndex;
+use crate::index::{InvertedIndex, TermBound};
 use crate::lm::{log_belief, LmParams};
 use crate::phrase::{match_phrase, resolve_terms, PhraseHit};
 use crate::query_lang::QueryNode;
-use crate::topk::TopK;
+use crate::topk::{BoundHeap, TopK};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
@@ -24,6 +24,48 @@ use std::sync::Arc;
 /// climbs rarely contend on the same shard lock, while the per-shard
 /// `HashMap` overhead stays negligible (16 empty maps ≈ 1 KiB).
 const PHRASE_CACHE_SHARDS: usize = 16;
+
+/// Pruned search tracks per-document leaf membership in a `u64`
+/// bitmask; queries with more leaves than bits fall back to the exact
+/// loop (the expansion pipeline tops out far below this).
+pub(crate) const MAX_PRUNED_LEAVES: usize = 64;
+
+/// How the top-k loop executes — shared by [`SearchEngine::search_with`]
+/// and the sharded engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SearchMode {
+    /// Score every candidate. The repro default: `Report` bytes and
+    /// golden fingerprints are pinned against this mode's float-op
+    /// sequence.
+    #[default]
+    Exact,
+    /// WAND/MaxScore-style pruning: candidates whose score upper bound
+    /// cannot beat the current heap floor are skipped unscored.
+    /// Rank-equivalent to [`SearchMode::Exact`] — same documents in the
+    /// same order, scores within 1e-9. (This implementation actually
+    /// achieves bitwise-equal scores: pruning only ever *skips*
+    /// documents, never reorders the float ops of the ones it scores.)
+    Pruned,
+}
+
+impl SearchMode {
+    /// Parse a CLI flag value (`"exact"` / `"pruned"`).
+    pub fn parse(s: &str) -> Option<SearchMode> {
+        match s {
+            "exact" => Some(SearchMode::Exact),
+            "pruned" => Some(SearchMode::Pruned),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling of this mode.
+    pub fn name(self) -> &'static str {
+        match self {
+            SearchMode::Exact => "exact",
+            SearchMode::Pruned => "pruned",
+        }
+    }
+}
 
 /// One retrieval result.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -169,16 +211,39 @@ impl SearchEngine {
     /// least one leaf are candidates; an all-background document can
     /// never enter the top-k.
     pub fn search(&self, query: &QueryNode, k: usize) -> Vec<SearchHit> {
+        self.search_with(query, k, SearchMode::Exact)
+    }
+
+    /// [`SearchEngine::search`] with an explicit execution mode; see
+    /// [`SearchMode`] for the equivalence contract between them.
+    pub fn search_with(&self, query: &QueryNode, k: usize, mode: SearchMode) -> Vec<SearchHit> {
         let mut specs = Vec::new();
         flatten_specs(query, 1.0, &mut specs);
         let leaves: Vec<Leaf> = specs
-            .into_iter()
-            .map(|(weight, spec)| self.resolve_leaf(weight, &spec))
+            .iter()
+            .map(|(weight, spec)| self.resolve_leaf(*weight, spec))
             .collect();
         if leaves.is_empty() {
             return Vec::new();
         }
+        let topk = match mode {
+            SearchMode::Pruned if leaves.len() <= MAX_PRUNED_LEAVES => {
+                self.pruned_topk(&specs, &leaves, k)
+            }
+            _ => self.exact_topk(&leaves, k),
+        };
+        topk.into_sorted()
+            .into_iter()
+            .map(|s| SearchHit {
+                doc: s.doc,
+                score: s.score,
+            })
+            .collect()
+    }
 
+    /// Exhaustive candidate scoring — the float-op sequence every
+    /// golden fingerprint pins.
+    fn exact_topk(&self, leaves: &[Leaf], k: usize) -> TopK {
         // Candidates: any doc matching at least one leaf.
         let mut candidates: Vec<u32> = leaves
             .iter()
@@ -191,20 +256,126 @@ impl SearchEngine {
         for doc in candidates {
             let len = self.index.doc_len(doc);
             let mut score = 0.0;
-            for leaf in &leaves {
+            for leaf in leaves {
                 let tf = leaf.tf_by_doc.get(&doc).copied().unwrap_or(0);
                 score += leaf.weight
                     * log_belief(self.params, &self.index, tf, len, leaf.collection_prob);
             }
             topk.push(doc, score);
         }
-        topk.into_sorted()
-            .into_iter()
-            .map(|s| SearchHit {
-                doc: s.doc,
-                score: s.score,
+        topk
+    }
+
+    /// MaxScore/WAND-style top-k: candidates are visited in descending
+    /// score-upper-bound order, so once the heap is full and the next
+    /// bound falls strictly below the floor, every remaining candidate
+    /// is provably outside the top-k and the loop stops.
+    ///
+    /// The bound is conservative *in floating point*, not merely in
+    /// exact arithmetic: each per-leaf bound evaluates the same
+    /// `weight · log_belief` expression the scoring loop runs, at
+    /// inputs (`max_tf`, `min_len`) that dominate the real ones, and
+    /// rounded `+`, `·`, `/`, `ln` are all monotone — so summing the
+    /// per-leaf bounds in the same leaf order yields `ub ≥ score`
+    /// bitwise. A skipped document could therefore never displace the
+    /// heap root, and the surviving heap (hence the result) is
+    /// bit-identical to [`SearchEngine::exact_topk`]'s.
+    fn pruned_topk(&self, specs: &[(f64, LeafSpec<'_>)], leaves: &[Leaf], k: usize) -> TopK {
+        let bounds: Vec<(f64, f64)> = specs
+            .iter()
+            .zip(leaves)
+            .map(|((_, spec), leaf)| self.leaf_bounds(spec, leaf))
+            .collect();
+
+        // Candidate union with a per-doc bitmask of the leaves it
+        // matches (mask width enforced by the caller's leaf-count gate).
+        let mut masks: HashMap<u32, u64> = HashMap::new();
+        for (i, leaf) in leaves.iter().enumerate() {
+            for &doc in leaf.tf_by_doc.keys() {
+                *masks.entry(doc).or_insert(0) |= 1u64 << i;
+            }
+        }
+        let candidates: Vec<(f64, u32)> = masks
+            .iter()
+            .map(|(&doc, &mask)| {
+                let mut ub = 0.0;
+                for (i, &(matched, background)) in bounds.iter().enumerate() {
+                    ub += if mask & (1u64 << i) != 0 {
+                        matched
+                    } else {
+                        background
+                    };
+                }
+                (ub, doc)
             })
-            .collect()
+            .collect();
+        // Lazy descending-bound order: heapify is O(n) and the loop
+        // usually stops after a handful of pops, so the full
+        // O(n log n) sort this replaces never happens.
+        let mut heap = BoundHeap::from_candidates(candidates);
+
+        let mut topk = TopK::new(k);
+        while let Some((ub, doc)) = heap.pop() {
+            if let Some(floor) = topk.floor() {
+                if ub < floor.score {
+                    break; // bounds descend: nothing later can qualify
+                }
+            }
+            let len = self.index.doc_len(doc);
+            let mut score = 0.0;
+            for leaf in leaves {
+                let tf = leaf.tf_by_doc.get(&doc).copied().unwrap_or(0);
+                score += leaf.weight
+                    * log_belief(self.params, &self.index, tf, len, leaf.collection_prob);
+            }
+            topk.push(doc, score);
+        }
+        topk
+    }
+
+    /// Per-leaf score bounds `(matched, background)`: the largest
+    /// possible `weight · log_belief` contribution of this leaf to a
+    /// document that matches it, resp. one that doesn't. Term leaves
+    /// read the per-term [`TermBound`] carried by the index (persisted
+    /// in the artifact's BOUNDS section); phrase leaves derive theirs
+    /// from the already-resolved hits in one pass.
+    fn leaf_bounds(&self, spec: &LeafSpec<'_>, leaf: &Leaf) -> (f64, f64) {
+        let background = leaf.weight
+            * log_belief(
+                self.params,
+                &self.index,
+                0,
+                self.index.min_doc_len(),
+                leaf.collection_prob,
+            );
+        let bound = match spec {
+            LeafSpec::Term(t) => self.index.term_id(t).map(|tid| self.index.term_bound(tid)),
+            LeafSpec::Phrase(_) => {
+                let mut b = TermBound::EMPTY;
+                for (&doc, &tf) in &leaf.tf_by_doc {
+                    b.max_tf = b.max_tf.max(tf);
+                    b.min_len = b.min_len.min(self.index.doc_len(doc));
+                }
+                Some(b.normalized())
+            }
+        };
+        let matched = match bound {
+            Some(b) if b.max_tf > 0 => {
+                leaf.weight
+                    * log_belief(
+                        self.params,
+                        &self.index,
+                        b.max_tf,
+                        b.min_len,
+                        leaf.collection_prob,
+                    )
+            }
+            // No document matches this leaf: the "matched" bound is
+            // never consulted, but keep it equal to the background so a
+            // stray mask bit could only loosen, never unsound-tighten.
+            _ => background,
+        };
+        (matched, background)
     }
 
     /// Resolve one flattened leaf spec against this engine's index.
@@ -479,6 +650,124 @@ mod tests {
         assert_eq!(fresh.search(&q, 10), e.search(&q, 10));
         assert_eq!(fresh.phrase_cache_len(), 3, "seeded entry must be a hit");
         assert_eq!(fresh.export_phrase_cache(), exported);
+    }
+
+    #[test]
+    fn search_mode_parse_round_trips() {
+        for mode in [SearchMode::Exact, SearchMode::Pruned] {
+            assert_eq!(SearchMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(SearchMode::default(), SearchMode::Exact);
+        assert_eq!(SearchMode::parse("turbo"), None);
+    }
+
+    #[test]
+    fn pruned_mode_matches_exact_on_fixture() {
+        let e = engine();
+        for q in [
+            "#1(grand canal)",
+            "#combine(#1(grand canal) venice)",
+            "#combine(gondola venice #1(small canal))",
+            "#weight(0.9 venice 0.1 canal)",
+            "the",
+            "#combine(zzzz gondola)",
+            "#combine(grand canal venice the a mountains)",
+        ] {
+            let q = parse(q).unwrap();
+            for k in [0, 1, 2, 10] {
+                assert_eq!(
+                    e.search_with(&q, k, SearchMode::Pruned),
+                    e.search_with(&q, k, SearchMode::Exact),
+                    "{q:?} k={k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pruned_mode_falls_back_beyond_mask_width() {
+        // 70 leaves exceed the 64-bit membership mask: pruned mode must
+        // fall back to the exact loop rather than truncate the mask.
+        let mut b = IndexBuilder::new();
+        for i in 0..30 {
+            b.add_document(&format!("t{} t{} filler", i, (i + 1) % 30));
+        }
+        let e = SearchEngine::new(b.build());
+        let terms: Vec<String> = (0..70).map(|i| format!("t{}", i % 30)).collect();
+        let q = parse(&format!("#combine({})", terms.join(" "))).unwrap();
+        assert!(!e.search(&q, 5).is_empty());
+        assert_eq!(e.search_with(&q, 5, SearchMode::Pruned), e.search(&q, 5));
+    }
+
+    #[test]
+    fn pruned_mode_keeps_floor_ties() {
+        // Identical documents produce exact score ties at the heap
+        // floor; pruning must not drop the tied doc the doc-id
+        // tiebreak keeps.
+        let mut b = IndexBuilder::new();
+        b.add_document("same words here");
+        b.add_document("same words here");
+        b.add_document("same words here");
+        let e = SearchEngine::new(b.build());
+        for q in ["#combine(same words)", "#1(same words)"] {
+            let q = parse(q).unwrap();
+            for k in [1, 2, 3, 5] {
+                assert_eq!(
+                    e.search_with(&q, k, SearchMode::Pruned),
+                    e.search(&q, k),
+                    "{q:?} k={k}"
+                );
+            }
+        }
+    }
+
+    proptest::proptest! {
+        /// Pruned search must be rank-equivalent to exact on arbitrary
+        /// worlds: the same document sequence, scores within 1e-9 (the
+        /// pinning contract; the implementation actually achieves
+        /// bitwise equality because pruning only skips documents).
+        #[test]
+        fn pruned_rank_equivalent_on_random_worlds(
+            docs in proptest::collection::vec(
+                proptest::collection::vec(0u8..6, 0..20),
+                1..16,
+            ),
+            qpick in 0u8..6,
+            k in 0usize..12,
+        ) {
+            const VOCAB: [&str; 6] =
+                ["alpha", "beta", "gamma", "delta", "beta gamma", "alpha beta"];
+            let mut b = IndexBuilder::new();
+            for d in &docs {
+                let text = d
+                    .iter()
+                    .map(|&x| VOCAB[x as usize])
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                b.add_document(&text);
+            }
+            let e = SearchEngine::new(b.build());
+            let queries = [
+                "#combine(alpha beta)",
+                "#1(beta gamma)",
+                "#weight(0.7 alpha 0.3 #1(alpha beta))",
+                "#combine(#1(gamma delta) delta)",
+                "delta",
+                "#combine(alpha #1(beta gamma) zeta)",
+            ];
+            let q = parse(queries[qpick as usize % queries.len()]).unwrap();
+            let exact = e.search_with(&q, k, SearchMode::Exact);
+            let pruned = e.search_with(&q, k, SearchMode::Pruned);
+            let exact_docs: Vec<u32> = exact.iter().map(|h| h.doc).collect();
+            let pruned_docs: Vec<u32> = pruned.iter().map(|h| h.doc).collect();
+            proptest::prop_assert_eq!(pruned_docs, exact_docs, "doc sequence");
+            for (p, x) in pruned.iter().zip(&exact) {
+                proptest::prop_assert!(
+                    (p.score - x.score).abs() <= 1e-9,
+                    "score drift at doc {}: {} vs {}", p.doc, p.score, x.score
+                );
+            }
+        }
     }
 
     #[test]

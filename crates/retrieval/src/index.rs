@@ -53,6 +53,18 @@ impl IndexBuilder {
 
     /// Freeze into an immutable index.
     pub fn build(self) -> InvertedIndex {
+        let bounds = self
+            .accum
+            .iter()
+            .map(|entries| {
+                let mut bound = TermBound::EMPTY;
+                for (doc, positions) in entries {
+                    bound.max_tf = bound.max_tf.max(positions.len() as u32);
+                    bound.min_len = bound.min_len.min(self.doc_lengths[*doc as usize]);
+                }
+                bound.normalized()
+            })
+            .collect();
         let postings = self
             .accum
             .into_iter()
@@ -64,11 +76,50 @@ impl IndexBuilder {
                 b.build()
             })
             .collect();
+        let min_doc_len = self.doc_lengths.iter().copied().min().unwrap_or(0);
         InvertedIndex {
             interner: self.interner,
             postings,
+            bounds,
             doc_lengths: self.doc_lengths,
+            min_doc_len,
             total_tokens: self.total_tokens,
+        }
+    }
+}
+
+/// Per-term score-bound statistics for WAND-style pruning: the two
+/// inputs that maximize a term's Dirichlet log-belief over its postings.
+/// The belief `ln((tf + μ·p) / (|d| + μ))` is monotone increasing in
+/// `tf` and decreasing in `|d|`, so evaluating it at (`max_tf`,
+/// `min_len`) upper-bounds the term's contribution to *any* matching
+/// document — independently of μ, which is why the artifact can store
+/// these raw counts instead of a smoothing-specific score.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TermBound {
+    /// Highest term frequency across the term's postings.
+    pub max_tf: u32,
+    /// Shortest document (token count) among those containing the term.
+    pub min_len: u32,
+}
+
+impl TermBound {
+    /// Identity for accumulation; [`TermBound::normalized`] collapses it
+    /// to the all-zero convention for empty postings.
+    pub(crate) const EMPTY: TermBound = TermBound {
+        max_tf: 0,
+        min_len: u32::MAX,
+    };
+
+    /// Canonical form: a term with no postings is `(0, 0)`.
+    pub(crate) fn normalized(self) -> TermBound {
+        if self.max_tf == 0 {
+            TermBound {
+                max_tf: 0,
+                min_len: 0,
+            }
+        } else {
+            self
         }
     }
 }
@@ -78,25 +129,33 @@ impl IndexBuilder {
 pub struct InvertedIndex {
     interner: Interner,
     postings: Vec<PostingsList>,
+    bounds: Vec<TermBound>,
     doc_lengths: Vec<u32>,
+    min_doc_len: u32,
     total_tokens: u64,
 }
 
 impl InvertedIndex {
     /// Reassemble an index from deserialized parts ([`crate::ondisk`]).
     /// The caller guarantees the parts are mutually consistent (one
-    /// postings list per interned term, in term-id order).
+    /// postings list and one [`TermBound`] per interned term, in term-id
+    /// order, bounds matching the postings they summarize).
     pub(crate) fn from_parts(
         interner: Interner,
         postings: Vec<PostingsList>,
+        bounds: Vec<TermBound>,
         doc_lengths: Vec<u32>,
         total_tokens: u64,
     ) -> InvertedIndex {
         debug_assert_eq!(interner.len(), postings.len());
+        debug_assert_eq!(postings.len(), bounds.len());
+        let min_doc_len = doc_lengths.iter().copied().min().unwrap_or(0);
         InvertedIndex {
             interner,
             postings,
+            bounds,
             doc_lengths,
+            min_doc_len,
             total_tokens,
         }
     }
@@ -148,6 +207,19 @@ impl InvertedIndex {
     /// The postings list of a term id.
     pub fn postings(&self, t: TermId) -> &PostingsList {
         &self.postings[t.index()]
+    }
+
+    /// The score-bound statistics of a term id (see [`TermBound`]).
+    pub fn term_bound(&self, t: TermId) -> TermBound {
+        self.bounds[t.index()]
+    }
+
+    /// The shortest document in the collection (token count); 0 for an
+    /// empty collection. Bounds the background (tf = 0) log-belief of
+    /// any component, since the belief is decreasing in document
+    /// length.
+    pub fn min_doc_len(&self) -> u32 {
+        self.min_doc_len
     }
 
     /// Postings by raw term string (normalized form expected).
@@ -263,6 +335,41 @@ mod tests {
         b.add_document("GONDOLA, Gondola; gondola!");
         let idx = b.build();
         assert_eq!(idx.postings_for("gondola").unwrap().collection_freq(), 3);
+    }
+
+    #[test]
+    fn term_bounds_track_max_tf_and_min_len() {
+        let mut b = IndexBuilder::new();
+        b.add_document("canal canal canal gondola"); // len 4
+        b.add_document("canal"); // len 1
+        b.add_document(""); // len 0
+        let idx = b.build();
+        let canal = idx.term_id("canal").unwrap();
+        assert_eq!(
+            idx.term_bound(canal),
+            TermBound {
+                max_tf: 3,
+                min_len: 1
+            }
+        );
+        let gondola = idx.term_id("gondola").unwrap();
+        assert_eq!(
+            idx.term_bound(gondola),
+            TermBound {
+                max_tf: 1,
+                min_len: 4
+            }
+        );
+        assert_eq!(idx.min_doc_len(), 0, "the empty document is shortest");
+    }
+
+    #[test]
+    fn min_doc_len_without_empty_docs() {
+        let mut b = IndexBuilder::new();
+        b.add_document("a b c");
+        b.add_document("a b c d e");
+        assert_eq!(b.build().min_doc_len(), 3);
+        assert_eq!(IndexBuilder::new().build().min_doc_len(), 0);
     }
 
     #[test]

@@ -73,7 +73,7 @@ pub mod topk;
 pub mod workspace;
 
 pub use backend::{AnyEngine, RetrievalBackend};
-pub use engine::{PhraseCacheEntry, SearchEngine, SearchHit};
+pub use engine::{PhraseCacheEntry, SearchEngine, SearchHit, SearchMode};
 pub use index::{IndexBuilder, InvertedIndex};
 pub use metrics::{average_quality, precision_at, EVAL_CUTOFFS};
 pub use ondisk::{ArtifactSource, LoadedIndex, OndiskError};

@@ -20,7 +20,7 @@
 //! ├────────────────────────────────────────────────────────────────┤
 //! │ header_checksum u64 — FNV-1a of header + table                 │
 //! ├ section payloads, contiguous, in table order ──────────────────┤
-//! │ TERMS · POSTINGS · DOCSTATS · PHRASES                          │
+//! │ TERMS · POSTINGS · DOCSTATS · PHRASES · BOUNDS                 │
 //! └────────────────────────────────────────────────────────────────┘
 //! ```
 //!
@@ -36,12 +36,22 @@
 //!   ([`crate::engine::SearchEngine::export_phrase_cache`]): per
 //!   phrase its words,
 //!   delta-varint `(doc, tf)` hits, and the collection probability.
+//! * **BOUNDS** (v2) — term count, per-term `(max_tf u32, min_len u32)`
+//!   score-bound statistics ([`crate::index::TermBound`]) feeding the
+//!   WAND-style pruned search. Stored μ-independently as raw counts;
+//!   the loader cross-checks every entry against the validating
+//!   postings walk, so a corrupted or crafted bound can never loosen
+//!   (or silently tighten) pruning.
 //!
 //! ## Versioning and integrity
 //!
-//! `FORMAT_VERSION` is bumped on any layout change; the loader rejects
-//! other versions outright (no migration — artifacts are caches, the
-//! corpus can always be re-indexed). `meta_fingerprint` identifies the
+//! `FORMAT_VERSION` is bumped on any layout change. The loader refuses
+//! unknown versions outright (no migration — artifacts are caches, the
+//! corpus can always be re-indexed), with one deliberate exception:
+//! version-1 artifacts (pre-BOUNDS) still load, reconstructing the
+//! bounds from the validating postings walk — which computes them
+//! anyway — and logging a single notice. An otherwise-valid v1 artifact
+//! must never force a rebuild. `meta_fingerprint` identifies the
 //! world configuration that produced the index so a cache directory can
 //! hold artifacts for several configurations side by side. Integrity is
 //! checked *before* any content is trusted: the header checksum covers
@@ -58,7 +68,7 @@
 //! module's tests, which flips every byte of an artifact).
 
 use crate::engine::PhraseCacheEntry;
-use crate::index::InvertedIndex;
+use crate::index::{InvertedIndex, TermBound};
 use crate::phrase::PhraseHit;
 use crate::postings::{read_varint, write_varint, PostingsList};
 use bytes::{BufMut, Bytes, BytesMut};
@@ -69,15 +79,29 @@ use std::path::Path;
 /// File magic: "QGIX" (QueryGraph IndeX).
 pub const MAGIC: [u8; 4] = *b"QGIX";
 
-/// Current format version. Bumped on any layout change; the loader
-/// refuses other versions.
-pub const FORMAT_VERSION: u32 = 1;
+/// Current format version (v2 appended the BOUNDS section). Bumped on
+/// any layout change; the loader refuses versions it doesn't know.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The pre-BOUNDS format. Still loadable: the bounds are reconstructed
+/// from the validating postings walk (see [`load_index_bytes`]).
+pub const LEGACY_FORMAT_VERSION: u32 = 1;
 
 const SEC_TERMS: u32 = 1;
 const SEC_POSTINGS: u32 = 2;
 const SEC_DOCSTATS: u32 = 3;
 const SEC_PHRASES: u32 = 4;
-const SECTION_IDS: [u32; 4] = [SEC_TERMS, SEC_POSTINGS, SEC_DOCSTATS, SEC_PHRASES];
+const SEC_BOUNDS: u32 = 5;
+const SECTION_IDS: [u32; 5] = [
+    SEC_TERMS,
+    SEC_POSTINGS,
+    SEC_DOCSTATS,
+    SEC_PHRASES,
+    SEC_BOUNDS,
+];
+// A v1 artifact is exactly the v2 layout without the trailing BOUNDS
+// section, which is what keeps the legacy path one slice away.
+const LEGACY_SECTION_IDS: [u32; 4] = [SEC_TERMS, SEC_POSTINGS, SEC_DOCSTATS, SEC_PHRASES];
 
 const HEADER_LEN: usize = 4 + 4 + 8 + 4; // magic + version + fingerprint + count
 const TABLE_ENTRY_LEN: usize = 4 + 8 + 8 + 8;
@@ -98,7 +122,8 @@ pub enum OndiskError {
         /// The four bytes found instead.
         found: [u8; 4],
     },
-    /// The format version is not [`FORMAT_VERSION`].
+    /// The format version is neither [`FORMAT_VERSION`] nor
+    /// [`LEGACY_FORMAT_VERSION`].
     UnsupportedVersion {
         /// The version found in the header.
         found: u32,
@@ -147,7 +172,8 @@ impl fmt::Display for OndiskError {
             }
             OndiskError::UnsupportedVersion { found } => write!(
                 f,
-                "unsupported index format version {found} (supported: {FORMAT_VERSION})"
+                "unsupported index format version {found} \
+                 (supported: {LEGACY_FORMAT_VERSION}, {FORMAT_VERSION})"
             ),
             OndiskError::ChecksumMismatch { section } => {
                 write!(f, "checksum mismatch in {section}")
@@ -206,22 +232,50 @@ pub fn encode_index(
     phrases: &[PhraseCacheEntry],
     meta_fingerprint: u64,
 ) -> Vec<u8> {
-    let sections = [
-        (SEC_TERMS, encode_terms(index)),
-        (SEC_POSTINGS, encode_postings(index)),
-        (SEC_DOCSTATS, encode_docstats(index)),
-        (SEC_PHRASES, encode_phrases(phrases)),
-    ];
+    assemble(
+        FORMAT_VERSION,
+        &[
+            (SEC_TERMS, encode_terms(index)),
+            (SEC_POSTINGS, encode_postings(index)),
+            (SEC_DOCSTATS, encode_docstats(index)),
+            (SEC_PHRASES, encode_phrases(phrases)),
+            (SEC_BOUNDS, encode_bounds(index)),
+        ],
+        meta_fingerprint,
+    )
+}
 
+/// Encode a **legacy v1** artifact (no BOUNDS section). Test-only
+/// surface for pinning the v1 compatibility path — production writers
+/// always emit the current format.
+#[doc(hidden)]
+pub fn encode_index_v1(
+    index: &InvertedIndex,
+    phrases: &[PhraseCacheEntry],
+    meta_fingerprint: u64,
+) -> Vec<u8> {
+    assemble(
+        LEGACY_FORMAT_VERSION,
+        &[
+            (SEC_TERMS, encode_terms(index)),
+            (SEC_POSTINGS, encode_postings(index)),
+            (SEC_DOCSTATS, encode_docstats(index)),
+            (SEC_PHRASES, encode_phrases(phrases)),
+        ],
+        meta_fingerprint,
+    )
+}
+
+fn assemble(version: u32, sections: &[(u32, Vec<u8>)], meta_fingerprint: u64) -> Vec<u8> {
     let table_len = sections.len() * TABLE_ENTRY_LEN;
     let payload_base = HEADER_LEN + table_len + 8; // + header checksum
     let mut head = BytesMut::with_capacity(payload_base);
     head.put_slice(&MAGIC);
-    head.put_u32_le(FORMAT_VERSION);
+    head.put_u32_le(version);
     head.put_u64_le(meta_fingerprint);
     head.put_u32_le(sections.len() as u32);
     let mut offset = payload_base as u64;
-    for (id, payload) in &sections {
+    for (id, payload) in sections {
         head.put_u32_le(*id);
         head.put_u64_le(offset);
         head.put_u64_le(payload.len() as u64);
@@ -233,7 +287,7 @@ pub fn encode_index(
     let mut out = Vec::with_capacity(offset as usize);
     out.extend_from_slice(&head);
     out.extend_from_slice(&header_checksum.to_le_bytes());
-    for (_, payload) in &sections {
+    for (_, payload) in sections {
         out.extend_from_slice(payload);
     }
     out
@@ -313,6 +367,18 @@ fn encode_docstats(index: &InvertedIndex) -> Vec<u8> {
     b.put_u64_le(index.total_tokens());
     for &len in index.doc_lengths() {
         b.put_u32_le(len);
+    }
+    b
+}
+
+fn encode_bounds(index: &InvertedIndex) -> Vec<u8> {
+    let n = index.num_terms();
+    let mut b = Vec::with_capacity(4 + n * 8);
+    b.put_u32_le(n as u32);
+    for t in 0..n {
+        let bound = index.term_bound(TermId(t as u32));
+        b.put_u32_le(bound.max_tf);
+        b.put_u32_le(bound.min_len);
     }
     b
 }
@@ -405,12 +471,14 @@ pub fn load_index_bytes(data: Bytes) -> Result<LoadedIndex, OndiskError> {
         return Err(OndiskError::BadMagic { found });
     }
     let version = read_u32_at(&data, 4);
-    if version != FORMAT_VERSION {
-        return Err(OndiskError::UnsupportedVersion { found: version });
-    }
+    let expected_ids: &[u32] = match version {
+        FORMAT_VERSION => &SECTION_IDS,
+        LEGACY_FORMAT_VERSION => &LEGACY_SECTION_IDS,
+        found => return Err(OndiskError::UnsupportedVersion { found }),
+    };
     let meta_fingerprint = read_u64_at(&data, 8);
     let count = read_u32_at(&data, 16) as usize;
-    if count != SECTION_IDS.len() {
+    if count != expected_ids.len() {
         return Err(OndiskError::Malformed {
             context: "section count",
         });
@@ -432,7 +500,7 @@ pub fn load_index_bytes(data: Bytes) -> Result<LoadedIndex, OndiskError> {
     // matching checksums; the file ends where the last section does.
     let mut sections: Vec<Bytes> = Vec::with_capacity(count);
     let mut expected_end = table_end + 8;
-    for (i, &want_id) in SECTION_IDS.iter().enumerate() {
+    for (i, &want_id) in expected_ids.iter().enumerate() {
         let base = HEADER_LEN + i * TABLE_ENTRY_LEN;
         let id = read_u32_at(&data, base);
         let name = section_name(want_id);
@@ -467,12 +535,38 @@ pub fn load_index_bytes(data: Bytes) -> Result<LoadedIndex, OndiskError> {
     }
 
     let interner = decode_terms(&sections[0])?;
-    // Docstats first: postings validation bounds doc ids by num_docs.
+    // Docstats first: postings validation bounds doc ids (and reads doc
+    // lengths for the score bounds) through `doc_lengths`.
     let (doc_lengths, total_tokens) = decode_docstats(&sections[2])?;
-    let postings = decode_postings(&sections[1], interner.len(), doc_lengths.len() as u32)?;
+    let (postings, walked_bounds) = decode_postings(&sections[1], interner.len(), &doc_lengths)?;
     let phrases = decode_phrases(&sections[3], doc_lengths.len() as u32)?;
+    let bounds = match version {
+        FORMAT_VERSION => {
+            // The stored bounds must agree entry-for-entry with what the
+            // validating postings walk just recomputed — a checksum-
+            // consistent forgery (or writer bug) can neither loosen nor
+            // tighten pruning.
+            let stored = decode_bounds(&sections[4], interner.len())?;
+            if stored != walked_bounds {
+                return Err(OndiskError::Malformed {
+                    context: "bounds section inconsistent with postings",
+                });
+            }
+            stored
+        }
+        _ => {
+            // Legacy v1 artifact: no BOUNDS section. The validating walk
+            // already derived the exact bounds, so the artifact stays
+            // valid as-is — one notice, never a rebuild.
+            eprintln!(
+                "notice: index artifact uses legacy format v{LEGACY_FORMAT_VERSION} \
+                 (no bounds section); pruning bounds recomputed at load"
+            );
+            walked_bounds
+        }
+    };
     Ok(LoadedIndex {
-        index: InvertedIndex::from_parts(interner, postings, doc_lengths, total_tokens),
+        index: InvertedIndex::from_parts(interner, postings, bounds, doc_lengths, total_tokens),
         phrases,
         meta_fingerprint,
     })
@@ -484,6 +578,7 @@ fn section_name(id: u32) -> &'static str {
         SEC_POSTINGS => "postings",
         SEC_DOCSTATS => "docstats",
         SEC_PHRASES => "phrases",
+        SEC_BOUNDS => "bounds",
         _ => "unknown",
     }
 }
@@ -599,8 +694,8 @@ fn decode_terms(section: &[u8]) -> Result<Interner, OndiskError> {
 fn decode_postings(
     section: &Bytes,
     num_terms: usize,
-    num_docs: u32,
-) -> Result<Vec<PostingsList>, OndiskError> {
+    doc_lengths: &[u32],
+) -> Result<(Vec<PostingsList>, Vec<TermBound>), OndiskError> {
     let mut c = Cursor::new(section, "postings section");
     let n = c.u32()? as usize;
     if n != num_terms {
@@ -626,6 +721,7 @@ fn decode_postings(
     let blob_base = c.pos;
     let blob_len = section.len() - blob_base;
     let mut lists = Vec::with_capacity(n);
+    let mut bounds = Vec::with_capacity(n);
     for d in &dirs {
         let off = usize::try_from(d.offset).map_err(|_| OndiskError::Malformed {
             context: "postings offset overflow",
@@ -642,24 +738,49 @@ fn decode_postings(
         // only defend against accidental corruption, so a *crafted*
         // artifact could otherwise smuggle wrapping doc deltas or a
         // giant tf into the trusting query-time decoder. After this,
-        // `PostingsIter` can stay lean.
-        let cf = crate::postings::validate_stream(&data, d.doc_count, num_docs).ok_or(
+        // `PostingsIter` can stay lean. The same pass derives the
+        // term's exact score-bound statistics as a byproduct — ground
+        // truth for the BOUNDS section (v2) or its reconstruction (v1).
+        let stats = crate::postings::validate_stream(&data, d.doc_count, doc_lengths).ok_or(
             OndiskError::Malformed {
                 context: "postings stream invalid",
             },
         )?;
-        if cf != d.collection_freq {
+        if stats.cf != d.collection_freq {
             return Err(OndiskError::Malformed {
                 context: "postings collection frequency mismatch",
             });
         }
+        bounds.push(TermBound {
+            max_tf: stats.max_tf,
+            min_len: stats.min_len,
+        });
         lists.push(PostingsList::from_encoded(
             data,
             d.doc_count,
             d.collection_freq,
         ));
     }
-    Ok(lists)
+    Ok((lists, bounds))
+}
+
+fn decode_bounds(section: &[u8], num_terms: usize) -> Result<Vec<TermBound>, OndiskError> {
+    let mut c = Cursor::new(section, "bounds section");
+    let n = c.u32()? as usize;
+    if n != num_terms {
+        return Err(OndiskError::Malformed {
+            context: "bounds/terms count mismatch",
+        });
+    }
+    let mut out = Vec::with_capacity(c.capacity(n, 8));
+    for _ in 0..n {
+        out.push(TermBound {
+            max_tf: c.u32()?,
+            min_len: c.u32()?,
+        });
+    }
+    c.finish()?;
+    Ok(out)
 }
 
 fn decode_docstats(section: &[u8]) -> Result<(Vec<u32>, u64), OndiskError> {
@@ -867,6 +988,107 @@ mod tests {
             load_index_bytes(Bytes::from(bytes)).unwrap_err(),
             OndiskError::UnsupportedVersion { found: 99 }
         );
+    }
+
+    #[test]
+    fn legacy_v1_artifact_loads_with_recomputed_bounds() {
+        // A pre-BOUNDS artifact must keep loading — bounds come from
+        // the validating postings walk instead of a stored section —
+        // and must behave identically to a freshly written v2 artifact.
+        let engine = SearchEngine::new(small_index());
+        engine.search(&parse("#1(grand canal)").unwrap(), 5);
+        let phrases = engine.export_phrase_cache();
+        let v1 = encode_index_v1(engine.index(), &phrases, 0xFEED_F00D);
+        let loaded = load_index_bytes(Bytes::from(v1)).expect("legacy v1 loads");
+        assert_eq!(loaded.meta_fingerprint, 0xFEED_F00D);
+        assert_eq!(loaded.phrases, phrases);
+        assert_index_eq(engine.index(), &loaded.index);
+        for t in 0..engine.index().num_terms() {
+            let t = TermId(t as u32);
+            assert_eq!(
+                loaded.index.term_bound(t),
+                engine.index().term_bound(t),
+                "recomputed bound for term {t:?}"
+            );
+        }
+        assert_eq!(loaded.index.min_doc_len(), engine.index().min_doc_len());
+        // Its corruption story is intact too: every single-byte flip of
+        // the legacy artifact still fails typed.
+        let v1 = encode_index_v1(engine.index(), &phrases, 0xFEED_F00D);
+        for i in 0..v1.len() {
+            let mut corrupt = v1.clone();
+            corrupt[i] ^= 0xFF;
+            assert!(
+                load_index_bytes(Bytes::from(corrupt)).is_err(),
+                "v1 flip at byte {i} must fail, not load"
+            );
+        }
+    }
+
+    #[test]
+    fn loaded_bounds_match_built_bounds() {
+        let idx = small_index();
+        let bytes = encode_index(&idx, &[], 0);
+        let loaded = load_index_bytes(Bytes::from(bytes)).expect("loads");
+        for t in 0..idx.num_terms() {
+            let t = TermId(t as u32);
+            assert_eq!(loaded.index.term_bound(t), idx.term_bound(t));
+        }
+        assert_eq!(loaded.index.min_doc_len(), idx.min_doc_len());
+    }
+
+    #[test]
+    fn lying_bounds_section_rejected() {
+        // Checksums can be recomputed by a forger; the loader must
+        // still reject a bounds section that disagrees with the
+        // postings (it would silently mis-prune).
+        let idx = small_index();
+        let craft = |mutate: &dyn Fn(&mut Vec<u8>)| {
+            let mut bounds = encode_bounds(&idx);
+            mutate(&mut bounds);
+            assemble(
+                FORMAT_VERSION,
+                &[
+                    (SEC_TERMS, encode_terms(&idx)),
+                    (SEC_POSTINGS, encode_postings(&idx)),
+                    (SEC_DOCSTATS, encode_docstats(&idx)),
+                    (SEC_PHRASES, encode_phrases(&[])),
+                    (SEC_BOUNDS, bounds),
+                ],
+                0,
+            )
+        };
+        // Loosened max_tf of term 0 (first u32 after the count).
+        let loose = craft(&|b| b[4..8].copy_from_slice(&u32::MAX.to_le_bytes()));
+        assert_eq!(
+            load_index_bytes(Bytes::from(loose)).unwrap_err(),
+            OndiskError::Malformed {
+                context: "bounds section inconsistent with postings",
+            }
+        );
+        // Tightened min_len of term 0 (would over-prune).
+        let tight = craft(&|b| b[8..12].copy_from_slice(&u32::MAX.to_le_bytes()));
+        assert_eq!(
+            load_index_bytes(Bytes::from(tight)).unwrap_err(),
+            OndiskError::Malformed {
+                context: "bounds section inconsistent with postings",
+            }
+        );
+        // Wrong count.
+        let short = craft(&|b| {
+            let n = u32::from_le_bytes(b[0..4].try_into().unwrap());
+            b[0..4].copy_from_slice(&(n - 1).to_le_bytes());
+            b.truncate(b.len() - 8);
+        });
+        assert_eq!(
+            load_index_bytes(Bytes::from(short)).unwrap_err(),
+            OndiskError::Malformed {
+                context: "bounds/terms count mismatch",
+            }
+        );
+        // Untampered control still loads.
+        let good = craft(&|_| {});
+        load_index_bytes(Bytes::from(good)).expect("consistent bounds load");
     }
 
     #[test]

@@ -71,20 +71,47 @@ pub fn read_varint(data: &[u8], pos: &mut usize) -> Option<u32> {
     }
 }
 
+/// What one [`validate_stream`] pass proves about a postings stream:
+/// the collection frequency the directory must agree with, plus the
+/// term's score-bound statistics ([`crate::index::TermBound`] inputs) —
+/// computed here because the validating walk already touches every
+/// entry, so the pruning bounds cost nothing extra to derive and the
+/// loader can cross-check (or reconstruct) the artifact's stored bounds
+/// against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct StreamStats {
+    /// Sum of tfs across the stream.
+    pub cf: u64,
+    /// Highest tf of any entry; 0 for an empty stream.
+    pub max_tf: u32,
+    /// Shortest document (token count) among the stream's docs; 0 for
+    /// an empty stream.
+    pub min_len: u32,
+}
+
 /// Walk an encoded postings stream **without allocating**, verifying it
 /// is exactly what a [`PostingsBuilder`] could have produced: exactly
 /// `doc_count` entries of canonical varints, strictly ascending
-/// non-wrapping doc ids (all `< num_docs`), `tf ≥ 1`, strictly
+/// non-wrapping doc ids (all `< doc_lengths.len()`), `tf ≥ 1`, strictly
 /// ascending non-wrapping positions, and full consumption of the
-/// buffer. Returns the collection frequency (sum of tfs) on success —
-/// the on-disk loader compares it against the directory's recorded
-/// value. Cost is one linear pass; crafted counts can't balloon memory
-/// because nothing here allocates (unlike [`PostingsIter`], which
-/// trusts its input and pre-sizes position vectors).
-pub(crate) fn validate_stream(data: &[u8], doc_count: u32, num_docs: u32) -> Option<u64> {
+/// buffer. Returns the stream's [`StreamStats`] on success — the
+/// on-disk loader compares the collection frequency against the
+/// directory's recorded value and the bound statistics against the
+/// artifact's bounds section. Cost is one linear pass; crafted counts
+/// can't balloon memory because nothing here allocates (unlike
+/// [`PostingsIter`], which trusts its input and pre-sizes position
+/// vectors).
+pub(crate) fn validate_stream(
+    data: &[u8],
+    doc_count: u32,
+    doc_lengths: &[u32],
+) -> Option<StreamStats> {
+    let num_docs = doc_lengths.len() as u32;
     let mut pos = 0usize;
     let mut last_doc = 0u32;
     let mut cf = 0u64;
+    let mut max_tf = 0u32;
+    let mut min_len = u32::MAX;
     for i in 0..doc_count {
         let delta = read_varint(data, &mut pos)?;
         let doc = if i == 0 {
@@ -99,10 +126,12 @@ pub(crate) fn validate_stream(data: &[u8], doc_count: u32, num_docs: u32) -> Opt
             return None;
         }
         last_doc = doc;
+        min_len = min_len.min(doc_lengths[doc as usize]);
         let tf = read_varint(data, &mut pos)?;
         if tf == 0 {
             return None; // builder requires ≥ 1 position per entry
         }
+        max_tf = max_tf.max(tf);
         let mut last_position = 0u32;
         for j in 0..tf {
             let pdelta = read_varint(data, &mut pos)?;
@@ -120,7 +149,12 @@ pub(crate) fn validate_stream(data: &[u8], doc_count: u32, num_docs: u32) -> Opt
     if pos != data.len() {
         return None; // trailing bytes the doc_count doesn't account for
     }
-    Some(cf)
+    Some(StreamStats {
+        cf,
+        max_tf,
+        // Match `TermBound`'s all-zero convention for empty postings.
+        min_len: if doc_count == 0 { 0 } else { min_len },
+    })
 }
 
 /// One decoded document entry of a postings list.
@@ -363,13 +397,26 @@ mod tests {
         b.push(5, &[1]);
         b.push(6, &[0, 2]);
         let list = b.build();
+        // Doc lengths chosen so min_len comes from doc 5, not doc 0.
+        let doc_lengths = [9u32, 8, 8, 8, 8, 4, 6];
         assert_eq!(
-            validate_stream(list.encoded_bytes(), list.doc_count(), 7),
-            Some(list.collection_freq())
+            validate_stream(list.encoded_bytes(), list.doc_count(), &doc_lengths),
+            Some(StreamStats {
+                cf: list.collection_freq(),
+                max_tf: 3,
+                min_len: 4,
+            })
         );
-        // Empty list validates too.
+        // Empty list validates too, with the all-zero bound convention.
         let empty = PostingsBuilder::new().build();
-        assert_eq!(validate_stream(empty.encoded_bytes(), 0, 0), Some(0));
+        assert_eq!(
+            validate_stream(empty.encoded_bytes(), 0, &[]),
+            Some(StreamStats {
+                cf: 0,
+                max_tf: 0,
+                min_len: 0,
+            })
+        );
     }
 
     #[test]
@@ -379,31 +426,32 @@ mod tests {
         for v in [3u32, 2, 1, 3] {
             write_varint(&mut good, v);
         }
-        assert_eq!(validate_stream(&good, 1, 10), Some(2));
+        let cf = |r: Option<StreamStats>| r.map(|s| s.cf);
+        assert_eq!(cf(validate_stream(&good, 1, &[5; 10])), Some(2));
         // Doc id beyond the collection.
-        assert_eq!(validate_stream(&good, 1, 3), None);
+        assert_eq!(validate_stream(&good, 1, &[5; 3]), None);
         // Wrong doc_count (too many / too few entries for the bytes).
-        assert_eq!(validate_stream(&good, 2, 10), None);
-        assert_eq!(validate_stream(&good, 0, 10), None);
+        assert_eq!(validate_stream(&good, 2, &[5; 10]), None);
+        assert_eq!(validate_stream(&good, 0, &[5; 10]), None);
         // tf = 0 (builder can never produce it).
         let mut tf0 = BytesMut::new();
         for v in [3u32, 0] {
             write_varint(&mut tf0, v);
         }
-        assert_eq!(validate_stream(&tf0, 1, 10), None);
+        assert_eq!(validate_stream(&tf0, 1, &[5; 10]), None);
         // Huge tf claiming more positions than the stream holds must
         // fail on truncation, never allocate.
         let mut huge = BytesMut::new();
         for v in [3u32, u32::MAX, 1] {
             write_varint(&mut huge, v);
         }
-        assert_eq!(validate_stream(&huge, 1, 10), None);
+        assert_eq!(validate_stream(&huge, 1, &[5; 10]), None);
         // Zero doc delta on a non-first entry (non-ascending docs).
         let mut dup = BytesMut::new();
         for v in [3u32, 1, 0, 0, 1, 0] {
             write_varint(&mut dup, v);
         }
-        assert_eq!(validate_stream(&dup, 2, 10), None);
+        assert_eq!(validate_stream(&dup, 2, &[5; 10]), None);
     }
 
     proptest::proptest! {

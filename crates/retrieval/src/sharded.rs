@@ -63,8 +63,11 @@
 //! panics.
 
 use crate::engine::SearchHit;
-use crate::engine::{flatten_specs, phrase_cache_slot, LeafSpec, PhraseInfo, SearchEngine};
-use crate::index::epsilon_for;
+use crate::engine::{
+    flatten_specs, phrase_cache_slot, LeafSpec, PhraseInfo, SearchEngine, SearchMode,
+    MAX_PRUNED_LEAVES,
+};
+use crate::index::{epsilon_for, TermBound};
 use crate::lm::{log_belief_with_floor, LmParams};
 use crate::ondisk::{
     encode_index, fnv1a, load_index_with, write_atomic, ArtifactSource, LoadedIndex, OndiskError,
@@ -72,7 +75,7 @@ use crate::ondisk::{
 use crate::par::parallel_map;
 use crate::phrase::PhraseHit;
 use crate::query_lang::QueryNode;
-use crate::topk::{Scored, TopK};
+use crate::topk::{BoundHeap, Scored, TopK};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
@@ -480,6 +483,17 @@ impl ShardedEngine {
     /// Execute `query` with deterministic scatter-gather (see the
     /// module docs for the byte-identity argument).
     pub fn search(&self, query: &QueryNode, k: usize) -> Vec<SearchHit> {
+        self.search_with(query, k, SearchMode::Exact)
+    }
+
+    /// [`ShardedEngine::search`] with an explicit execution mode. In
+    /// [`SearchMode::Pruned`] each shard prunes against its own local
+    /// heap floor using shard-local bounds (its segment's BOUNDS
+    /// section). Per-shard pruned top-k equals per-shard exact top-k
+    /// bitwise — the monolithic conservativeness argument, applied
+    /// shard by shard with the same global smoothing inputs — so the
+    /// merged result is unchanged too.
+    pub fn search_with(&self, query: &QueryNode, k: usize, mode: SearchMode) -> Vec<SearchHit> {
         let mut specs = Vec::new();
         flatten_specs(query, 1.0, &mut specs);
         if specs.is_empty() {
@@ -495,31 +509,12 @@ impl ShardedEngine {
         // local top-k heap under the (score, global doc id) total order.
         let per_shard: Vec<Vec<Scored>> =
             parallel_map(self.shards.len(), self.search_threads, |si| {
-                let engine = &self.shards[si];
-                let base = self.doc_bases[si];
-                let mut candidates: Vec<u32> = leaves
-                    .iter()
-                    .flat_map(|l| l.per_shard_tf[si].keys().copied())
-                    .collect();
-                candidates.sort_unstable();
-                candidates.dedup();
-                let mut topk = TopK::new(k);
-                for doc in candidates {
-                    let len = engine.index().doc_len(doc);
-                    let mut score = 0.0;
-                    for leaf in &leaves {
-                        let tf = leaf.per_shard_tf[si].get(&doc).copied().unwrap_or(0);
-                        score += leaf.weight
-                            * log_belief_with_floor(
-                                self.params,
-                                epsilon,
-                                tf,
-                                len,
-                                leaf.collection_prob,
-                            );
+                let topk = match mode {
+                    SearchMode::Pruned if leaves.len() <= MAX_PRUNED_LEAVES => {
+                        self.shard_pruned_topk(si, &specs, &leaves, epsilon, k)
                     }
-                    topk.push(base + doc, score);
-                }
+                    _ => self.shard_exact_topk(si, &leaves, epsilon, k),
+                };
                 topk.into_sorted()
             });
 
@@ -580,6 +575,144 @@ impl ShardedEngine {
         }
     }
 
+    /// Shard `si`'s exhaustive candidate scoring — the float-op
+    /// sequence the byte-identity contract pins (global smoothing
+    /// inputs, local candidates, heap keyed by global doc id).
+    fn shard_exact_topk(&self, si: usize, leaves: &[GlobalLeaf], epsilon: f64, k: usize) -> TopK {
+        let engine = &self.shards[si];
+        let base = self.doc_bases[si];
+        let mut candidates: Vec<u32> = leaves
+            .iter()
+            .flat_map(|l| l.per_shard_tf[si].keys().copied())
+            .collect();
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut topk = TopK::new(k);
+        for doc in candidates {
+            let len = engine.index().doc_len(doc);
+            let mut score = 0.0;
+            for leaf in leaves {
+                let tf = leaf.per_shard_tf[si].get(&doc).copied().unwrap_or(0);
+                score += leaf.weight
+                    * log_belief_with_floor(self.params, epsilon, tf, len, leaf.collection_prob);
+            }
+            topk.push(base + doc, score);
+        }
+        topk
+    }
+
+    /// Shard `si`'s MaxScore-style top-k: the monolithic engine's
+    /// pruned loop with shard-local bounds and global smoothing inputs.
+    /// Candidates are visited in descending upper-bound order and the
+    /// loop stops once the heap is full and the next bound falls below
+    /// the floor; the bound is bitwise-conservative (see
+    /// `SearchEngine::pruned_topk`), so the shard's heap — and hence
+    /// the merge — is bit-identical to exact mode.
+    fn shard_pruned_topk(
+        &self,
+        si: usize,
+        specs: &[(f64, LeafSpec<'_>)],
+        leaves: &[GlobalLeaf],
+        epsilon: f64,
+        k: usize,
+    ) -> TopK {
+        let engine = &self.shards[si];
+        let base = self.doc_bases[si];
+        let bounds: Vec<(f64, f64)> = specs
+            .iter()
+            .zip(leaves)
+            .map(|((_, spec), leaf)| self.shard_leaf_bounds(si, spec, leaf, epsilon))
+            .collect();
+        let mut masks: HashMap<u32, u64> = HashMap::new();
+        for (i, leaf) in leaves.iter().enumerate() {
+            for &doc in leaf.per_shard_tf[si].keys() {
+                *masks.entry(doc).or_insert(0) |= 1u64 << i;
+            }
+        }
+        let candidates: Vec<(f64, u32)> = masks
+            .iter()
+            .map(|(&doc, &mask)| {
+                let mut ub = 0.0;
+                for (i, &(matched, background)) in bounds.iter().enumerate() {
+                    ub += if mask & (1u64 << i) != 0 {
+                        matched
+                    } else {
+                        background
+                    };
+                }
+                (ub, doc)
+            })
+            .collect();
+        // Heapify instead of sorting: same visit order, O(n) up front
+        // (see `SearchEngine::pruned_topk`).
+        let mut heap = BoundHeap::from_candidates(candidates);
+        let mut topk = TopK::new(k);
+        while let Some((ub, doc)) = heap.pop() {
+            if let Some(floor) = topk.floor() {
+                if ub < floor.score {
+                    break; // bounds descend: nothing later can qualify
+                }
+            }
+            let len = engine.index().doc_len(doc);
+            let mut score = 0.0;
+            for leaf in leaves {
+                let tf = leaf.per_shard_tf[si].get(&doc).copied().unwrap_or(0);
+                score += leaf.weight
+                    * log_belief_with_floor(self.params, epsilon, tf, len, leaf.collection_prob);
+            }
+            topk.push(base + doc, score);
+        }
+        topk
+    }
+
+    /// Per-leaf `(matched, background)` bounds valid for shard `si`'s
+    /// documents: term leaves read the shard index's [`TermBound`]
+    /// (from its segment's BOUNDS section), phrase leaves derive theirs
+    /// from the shard's resolved hits; the collection probability and
+    /// epsilon stay global, exactly as in scoring.
+    fn shard_leaf_bounds(
+        &self,
+        si: usize,
+        spec: &LeafSpec<'_>,
+        leaf: &GlobalLeaf,
+        epsilon: f64,
+    ) -> (f64, f64) {
+        let index = self.shards[si].index();
+        let background = leaf.weight
+            * log_belief_with_floor(
+                self.params,
+                epsilon,
+                0,
+                index.min_doc_len(),
+                leaf.collection_prob,
+            );
+        let bound = match spec {
+            LeafSpec::Term(t) => index.term_id(t).map(|tid| index.term_bound(tid)),
+            LeafSpec::Phrase(_) => {
+                let mut b = TermBound::EMPTY;
+                for (&doc, &tf) in &leaf.per_shard_tf[si] {
+                    b.max_tf = b.max_tf.max(tf);
+                    b.min_len = b.min_len.min(index.doc_len(doc));
+                }
+                Some(b.normalized())
+            }
+        };
+        let matched = match bound {
+            Some(b) if b.max_tf > 0 => {
+                leaf.weight
+                    * log_belief_with_floor(
+                        self.params,
+                        epsilon,
+                        b.max_tf,
+                        b.min_len,
+                        leaf.collection_prob,
+                    )
+            }
+            _ => background,
+        };
+        (matched, background)
+    }
+
     /// Resolve (and cache) one phrase globally: per-shard hits re-based
     /// to global doc ids (shard order = ascending global order), with
     /// the collection probability over the global token total.
@@ -635,6 +768,10 @@ impl crate::backend::RetrievalBackend for ShardedEngine {
 
     fn search(&self, query: &QueryNode, k: usize) -> Vec<SearchHit> {
         ShardedEngine::search(self, query, k)
+    }
+
+    fn search_with(&self, query: &QueryNode, k: usize, mode: SearchMode) -> Vec<SearchHit> {
+        ShardedEngine::search_with(self, query, k, mode)
     }
 
     fn shard_count(&self) -> usize {
@@ -726,6 +863,30 @@ mod tests {
                         s.search(&q, k),
                         m.search(&q, k),
                         "diverged at {n} shards, k={k}, query {q:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_pruned_matches_exact_at_every_shard_count() {
+        let m = mono(&DOCS);
+        for n in [1, 2, 3, 7] {
+            let s = sharded(&DOCS, n);
+            for q in QUERIES {
+                let q = parse(q).unwrap();
+                for k in [0, 1, 3, 20] {
+                    let pruned = s.search_with(&q, k, SearchMode::Pruned);
+                    assert_eq!(
+                        pruned,
+                        s.search_with(&q, k, SearchMode::Exact),
+                        "pruned vs exact diverged at {n} shards, k={k}, query {q:?}"
+                    );
+                    assert_eq!(
+                        pruned,
+                        m.search_with(&q, k, SearchMode::Pruned),
+                        "sharded vs mono pruned diverged at {n} shards, k={k}, query {q:?}"
                     );
                 }
             }
@@ -832,6 +993,54 @@ mod tests {
             ];
             let q = parse(queries[qpick as usize % queries.len()]).unwrap();
             proptest::prop_assert_eq!(s.search(&q, 10), m.search(&q, 10));
+        }
+
+        /// Pruned scatter-gather must stay rank-equivalent to exact on
+        /// arbitrary worlds and shard counts: same doc sequence, scores
+        /// within 1e-9 (in practice bitwise — pruning only skips docs).
+        #[test]
+        fn sharded_pruned_rank_equivalent_on_random_worlds(
+            docs in proptest::collection::vec(
+                proptest::collection::vec(0u8..6, 0..20),
+                1..16,
+            ),
+            shards in 1usize..8,
+            qpick in 0u8..6,
+            k in 0usize..12,
+        ) {
+            const VOCAB: [&str; 6] =
+                ["alpha", "beta", "gamma", "delta", "beta gamma", "alpha beta"];
+            let texts: Vec<String> = docs
+                .iter()
+                .map(|d| {
+                    d.iter()
+                        .map(|&x| VOCAB[x as usize])
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .collect();
+            let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+            let s = sharded(&refs, shards);
+            let queries = [
+                "#combine(alpha beta)",
+                "#1(beta gamma)",
+                "#weight(0.7 alpha 0.3 #1(alpha beta))",
+                "#combine(#1(gamma delta) delta)",
+                "delta",
+                "#combine(alpha #1(beta gamma) zeta)",
+            ];
+            let q = parse(queries[qpick as usize % queries.len()]).unwrap();
+            let exact = s.search_with(&q, k, SearchMode::Exact);
+            let pruned = s.search_with(&q, k, SearchMode::Pruned);
+            let exact_docs: Vec<u32> = exact.iter().map(|h| h.doc).collect();
+            let pruned_docs: Vec<u32> = pruned.iter().map(|h| h.doc).collect();
+            proptest::prop_assert_eq!(pruned_docs, exact_docs, "doc sequence");
+            for (p, x) in pruned.iter().zip(&exact) {
+                proptest::prop_assert!(
+                    (p.score - x.score).abs() <= 1e-9,
+                    "score drift at doc {}: {} vs {}", p.doc, p.score, x.score
+                );
+            }
         }
     }
 

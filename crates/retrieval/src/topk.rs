@@ -73,12 +73,89 @@ impl TopK {
         }
     }
 
+    /// The current pruning floor: the worst entry that would survive
+    /// [`TopK::into_sorted`] right now, available only once the
+    /// collector holds `k` entries (before that, every candidate is
+    /// kept, so there is no floor to beat). A candidate whose score
+    /// upper bound is strictly below `floor().score` can be skipped
+    /// without being scored — it could never displace the root under
+    /// the total order (descending score, ties by ascending doc id).
+    /// This is the threshold the WAND-style pruned search loops test
+    /// against.
+    pub fn floor(&self) -> Option<Scored> {
+        if self.k > 0 && self.heap.len() == self.k {
+            self.heap.peek().map(|e| e.0)
+        } else {
+            None
+        }
+    }
+
     /// Finish: results sorted by descending score, ties by ascending doc
     /// id.
     pub fn into_sorted(self) -> Vec<Scored> {
         let mut v: Vec<Scored> = self.heap.into_iter().map(|e| e.0).collect();
         v.sort_unstable_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.doc.cmp(&b.doc)));
         v
+    }
+}
+
+/// Candidate entry for [`BoundHeap`]: ordered so the heap root is the
+/// candidate the pruned loop must visit next (highest upper bound,
+/// ties by ascending doc id).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct BoundEntry {
+    ub: f64,
+    doc: u32,
+}
+
+impl Eq for BoundEntry {}
+
+impl Ord for BoundEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap by upper bound; ties: lower doc id = greater entry,
+        // so it pops first.
+        match self.ub.total_cmp(&other.ub) {
+            Ordering::Equal => other.doc.cmp(&self.doc),
+            o => o,
+        }
+    }
+}
+
+impl PartialOrd for BoundEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Lazy descending-bound candidate stream for the pruned search loops.
+///
+/// Pops `(upper_bound, doc)` pairs in exactly the order a full
+/// `sort_unstable_by` (bound descending, doc ascending) would visit
+/// them, but builds in O(n) and pays O(log n) only per pop — so a
+/// WAND-style loop that stops after `m` candidates costs O(n + m log n)
+/// instead of O(n log n). With typical `m ≈ k ≪ n` the sort was the
+/// dominant cost of the pruned path on broad queries.
+#[derive(Debug)]
+pub(crate) struct BoundHeap {
+    heap: BinaryHeap<BoundEntry>,
+}
+
+impl BoundHeap {
+    /// Heapify a candidate list in O(n).
+    pub(crate) fn from_candidates(candidates: Vec<(f64, u32)>) -> Self {
+        BoundHeap {
+            heap: BinaryHeap::from(
+                candidates
+                    .into_iter()
+                    .map(|(ub, doc)| BoundEntry { ub, doc })
+                    .collect::<Vec<_>>(),
+            ),
+        }
+    }
+
+    /// Next candidate in (bound descending, doc ascending) order.
+    pub(crate) fn pop(&mut self) -> Option<(f64, u32)> {
+        self.heap.pop().map(|e| (e.ub, e.doc))
     }
 }
 
@@ -145,5 +222,73 @@ mod tests {
         t.push(2, -3.0);
         let docs: Vec<u32> = t.into_sorted().iter().map(|s| s.doc).collect();
         assert_eq!(docs, vec![1, 2]);
+    }
+
+    #[test]
+    fn floor_appears_only_when_full() {
+        let mut t = TopK::new(2);
+        assert!(t.floor().is_none(), "empty collector has no floor");
+        t.push(3, 1.0);
+        assert!(t.floor().is_none(), "underfull collector has no floor");
+        t.push(7, 5.0);
+        let f = t.floor().expect("full collector exposes its floor");
+        assert_eq!((f.doc, f.score), (3, 1.0));
+        // A better entry evicts the floor; the floor tracks the new worst.
+        t.push(1, 9.0);
+        let f = t.floor().unwrap();
+        assert_eq!((f.doc, f.score), (7, 5.0));
+        // Equal score, higher doc id: loses the tiebreak, floor unchanged.
+        t.push(8, 5.0);
+        let f = t.floor().unwrap();
+        assert_eq!((f.doc, f.score), (7, 5.0));
+        // k = 0 never has a floor (nothing is ever kept).
+        let mut z = TopK::new(0);
+        z.push(0, 1.0);
+        assert!(z.floor().is_none());
+    }
+
+    #[test]
+    fn bound_heap_pops_in_sorted_order() {
+        // Ties included: pop order must match the sort it replaced
+        // (bound descending, doc ascending) element for element.
+        let cands: Vec<(f64, u32)> = (0..64u32).map(|i| (((i * 13) % 7) as f64, i)).collect();
+        let mut reference = cands.clone();
+        reference.sort_unstable_by(|a, b| b.0.total_cmp(&a.0).then_with(|| a.1.cmp(&b.1)));
+        let mut heap = BoundHeap::from_candidates(cands);
+        let mut popped = Vec::new();
+        while let Some(p) = heap.pop() {
+            popped.push(p);
+        }
+        assert_eq!(popped, reference);
+        assert!(BoundHeap::from_candidates(Vec::new()).pop().is_none());
+    }
+
+    proptest::proptest! {
+        // TopK must agree with the reference "sort everything, truncate
+        // to k" on arbitrary score lists. Scores are drawn from a small
+        // integer domain so exact ties (doc-id tiebreak) occur in nearly
+        // every case; k sweeps the degenerate corners {0, 1, len, len+5}.
+        #[test]
+        fn equals_full_sort_then_truncate(
+            raw in proptest::collection::vec(-6i32..7, 0..48),
+        ) {
+            let scores: Vec<(u32, f64)> = raw
+                .iter()
+                .enumerate()
+                .map(|(doc, &s)| (doc as u32, s as f64))
+                .collect();
+            let mut reference = scores.clone();
+            reference.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            for k in [0, 1, scores.len(), scores.len() + 5] {
+                let mut t = TopK::new(k);
+                for &(d, s) in &scores {
+                    t.push(d, s);
+                }
+                let got: Vec<(u32, f64)> =
+                    t.into_sorted().iter().map(|s| (s.doc, s.score)).collect();
+                let want: Vec<(u32, f64)> = reference.iter().take(k).copied().collect();
+                proptest::prop_assert_eq!(got, want, "k={}", k);
+            }
+        }
     }
 }

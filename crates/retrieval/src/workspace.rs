@@ -217,9 +217,7 @@ impl<'a, B: RetrievalBackend + ?Sized> ScoreWorkspace<'a, B> {
         scratch.scores.resize(scratch.cand.len(), 0.0);
         for &id in leaf_ids {
             let beliefs = &leaves[id.0 as usize].beliefs;
-            for (&(_, slot), score) in scratch.cand.iter().zip(scratch.scores.iter_mut()) {
-                *score += weight * beliefs[slot as usize];
-            }
+            accumulate_chunked(&scratch.cand, beliefs, weight, &mut scratch.scores);
         }
 
         let mut topk = TopK::new(k);
@@ -257,10 +255,70 @@ impl<'a, B: RetrievalBackend + ?Sized> ScoreWorkspace<'a, B> {
     }
 }
 
+/// Lane width of the dense accumulation loop: eight f64 = one cache
+/// line, and a width LLVM turns into packed mul/add on every SIMD ISA
+/// the repro targets.
+const LANES: usize = 8;
+
+/// The dominant inner loop of the hill climb:
+/// `scores[i] += weight · beliefs[slot(cand[i])]` for every candidate.
+///
+/// Split into fixed-width `[f64; LANES]` chunks — gather the lane's
+/// beliefs, then one multiply-add per element — so the compiler can
+/// autovectorize the arithmetic even though the belief access is a
+/// gather. Each element is touched by exactly one multiply and one add,
+/// just like the straight-line loop, and elements are independent, so
+/// the result is **bit-identical** for any chunking; the byte-identity
+/// golden pins hold (the equivalence proptests below run through this
+/// path).
+fn accumulate_chunked(cand: &[(u32, u32)], beliefs: &[f64], weight: f64, scores: &mut [f64]) {
+    debug_assert_eq!(cand.len(), scores.len());
+    let whole = cand.len() - cand.len() % LANES;
+    let (cand_head, cand_tail) = cand.split_at(whole);
+    let (scores_head, scores_tail) = scores.split_at_mut(whole);
+    for (c, s) in cand_head
+        .chunks_exact(LANES)
+        .zip(scores_head.chunks_exact_mut(LANES))
+    {
+        let mut lane = [0.0f64; LANES];
+        for i in 0..LANES {
+            lane[i] = beliefs[c[i].1 as usize];
+        }
+        for i in 0..LANES {
+            s[i] += weight * lane[i];
+        }
+    }
+    for (&(_, slot), score) in cand_tail.iter().zip(scores_tail.iter_mut()) {
+        *score += weight * beliefs[slot as usize];
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::index::IndexBuilder;
+
+    #[test]
+    fn chunked_accumulation_matches_scalar_loop() {
+        // Lengths straddling every remainder class around the lane
+        // width, including the empty and sub-lane cases.
+        for n in [0, 1, 7, 8, 9, 15, 16, 17, 64, 100] {
+            let beliefs: Vec<f64> = (0..n).map(|i| -((i + 1) as f64).ln()).collect();
+            // Slots deliberately permuted: the gather must not assume
+            // cand order matches slot order.
+            let cand: Vec<(u32, u32)> = (0..n as u32).map(|i| (i, (n as u32 - 1 - i))).collect();
+            let weight = 1.0 / 3.0;
+            let mut chunked = vec![0.125f64; n];
+            accumulate_chunked(&cand, &beliefs, weight, &mut chunked);
+            let mut scalar = vec![0.125f64; n];
+            for (&(_, slot), score) in cand.iter().zip(scalar.iter_mut()) {
+                *score += weight * beliefs[slot as usize];
+            }
+            let chunked_bits: Vec<u64> = chunked.iter().map(|f| f.to_bits()).collect();
+            let scalar_bits: Vec<u64> = scalar.iter().map(|f| f.to_bits()).collect();
+            assert_eq!(chunked_bits, scalar_bits, "n={n}");
+        }
+    }
 
     fn engine() -> SearchEngine {
         let mut b = IndexBuilder::new();
