@@ -227,6 +227,14 @@ pub fn diff_records(baseline: &Value, candidate: &Value) -> BenchDiff {
         // lack these paths and contribute no rows.
         ("serve_cache_hits", &["serve", "cache_hits"][..]),
         ("serve_cache_hit_rate", &["serve", "cache_hit_rate"][..]),
+        // Schema-6 networked-serving counters: overload shedding,
+        // deadline refusals, and the per-connection tail.
+        ("serve_shed", &["serve", "shed"][..]),
+        ("serve_timeouts", &["serve", "timeouts"][..]),
+        (
+            "serve_conn_p99_us",
+            &["serve", "conn_latency", "p99_us"][..],
+        ),
     ]
     .iter()
     .filter_map(|(name, path)| {

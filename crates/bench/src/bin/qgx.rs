@@ -1,100 +1,66 @@
-//! `qgx` — the long-lived query-expansion server.
+//! `qgx` — the query-expansion server, now with a socket.
 //!
-//! Loads (or builds and persists) a world once, then serves ad-hoc
-//! queries through the `core::service` facade in a read–expand–respond
-//! loop, reporting per-query latency percentiles and QPS at the end —
-//! the paper's technique as the online component it was designed to be,
-//! instead of a batch reproduction run.
+//! Three subcommands over one world-boot path:
 //!
 //! ```text
-//! cargo run --release -p querygraph-bench --bin qgx -- \
-//!     [--tiny | --quick | --stress [--quick]] [--index-cache <dir>] \
-//!     [--shards <n>] [--shard-threads <n>] [--mmap] \
-//!     [--queries <file>] [--seed-queries] [--repeat <n>] [--zipf <s>] \
-//!     [--strategy cycles|links|redirects|none] [--max-features <n>] \
-//!     [--top-k <k>] [--threads <n>] [--prune] [--expansion-cache <n>] \
-//!     [--json] [--bench-out <path>]
+//! qgx serve  --listen <addr>  [world flags] [--workers n] [--queue n]
+//!            [--deadline-ms n] [--keep-alive n] [--bench-out path]
+//! qgx replay [world flags] [--queries f | --seed-queries] [--repeat n]
+//!            [--zipf s] [--threads n] [--deadline-ms n] [--json]
+//!            [--bench-out path]
+//! qgx client --connect <addr> [--healthz | --statz | --flood n |
+//!            --query text | --queries f | --seed-queries [tier flags]]
+//!            [--repeat n] [--top-k k] [--max-features n] [--timeout-ms n]
 //! ```
 //!
-//! * Without `--queries`/`--seed-queries`, queries are read from stdin,
-//!   one per line, and answered as they arrive (the long-lived loop;
-//!   `#`-prefixed and empty lines are skipped).
-//! * `--seed-queries` serves the tier's generated query set —
-//!   the reproducible workload the committed `BENCH_serve.json` uses.
-//! * `--repeat <n>` loops a file/seed workload n times (latency
-//!   sampling); `--threads <n>` serves each repetition across workers
-//!   on the same deterministic work-stealing runner `expand_batch`
-//!   uses, timing every request inside its worker so the archived
-//!   percentiles stay real per-request service times.
-//! * `--json` emits one `ExpansionResponse` JSON object per line on
-//!   stdout; the default is a compact human-readable line. Typed
-//!   per-query errors (unlinkable text, empty line) are reported and
-//!   served on — they never kill the loop.
-//! * `--shards <n>` serves through the doc-partitioned `ShardedEngine`
-//!   and the segmented artifact layout (manifest + per-shard segments,
-//!   loaded in parallel); expansion output is byte-identical to the
-//!   monolithic engine at any shard count. `--shard-threads <n>` fans
-//!   each query's per-shard retrieval across workers; `--mmap` maps
-//!   artifact bytes instead of reading them (read fallback on error).
-//! * `--zipf <s>` reshapes a `--queries`/`--seed-queries` workload
-//!   into a seeded head-heavy one: each repetition serves the same
-//!   number of requests, drawn Zipf(s)-distributed over the pool
-//!   (rank 1 = first query), deterministically for the tier's seeds —
-//!   the repeat-heavy traffic a serving cache exists for.
-//! * `--prune` retrieves with block-max top-k pruning (`SearchMode::
-//!   Pruned`): rank-equivalent to exact scoring — same documents, same
-//!   order, scores within 1e-9 — but skips candidates whose score
-//!   bound cannot reach the current top-k floor.
-//! * `--expansion-cache <n>` memoizes up to n complete expansion
-//!   responses (single-flight, failures never cached); hits and the
-//!   hit rate land in the archived record and the closing stderr line.
-//! * `--bench-out <path>` archives a `ServeRecord` (p50/p90/p99 µs,
-//!   QPS + per-thread QPS, shard count and per-shard load seconds,
-//!   search mode, expansion-cache hit counters, build-vs-load
-//!   provenance) diffable by `repro_bench_diff`.
+//! * `serve` binds the `core::http` HTTP/1.1 front-end over the loaded
+//!   world: `POST /expand`, `GET /healthz`, `GET /statz`, per-request
+//!   deadlines starting at accept, a bounded connection queue with
+//!   503 + `Retry-After` shedding, and SIGTERM/SIGINT draining
+//!   in-flight queries before exit. `--bench-out` archives a schema-6
+//!   `ServeRecord` (listen address, shed/timeout counters, per-code
+//!   failures, per-connection p99) after the drain.
+//! * `replay` is the former bare-flag behaviour: serve a stdin, file,
+//!   or seed workload **in process** and report latency percentiles
+//!   and QPS. `--deadline-ms` applies the same typed per-request
+//!   deadline path the server uses; `--json` emits one response JSON
+//!   object per line — byte-identical to the corresponding `/expand`
+//!   response bodies, which is what the `http-smoke` CI job `cmp`s.
+//! * `client` drives a running `qgx serve` over `std::net`: health and
+//!   stats probes, single queries, file/seed workloads (response
+//!   bodies stream to stdout exactly as received), and `--flood n` —
+//!   n concurrent one-shot connections for forced-overload tests
+//!   (every response must still be clean, typed HTTP).
 //!
-//! With `--index-cache`, the first run builds and persists the index
-//! artifact and later runs load it (`index_source: "loaded"` in the
-//! record) — serving startup then costs world synthesis plus one
-//! artifact read instead of a full indexing pass.
+//! **Deprecated alias:** invoking `qgx` with bare flags (no
+//! subcommand) warns once on stderr and behaves exactly like
+//! `qgx replay` with the same flags, so existing scripts keep working.
+//!
+//! World flags (shared by `serve` and `replay`): `--tiny | --quick |
+//! --stress [--quick]`, `--index-cache <dir>`, `--shards <n>`,
+//! `--shard-threads <n>`, `--mmap`, `--strategy
+//! cycles|links|redirects|none`, `--max-features <n>`, `--top-k <k>`,
+//! `--prune`, `--expansion-cache <n>`.
 
 use querygraph_bench::{
     flag_f64, flag_operand, flag_usize, CliOptions, LatencySummary, ServeRecord, ServeSummary,
     ZipfSampler,
 };
 use querygraph_core::expcache::ExpansionCache;
+use querygraph_core::http::{self, HttpServer, ServerConfig};
 use querygraph_core::service::{
-    ExpansionRequest, ExpansionResponse, ExpansionStrategy, QueryExpander, ServiceError,
-    ServingWorld,
+    Deadline, ExpansionRequest, ExpansionResponse, ExpansionStrategy, QueryExpander,
+    QueryExpanderBuilder, ServiceError, ServingWorld,
 };
 use querygraph_retrieval::engine::SearchMode;
+use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Flags beyond the shared repro CLI (`--bench-out` rides in
-/// [`CliOptions`]; unlike the repro binaries qgx writes no record
-/// unless it was given).
-struct ServeOptions {
-    queries_file: Option<String>,
-    seed_queries: bool,
-    repeat: usize,
-    zipf: Option<f64>,
-    strategy: ExpansionStrategy,
-    max_features: Option<usize>,
-    top_k: usize,
-    threads: usize,
-    shard_threads: usize,
-    prune: bool,
-    expansion_cache: Option<usize>,
-    json: bool,
-}
-
-/// Every flag qgx understands, with whether it consumes an operand.
-/// Anything else starting with `--` is rejected — a typo'd flag must
-/// not silently fall back to a different workload (e.g. blocking on
-/// stdin in CI).
-const KNOWN_FLAGS: [(&str, bool); 19] = [
+/// Flags selecting and tuning the served world, shared by `serve` and
+/// `replay` (each subcommand adds its own on top).
+const WORLD_FLAGS: [(&str, bool); 11] = [
     ("--tiny", false),
     ("--quick", false),
     ("--stress", false),
@@ -102,49 +68,122 @@ const KNOWN_FLAGS: [(&str, bool); 19] = [
     ("--shards", true),
     ("--shard-threads", true),
     ("--mmap", false),
+    ("--strategy", true),
+    ("--max-features", true),
+    ("--top-k", true),
+    ("--prune", false),
+];
+
+const REPLAY_FLAGS: [(&str, bool); 9] = [
     ("--queries", true),
     ("--seed-queries", false),
     ("--repeat", true),
     ("--zipf", true),
-    ("--strategy", true),
-    ("--max-features", true),
-    ("--top-k", true),
     ("--threads", true),
-    ("--prune", false),
+    ("--deadline-ms", true),
     ("--expansion-cache", true),
     ("--json", false),
     ("--bench-out", true),
 ];
 
-/// Reject unrecognized `--flags` (operand values are skipped).
-fn reject_unknown_flags(args: &[String]) {
+const SERVE_FLAGS: [(&str, bool); 7] = [
+    ("--listen", true),
+    ("--workers", true),
+    ("--queue", true),
+    ("--deadline-ms", true),
+    ("--keep-alive", true),
+    ("--expansion-cache", true),
+    ("--bench-out", true),
+];
+
+const CLIENT_FLAGS: [(&str, bool); 14] = [
+    ("--connect", true),
+    ("--timeout-ms", true),
+    ("--healthz", false),
+    ("--statz", false),
+    ("--flood", true),
+    ("--query", true),
+    ("--queries", true),
+    ("--seed-queries", false),
+    ("--repeat", true),
+    ("--top-k", true),
+    ("--max-features", true),
+    ("--tiny", false),
+    ("--quick", false),
+    ("--stress", false),
+];
+
+/// Reject unrecognized `--flags` (operand values are skipped) — a
+/// typo'd flag must not silently fall back to a different workload
+/// (e.g. blocking on stdin in CI).
+fn reject_unknown_flags(args: &[String], known: &[(&str, bool)], mode: &str) {
     let mut i = 1; // skip argv[0]
     while i < args.len() {
         let arg = &args[i];
         if arg.starts_with("--") {
-            match KNOWN_FLAGS.iter().find(|(name, _)| name == arg) {
+            match known.iter().find(|(name, _)| name == arg) {
                 Some((_, takes_operand)) => i += 1 + usize::from(*takes_operand),
                 None => {
                     eprintln!(
-                        "error: unknown flag {arg} (known: {})",
-                        KNOWN_FLAGS
-                            .iter()
-                            .map(|(n, _)| *n)
-                            .collect::<Vec<_>>()
-                            .join(" ")
+                        "error: unknown flag {arg} for qgx {mode} (known: {})",
+                        known.iter().map(|(n, _)| *n).collect::<Vec<_>>().join(" ")
                     );
                     std::process::exit(2);
                 }
             }
         } else {
-            eprintln!("error: unexpected argument {arg:?} (queries come from stdin or --queries)");
+            eprintln!("error: unexpected argument {arg:?}");
             std::process::exit(2);
         }
     }
 }
 
-impl ServeOptions {
-    fn from_args(args: &[String]) -> ServeOptions {
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    match args.get(1).map(String::as_str) {
+        Some("serve") => run_serve(&without_subcommand(&args)),
+        Some("replay") => run_replay(&without_subcommand(&args)),
+        Some("client") => run_client(&without_subcommand(&args)),
+        Some(flag) if flag.starts_with("--") => {
+            // The pre-subcommand CLI: bare flags meant what `replay`
+            // means now. One warning, then identical behaviour.
+            eprintln!(
+                "# qgx: bare flags are deprecated; use `qgx replay` (same flags, same output)"
+            );
+            run_replay(&args);
+        }
+        None => {
+            eprintln!(
+                "# qgx: bare flags are deprecated; use `qgx replay` (same flags, same output)"
+            );
+            run_replay(&args);
+        }
+        Some(other) => {
+            eprintln!("error: unknown subcommand {other:?} (serve | replay | client)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Drop argv[1] (the subcommand) so flag parsing sees only flags.
+fn without_subcommand(args: &[String]) -> Vec<String> {
+    let mut out = vec![args[0].clone()];
+    out.extend_from_slice(&args[2..]);
+    out
+}
+
+/// The expander knobs shared by `serve` and `replay`.
+struct ExpanderOptions {
+    strategy: ExpansionStrategy,
+    max_features: Option<usize>,
+    top_k: usize,
+    shard_threads: usize,
+    prune: bool,
+    expansion_cache: Option<usize>,
+}
+
+impl ExpanderOptions {
+    fn from_args(args: &[String]) -> ExpanderOptions {
         let strategy = match flag_operand(args, "--strategy") {
             None => ExpansionStrategy::default(),
             Some(name) => ExpansionStrategy::parse(&name).unwrap_or_else(|| {
@@ -152,49 +191,56 @@ impl ServeOptions {
                 std::process::exit(2);
             }),
         };
-        let queries_file = flag_operand(args, "--queries");
-        let seed_queries = args.iter().any(|a| a == "--seed-queries");
-        if queries_file.is_some() && seed_queries {
-            // Two workload sources would mean silently serving one of
-            // them — the failure class this CLI refuses throughout.
-            eprintln!("error: --queries and --seed-queries are mutually exclusive");
-            std::process::exit(2);
-        }
-        let zipf = flag_f64(args, "--zipf");
-        if let Some(s) = zipf {
-            if !(s >= 0.0 && s.is_finite()) {
-                eprintln!("error: --zipf exponent must be a finite number ≥ 0, got {s}");
-                std::process::exit(2);
-            }
-        }
-        ServeOptions {
-            queries_file,
-            seed_queries,
-            repeat: flag_usize(args, "--repeat").unwrap_or(1).max(1),
-            zipf,
+        ExpanderOptions {
             strategy,
             max_features: flag_usize(args, "--max-features"),
             top_k: flag_usize(args, "--top-k").unwrap_or(0),
-            threads: flag_usize(args, "--threads").unwrap_or(1).max(1),
             shard_threads: flag_usize(args, "--shard-threads").unwrap_or(1).max(1),
             prune: args.iter().any(|a| a == "--prune"),
             expansion_cache: flag_usize(args, "--expansion-cache"),
-            json: args.iter().any(|a| a == "--json"),
         }
+    }
+
+    fn search_mode(&self) -> SearchMode {
+        if self.prune {
+            SearchMode::Pruned
+        } else {
+            SearchMode::Exact
+        }
+    }
+
+    /// The builder these knobs select (cache attached separately so
+    /// the caller keeps a counter handle).
+    fn builder(&self, cache: &Option<Arc<ExpansionCache>>) -> QueryExpanderBuilder {
+        let mut builder = QueryExpander::builder()
+            .strategy(self.strategy.clone())
+            .search_mode(self.search_mode());
+        if let Some(max) = self.max_features {
+            builder = builder.max_features(max);
+        }
+        if self.top_k > 0 {
+            builder = builder.retrieve_top(self.top_k);
+        }
+        if let Some(cache) = cache {
+            builder = builder.expansion_cache(cache.clone());
+        }
+        builder
     }
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    reject_unknown_flags(&args);
-    let cli = CliOptions::from_vec(&args);
-    let serve = ServeOptions::from_args(&args);
+/// Boot the world once (synthesize or load), wire shard scatter, and
+/// report provenance on stderr. Returns the effective per-query shard
+/// scatter width alongside.
+fn boot_world(
+    cli: &CliOptions,
+    ex: &ExpanderOptions,
+    want_seed_corpus: bool,
+) -> (
+    ServingWorld,
+    Option<querygraph_corpus::synth::SynthCorpus>,
+    usize,
+) {
     let config = cli.config();
-
-    // World setup, paid once for the whole serving session. The open
-    // path regenerates the corpus anyway (staleness check, cache-miss
-    // indexing); keep it only when `--seed-queries` needs its query
-    // set — a plain long-lived server lets it drop.
     let (mut world, seed_corpus) = {
         let (world, corpus) = ServingWorld::open_with_options(
             &config,
@@ -202,24 +248,19 @@ fn main() {
             querygraph_retrieval::lm::LmParams::default(),
             &cli.world_options(),
         );
-        (world, serve.seed_queries.then_some(corpus))
+        (world, want_seed_corpus.then_some(corpus))
     };
     let effective_shard_threads = match &mut world.engine {
         querygraph_retrieval::backend::AnyEngine::Sharded(engine) => {
-            engine.set_search_threads(serve.shard_threads);
-            serve.shard_threads.min(engine.shard_count()).max(1)
+            engine.set_search_threads(ex.shard_threads);
+            ex.shard_threads.min(engine.shard_count()).max(1)
         }
         querygraph_retrieval::backend::AnyEngine::Mono(_) => {
-            if serve.shard_threads > 1 {
+            if ex.shard_threads > 1 {
                 eprintln!("# qgx: --shard-threads applies to --shards workloads only");
             }
             1
         }
-    };
-    let search_mode = if serve.prune {
-        SearchMode::Pruned
-    } else {
-        SearchMode::Exact
     };
     eprintln!(
         "# qgx: {} articles, index {} x{} shard(s) (world {:.3}s, build {:.3}s, load {:.3}s); \
@@ -230,42 +271,217 @@ fn main() {
         world.stats.world_seconds,
         world.stats.index_build_seconds,
         world.stats.index_load_seconds,
-        serve.strategy.name(),
-        serve.top_k,
-        search_mode.name(),
-        serve
-            .expansion_cache
+        ex.strategy.name(),
+        ex.top_k,
+        ex.search_mode().name(),
+        ex.expansion_cache
             .map(|n| n.to_string())
             .unwrap_or_else(|| "off".to_string()),
     );
-    let mut builder = QueryExpander::builder()
-        .strategy(serve.strategy.clone())
-        .search_mode(search_mode);
-    if let Some(max) = serve.max_features {
-        builder = builder.max_features(max);
-    }
-    if serve.top_k > 0 {
-        builder = builder.retrieve_top(serve.top_k);
-    }
-    // Keep our own handle on the cache so its hit counters can be
-    // read after the serve loop (the expander shares the same Arc).
-    let cache: Option<Arc<ExpansionCache>> = serve
-        .expansion_cache
+    (world, seed_corpus, effective_shard_threads)
+}
+
+fn expansion_cache(ex: &ExpanderOptions) -> Option<Arc<ExpansionCache>> {
+    ex.expansion_cache
         .filter(|&n| n > 0)
-        .map(|n| Arc::new(ExpansionCache::new(n)));
-    if let Some(cache) = &cache {
-        builder = builder.expansion_cache(cache.clone());
+        .map(|n| Arc::new(ExpansionCache::new(n)))
+}
+
+// ---------------------------------------------------------------- serve
+
+/// SIGTERM/SIGINT notification: the handler only flips an atomic; a
+/// watcher thread relays it to the server's shutdown flag.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn handle(_signum: i32) {
+        REQUESTED.store(true, Ordering::SeqCst);
     }
-    let expander = world.expander_from(&builder);
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    /// Install the flag-setting handler for SIGINT (2) and SIGTERM (15).
+    pub fn install() {
+        unsafe {
+            signal(2, handle);
+            signal(15, handle);
+        }
+    }
+
+    /// Whether a shutdown signal has arrived.
+    pub fn requested() -> bool {
+        REQUESTED.load(Ordering::SeqCst)
+    }
+}
+
+fn run_serve(args: &[String]) {
+    let known: Vec<(&str, bool)> = WORLD_FLAGS.iter().chain(&SERVE_FLAGS).copied().collect();
+    reject_unknown_flags(args, &known, "serve");
+    let cli = CliOptions::from_vec(args);
+    let ex = ExpanderOptions::from_args(args);
+    let listen = flag_operand(args, "--listen").unwrap_or_else(|| "127.0.0.1:8787".to_string());
+    let workers = flag_usize(args, "--workers").unwrap_or(4).max(1);
+    let queue_depth = flag_usize(args, "--queue").unwrap_or(128).max(1);
+    let deadline_ms = flag_usize(args, "--deadline-ms").unwrap_or(2000).max(1);
+    let keep_alive = flag_usize(args, "--keep-alive").unwrap_or(100).max(1);
+
+    let (world, _, effective_shard_threads) = boot_world(&cli, &ex, false);
+    let cache = expansion_cache(&ex);
+    let expander = world.expander_from(&ex.builder(&cache));
+
+    let server = HttpServer::bind(ServerConfig {
+        addr: listen.clone(),
+        workers,
+        queue_depth,
+        deadline: Duration::from_millis(deadline_ms as u64),
+        keep_alive_requests: keep_alive,
+        limits: http::HttpLimits::default(),
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("error: cannot bind {listen}: {e}");
+        std::process::exit(1);
+    });
+    let addr = server.local_addr().map(|a| a.to_string()).unwrap_or(listen);
+    eprintln!(
+        "# qgx: listening on {addr} ({workers} workers, queue {queue_depth}, \
+         deadline {deadline_ms} ms, keep-alive {keep_alive})"
+    );
+
+    let shutdown = server.shutdown_flag();
+    #[cfg(unix)]
+    {
+        sig::install();
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || loop {
+            if sig::requested() {
+                shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+    }
+
+    let stats = server.stats();
+    let t_serve = Instant::now();
+    if let Err(e) = server.serve(&expander) {
+        eprintln!("error: serve loop failed: {e}");
+        std::process::exit(1);
+    }
+    drop(shutdown);
+    let total_seconds = t_serve.elapsed().as_secs_f64();
+
+    let served = stats.queries_served() as usize;
+    let failures = stats.failures() as usize;
+    let answered = served + failures;
+    let latency = LatencySummary::of(&stats.request_latencies_us());
+    let conn_latency = LatencySummary::of(&stats.connection_lifetimes_us());
+    let qps = answered as f64 / total_seconds.max(1e-9);
+    eprintln!(
+        "# served {answered} queries ({failures} typed errors, {} shed, {} timeouts) \
+         over {} connections in {total_seconds:.3}s — {qps:.0} q/s; {}",
+        stats.shed(),
+        stats.timeouts(),
+        stats.connections(),
+        latency.render()
+    );
+    let (cache_hits, cache_lookups, cache_hit_rate) = cache
+        .as_ref()
+        .map(|c| (c.hits(), c.lookups(), c.hit_rate()))
+        .unwrap_or((0, 0, 0.0));
+    if cache.is_some() {
+        eprintln!(
+            "# expansion cache: {cache_hits}/{cache_lookups} hits ({:.1}%)",
+            100.0 * cache_hit_rate
+        );
+    }
+
+    if let Some(path) = &cli.bench_out {
+        let mut record = ServeRecord::new(
+            &cli.config(),
+            &world.stats,
+            answered,
+            ServeSummary {
+                strategy: ex.strategy.name().to_string(),
+                queries_served: served,
+                failures,
+                repeat: 1,
+                top_k: ex.top_k,
+                threads: workers,
+                shard_threads: effective_shard_threads,
+                total_seconds,
+                qps,
+                qps_per_thread: qps / workers.max(1) as f64,
+                search_mode: ex.search_mode().name().to_string(),
+                cache_hits,
+                cache_lookups,
+                cache_hit_rate,
+                shed: stats.shed(),
+                timeouts: stats.timeouts(),
+                error_codes: stats.error_codes(),
+                latency,
+                conn_latency: Some(conn_latency),
+            },
+        );
+        record.listen_addr = Some(addr);
+        let json = serde_json::to_string_pretty(&record).expect("serve record serializes");
+        std::fs::write(path, json).expect("write serve record");
+        eprintln!("# wrote {path}");
+    }
+}
+
+// --------------------------------------------------------------- replay
+
+fn run_replay(args: &[String]) {
+    let known: Vec<(&str, bool)> = WORLD_FLAGS.iter().chain(&REPLAY_FLAGS).copied().collect();
+    reject_unknown_flags(args, &known, "replay");
+    let cli = CliOptions::from_vec(args);
+    let ex = ExpanderOptions::from_args(args);
+    let queries_file = flag_operand(args, "--queries");
+    let seed_queries = args.iter().any(|a| a == "--seed-queries");
+    if queries_file.is_some() && seed_queries {
+        // Two workload sources would mean silently serving one of
+        // them — the failure class this CLI refuses throughout.
+        eprintln!("error: --queries and --seed-queries are mutually exclusive");
+        std::process::exit(2);
+    }
+    let repeat = flag_usize(args, "--repeat").unwrap_or(1).max(1);
+    let threads = flag_usize(args, "--threads").unwrap_or(1).max(1);
+    let json = args.iter().any(|a| a == "--json");
+    let deadline_ms = flag_usize(args, "--deadline-ms");
+    let zipf = flag_f64(args, "--zipf");
+    if let Some(s) = zipf {
+        if !(s >= 0.0 && s.is_finite()) {
+            eprintln!("error: --zipf exponent must be a finite number ≥ 0, got {s}");
+            std::process::exit(2);
+        }
+    }
+
+    let config = cli.config();
+    let (world, seed_corpus, effective_shard_threads) = boot_world(&cli, &ex, seed_queries);
+    let cache = expansion_cache(&ex);
+    let expander = world.expander_from(&ex.builder(&cache));
+    // With --deadline-ms every request runs the same typed deadline
+    // path the HTTP server uses (admission + post-compute checks).
+    let expand = |request: &ExpansionRequest| -> Result<ExpansionResponse, ServiceError> {
+        match deadline_ms {
+            Some(ms) => expander
+                .expand_deadlined(request, Deadline::after(Duration::from_millis(ms as u64))),
+            None => expander.expand(request),
+        }
+    };
 
     let mut latencies_us: Vec<f64> = Vec::new();
-    let mut served = 0usize;
-    let mut failures = 0usize;
+    let mut tally = Tally::default();
     // Size of one repetition of the served workload (for the record's
     // `num_queries`); stdin mode counts as it goes.
     let workload_queries;
-    let fixed_workload = serve.seed_queries || serve.queries_file.is_some();
-    if !fixed_workload && (serve.threads > 1 || serve.repeat > 1 || serve.zipf.is_some()) {
+    let fixed_workload = seed_queries || queries_file.is_some();
+    if !fixed_workload && (threads > 1 || repeat > 1 || zipf.is_some()) {
         eprintln!(
             "# qgx: --threads/--repeat/--zipf apply to --queries/--seed-queries workloads only"
         );
@@ -283,16 +499,8 @@ fn main() {
                 .map(|q| q.keywords.clone())
                 .collect()
         } else {
-            let path = serve.queries_file.as_deref().expect("checked above");
-            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-                eprintln!("error: cannot read {path}: {e}");
-                std::process::exit(2);
-            });
-            text.lines()
-                .map(str::trim)
-                .filter(|l| !l.is_empty() && !l.starts_with('#'))
-                .map(str::to_string)
-                .collect()
+            let path = queries_file.as_deref().expect("checked above");
+            read_query_file(path)
         };
         if workload.is_empty() {
             eprintln!("error: empty workload");
@@ -306,14 +514,14 @@ fn main() {
         // --zipf: one seeded sampler across all repetitions, so the
         // whole served stream is a deterministic function of the
         // tier's seeds and the exponent.
-        let mut zipf = serve.zipf.map(|s| {
+        let mut zipf = zipf.map(|s| {
             ZipfSampler::new(
                 requests.len(),
                 s,
                 config.wiki.seed ^ config.corpus.seed.rotate_left(17),
             )
         });
-        for _ in 0..serve.repeat {
+        for _ in 0..repeat {
             let sampled: Vec<ExpansionRequest>;
             let batch: &[ExpansionRequest] = match &mut zipf {
                 Some(sampler) => {
@@ -329,20 +537,14 @@ fn main() {
             // request inside its worker — the archived percentiles are
             // real per-request service times, while QPS reflects the
             // parallel wall clock.
-            let timed = querygraph_core::pipeline::parallel_map(batch.len(), serve.threads, |i| {
+            let timed = querygraph_core::pipeline::parallel_map(batch.len(), threads, |i| {
                 let t = Instant::now();
-                let response = expander.expand(&batch[i]);
+                let response = expand(&batch[i]);
                 (t.elapsed().as_secs_f64() * 1e6, response)
             });
             for (request, (micros, response)) in batch.iter().zip(timed) {
                 latencies_us.push(micros);
-                report(
-                    &request.text,
-                    &response,
-                    serve.json,
-                    &mut served,
-                    &mut failures,
-                );
+                report(&request.text, &response, json, &mut tally);
             }
         }
     } else {
@@ -359,16 +561,16 @@ fn main() {
             }
             let request = ExpansionRequest::new(text);
             let t = Instant::now();
-            let response = expander.expand(&request);
+            let response = expand(&request);
             latencies_us.push(t.elapsed().as_secs_f64() * 1e6);
-            report(text, &response, serve.json, &mut served, &mut failures);
+            report(text, &response, json, &mut tally);
             let _ = std::io::stdout().flush();
         }
-        workload_queries = served + failures;
+        workload_queries = tally.served + tally.failures;
     }
 
     let total_seconds = t_serve.elapsed().as_secs_f64();
-    let answered = served + failures;
+    let answered = tally.served + tally.failures;
     let latency = LatencySummary::of(&latencies_us);
     let qps = answered as f64 / total_seconds.max(1e-9);
     let (cache_hits, cache_lookups, cache_hit_rate) = cache
@@ -376,8 +578,9 @@ fn main() {
         .map(|c| (c.hits(), c.lookups(), c.hit_rate()))
         .unwrap_or((0, 0, 0.0));
     eprintln!(
-        "# served {answered} queries ({failures} typed errors) in {total_seconds:.3}s \
+        "# served {answered} queries ({} typed errors) in {total_seconds:.3}s \
          — {qps:.0} q/s; {}",
+        tally.failures,
         latency.render()
     );
     if cache.is_some() {
@@ -392,7 +595,7 @@ fn main() {
         // stdin mode is strictly sequential-once whatever the flags
         // said, and `parallel_map` caps workers at the workload size.
         let (effective_threads, effective_repeat) = if fixed_workload {
-            (serve.threads.min(workload_queries.max(1)), serve.repeat)
+            (threads.min(workload_queries.max(1)), repeat)
         } else {
             (1, 1)
         };
@@ -401,21 +604,25 @@ fn main() {
             &world.stats,
             workload_queries,
             ServeSummary {
-                strategy: serve.strategy.name().to_string(),
-                queries_served: served,
-                failures,
+                strategy: ex.strategy.name().to_string(),
+                queries_served: tally.served,
+                failures: tally.failures,
                 repeat: effective_repeat,
-                top_k: serve.top_k,
+                top_k: ex.top_k,
                 threads: effective_threads,
                 shard_threads: effective_shard_threads,
                 total_seconds,
                 qps,
                 qps_per_thread: qps / effective_threads.max(1) as f64,
-                search_mode: search_mode.name().to_string(),
+                search_mode: ex.search_mode().name().to_string(),
                 cache_hits,
                 cache_lookups,
                 cache_hit_rate,
+                shed: 0,
+                timeouts: tally.timeouts,
+                error_codes: tally.error_codes,
                 latency,
+                conn_latency: None,
             },
         );
         let json = serde_json::to_string_pretty(&record).expect("serve record serializes");
@@ -424,17 +631,39 @@ fn main() {
     }
 }
 
+/// One `#`-stripped nonempty query per line.
+fn read_query_file(path: &str) -> Vec<String> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// Served/failed counters plus the per-code failure breakdown the
+/// schema-6 record archives.
+#[derive(Default)]
+struct Tally {
+    served: usize,
+    failures: usize,
+    timeouts: u64,
+    error_codes: BTreeMap<String, u64>,
+}
+
 /// Print one served response (or typed error) and bump the counters.
 fn report(
     text: &str,
     response: &Result<ExpansionResponse, ServiceError>,
     json: bool,
-    served: &mut usize,
-    failures: &mut usize,
+    tally: &mut Tally,
 ) {
     match response {
         Ok(r) => {
-            *served += 1;
+            tally.served += 1;
             if json {
                 println!("{}", serde_json::to_string(r).expect("response serializes"));
             } else {
@@ -466,18 +695,169 @@ fn report(
             }
         }
         Err(e) => {
-            *failures += 1;
+            tally.failures += 1;
+            if matches!(e, ServiceError::Timeout { .. }) {
+                tally.timeouts += 1;
+            }
+            *tally.error_codes.entry(e.code().to_string()).or_insert(0) += 1;
             if json {
-                // Both fields go through the serializer — `{:?}` is
-                // Rust escaping, not JSON, and the error's Display can
-                // embed quotes.
-                println!(
-                    "{{\"query\":{},\"error\":{}}}",
-                    serde_json::to_string(&text.to_string()).expect("string serializes"),
-                    serde_json::to_string(&e.to_string()).expect("string serializes"),
-                );
+                // The same `{"query":…,"code":…,"error":…}` line the
+                // HTTP error body carries, so error responses stay
+                // cmp-identical across the socket boundary.
+                println!("{}", http::expand_error_body(text, e));
             } else {
                 println!("{text:?}  error: {e}");
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- client
+
+fn run_client(args: &[String]) {
+    reject_unknown_flags(args, &CLIENT_FLAGS, "client");
+    let addr = flag_operand(args, "--connect").unwrap_or_else(|| "127.0.0.1:8787".to_string());
+    let timeout = Duration::from_millis(flag_usize(args, "--timeout-ms").unwrap_or(5000) as u64);
+
+    if args.iter().any(|a| a == "--healthz") {
+        match http::get(&addr, "/healthz", timeout) {
+            Ok(r) if r.status == 200 => {
+                print!("{}", r.body_text());
+            }
+            Ok(r) => {
+                eprintln!("error: /healthz answered {}", r.status);
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("error: {addr} unreachable: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+    if args.iter().any(|a| a == "--statz") {
+        match http::get(&addr, "/statz", timeout) {
+            Ok(r) if r.status == 200 => print!("{}", r.body_text()),
+            Ok(r) => {
+                eprintln!("error: /statz answered {}", r.status);
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("error: {addr} unreachable: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let request_json = |text: &str| {
+        let mut request = ExpansionRequest::new(text);
+        if let Some(k) = flag_usize(args, "--top-k") {
+            request = request.with_retrieval(k);
+        }
+        if let Some(n) = flag_usize(args, "--max-features") {
+            request = request.with_max_features(n);
+        }
+        serde_json::to_string(&request).expect("request serializes")
+    };
+
+    if let Some(n) = flag_usize(args, "--flood") {
+        // Forced overload: n concurrent one-shot connections. Every
+        // one must get a clean, typed HTTP answer (200s and 503s both
+        // count as clean; a hang, refused read, or malformed response
+        // is a failure).
+        let text = flag_operand(args, "--query").unwrap_or_else(|| "flood probe".to_string());
+        let body = request_json(&text);
+        let outcomes: Vec<Result<u16, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n.max(1))
+                .map(|_| {
+                    let body = body.clone();
+                    let addr = addr.clone();
+                    scope.spawn(move || {
+                        http::post_json(&addr, "/expand", &body, timeout)
+                            .map(|r| r.status)
+                            .map_err(|e| e.to_string())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("flood thread"))
+                .collect()
+        });
+        let mut ok = 0u64;
+        let mut shed = 0u64;
+        let mut timeouts = 0u64;
+        let mut other = 0u64;
+        let mut broken = 0u64;
+        for outcome in &outcomes {
+            match outcome {
+                Ok(200) => ok += 1,
+                Ok(503) => shed += 1,
+                Ok(408) => timeouts += 1,
+                Ok(_) => other += 1,
+                Err(e) => {
+                    broken += 1;
+                    eprintln!("error: flood connection failed: {e}");
+                }
+            }
+        }
+        println!(
+            "{{\"requests\":{},\"ok\":{ok},\"shed\":{shed},\"timeouts\":{timeouts},\
+             \"other\":{other},\"broken\":{broken}}}",
+            outcomes.len()
+        );
+        if broken > 0 {
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    // Workload mode: one query, a file, or the tier's seed query set.
+    // Response bodies stream to stdout exactly as received, so the
+    // output is byte-identical to `qgx replay --json` on the same
+    // workload against the same world.
+    let queries_file = flag_operand(args, "--queries");
+    let seed_queries = args.iter().any(|a| a == "--seed-queries");
+    let single = flag_operand(args, "--query");
+    let workload: Vec<String> = if let Some(text) = single {
+        vec![text]
+    } else if let Some(path) = queries_file {
+        read_query_file(&path)
+    } else if seed_queries {
+        // Regenerate the tier's query set client-side — cheap (no
+        // index), and identical to what `replay --seed-queries` serves.
+        let config = CliOptions::from_vec(args).config();
+        let wiki = querygraph_wiki::synth::generate(&config.wiki);
+        let corpus = querygraph_corpus::synth::generate_corpus(&wiki, &config.corpus);
+        corpus
+            .queries
+            .queries
+            .iter()
+            .map(|q| q.keywords.clone())
+            .collect()
+    } else {
+        eprintln!("error: qgx client needs --healthz, --statz, --flood, --query, --queries, or --seed-queries");
+        std::process::exit(2);
+    };
+    if workload.is_empty() {
+        eprintln!("error: empty workload");
+        std::process::exit(2);
+    }
+    let repeat = flag_usize(args, "--repeat").unwrap_or(1).max(1);
+    let stdout = std::io::stdout();
+    for _ in 0..repeat {
+        for text in &workload {
+            match http::post_json(&addr, "/expand", &request_json(text), timeout) {
+                Ok(response) => {
+                    let mut out = stdout.lock();
+                    out.write_all(&response.body).expect("stdout");
+                    out.flush().expect("stdout");
+                }
+                Err(e) => {
+                    eprintln!("error: request for {text:?} failed: {e}");
+                    std::process::exit(1);
+                }
             }
         }
     }

@@ -65,18 +65,21 @@ impl BenchRecord {
     /// Assemble a record from a finished run.
     pub fn new(config: &ExperimentConfig, build: &BuildStats, run: RunSummary) -> BenchRecord {
         BenchRecord {
-            // 5: serving-side expansion cache (serve records grew
-            //    cache_hits/cache_lookups/cache_hit_rate and the
-            //    search_mode discriminator). Additive —
+            // 6: networked serving (serve records grew listen_addr,
+            //    shed/timeout counters, per-code failures, and the
+            //    per-connection latency distribution). Additive —
             //    repro_bench_diff reads records of any schema
             //    tolerantly.
+            // 5: serving-side expansion cache (serve records grew
+            //    cache_hits/cache_lookups/cache_hit_rate and the
+            //    search_mode discriminator).
             // 4: shard-aware retrieval (shard_count, per-shard load
             //    seconds; serve records additionally grew
             //    qps_per_thread).
             // 3: build breakdown (world/index build/write/load seconds,
             //    index_source) for the on-disk index cache.
             // 2: RunSummary gained ground-truth evaluation counters.
-            schema: 5,
+            schema: 6,
             num_queries: config.corpus.num_queries,
             num_topics: config.wiki.num_topics,
             articles_per_topic: config.wiki.articles_per_topic,
@@ -186,8 +189,19 @@ pub struct ServeSummary {
     pub cache_lookups: u64,
     /// `cache_hits / cache_lookups` (0.0 without a cache or lookups).
     pub cache_hit_rate: f64,
+    /// Connections shed at the edge with 503 (always 0 for the
+    /// in-process replay path — nothing queues there).
+    pub shed: u64,
+    /// Requests refused with a typed deadline timeout (408 over HTTP).
+    pub timeouts: u64,
+    /// Typed failures by wire code (`ServiceError::code` /
+    /// `ParseError::code` values; empty when nothing failed).
+    pub error_codes: std::collections::BTreeMap<String, u64>,
     /// Per-query latency distribution.
     pub latency: LatencySummary,
+    /// Per-connection lifetime distribution (networked serving only;
+    /// `None` for the in-process replay path).
+    pub conn_latency: Option<LatencySummary>,
 }
 
 /// The bench record the `qgx` server archives (committed as
@@ -233,6 +247,9 @@ pub struct ServeRecord {
     /// Per-shard segment load seconds, in shard order (empty unless a
     /// sharded artifact was loaded).
     pub shard_load_seconds: Vec<f64>,
+    /// The socket address served (`None` for the in-process replay
+    /// path; the `qgx serve` record carries the actual bound address).
+    pub listen_addr: Option<String>,
     /// The serving measurements.
     pub serve: ServeSummary,
 }
@@ -249,10 +266,12 @@ impl ServeRecord {
         serve: ServeSummary,
     ) -> ServeRecord {
         ServeRecord {
-            // Shares the BenchRecord schema counter (5: expansion-cache
-            // counters + search_mode; 4: shard fields + per-thread QPS;
-            // 3 introduced the build breakdown these fields mirror).
-            schema: 5,
+            // Shares the BenchRecord schema counter (6: networked
+            // serving — listen_addr, shed/timeouts/error_codes,
+            // conn_latency; 5: expansion-cache counters + search_mode;
+            // 4: shard fields + per-thread QPS; 3 introduced the build
+            // breakdown these fields mirror).
+            schema: 6,
             kind: "serve".to_string(),
             num_queries: workload_queries,
             num_topics: config.wiki.num_topics,
@@ -267,6 +286,7 @@ impl ServeRecord {
             index_source: build.index_source.name().to_string(),
             shard_count: build.shard_count,
             shard_load_seconds: build.shard_load_seconds.clone(),
+            listen_addr: None,
             serve,
         }
     }
@@ -720,6 +740,8 @@ mod tests {
             shard_count: 1,
             shard_load_seconds: Vec::new(),
         };
+        let mut error_codes = std::collections::BTreeMap::new();
+        error_codes.insert("no_linked_entities".to_string(), 1u64);
         let serve = ServeSummary {
             strategy: "cycles".to_string(),
             queries_served: 9,
@@ -735,11 +757,16 @@ mod tests {
             cache_hits: 4,
             cache_lookups: 10,
             cache_hit_rate: 0.4,
+            shed: 3,
+            timeouts: 2,
+            error_codes,
             latency: LatencySummary::of(&[100.0, 200.0]),
+            conn_latency: Some(LatencySummary::of(&[150.0, 300.0])),
         };
         // A 5-query file served twice: the record says 5, not the
         // tier's configured count.
-        let record = ServeRecord::new(&tiny_config(), &build, 5, serve);
+        let mut record = ServeRecord::new(&tiny_config(), &build, 5, serve);
+        record.listen_addr = Some("127.0.0.1:8080".to_string());
         assert_eq!(record.num_queries, 5, "workload size, not the tier's count");
         assert_eq!(record.kind, "serve");
         assert_eq!(record.index_source, "loaded");
@@ -757,15 +784,28 @@ mod tests {
             "cache_hits",
             "cache_lookups",
             "cache_hit_rate",
+            "\"shed\"",
+            "\"timeouts\"",
+            "error_codes",
+            "no_linked_entities",
+            "listen_addr",
+            "conn_latency",
         ] {
             assert!(json.contains(field), "record missing {field}");
         }
         let back: ServeRecord = serde_json::from_str(&json).expect("record parses");
         assert_eq!(back, record);
+        // The in-process replay shape: no address, no connections.
+        let mut plain = record.clone();
+        plain.listen_addr = None;
+        plain.serve.conn_latency = None;
+        let json = serde_json::to_string(&plain).expect("record serializes");
+        let back: ServeRecord = serde_json::from_str(&json).expect("record parses");
+        assert_eq!(back, plain);
     }
 
     #[test]
-    fn bench_record_schema_5_carries_build_breakdown() {
+    fn bench_record_schema_6_carries_build_breakdown() {
         use querygraph_core::cache::IndexSource;
         let build = BuildStats {
             world_seconds: 0.5,
@@ -779,7 +819,7 @@ mod tests {
         let exp = Experiment::build(&tiny_config());
         let (_, run) = exp.run_parallel_with_summary(2);
         let record = BenchRecord::new(&tiny_config(), &build, run);
-        assert_eq!(record.schema, 5);
+        assert_eq!(record.schema, 6);
         assert_eq!(record.index_source, "loaded");
         assert_eq!(record.shard_count, 1);
         assert!(record.shard_load_seconds.is_empty());

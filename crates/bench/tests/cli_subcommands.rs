@@ -1,0 +1,92 @@
+//! Regression tests for the `qgx` subcommand CLI surface.
+//!
+//! The PR that introduced `qgx serve | replay | client` kept the old
+//! bare-flag spelling as a deprecated alias — these tests pin that
+//! contract: one warning on stderr, byte-identical stdout, and typo'd
+//! flags still rejected per subcommand.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const QGX: &str = env!("CARGO_BIN_EXE_qgx");
+
+/// Run qgx with `args`, feeding `stdin`, returning (status, stdout,
+/// stderr).
+fn run(args: &[&str], stdin: &str) -> (std::process::ExitStatus, String, String) {
+    let mut child = Command::new(QGX)
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn qgx");
+    child
+        .stdin
+        .take()
+        .expect("stdin")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let output = child.wait_with_output().expect("qgx runs");
+    (
+        output.status,
+        String::from_utf8_lossy(&output.stdout).into_owned(),
+        String::from_utf8_lossy(&output.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn bare_flags_warn_once_and_match_replay_byte_for_byte() {
+    let stdin = "xyzzy nothing links\n";
+    let (old_status, old_out, old_err) = run(&["--tiny", "--json"], stdin);
+    let (new_status, new_out, new_err) = run(&["replay", "--tiny", "--json"], stdin);
+    assert!(old_status.success(), "legacy spelling must keep working");
+    assert!(new_status.success());
+    // Same served output, byte for byte — scripts that parse stdout
+    // never notice the deprecation.
+    assert_eq!(old_out, new_out);
+    // Exactly one deprecation warning, on stderr only, and only for
+    // the legacy spelling.
+    assert_eq!(
+        old_err.matches("deprecated").count(),
+        1,
+        "stderr: {old_err}"
+    );
+    assert_eq!(
+        new_err.matches("deprecated").count(),
+        0,
+        "stderr: {new_err}"
+    );
+    assert!(!old_out.contains("deprecated"), "stdout must stay clean");
+}
+
+#[test]
+fn unknown_subcommand_is_rejected() {
+    let (status, _, stderr) = run(&["frobnicate"], "");
+    assert_eq!(status.code(), Some(2));
+    assert!(stderr.contains("unknown subcommand"), "stderr: {stderr}");
+}
+
+#[test]
+fn flags_are_rejected_per_subcommand() {
+    // `--json` belongs to replay; serve must refuse it instead of
+    // silently ignoring it.
+    let (status, _, stderr) = run(&["serve", "--json"], "");
+    assert_eq!(status.code(), Some(2));
+    assert!(stderr.contains("unknown flag --json"), "stderr: {stderr}");
+    // And the legacy alias still rejects genuine typos.
+    let (status, _, stderr) = run(&["--jsno"], "");
+    assert_eq!(status.code(), Some(2));
+    assert!(stderr.contains("unknown flag --jsno"), "stderr: {stderr}");
+}
+
+#[test]
+fn replay_deadline_flag_reports_typed_timeouts() {
+    // `--deadline-ms 0` expires immediately: every query is refused
+    // as a typed timeout without killing the loop.
+    let (status, stdout, _) = run(
+        &["replay", "--tiny", "--json", "--deadline-ms", "0"],
+        "anything\n",
+    );
+    assert!(status.success());
+    assert!(stdout.contains("\"code\":\"timeout\""), "stdout: {stdout}");
+}

@@ -1,0 +1,796 @@
+//! The HTTP/1.1 server: accept loop, bounded queue, worker pool.
+//!
+//! One thread accepts; a fixed pool of workers drains a bounded
+//! connection queue. Admission control happens **at the edge**: a full
+//! queue sheds the connection immediately with a 503 + `Retry-After`
+//! instead of letting it queue unboundedly, and a request's
+//! [`Deadline`] starts at *accept*, so time spent waiting for a worker
+//! counts against the budget and a request that aged out in the queue
+//! is refused (408) rather than served late.
+//!
+//! Reads are deadline-bounded in short slices (≤100 ms per `read`), so
+//! a slowloris client trickling header bytes ties up a worker for at
+//! most one deadline budget, and a drain request (SIGTERM) is noticed
+//! within ~100 ms even by workers parked on idle keep-alive
+//! connections.
+
+use super::parser::{self, HttpLimits, ParseError, RequestHead};
+use super::{expand_error_body, protocol_error_body, status_for, RETRY_AFTER_SECONDS};
+use crate::service::{Deadline, ExpansionRequest, QueryExpander, ServiceError};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Everything the server needs to know before binding.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`127.0.0.1:0` picks a free port; see
+    /// [`HttpServer::local_addr`]).
+    pub addr: String,
+    /// Worker threads draining the connection queue.
+    pub workers: usize,
+    /// Connections allowed to wait for a worker; one more is shed.
+    pub queue_depth: usize,
+    /// Per-request deadline, measured from **accept** for the first
+    /// request on a connection (queue wait counts) and from read start
+    /// for keep-alive follow-ups.
+    pub deadline: Duration,
+    /// Requests served per connection before it is closed (keep-alive
+    /// recycling bound; 1 disables keep-alive).
+    pub keep_alive_requests: usize,
+    /// Protocol buffering ceilings.
+    pub limits: HttpLimits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            queue_depth: 128,
+            deadline: Duration::from_secs(2),
+            keep_alive_requests: 100,
+            limits: HttpLimits::default(),
+        }
+    }
+}
+
+/// Live serving counters, shared between workers and observers.
+/// Everything is monotonic; [`ServerStats::snapshot`] is safe to call
+/// from any thread at any time (the `/statz` endpoint does).
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    connections: AtomicU64,
+    queries_served: AtomicU64,
+    failures: AtomicU64,
+    shed: AtomicU64,
+    timeouts: AtomicU64,
+    bad_requests: AtomicU64,
+    error_codes: Mutex<BTreeMap<String, u64>>,
+    request_us: Mutex<Vec<f64>>,
+    connection_us: Mutex<Vec<f64>>,
+}
+
+/// What `/statz` serves: the serve-side counters of a `ServeRecord`,
+/// readable while the server runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatzSnapshot {
+    /// Connections accepted (shed ones included — they were accepted,
+    /// then refused).
+    pub connections: u64,
+    /// `/expand` requests answered successfully.
+    pub queries_served: u64,
+    /// `/expand` requests answered with a typed `ServiceError`
+    /// (timeouts included, shed connections not — those never reached
+    /// a worker).
+    pub failures: u64,
+    /// Connections refused at the edge with 503 (queue full).
+    pub shed: u64,
+    /// Requests refused with 408 (deadline exceeded — queued too long,
+    /// read too slowly, or computed too late).
+    pub timeouts: u64,
+    /// Protocol-level rejections (malformed heads, oversized bodies…).
+    pub bad_requests: u64,
+    /// Typed failures by wire code (`ServiceError::code` and
+    /// `ParseError::code` values share this namespace).
+    pub error_codes: BTreeMap<String, u64>,
+    /// Median `/expand` service time, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile `/expand` service time, microseconds.
+    pub p99_us: f64,
+    /// 99th-percentile connection lifetime, microseconds.
+    pub conn_p99_us: f64,
+}
+
+/// Nearest-rank percentile over unsorted samples (0 when empty).
+fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let r = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[r.clamp(1, sorted.len()) - 1]
+}
+
+impl ServerStats {
+    fn bump_code(&self, code: &str) {
+        *self
+            .error_codes
+            .lock()
+            .expect("stats lock")
+            .entry(code.to_string())
+            .or_insert(0) += 1;
+    }
+
+    fn record_service_error(&self, error: &ServiceError) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        if matches!(error, ServiceError::Timeout { .. }) {
+            self.timeouts.fetch_add(1, Ordering::Relaxed);
+        }
+        self.bump_code(error.code());
+    }
+
+    fn record_protocol_error(&self, error: &ParseError) {
+        self.bad_requests.fetch_add(1, Ordering::Relaxed);
+        self.bump_code(error.code());
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Successful `/expand` responses so far.
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served.load(Ordering::Relaxed)
+    }
+
+    /// Typed-error `/expand` responses so far.
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Connections shed at the edge so far.
+    pub fn shed(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// Requests refused for exceeding their deadline so far.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// Typed failures by wire code, copied out.
+    pub fn error_codes(&self) -> BTreeMap<String, u64> {
+        self.error_codes.lock().expect("stats lock").clone()
+    }
+
+    /// Per-request `/expand` service times (µs), copied out — the raw
+    /// samples a `ServeRecord`'s latency summary is built from.
+    pub fn request_latencies_us(&self) -> Vec<f64> {
+        self.request_us.lock().expect("stats lock").clone()
+    }
+
+    /// Per-connection lifetimes (µs), copied out.
+    pub fn connection_lifetimes_us(&self) -> Vec<f64> {
+        self.connection_us.lock().expect("stats lock").clone()
+    }
+
+    /// A consistent-enough copy of all counters for `/statz`.
+    pub fn snapshot(&self) -> StatzSnapshot {
+        let request_us = self.request_us.lock().expect("stats lock").clone();
+        let connection_us = self.connection_us.lock().expect("stats lock").clone();
+        StatzSnapshot {
+            connections: self.connections(),
+            queries_served: self.queries_served(),
+            failures: self.failures(),
+            shed: self.shed(),
+            timeouts: self.timeouts(),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            error_codes: self.error_codes(),
+            p50_us: percentile(&request_us, 50.0),
+            p99_us: percentile(&request_us, 99.0),
+            conn_p99_us: percentile(&connection_us, 99.0),
+        }
+    }
+}
+
+/// The bounded handoff between the accept loop and the workers.
+struct ConnQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+struct QueueState {
+    conns: VecDeque<(TcpStream, Instant)>,
+    draining: bool,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> ConnQueue {
+        ConnQueue {
+            state: Mutex::new(QueueState {
+                conns: VecDeque::new(),
+                draining: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue, or hand the connection back with the depth that caused
+    /// the shed (the caller answers 503 on it).
+    fn push(&self, conn: TcpStream, accepted: Instant) -> Result<(), (TcpStream, usize)> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.conns.len() >= self.capacity {
+            let depth = state.conns.len();
+            return Err((conn, depth));
+        }
+        state.conns.push_back((conn, accepted));
+        drop(state);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop; `None` means the server is draining and empty —
+    /// the worker should exit.
+    fn pop(&self) -> Option<(TcpStream, Instant)> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(conn) = state.conns.pop_front() {
+                return Some(conn);
+            }
+            if state.draining {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Stop blocking pops once the queue empties; wake every worker.
+    fn begin_drain(&self) {
+        self.state.lock().expect("queue lock").draining = true;
+        self.ready.notify_all();
+    }
+
+    fn draining(&self) -> bool {
+        self.state.lock().expect("queue lock").draining
+    }
+}
+
+/// The bound server: call [`HttpServer::serve`] to run it.
+pub struct HttpServer {
+    listener: TcpListener,
+    config: ServerConfig,
+    stats: Arc<ServerStats>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl HttpServer {
+    /// Bind `config.addr`. The listener is live (a client can connect)
+    /// but nothing is served until [`HttpServer::serve`] runs.
+    pub fn bind(config: ServerConfig) -> std::io::Result<HttpServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        Ok(HttpServer {
+            listener,
+            config,
+            stats: Arc::new(ServerStats::default()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actual bound address (resolves a `:0` port request).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The live counters, shared; readable during and after `serve`.
+    pub fn stats(&self) -> Arc<ServerStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Setting this flag makes [`HttpServer::serve`] stop accepting,
+    /// drain queued and in-flight connections, and return. Signal
+    /// handlers and tests share the same mechanism.
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Serve until the shutdown flag is set, then drain and return.
+    ///
+    /// Blocks the calling thread (it becomes the accept loop); spawns
+    /// `config.workers` scoped workers that borrow `expander`.
+    pub fn serve(&self, expander: &QueryExpander<'_>) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let queue = ConnQueue::new(self.config.queue_depth);
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.max(1) {
+                let queue = &queue;
+                scope.spawn(move || {
+                    while let Some((stream, accepted)) = queue.pop() {
+                        self.handle_connection(stream, accepted, expander, queue);
+                    }
+                });
+            }
+            while !self.shutdown.load(Ordering::SeqCst) {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        self.stats.connections.fetch_add(1, Ordering::Relaxed);
+                        // Accepted sockets must not inherit the
+                        // listener's nonblocking mode.
+                        if stream.set_nonblocking(false).is_err() {
+                            continue;
+                        }
+                        let accepted = Instant::now();
+                        if let Err((mut stream, depth)) = queue.push(stream, accepted) {
+                            self.stats.shed.fetch_add(1, Ordering::Relaxed);
+                            self.stats.bump_code("overloaded");
+                            shed_connection(&mut stream, depth, self.config.deadline);
+                        }
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        // Transient accept failure (EMFILE etc.);
+                        // back off instead of spinning.
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                }
+            }
+            queue.begin_drain();
+        });
+        Ok(())
+    }
+
+    /// Serve one connection: up to `keep_alive_requests` exchanges,
+    /// each under its own deadline.
+    fn handle_connection(
+        &self,
+        mut stream: TcpStream,
+        accepted: Instant,
+        expander: &QueryExpander<'_>,
+        queue: &ConnQueue,
+    ) {
+        let _ = stream.set_nodelay(true);
+        let conn_start = accepted;
+        let mut buf: Vec<u8> = Vec::new();
+        for exchange in 0..self.config.keep_alive_requests.max(1) {
+            // The first request's clock started at accept (queue wait
+            // counts); keep-alive follow-ups get a fresh budget.
+            let deadline = if exchange == 0 {
+                Deadline::starting_at(accepted, self.config.deadline)
+            } else {
+                Deadline::after(self.config.deadline)
+            };
+            if exchange == 0 && deadline.expired() {
+                // The connection aged out waiting for a worker: an
+                // admission refusal (typed 408), not an idle peer —
+                // the silent-close path below is only for connections
+                // a worker picked up promptly and that never spoke.
+                self.stats.record_service_error(&deadline.timeout_error());
+                let body = protocol_error_body("timeout", &deadline.timeout_error().to_string());
+                let _ = self.respond(&mut stream, 408, &body, false, true, &deadline);
+                break;
+            }
+            let head = match self.read_head(&mut stream, &mut buf, &deadline, queue) {
+                ReadStep::Ready(head) => head,
+                ReadStep::Closed => break,
+                ReadStep::TimedOut => {
+                    self.stats.record_service_error(&deadline.timeout_error());
+                    let body =
+                        protocol_error_body("timeout", &deadline.timeout_error().to_string());
+                    let _ = self.respond(&mut stream, 408, &body, false, true, &deadline);
+                    break;
+                }
+                ReadStep::Protocol(e) => {
+                    self.stats.record_protocol_error(&e);
+                    let body = protocol_error_body(e.code(), &e.to_string());
+                    let _ = self.respond(&mut stream, e.status(), &body, false, false, &deadline);
+                    break;
+                }
+                ReadStep::Io => break,
+            };
+            match self.read_body(&mut stream, &mut buf, &head, &deadline) {
+                BodyStep::Ready(body) => {
+                    // Decide keep-alive only once the request is fully
+                    // read: a drain that began while the body trickled
+                    // in must advertise `Connection: close`.
+                    let keep_alive = head.keep_alive()
+                        && exchange + 1 < self.config.keep_alive_requests
+                        && !queue.draining();
+                    let consumed = head.head_len + body.len();
+                    let ok = self.handle_request(
+                        &mut stream,
+                        &head,
+                        &body,
+                        expander,
+                        &deadline,
+                        keep_alive,
+                    );
+                    // Drop the exchange's bytes; pipelined bytes of the
+                    // next request stay buffered.
+                    buf.drain(..consumed);
+                    if ok.is_err() || !keep_alive {
+                        break;
+                    }
+                }
+                BodyStep::TimedOut => {
+                    self.stats.record_service_error(&deadline.timeout_error());
+                    let body =
+                        protocol_error_body("timeout", &deadline.timeout_error().to_string());
+                    let _ = self.respond(&mut stream, 408, &body, false, true, &deadline);
+                    break;
+                }
+                BodyStep::Protocol(e) => {
+                    self.stats.record_protocol_error(&e);
+                    let body = protocol_error_body(e.code(), &e.to_string());
+                    let _ = self.respond(&mut stream, e.status(), &body, false, false, &deadline);
+                    break;
+                }
+                BodyStep::Closed => break,
+            }
+        }
+        graceful_close(&mut stream, Duration::from_millis(100));
+        self.stats
+            .connection_us
+            .lock()
+            .expect("stats lock")
+            .push(conn_start.elapsed().as_secs_f64() * 1e6);
+    }
+
+    /// Read until a complete head is buffered, in ≤100 ms slices so
+    /// drain requests are noticed and slow writers hit the deadline.
+    fn read_head(
+        &self,
+        stream: &mut TcpStream,
+        buf: &mut Vec<u8>,
+        deadline: &Deadline,
+        queue: &ConnQueue,
+    ) -> ReadStep {
+        let mut tmp = [0u8; 4096];
+        loop {
+            match parser::parse_head(buf, &self.config.limits) {
+                Ok(Some(head)) => return ReadStep::Ready(head),
+                Ok(None) => {}
+                Err(e) => return ReadStep::Protocol(e),
+            }
+            if deadline.expired() {
+                // Zero buffered bytes is an *idle* keep-alive peer —
+                // close silently; partial bytes are a timed-out (or
+                // deliberately slow) request and get the typed 408.
+                return if buf.is_empty() {
+                    ReadStep::Closed
+                } else {
+                    ReadStep::TimedOut
+                };
+            }
+            if buf.is_empty() && queue.draining() {
+                // Draining and no request in flight: close now.
+                return ReadStep::Closed;
+            }
+            match read_slice(stream, &mut tmp, deadline) {
+                SliceStep::Data(n) => buf.extend_from_slice(&tmp[..n]),
+                SliceStep::Eof => return ReadStep::Closed,
+                SliceStep::TimedOutSlice => {}
+                SliceStep::Io => return ReadStep::Io,
+            }
+        }
+    }
+
+    /// Read the declared body; returns it as owned bytes.
+    fn read_body(
+        &self,
+        stream: &mut TcpStream,
+        buf: &mut Vec<u8>,
+        head: &RequestHead,
+        deadline: &Deadline,
+    ) -> BodyStep {
+        let length = match head.content_length(&self.config.limits) {
+            Ok(n) => n,
+            Err(e) => return BodyStep::Protocol(e),
+        };
+        if length == 0 && head.method == "POST" && head.header("content-length").is_none() {
+            return BodyStep::Protocol(ParseError::LengthRequired);
+        }
+        let want = head.head_len + length;
+        let mut tmp = [0u8; 4096];
+        while buf.len() < want {
+            if deadline.expired() {
+                return BodyStep::TimedOut;
+            }
+            match read_slice(stream, &mut tmp, deadline) {
+                SliceStep::Data(n) => buf.extend_from_slice(&tmp[..n]),
+                SliceStep::Eof => return BodyStep::Closed,
+                SliceStep::TimedOutSlice => {}
+                SliceStep::Io => return BodyStep::Closed,
+            }
+        }
+        BodyStep::Ready(buf[head.head_len..want].to_vec())
+    }
+
+    /// Route one parsed request and write its response.
+    fn handle_request(
+        &self,
+        stream: &mut TcpStream,
+        head: &RequestHead,
+        body: &[u8],
+        expander: &QueryExpander<'_>,
+        deadline: &Deadline,
+        keep_alive: bool,
+    ) -> std::io::Result<()> {
+        let path = head.target.split('?').next().unwrap_or("");
+        match (head.method.as_str(), path) {
+            ("POST", "/expand") => {
+                let t0 = Instant::now();
+                let text = match std::str::from_utf8(body) {
+                    Ok(text) => text,
+                    Err(_) => {
+                        self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                        self.stats.bump_code("bad_request");
+                        let body = protocol_error_body("bad_request", "body is not UTF-8");
+                        return self.respond(stream, 400, &body, keep_alive, false, deadline);
+                    }
+                };
+                let request: ExpansionRequest = match serde_json::from_str(text) {
+                    Ok(request) => request,
+                    Err(e) => {
+                        self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                        self.stats.bump_code("bad_request");
+                        let body =
+                            protocol_error_body("bad_request", &format!("bad request JSON: {e}"));
+                        return self.respond(stream, 400, &body, keep_alive, false, deadline);
+                    }
+                };
+                match expander.expand_deadlined(&request, *deadline) {
+                    Ok(response) => {
+                        self.stats.queries_served.fetch_add(1, Ordering::Relaxed);
+                        self.stats
+                            .request_us
+                            .lock()
+                            .expect("stats lock")
+                            .push(t0.elapsed().as_secs_f64() * 1e6);
+                        let body = serde_json::to_string(&response).expect("response serializes");
+                        self.respond(stream, 200, &body, keep_alive, false, deadline)
+                    }
+                    Err(error) => {
+                        self.stats.record_service_error(&error);
+                        let status = status_for(&error);
+                        let retry = error.retry_after_seconds().is_some();
+                        let body = expand_error_body(&request.text, &error);
+                        // A timed-out request gets its typed answer,
+                        // then the connection closes: its read cursor
+                        // can no longer be trusted.
+                        let keep = keep_alive && status != 408;
+                        self.respond(stream, status, &body, keep, retry, deadline)
+                    }
+                }
+            }
+            ("GET", "/healthz") => self.respond_raw(
+                stream,
+                200,
+                "text/plain",
+                b"ok\n",
+                keep_alive,
+                false,
+                deadline,
+            ),
+            ("GET", "/statz") => {
+                let body =
+                    serde_json::to_string(&self.stats.snapshot()).expect("snapshot serializes");
+                self.respond(stream, 200, &body, keep_alive, false, deadline)
+            }
+            (_, "/expand") | (_, "/healthz") | (_, "/statz") => {
+                self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                self.stats.bump_code("method_not_allowed");
+                let body = protocol_error_body(
+                    "method_not_allowed",
+                    &format!("{} is not served on {path}", head.method),
+                );
+                self.respond(stream, 405, &body, keep_alive, false, deadline)
+            }
+            _ => {
+                self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
+                self.stats.bump_code("not_found");
+                let body = protocol_error_body("not_found", &format!("no endpoint at {path}"));
+                self.respond(stream, 404, &body, keep_alive, false, deadline)
+            }
+        }
+    }
+
+    /// Write a JSON response (body gains a trailing newline so socket
+    /// payloads are byte-identical to `qgx replay --json` lines).
+    fn respond(
+        &self,
+        stream: &mut TcpStream,
+        status: u16,
+        body: &str,
+        keep_alive: bool,
+        retry_after: bool,
+        deadline: &Deadline,
+    ) -> std::io::Result<()> {
+        let mut owned = String::with_capacity(body.len() + 1);
+        owned.push_str(body);
+        owned.push('\n');
+        self.respond_raw(
+            stream,
+            status,
+            "application/json",
+            owned.as_bytes(),
+            keep_alive,
+            retry_after,
+            deadline,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn respond_raw(
+        &self,
+        stream: &mut TcpStream,
+        status: u16,
+        content_type: &str,
+        body: &[u8],
+        keep_alive: bool,
+        retry_after: bool,
+        deadline: &Deadline,
+    ) -> std::io::Result<()> {
+        write_http_response(
+            stream,
+            status,
+            content_type,
+            body,
+            keep_alive,
+            retry_after,
+            deadline,
+        )
+    }
+}
+
+/// Outcome of one bounded read slice.
+enum SliceStep {
+    Data(usize),
+    Eof,
+    TimedOutSlice,
+    Io,
+}
+
+/// One deadline-bounded read of at most 100 ms, so callers can
+/// re-check the deadline and the drain flag between slices.
+fn read_slice(stream: &mut TcpStream, tmp: &mut [u8], deadline: &Deadline) -> SliceStep {
+    let slice = deadline
+        .remaining()
+        .min(Duration::from_millis(100))
+        .max(Duration::from_millis(1));
+    if stream.set_read_timeout(Some(slice)).is_err() {
+        return SliceStep::Io;
+    }
+    match stream.read(tmp) {
+        Ok(0) => SliceStep::Eof,
+        Ok(n) => SliceStep::Data(n),
+        Err(e)
+            if e.kind() == std::io::ErrorKind::WouldBlock
+                || e.kind() == std::io::ErrorKind::TimedOut =>
+        {
+            SliceStep::TimedOutSlice
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => SliceStep::TimedOutSlice,
+        Err(_) => SliceStep::Io,
+    }
+}
+
+enum ReadStep {
+    Ready(RequestHead),
+    Protocol(ParseError),
+    TimedOut,
+    Closed,
+    Io,
+}
+
+enum BodyStep {
+    Ready(Vec<u8>),
+    Protocol(ParseError),
+    TimedOut,
+    Closed,
+}
+
+/// The reason phrase for every status this server emits.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        505 => "HTTP Version Not Supported",
+        _ => "Response",
+    }
+}
+
+/// Serialize and send one response. Write timeout is the deadline
+/// remainder (at least 100 ms), so an unread response cannot park a
+/// worker forever.
+pub(super) fn write_http_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+    retry_after: bool,
+    deadline: &Deadline,
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    );
+    if retry_after {
+        head.push_str(&format!("Retry-After: {RETRY_AFTER_SECONDS}\r\n"));
+    }
+    head.push_str("\r\n");
+    let timeout = deadline.remaining().max(Duration::from_millis(100));
+    stream.set_write_timeout(Some(timeout))?;
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Best-effort graceful close: FIN our side, then briefly read and
+/// discard whatever the peer still has in flight. Dropping a socket
+/// with unread received bytes makes the kernel answer with RST, which
+/// can discard the response we just wrote — a shed client would see
+/// "connection reset" instead of its clean 503. The drain is bounded
+/// by `grace` and a byte cap, so a hostile trickler cannot hold the
+/// thread past it.
+fn graceful_close(stream: &mut TcpStream, grace: Duration) {
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let t0 = Instant::now();
+    let mut tmp = [0u8; 4096];
+    let mut drained = 0usize;
+    while t0.elapsed() < grace && drained < 256 * 1024 {
+        let left = grace
+            .saturating_sub(t0.elapsed())
+            .max(Duration::from_millis(1));
+        if stream.set_read_timeout(Some(left)).is_err() {
+            return;
+        }
+        match stream.read(&mut tmp) {
+            Ok(0) => return,
+            Ok(n) => drained += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Shed one connection at the edge: best-effort 503, then a graceful
+/// close (short grace — this runs on the accept thread).
+pub(super) fn shed_connection(stream: &mut TcpStream, queue_depth: usize, deadline: Duration) {
+    let error = ServiceError::Overloaded { queue_depth };
+    let mut body = protocol_error_body(error.code(), &error.to_string());
+    body.push('\n');
+    let d = Deadline::after(deadline.min(Duration::from_millis(200)));
+    let _ = write_http_response(
+        stream,
+        503,
+        "application/json",
+        body.as_bytes(),
+        false,
+        true,
+        &d,
+    );
+    graceful_close(stream, Duration::from_millis(50));
+}

@@ -38,6 +38,11 @@
 //! * [`expcache`] — a bounded, shard-aware memoization of complete
 //!   expansion responses with single-flight misses, for the
 //!   head-heavy query distributions real serving sees.
+//! * [`http`] — the dependency-free network front-end: a hand-rolled
+//!   HTTP/1.1 server (std::net + a fixed worker pool) that puts
+//!   [`service::QueryExpander`] on a socket with per-request
+//!   deadlines, a bounded queue, and typed overload shedding, plus
+//!   the minimal client that drives it.
 //!
 //! ```
 //! use querygraph_core::experiment::{Experiment, ExperimentConfig};
@@ -58,6 +63,7 @@ pub mod expansion;
 pub mod expcache;
 pub mod experiment;
 pub mod ground_truth;
+pub mod http;
 pub mod pipeline;
 pub mod query_graph;
 pub mod service;
@@ -66,9 +72,10 @@ pub mod tables;
 pub use cache::{BuildStats, IndexSource};
 pub use expcache::ExpansionCache;
 pub use experiment::{Experiment, ExperimentConfig, Report};
+pub use http::{HttpServer, ServerConfig};
 pub use pipeline::{PipelineCtx, RunSummary, Stage, StageTimings};
 pub use query_graph::QueryGraph;
 pub use service::{
-    ExpansionRequest, ExpansionResponse, ExpansionStrategy, QueryExpander, QueryExpanderBuilder,
-    ServiceError, ServingWorld,
+    Deadline, ExpansionRequest, ExpansionResponse, ExpansionStrategy, QueryExpander,
+    QueryExpanderBuilder, ServiceError, ServingWorld,
 };

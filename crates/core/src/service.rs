@@ -64,7 +64,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::path::PathBuf;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Typed failure on the serving path. Everything reachable from
 /// [`ServingWorld::load`] and [`QueryExpander::expand`] surfaces as one
@@ -131,6 +131,23 @@ pub enum ServiceError {
         /// Documents in the regenerated corpus.
         corpus_docs: usize,
     },
+    /// The request exceeded its serving [`Deadline`] — while queued
+    /// before admission, or because its answer (computed *or* served
+    /// from the expansion cache) landed after the budget ran out. The
+    /// network front-end maps this to HTTP 408 with `Retry-After`.
+    Timeout {
+        /// Milliseconds actually elapsed when the deadline check fired.
+        elapsed_ms: u64,
+        /// The request's deadline budget, in milliseconds.
+        budget_ms: u64,
+    },
+    /// The server refused this request before serving it because its
+    /// bounded queue was full — graceful load shedding. The network
+    /// front-end maps this to HTTP 503 with `Retry-After`.
+    Overloaded {
+        /// Connections already waiting when the request was shed.
+        queue_depth: usize,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -178,6 +195,16 @@ impl fmt::Display for ServiceError {
                  {corpus_docs})",
                 path.display()
             ),
+            ServiceError::Timeout {
+                elapsed_ms,
+                budget_ms,
+            } => write!(
+                f,
+                "deadline exceeded after {elapsed_ms} ms (budget {budget_ms} ms)"
+            ),
+            ServiceError::Overloaded { queue_depth } => {
+                write!(f, "server overloaded ({queue_depth} requests queued)")
+            }
         }
     }
 }
@@ -188,6 +215,245 @@ impl std::error::Error for ServiceError {
             ServiceError::ArtifactLoad { source, .. }
             | ServiceError::ArtifactShard { source, .. } => Some(source),
             _ => None,
+        }
+    }
+}
+
+impl ServiceError {
+    /// Every code [`ServiceError::code`] can produce, in variant
+    /// declaration order. A wire-stability test pins this list: adding
+    /// a variant without extending it (and the serde impls below) is a
+    /// compile- or test-time error, never a silent wire change.
+    pub const CODES: [&'static str; 10] = [
+        "empty_query",
+        "no_linked_entities",
+        "no_engine",
+        "artifact_missing",
+        "artifact_load",
+        "artifact_shard",
+        "artifact_fingerprint",
+        "artifact_stale",
+        "timeout",
+        "overloaded",
+    ];
+
+    /// The wire-stable machine-readable code for this error — the
+    /// discriminator the HTTP error body, the serde form, and the
+    /// `ServeRecord`'s per-code counters all share. Codes never change
+    /// meaning; new variants append new codes.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServiceError::EmptyQuery => "empty_query",
+            ServiceError::NoLinkedEntities { .. } => "no_linked_entities",
+            ServiceError::NoEngine => "no_engine",
+            ServiceError::ArtifactMissing { .. } => "artifact_missing",
+            ServiceError::ArtifactLoad { .. } => "artifact_load",
+            ServiceError::ArtifactShard { .. } => "artifact_shard",
+            ServiceError::ArtifactFingerprint { .. } => "artifact_fingerprint",
+            ServiceError::ArtifactStale { .. } => "artifact_stale",
+            ServiceError::Timeout { .. } => "timeout",
+            ServiceError::Overloaded { .. } => "overloaded",
+        }
+    }
+
+    /// Seconds a client should wait before retrying, for the errors
+    /// that are worth retrying at all (shed and timed-out requests).
+    /// The HTTP front-end renders this as a `Retry-After` header.
+    pub fn retry_after_seconds(&self) -> Option<u32> {
+        match self {
+            ServiceError::Timeout { .. } | ServiceError::Overloaded { .. } => Some(1),
+            _ => None,
+        }
+    }
+}
+
+// The wire form is a tagged object — `{"code": ..., fields...}` — with
+// exactly the fields of the variant. Hand-written because the offline
+// serde shim cannot derive data-carrying enums. The wrapped
+// [`OndiskError`] of the artifact variants crosses the wire as its
+// rendered message and is reconstructed as `OndiskError::Io(message)`:
+// artifact errors are operator diagnostics that never need structured
+// re-dispatch on the far side of a socket.
+impl Serialize for ServiceError {
+    fn to_value(&self) -> serde::Value {
+        use serde::Value;
+        // `Io` carries a plain message already — ship it bare so Io
+        // sources round-trip exactly; other variants ship rendered.
+        fn source_wire(source: &OndiskError) -> String {
+            match source {
+                OndiskError::Io(message) => message.clone(),
+                other => other.to_string(),
+            }
+        }
+        let mut fields: Vec<(String, Value)> =
+            vec![("code".to_string(), Value::Str(self.code().to_string()))];
+        let mut push = |name: &str, value: Value| fields.push((name.to_string(), value));
+        match self {
+            ServiceError::EmptyQuery | ServiceError::NoEngine => {}
+            ServiceError::NoLinkedEntities { query } => {
+                push("query", Value::Str(query.clone()));
+            }
+            ServiceError::ArtifactMissing { path } => {
+                push("path", Value::Str(path.display().to_string()));
+            }
+            ServiceError::ArtifactLoad { path, source } => {
+                push("path", Value::Str(path.display().to_string()));
+                push("source", Value::Str(source_wire(source)));
+            }
+            ServiceError::ArtifactShard {
+                path,
+                shard,
+                source,
+            } => {
+                push("path", Value::Str(path.display().to_string()));
+                push("shard", Value::UInt(*shard as u64));
+                push("source", Value::Str(source_wire(source)));
+            }
+            ServiceError::ArtifactFingerprint {
+                path,
+                expected,
+                found,
+            } => {
+                push("path", Value::Str(path.display().to_string()));
+                push("expected", Value::UInt(*expected));
+                push("found", Value::UInt(*found));
+            }
+            ServiceError::ArtifactStale {
+                path,
+                indexed_docs,
+                corpus_docs,
+            } => {
+                push("path", Value::Str(path.display().to_string()));
+                push("indexed_docs", Value::UInt(*indexed_docs as u64));
+                push("corpus_docs", Value::UInt(*corpus_docs as u64));
+            }
+            ServiceError::Timeout {
+                elapsed_ms,
+                budget_ms,
+            } => {
+                push("elapsed_ms", Value::UInt(*elapsed_ms));
+                push("budget_ms", Value::UInt(*budget_ms));
+            }
+            ServiceError::Overloaded { queue_depth } => {
+                push("queue_depth", Value::UInt(*queue_depth as u64));
+            }
+        }
+        Value::Object(fields)
+    }
+}
+
+impl Deserialize for ServiceError {
+    fn from_value(v: &serde::Value) -> Result<ServiceError, serde::Error> {
+        let entries = v
+            .as_object()
+            .ok_or_else(|| serde::Error::expected("object", "ServiceError", v))?;
+        let field = |name: &str| serde::__private::field::<String>(entries, name, "ServiceError");
+        let path = || field("path").map(PathBuf::from);
+        let source = || field("source").map(OndiskError::Io);
+        let code = field("code")?;
+        Ok(match code.as_str() {
+            "empty_query" => ServiceError::EmptyQuery,
+            "no_linked_entities" => ServiceError::NoLinkedEntities {
+                query: field("query")?,
+            },
+            "no_engine" => ServiceError::NoEngine,
+            "artifact_missing" => ServiceError::ArtifactMissing { path: path()? },
+            "artifact_load" => ServiceError::ArtifactLoad {
+                path: path()?,
+                source: source()?,
+            },
+            "artifact_shard" => ServiceError::ArtifactShard {
+                path: path()?,
+                shard: serde::__private::field(entries, "shard", "ServiceError")?,
+                source: source()?,
+            },
+            "artifact_fingerprint" => ServiceError::ArtifactFingerprint {
+                path: path()?,
+                expected: serde::__private::field(entries, "expected", "ServiceError")?,
+                found: serde::__private::field(entries, "found", "ServiceError")?,
+            },
+            "artifact_stale" => ServiceError::ArtifactStale {
+                path: path()?,
+                indexed_docs: serde::__private::field(entries, "indexed_docs", "ServiceError")?,
+                corpus_docs: serde::__private::field(entries, "corpus_docs", "ServiceError")?,
+            },
+            "timeout" => ServiceError::Timeout {
+                elapsed_ms: serde::__private::field(entries, "elapsed_ms", "ServiceError")?,
+                budget_ms: serde::__private::field(entries, "budget_ms", "ServiceError")?,
+            },
+            "overloaded" => ServiceError::Overloaded {
+                queue_depth: serde::__private::field(entries, "queue_depth", "ServiceError")?,
+            },
+            other => {
+                return Err(serde::Error(format!(
+                    "unknown ServiceError code {other:?} (known: {})",
+                    ServiceError::CODES.join(", ")
+                )))
+            }
+        })
+    }
+}
+
+/// A per-request serving deadline: an arrival instant plus a budget.
+///
+/// Deadlines measure *total* request age — queue wait included — not
+/// just compute time, so a request that spent its whole budget waiting
+/// for a worker is refused at admission rather than served late. The
+/// HTTP front-end stamps one of these per request; batch callers can
+/// pass [`QueryExpander::expand_deadlined`] their own.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    start: Instant,
+    budget: Duration,
+}
+
+impl Deadline {
+    /// A deadline starting now with the given budget.
+    pub fn after(budget: Duration) -> Deadline {
+        Deadline::starting_at(Instant::now(), budget)
+    }
+
+    /// A deadline whose clock started at `start` (e.g. when the request
+    /// was *accepted*, before it waited in a queue).
+    pub fn starting_at(start: Instant, budget: Duration) -> Deadline {
+        Deadline { start, budget }
+    }
+
+    /// The total budget.
+    pub fn budget(&self) -> Duration {
+        self.budget
+    }
+
+    /// Time consumed since the deadline's start instant.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Budget not yet consumed (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.budget.saturating_sub(self.elapsed())
+    }
+
+    /// Whether the budget is exhausted.
+    pub fn expired(&self) -> bool {
+        self.elapsed() >= self.budget
+    }
+
+    /// `Err(`[`ServiceError::Timeout`]`)` once the budget is exhausted.
+    pub fn check(&self) -> Result<(), ServiceError> {
+        if self.expired() {
+            Err(self.timeout_error())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The typed timeout this deadline produces, stamped with the
+    /// actual elapsed time.
+    pub fn timeout_error(&self) -> ServiceError {
+        ServiceError::Timeout {
+            elapsed_ms: self.elapsed().as_millis() as u64,
+            budget_ms: self.budget.as_millis() as u64,
         }
     }
 }
@@ -653,6 +919,28 @@ impl<'w> QueryExpander<'w> {
             expanded_query,
             hits,
         })
+    }
+
+    /// [`QueryExpander::expand`] under a per-request [`Deadline`].
+    ///
+    /// The deadline is honored on **every** serving path, cache hits
+    /// included: a request that exhausted its budget waiting for a
+    /// worker is refused at admission with [`ServiceError::Timeout`]
+    /// before it can touch the cache (so timed-out requests never
+    /// inflate hit statistics), and an answer — computed *or* served
+    /// from the expansion cache — that lands after the budget ran out
+    /// is converted to the same typed timeout. A late answer is a
+    /// wrong answer to a deadlined client; the caller's latency
+    /// accounting sees the timeout, not a silently slow success.
+    pub fn expand_deadlined(
+        &self,
+        request: &ExpansionRequest,
+        deadline: Deadline,
+    ) -> Result<ExpansionResponse, ServiceError> {
+        deadline.check()?;
+        let response = self.expand(request)?;
+        deadline.check()?;
+        Ok(response)
     }
 
     /// [`QueryExpander::expand`] for bare text with default knobs.
@@ -1144,6 +1432,224 @@ mod tests {
         assert_eq!(cache.lookups(), 18);
         assert!(cache.hits() >= 12, "repeats across passes must hit");
         assert_eq!(cache.len(), 3);
+    }
+
+    /// One sample per variant — the exhaustiveness anchor for the
+    /// wire-stability tests below. The `match` inside forces a compile
+    /// error when a variant is added without extending the samples.
+    fn every_variant() -> Vec<ServiceError> {
+        let samples = vec![
+            ServiceError::EmptyQuery,
+            ServiceError::NoLinkedEntities {
+                query: "gondola in \"venice\"".to_string(),
+            },
+            ServiceError::NoEngine,
+            ServiceError::ArtifactMissing {
+                path: PathBuf::from("/cache/a.qgidx"),
+            },
+            ServiceError::ArtifactLoad {
+                path: PathBuf::from("/cache/a.qgidx"),
+                source: OndiskError::Io("disk on fire".to_string()),
+            },
+            ServiceError::ArtifactShard {
+                path: PathBuf::from("/cache/a.shard2.qgidx"),
+                shard: 2,
+                source: OndiskError::Io("segment truncated".to_string()),
+            },
+            ServiceError::ArtifactFingerprint {
+                path: PathBuf::from("/cache/a.qgidx"),
+                expected: 0xDEAD_BEEF,
+                found: 0xFEED_FACE,
+            },
+            ServiceError::ArtifactStale {
+                path: PathBuf::from("/cache/a.qgidx"),
+                indexed_docs: 10,
+                corpus_docs: 12,
+            },
+            ServiceError::Timeout {
+                elapsed_ms: 2500,
+                budget_ms: 2000,
+            },
+            ServiceError::Overloaded { queue_depth: 64 },
+        ];
+        for sample in &samples {
+            // Exhaustiveness tripwire: extend `samples` when this match
+            // gains an arm.
+            match sample {
+                ServiceError::EmptyQuery
+                | ServiceError::NoLinkedEntities { .. }
+                | ServiceError::NoEngine
+                | ServiceError::ArtifactMissing { .. }
+                | ServiceError::ArtifactLoad { .. }
+                | ServiceError::ArtifactShard { .. }
+                | ServiceError::ArtifactFingerprint { .. }
+                | ServiceError::ArtifactStale { .. }
+                | ServiceError::Timeout { .. }
+                | ServiceError::Overloaded { .. } => {}
+            }
+        }
+        samples
+    }
+
+    #[test]
+    fn error_codes_are_stable_and_exhaustive() {
+        let samples = every_variant();
+        assert_eq!(samples.len(), ServiceError::CODES.len());
+        for (sample, &code) in samples.iter().zip(ServiceError::CODES.iter()) {
+            assert_eq!(sample.code(), code, "CODES order must match variants");
+        }
+        // The exact strings are the wire contract — changing one breaks
+        // every deployed client, so they are pinned verbatim.
+        assert_eq!(
+            ServiceError::CODES,
+            [
+                "empty_query",
+                "no_linked_entities",
+                "no_engine",
+                "artifact_missing",
+                "artifact_load",
+                "artifact_shard",
+                "artifact_fingerprint",
+                "artifact_stale",
+                "timeout",
+                "overloaded",
+            ]
+        );
+        // Only shed/timed-out requests invite a retry.
+        for sample in &samples {
+            let retry = sample.retry_after_seconds();
+            match sample {
+                ServiceError::Timeout { .. } | ServiceError::Overloaded { .. } => {
+                    assert_eq!(retry, Some(1));
+                }
+                _ => assert_eq!(retry, None),
+            }
+        }
+    }
+
+    #[test]
+    fn every_variant_displays_and_round_trips_through_serde() {
+        for sample in every_variant() {
+            // Display must be non-empty and mention the interesting
+            // payload (spot-checked per variant below).
+            let rendered = sample.to_string();
+            assert!(!rendered.is_empty());
+            let json = serde_json::to_string(&sample).expect("error serializes");
+            assert!(
+                json.contains(&format!("\"code\":\"{}\"", sample.code())),
+                "{json}"
+            );
+            let back: ServiceError = serde_json::from_str(&json).expect("error parses");
+            // Samples carry `Io` sources, so the round trip is exact for
+            // every variant (non-Io artifact sources come back as
+            // `OndiskError::Io(rendered message)` — see the impl note).
+            assert_eq!(back, sample);
+            assert_eq!(back.code(), sample.code());
+            assert_eq!(back.to_string(), rendered);
+        }
+        // Display spot checks: the operator-facing payload is in the text.
+        assert!(ServiceError::Timeout {
+            elapsed_ms: 2500,
+            budget_ms: 2000
+        }
+        .to_string()
+        .contains("2500 ms"));
+        assert!(ServiceError::Overloaded { queue_depth: 64 }
+            .to_string()
+            .contains("64"));
+    }
+
+    #[test]
+    fn non_io_artifact_sources_keep_code_and_message_on_the_wire() {
+        let original = ServiceError::ArtifactLoad {
+            path: PathBuf::from("/cache/a.qgidx"),
+            source: OndiskError::ChecksumMismatch { section: "header" },
+        };
+        let json = serde_json::to_string(&original).unwrap();
+        let back: ServiceError = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.code(), original.code());
+        match back {
+            ServiceError::ArtifactLoad { path, source } => {
+                assert_eq!(path, PathBuf::from("/cache/a.qgidx"));
+                // The structured source degrades to its rendered
+                // message, never silently to nothing.
+                assert_eq!(
+                    source.to_string(),
+                    format!(
+                        "index artifact io error: {}",
+                        OndiskError::ChecksumMismatch { section: "header" }
+                    )
+                );
+            }
+            other => panic!("wrong variant after round trip: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_wire_code_is_rejected_with_the_known_list() {
+        let err = serde_json::from_str::<ServiceError>("{\"code\":\"bogus\"}").unwrap_err();
+        assert!(err.to_string().contains("bogus"));
+        assert!(err.to_string().contains("timeout"), "lists known codes");
+    }
+
+    #[test]
+    fn deadline_expires_and_reports_elapsed_time() {
+        let generous = Deadline::after(Duration::from_secs(3600));
+        assert!(!generous.expired());
+        assert!(generous.check().is_ok());
+        assert!(generous.remaining() > Duration::from_secs(3000));
+        let spent = Deadline::starting_at(
+            Instant::now() - Duration::from_millis(50),
+            Duration::from_millis(10),
+        );
+        assert!(spent.expired());
+        assert_eq!(spent.remaining(), Duration::ZERO);
+        match spent.check().unwrap_err() {
+            ServiceError::Timeout {
+                elapsed_ms,
+                budget_ms,
+            } => {
+                assert!(elapsed_ms >= 50, "elapsed {elapsed_ms}");
+                assert_eq!(budget_ms, 10);
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_refuses_before_and_cache_hits_stay_deadlined() {
+        let kb = venice_mini_wiki();
+        let cache = Arc::new(ExpansionCache::new(16));
+        let ex = QueryExpander::builder()
+            .expansion_cache(cache.clone())
+            .build_offline(&kb);
+        let request = ExpansionRequest::new("gondola in venice");
+        // Warm the cache.
+        let warm = ex.expand(&request).expect("expands");
+        assert_eq!(cache.len(), 1);
+        let lookups_after_warm = cache.lookups();
+        // A request that spent its whole budget queued is refused at
+        // admission — even though the cache holds its answer — and the
+        // refusal never counts as a cache lookup or hit.
+        let expired = Deadline::starting_at(
+            Instant::now() - Duration::from_millis(50),
+            Duration::from_millis(1),
+        );
+        assert!(matches!(
+            ex.expand_deadlined(&request, expired).unwrap_err(),
+            ServiceError::Timeout { .. }
+        ));
+        assert_eq!(
+            cache.lookups(),
+            lookups_after_warm,
+            "timed-out admission must not touch the cache"
+        );
+        // Under a live deadline the cache hit is served — byte-identical
+        // to the uncached response — and counted.
+        let live = Deadline::after(Duration::from_secs(3600));
+        let hit = ex.expand_deadlined(&request, live).expect("hit serves");
+        assert_eq!(hit, warm);
+        assert_eq!(cache.hits(), 1);
     }
 
     #[test]

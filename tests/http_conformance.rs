@@ -1,0 +1,455 @@
+//! HTTP protocol conformance battery for `core::http`.
+//!
+//! Every test boots a real [`HttpServer`] over the tiny world on an
+//! ephemeral port and drives it over actual TCP — the point is the
+//! wire behaviour, not the parser in isolation:
+//!
+//! * byte-identity: `/expand` bodies match the in-process facade's
+//!   serialization exactly, success and typed error alike;
+//! * hostile input (malformed request lines and headers, oversized
+//!   heads and bodies, slowloris partial writes) gets typed 4xx/5xx
+//!   answers without hanging or wedging a worker;
+//! * keep-alive connections serve several exchanges and concurrent
+//!   clients never receive each other's responses;
+//! * a full queue sheds at the edge with 503 + `Retry-After`, and a
+//!   shutdown request drains in-flight work before `serve` returns.
+
+use querygraph::core::config::ExperimentConfig;
+use querygraph::core::http::{self, HttpServer, ServerConfig, StatzSnapshot};
+use querygraph::core::service::{ExpansionRequest, QueryExpander, ServingWorld};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// Boot a server over the tiny world, run `f` against it, then shut
+/// down (panics inside `f` still shut the server down so the scope —
+/// and therefore the test — can finish).
+fn with_server<F>(config: ServerConfig, f: F)
+where
+    F: FnOnce(&str, &HttpServer),
+{
+    let world = ServingWorld::open(&ExperimentConfig::tiny(), None);
+    let expander = world.expander();
+    run_with_expander(&expander, config, f);
+}
+
+fn run_with_expander<F>(expander: &QueryExpander<'_>, config: ServerConfig, f: F)
+where
+    F: FnOnce(&str, &HttpServer),
+{
+    let server = HttpServer::bind(config).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr").to_string();
+    let shutdown = server.shutdown_flag();
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve(expander));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            f(&addr, &server);
+        }));
+        shutdown.store(true, Ordering::SeqCst);
+        handle.join().expect("serve thread").expect("serve result");
+        if let Err(panic) = outcome {
+            std::panic::resume_unwind(panic);
+        }
+    });
+}
+
+/// One raw exchange: write `request` bytes, read to EOF, return the
+/// response text. A read timeout bounds the whole exchange so a
+/// misbehaving server fails the test instead of hanging it.
+fn raw_exchange(addr: &str, request: &[u8]) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("read timeout");
+    stream.write_all(request).expect("write request");
+    let mut out = Vec::new();
+    stream.read_to_end(&mut out).expect("read response");
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+fn post_expand(addr: &str, text: &str) -> http::HttpResponse {
+    let body = serde_json::to_string(&ExpansionRequest::new(text)).expect("request serializes");
+    http::post_json(addr, "/expand", &body, Duration::from_secs(10)).expect("exchange")
+}
+
+#[test]
+fn expand_bodies_are_byte_identical_to_the_in_process_facade() {
+    let world = ServingWorld::open(&ExperimentConfig::tiny(), None);
+    let expander = world.expander();
+    let article = world.wiki.kb.main_articles().next().expect("articles");
+    let queries = [
+        world.wiki.kb.title(article).to_string(),
+        "xyzzy nothing links".to_string(),
+    ];
+    run_with_expander(&expander, ServerConfig::default(), |addr, _| {
+        for query in &queries {
+            let over_the_wire = post_expand(addr, query);
+            let request = ExpansionRequest::new(query.clone());
+            let expected = match expander.expand(&request) {
+                Ok(response) => {
+                    assert_eq!(over_the_wire.status, 200, "{query}");
+                    serde_json::to_string(&response).expect("serializes")
+                }
+                Err(error) => {
+                    assert_eq!(over_the_wire.status, http::status_for(&error), "{query}");
+                    http::expand_error_body(query, &error)
+                }
+            };
+            // The socket body is the in-process line plus the trailing
+            // newline `qgx replay --json` prints — byte-identical.
+            assert_eq!(
+                over_the_wire.body_text(),
+                format!("{expected}\n"),
+                "{query}"
+            );
+        }
+    });
+}
+
+#[test]
+fn healthz_and_statz_report_live_counters() {
+    with_server(ServerConfig::default(), |addr, _| {
+        let health = http::get(addr, "/healthz", Duration::from_secs(10)).expect("healthz");
+        assert_eq!(health.status, 200);
+        assert_eq!(health.body_text(), "ok\n");
+
+        let _ = post_expand(addr, "xyzzy nothing links");
+        let statz = http::get(addr, "/statz", Duration::from_secs(10)).expect("statz");
+        assert_eq!(statz.status, 200);
+        let snapshot: StatzSnapshot =
+            serde_json::from_str(statz.body_text().trim()).expect("snapshot parses");
+        assert_eq!(snapshot.failures, 1);
+        assert_eq!(snapshot.error_codes.get("no_linked_entities"), Some(&1));
+        assert_eq!(snapshot.shed, 0);
+    });
+}
+
+#[test]
+fn malformed_input_gets_typed_answers_not_hangs() {
+    with_server(ServerConfig::default(), |addr, _| {
+        // (request bytes, expected status line fragment, expected code)
+        let cases: Vec<(Vec<u8>, &str, &str)> = vec![
+            (b"GARBAGE\r\n\r\n".to_vec(), "400", "malformed_request_line"),
+            (
+                b"GET /healthz HTTP/2.0\r\n\r\n".to_vec(),
+                "505",
+                "unsupported_version",
+            ),
+            (
+                b"GET /healthz HTTP/1.1\r\nno-colon-here\r\n\r\n".to_vec(),
+                "400",
+                "malformed_header",
+            ),
+            (
+                // Line folding (obsolete continuation) is rejected.
+                b"GET /healthz HTTP/1.1\r\nA: b\r\n  folded\r\n\r\n".to_vec(),
+                "400",
+                "malformed_header",
+            ),
+            (
+                format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(10_000)).into_bytes(),
+                "431",
+                "request_line_too_long",
+            ),
+            (
+                {
+                    let mut r = b"GET /healthz HTTP/1.1\r\n".to_vec();
+                    for i in 0..100 {
+                        r.extend_from_slice(format!("X-H-{i}: v\r\n").as_bytes());
+                    }
+                    r.extend_from_slice(b"\r\n");
+                    r
+                },
+                "431",
+                "too_many_headers",
+            ),
+            (
+                b"POST /expand HTTP/1.1\r\nContent-Length: nope\r\n\r\n".to_vec(),
+                "400",
+                "bad_content_length",
+            ),
+            (
+                b"POST /expand HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n".to_vec(),
+                "413",
+                "body_too_large",
+            ),
+            (
+                b"POST /expand HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n".to_vec(),
+                "501",
+                "unsupported_transfer_encoding",
+            ),
+            (
+                b"POST /expand HTTP/1.1\r\n\r\n".to_vec(),
+                "411",
+                "length_required",
+            ),
+            (
+                b"POST /expand HTTP/1.1\r\nContent-Length: 4\r\n\r\n\xff\xfe\xfd\xfc".to_vec(),
+                "400",
+                "bad_request",
+            ),
+            (
+                b"POST /expand HTTP/1.1\r\nContent-Length: 8\r\n\r\nnot json".to_vec(),
+                "400",
+                "bad_request",
+            ),
+            (
+                b"DELETE /expand HTTP/1.1\r\n\r\n".to_vec(),
+                "405",
+                "method_not_allowed",
+            ),
+            (
+                b"GET /nowhere HTTP/1.1\r\n\r\n".to_vec(),
+                "404",
+                "not_found",
+            ),
+        ];
+        for (request, status, code) in cases {
+            let response = raw_exchange(addr, &request);
+            assert!(
+                response.starts_with(&format!("HTTP/1.1 {status}")),
+                "expected {status} for {code}, got: {}",
+                response.lines().next().unwrap_or("<empty>")
+            );
+            assert!(
+                response.contains(&format!("\"code\":\"{code}\"")),
+                "expected code {code} in body, got: {response}"
+            );
+        }
+        // The server is still fully alive after the whole battery.
+        assert_eq!(post_expand(addr, "probe").status, 404);
+    });
+}
+
+#[test]
+fn slowloris_partial_head_gets_408_within_one_deadline() {
+    let config = ServerConfig {
+        deadline: Duration::from_millis(300),
+        workers: 1,
+        ..ServerConfig::default()
+    };
+    with_server(config, |addr, server| {
+        let t0 = Instant::now();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        // Trickle half a request line and stall.
+        stream.write_all(b"POST /exp").expect("partial write");
+        let mut out = Vec::new();
+        stream.read_to_end(&mut out).expect("read");
+        let response = String::from_utf8_lossy(&out);
+        assert!(
+            response.starts_with("HTTP/1.1 408"),
+            "slow write must get a typed 408, got: {}",
+            response.lines().next().unwrap_or("<empty>")
+        );
+        assert!(response.contains("Retry-After: 1"), "{response}");
+        // Within ~one deadline budget, not a worker-lifetime hang.
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        assert_eq!(server.stats().timeouts(), 1);
+        // The single worker is free again: a real request still lands.
+        assert_eq!(post_expand(addr, "probe").status, 404);
+    });
+}
+
+#[test]
+fn idle_connection_closes_silently_after_the_deadline() {
+    let config = ServerConfig {
+        deadline: Duration::from_millis(200),
+        ..ServerConfig::default()
+    };
+    with_server(config, |addr, server| {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        let mut out = Vec::new();
+        stream.read_to_end(&mut out).expect("read");
+        // No bytes were sent, so no response is owed: silent close,
+        // not a 408 (that would spam every idle keep-alive peer).
+        assert!(out.is_empty(), "idle close must be silent, got: {out:?}");
+        assert_eq!(server.stats().timeouts(), 0);
+    });
+}
+
+#[test]
+fn keep_alive_serves_multiple_exchanges_on_one_connection() {
+    with_server(ServerConfig::default(), |addr, server| {
+        let body =
+            serde_json::to_string(&ExpansionRequest::new("xyzzy nothing links")).expect("json");
+        let one = format!(
+            "POST /expand HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        let mut responses = Vec::new();
+        for _ in 0..3 {
+            stream.write_all(one.as_bytes()).expect("write");
+            // Read exactly one response: head, then Content-Length bytes.
+            let mut buf = Vec::new();
+            let mut tmp = [0u8; 1024];
+            let body_start = loop {
+                let n = stream.read(&mut tmp).expect("read");
+                assert!(n > 0, "connection closed mid-exchange");
+                buf.extend_from_slice(&tmp[..n]);
+                if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                    break pos + 4;
+                }
+            };
+            let head = String::from_utf8_lossy(&buf[..body_start]).into_owned();
+            let length: usize = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .expect("content-length")
+                .trim()
+                .parse()
+                .expect("numeric");
+            while buf.len() < body_start + length {
+                let n = stream.read(&mut tmp).expect("read body");
+                assert!(n > 0, "connection closed mid-body");
+                buf.extend_from_slice(&tmp[..n]);
+            }
+            assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+            assert!(head.contains("Connection: keep-alive"), "{head}");
+            responses.push(String::from_utf8_lossy(&buf[body_start..]).into_owned());
+        }
+        // Three exchanges, one TCP connection, identical answers.
+        assert_eq!(responses[0], responses[1]);
+        assert_eq!(responses[1], responses[2]);
+        assert_eq!(server.stats().connections(), 1);
+        assert_eq!(server.stats().failures(), 3);
+    });
+}
+
+#[test]
+fn concurrent_clients_never_receive_each_others_responses() {
+    let world = ServingWorld::open(&ExperimentConfig::tiny(), None);
+    let expander = world.expander();
+    // Distinct unlinkable queries: each response body echoes its own
+    // query text, so cross-wired responses are detectable.
+    let queries: Vec<String> = (0..8).map(|i| format!("unlinkable zqx{i}")).collect();
+    run_with_expander(&expander, ServerConfig::default(), |addr, _| {
+        std::thread::scope(|scope| {
+            for query in &queries {
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        let response = post_expand(addr, query);
+                        assert_eq!(response.status, 404);
+                        let body = response.body_text();
+                        assert!(
+                            body.contains(&format!(
+                                "\"query\":{}",
+                                serde_json::to_string(&query.to_string()).expect("json")
+                            )),
+                            "response for {query:?} carried someone else's body: {body}"
+                        );
+                    }
+                });
+            }
+        });
+    });
+}
+
+#[test]
+fn full_queue_sheds_at_the_edge_with_503_retry_after() {
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        deadline: Duration::from_millis(600),
+        ..ServerConfig::default()
+    };
+    with_server(config, |addr, server| {
+        // Two idle connections pin the single worker and (racing the
+        // worker's first pop) the one-slot queue for a full deadline…
+        let hold_a = TcpStream::connect(addr).expect("connect");
+        let hold_b = TcpStream::connect(addr).expect("connect");
+        // …so of 16 concurrent probes at most a couple can be queued
+        // or served; the rest must be shed — every one with a clean,
+        // complete 503, never a reset or an empty read.
+        let responses: Vec<String> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..16)
+                .map(|_| {
+                    scope.spawn(move || {
+                        raw_exchange(addr, b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n")
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("probe"))
+                .collect()
+        });
+        let shed: Vec<&String> = responses
+            .iter()
+            .filter(|r| r.starts_with("HTTP/1.1 503"))
+            .collect();
+        for response in &responses {
+            assert!(
+                response.starts_with("HTTP/1.1 "),
+                "every probe must get a complete HTTP answer, got: {response:?}"
+            );
+        }
+        assert!(
+            !shed.is_empty(),
+            "16 probes against a pinned 1-worker/1-slot server must shed; statuses: {:?}",
+            responses
+                .iter()
+                .map(|r| r.lines().next().unwrap_or("<empty>"))
+                .collect::<Vec<_>>()
+        );
+        for response in &shed {
+            assert!(response.contains("Retry-After: 1"), "{response}");
+            assert!(response.contains("\"code\":\"overloaded\""), "{response}");
+        }
+        assert!(server.stats().shed() >= 1);
+        drop(hold_a);
+        drop(hold_b);
+    });
+}
+
+#[test]
+fn shutdown_drains_in_flight_requests() {
+    let config = ServerConfig {
+        deadline: Duration::from_secs(5),
+        ..ServerConfig::default()
+    };
+    with_server(config, |addr, server| {
+        // Open a connection and write the head but not the body yet —
+        // the request is in flight when the drain starts.
+        let body =
+            serde_json::to_string(&ExpansionRequest::new("xyzzy nothing links")).expect("json");
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        stream
+            .write_all(
+                format!(
+                    "POST /expand HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+                    body.len()
+                )
+                .as_bytes(),
+            )
+            .expect("write head");
+        std::thread::sleep(Duration::from_millis(150));
+        server.shutdown_flag().store(true, Ordering::SeqCst);
+        std::thread::sleep(Duration::from_millis(50));
+        // The drain must still answer the in-flight request…
+        stream.write_all(body.as_bytes()).expect("write body");
+        let mut out = Vec::new();
+        stream.read_to_end(&mut out).expect("read");
+        let response = String::from_utf8_lossy(&out);
+        assert!(
+            response.starts_with("HTTP/1.1 404"),
+            "in-flight request must be served during drain, got: {}",
+            response.lines().next().unwrap_or("<empty>")
+        );
+        // …and close the connection (no keep-alive during a drain).
+        assert!(response.contains("Connection: close"), "{response}");
+    });
+}
