@@ -1,23 +1,26 @@
 //! `qgx` — the query-expansion server, now with a socket.
 //!
-//! Three subcommands over one world-boot path:
+//! Four subcommands over one world-boot path:
 //!
 //! ```text
 //! qgx serve  --listen <addr>  [world flags] [--workers n] [--queue n]
-//!            [--deadline-ms n] [--keep-alive n] [--bench-out path]
+//!            [--deadline-ms n] [--keep-alive n] [--shard-procs n]
+//!            [--bench-out path]
 //! qgx replay [world flags] [--queries f | --seed-queries] [--repeat n]
 //!            [--zipf s] [--threads n] [--deadline-ms n] [--json]
-//!            [--bench-out path]
+//!            [--shard-procs n] [--bench-out path]
 //! qgx client --connect <addr> [--healthz | --statz | --flood n |
 //!            --query text | --queries f | --seed-queries [tier flags]]
 //!            [--repeat n] [--top-k k] [--max-features n] [--timeout-ms n]
+//! qgx shard  --dir <dir> --stem <stem> --shard <i> --fingerprint <fp>
+//!            [--listen <addr>] [--mmap]
 //! ```
 //!
 //! * `serve` binds the `core::http` HTTP/1.1 front-end over the loaded
 //!   world: `POST /expand`, `GET /healthz`, `GET /statz`, per-request
 //!   deadlines starting at accept, a bounded connection queue with
 //!   503 + `Retry-After` shedding, and SIGTERM/SIGINT draining
-//!   in-flight queries before exit. `--bench-out` archives a schema-6
+//!   in-flight queries before exit. `--bench-out` archives a schema-7
 //!   `ServeRecord` (listen address, shed/timeout counters, per-code
 //!   failures, per-connection p99) after the drain.
 //! * `replay` is the former bare-flag behaviour: serve a stdin, file,
@@ -31,6 +34,16 @@
 //!   bodies stream to stdout exactly as received), and `--flood n` —
 //!   n concurrent one-shot connections for forced-overload tests
 //!   (every response must still be clean, typed HTTP).
+//!
+//! * `shard` serves **one** `QGIX` segment as a standalone process over
+//!   the QGRP binary RPC protocol (DESIGN.md §13): it loads the
+//!   segment, verifies the embedded per-slot fingerprint, announces its
+//!   bound address on stdout (`QGRP listening <addr>`), and drains on
+//!   stdin EOF, SIGTERM/SIGINT, or a `Shutdown` frame. `serve
+//!   --shard-procs N` and `replay --shard-procs N` supervise N of these
+//!   children and scatter-gather across them through
+//!   `retrieval::remote::RemoteEngine` — byte-identical to the
+//!   in-process `--shards N` engine over the same artifact.
 //!
 //! **Deprecated alias:** invoking `qgx` with bare flags (no
 //! subcommand) warns once on stderr and behaves exactly like
@@ -74,7 +87,7 @@ const WORLD_FLAGS: [(&str, bool); 11] = [
     ("--prune", false),
 ];
 
-const REPLAY_FLAGS: [(&str, bool); 9] = [
+const REPLAY_FLAGS: [(&str, bool); 10] = [
     ("--queries", true),
     ("--seed-queries", false),
     ("--repeat", true),
@@ -83,17 +96,28 @@ const REPLAY_FLAGS: [(&str, bool); 9] = [
     ("--deadline-ms", true),
     ("--expansion-cache", true),
     ("--json", false),
+    ("--shard-procs", true),
     ("--bench-out", true),
 ];
 
-const SERVE_FLAGS: [(&str, bool); 7] = [
+const SERVE_FLAGS: [(&str, bool); 8] = [
     ("--listen", true),
     ("--workers", true),
     ("--queue", true),
     ("--deadline-ms", true),
     ("--keep-alive", true),
     ("--expansion-cache", true),
+    ("--shard-procs", true),
     ("--bench-out", true),
+];
+
+const SHARD_FLAGS: [(&str, bool); 6] = [
+    ("--dir", true),
+    ("--stem", true),
+    ("--shard", true),
+    ("--fingerprint", true),
+    ("--listen", true),
+    ("--mmap", false),
 ];
 
 const CLIENT_FLAGS: [(&str, bool); 14] = [
@@ -144,6 +168,7 @@ fn main() {
         Some("serve") => run_serve(&without_subcommand(&args)),
         Some("replay") => run_replay(&without_subcommand(&args)),
         Some("client") => run_client(&without_subcommand(&args)),
+        Some("shard") => run_shard(&without_subcommand(&args)),
         Some(flag) if flag.starts_with("--") => {
             // The pre-subcommand CLI: bare flags meant what `replay`
             // means now. One warning, then identical behaviour.
@@ -159,7 +184,7 @@ fn main() {
             run_replay(&args);
         }
         Some(other) => {
-            eprintln!("error: unknown subcommand {other:?} (serve | replay | client)");
+            eprintln!("error: unknown subcommand {other:?} (serve | replay | client | shard)");
             std::process::exit(2);
         }
     }
@@ -261,6 +286,10 @@ fn boot_world(
             }
             1
         }
+        // Never booted here: a remote fleet replaces the engine only
+        // *after* boot (see `spawn_shard_procs`), which recomputes the
+        // effective scatter width itself.
+        querygraph_retrieval::backend::AnyEngine::Remote(_) => 1,
     };
     eprintln!(
         "# qgx: {} articles, index {} x{} shard(s) (world {:.3}s, build {:.3}s, load {:.3}s); \
@@ -285,6 +314,191 @@ fn expansion_cache(ex: &ExpanderOptions) -> Option<Arc<ExpansionCache>> {
     ex.expansion_cache
         .filter(|&n| n > 0)
         .map(|n| Arc::new(ExpansionCache::new(n)))
+}
+
+// ------------------------------------------------------ shard processes
+
+/// The supervised children behind `--shard-procs N`: one `qgx shard`
+/// process per segment, stdin held open as the drain signal.
+struct ShardFleet {
+    children: Vec<std::process::Child>,
+}
+
+impl ShardFleet {
+    /// Drain the fleet: close every child's stdin (its shutdown
+    /// signal — works even if the QGRP socket is wedged), give them a
+    /// shared grace window to exit, then kill stragglers. Always
+    /// reaps, so no zombies outlive the supervisor.
+    fn drain(mut self) {
+        for child in &mut self.children {
+            drop(child.stdin.take());
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        for (shard, child) in self.children.iter_mut().enumerate() {
+            loop {
+                match child.try_wait() {
+                    Ok(Some(status)) => {
+                        eprintln!("# qgx: shard {shard} exited ({status})");
+                        break;
+                    }
+                    Ok(None) if Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                    Ok(None) | Err(_) => {
+                        eprintln!("# qgx: shard {shard} did not drain in time; killing");
+                        let _ = child.kill();
+                        let _ = child.wait();
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Boot-failure cleanup: kill and reap every child spawned so far.
+fn kill_children(children: &mut [std::process::Child]) {
+    for child in children.iter_mut() {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+}
+
+/// Spawn `n` `qgx shard` children over the segmented artifact the
+/// in-process boot just built/validated, wait for each one's stdout
+/// announce line, and connect a [`RemoteEngine`] across them. Exits
+/// (after killing any children already spawned) rather than serving
+/// with a partial fleet.
+fn spawn_shard_procs(
+    cli: &CliOptions,
+    ex: &ExpanderOptions,
+    n: usize,
+) -> (ShardFleet, querygraph_retrieval::remote::RemoteEngine) {
+    use std::process::{Command, Stdio};
+    let cache_dir = cli.index_cache.clone().unwrap_or_else(|| {
+        eprintln!(
+            "error: --shard-procs requires --index-cache (children load QGIX segments from it)"
+        );
+        std::process::exit(2);
+    });
+    if cli.shards != Some(n) {
+        eprintln!(
+            "error: --shard-procs {n} requires --shards {n} \
+             (the segmented artifact layout the children serve)"
+        );
+        std::process::exit(2);
+    }
+    let config = cli.config();
+    let stem = querygraph_core::cache::sharded_stem(&config, n);
+    let fingerprint = querygraph_core::cache::sharded_fingerprint(&config, n);
+    let exe = std::env::current_exe().unwrap_or_else(|e| {
+        eprintln!("error: cannot locate the qgx binary: {e}");
+        std::process::exit(1);
+    });
+
+    let mut children: Vec<std::process::Child> = Vec::with_capacity(n);
+    let mut addrs: Vec<String> = Vec::with_capacity(n);
+    for shard in 0..n {
+        let mut command = Command::new(&exe);
+        command
+            .arg("shard")
+            .arg("--dir")
+            .arg(&cache_dir)
+            .arg("--stem")
+            .arg(&stem)
+            .arg("--shard")
+            .arg(shard.to_string())
+            .arg("--fingerprint")
+            .arg(format!("{fingerprint:016x}"))
+            .arg("--listen")
+            .arg("127.0.0.1:0")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped());
+        if cli.mmap {
+            command.arg("--mmap");
+        }
+        let mut child = match command.spawn() {
+            Ok(child) => child,
+            Err(e) => {
+                eprintln!("error: cannot spawn shard {shard}: {e}");
+                kill_children(&mut children);
+                std::process::exit(1);
+            }
+        };
+        // The child's first stdout line is its QGRP announce; EOF
+        // before that means it died (its stderr is inherited, so the
+        // reason is already on ours).
+        let stdout = child.stdout.take().expect("piped child stdout");
+        let mut line = String::new();
+        let read = std::io::BufReader::new(stdout).read_line(&mut line);
+        let addr = match read {
+            Ok(len) if len > 0 => querygraph_retrieval::remote::server::parse_announce(line.trim()),
+            _ => None,
+        };
+        let Some(addr) = addr else {
+            eprintln!(
+                "error: shard {shard} did not announce a QGRP address (got {:?})",
+                line.trim()
+            );
+            children.push(child);
+            kill_children(&mut children);
+            std::process::exit(1);
+        };
+        eprintln!(
+            "# qgx: shard {shard} pid {} listening on {addr}",
+            child.id()
+        );
+        addrs.push(addr);
+        children.push(child);
+    }
+
+    let remote = match querygraph_retrieval::remote::RemoteEngine::connect(
+        &addrs,
+        querygraph_retrieval::lm::LmParams::default(),
+        fingerprint,
+    ) {
+        Ok(remote) => remote.with_search_threads(ex.shard_threads),
+        Err(e) => {
+            eprintln!("error: cannot connect to the shard fleet: {e}");
+            kill_children(&mut children);
+            std::process::exit(1);
+        }
+    };
+    (ShardFleet { children }, remote)
+}
+
+/// Parse `--shard-procs` and, when present, replace `world.engine`
+/// with a [`RemoteEngine`] over `n` freshly spawned shard children.
+/// Must run before the expander borrows the world. Returns the fleet
+/// (drain it after serving) and the effective scatter width.
+fn maybe_shard_procs(
+    args: &[String],
+    cli: &CliOptions,
+    ex: &ExpanderOptions,
+    world: &mut ServingWorld,
+    in_process_width: usize,
+) -> (Option<ShardFleet>, usize) {
+    match flag_usize(args, "--shard-procs") {
+        None => (None, in_process_width),
+        Some(0) => (None, in_process_width),
+        Some(n) => {
+            let (fleet, remote) = spawn_shard_procs(cli, ex, n);
+            let width = ex.shard_threads.min(n).max(1);
+            world.engine = querygraph_retrieval::backend::AnyEngine::Remote(remote);
+            (Some(fleet), width)
+        }
+    }
+}
+
+/// Shut the fleet down politely (QGRP `Shutdown` to every child, then
+/// the stdin-EOF drain path) once serving is over.
+fn teardown_fleet(fleet: Option<ShardFleet>, world: &ServingWorld) {
+    if let Some(fleet) = fleet {
+        if let querygraph_retrieval::backend::AnyEngine::Remote(remote) = &world.engine {
+            remote.shutdown_all();
+        }
+        fleet.drain();
+    }
 }
 
 // ---------------------------------------------------------------- serve
@@ -330,7 +544,10 @@ fn run_serve(args: &[String]) {
     let deadline_ms = flag_usize(args, "--deadline-ms").unwrap_or(2000).max(1);
     let keep_alive = flag_usize(args, "--keep-alive").unwrap_or(100).max(1);
 
-    let (world, _, effective_shard_threads) = boot_world(&cli, &ex, false);
+    let (mut world, _, in_process_width) = boot_world(&cli, &ex, false);
+    let (fleet, effective_shard_threads) =
+        maybe_shard_procs(args, &cli, &ex, &mut world, in_process_width);
+    let shard_procs = fleet.as_ref().map(|f| f.children.len()).unwrap_or(0);
     let cache = expansion_cache(&ex);
     let expander = world.expander_from(&ex.builder(&cache));
 
@@ -374,6 +591,8 @@ fn run_serve(args: &[String]) {
     }
     drop(shutdown);
     let total_seconds = t_serve.elapsed().as_secs_f64();
+    drop(expander);
+    teardown_fleet(fleet, &world);
 
     let served = stats.queries_served() as usize;
     let failures = stats.failures() as usize;
@@ -413,6 +632,7 @@ fn run_serve(args: &[String]) {
                 top_k: ex.top_k,
                 threads: workers,
                 shard_threads: effective_shard_threads,
+                shard_procs,
                 total_seconds,
                 qps,
                 qps_per_thread: qps / workers.max(1) as f64,
@@ -462,7 +682,10 @@ fn run_replay(args: &[String]) {
     }
 
     let config = cli.config();
-    let (world, seed_corpus, effective_shard_threads) = boot_world(&cli, &ex, seed_queries);
+    let (mut world, seed_corpus, in_process_width) = boot_world(&cli, &ex, seed_queries);
+    let (fleet, effective_shard_threads) =
+        maybe_shard_procs(args, &cli, &ex, &mut world, in_process_width);
+    let shard_procs = fleet.as_ref().map(|f| f.children.len()).unwrap_or(0);
     let cache = expansion_cache(&ex);
     let expander = world.expander_from(&ex.builder(&cache));
     // With --deadline-ms every request runs the same typed deadline
@@ -570,6 +793,7 @@ fn run_replay(args: &[String]) {
     }
 
     let total_seconds = t_serve.elapsed().as_secs_f64();
+    teardown_fleet(fleet, &world);
     let answered = tally.served + tally.failures;
     let latency = LatencySummary::of(&latencies_us);
     let qps = answered as f64 / total_seconds.max(1e-9);
@@ -611,6 +835,7 @@ fn run_replay(args: &[String]) {
                 top_k: ex.top_k,
                 threads: effective_threads,
                 shard_threads: effective_shard_threads,
+                shard_procs,
                 total_seconds,
                 qps,
                 qps_per_thread: qps / effective_threads.max(1) as f64,
@@ -645,7 +870,7 @@ fn read_query_file(path: &str) -> Vec<String> {
 }
 
 /// Served/failed counters plus the per-code failure breakdown the
-/// schema-6 record archives.
+/// schema-7 record archives.
 #[derive(Default)]
 struct Tally {
     served: usize,
@@ -861,4 +1086,125 @@ fn run_client(args: &[String]) {
             }
         }
     }
+}
+
+// ---------------------------------------------------------------- shard
+
+/// A required flag's operand, or a `exit 2` usage error — a shard
+/// child launched without its identity must refuse, not guess.
+fn require_flag(args: &[String], name: &str) -> String {
+    flag_operand(args, name).unwrap_or_else(|| {
+        eprintln!("error: qgx shard requires {name} <value>");
+        std::process::exit(2);
+    })
+}
+
+/// One shard process: load one `QGIX` segment, verify its embedded
+/// fingerprint against the supervisor's manifest fingerprint, announce
+/// the bound QGRP address on stdout, and serve until stdin EOF (the
+/// supervisor's drain signal), SIGTERM/SIGINT, or a `Shutdown` frame.
+fn run_shard(args: &[String]) {
+    use querygraph_retrieval::ondisk::{load_index_with, ArtifactSource};
+    use querygraph_retrieval::remote::{server, ShardServer};
+    use querygraph_retrieval::sharded::{segment_file, segment_fingerprint};
+
+    reject_unknown_flags(args, &SHARD_FLAGS, "shard");
+    let dir = require_flag(args, "--dir");
+    let stem = require_flag(args, "--stem");
+    let shard = require_flag(args, "--shard");
+    let shard: usize = shard.parse().unwrap_or_else(|_| {
+        eprintln!("error: --shard must be a shard index, got {shard:?}");
+        std::process::exit(2);
+    });
+    let fingerprint = require_flag(args, "--fingerprint");
+    let fingerprint =
+        u64::from_str_radix(fingerprint.trim_start_matches("0x"), 16).unwrap_or_else(|_| {
+            eprintln!("error: --fingerprint must be a hex u64, got {fingerprint:?}");
+            std::process::exit(2);
+        });
+    let listen = flag_operand(args, "--listen").unwrap_or_else(|| "127.0.0.1:0".to_string());
+    let source = if args.iter().any(|a| a == "--mmap") {
+        ArtifactSource::Mmap
+    } else {
+        ArtifactSource::Read
+    };
+
+    let path = std::path::Path::new(&dir).join(segment_file(&stem, shard));
+    let loaded = load_index_with(&path, source).unwrap_or_else(|e| {
+        eprintln!("error: shard {shard}: cannot load {}: {e}", path.display());
+        std::process::exit(1);
+    });
+    // The same pinning the sharded loader enforces per slot: the
+    // segment must carry this manifest's per-shard fingerprint, so a
+    // mis-deployed or stale segment dies here, before it can answer.
+    let want = segment_fingerprint(fingerprint, shard);
+    if loaded.meta_fingerprint != want {
+        eprintln!(
+            "error: shard {shard}: segment fingerprint mismatch \
+             (expected {want:016x}, found {:016x})",
+            loaded.meta_fingerprint
+        );
+        std::process::exit(1);
+    }
+    let num_docs = loaded.index.num_docs();
+    let engine = querygraph_retrieval::engine::SearchEngine::with_params(
+        loaded.index,
+        querygraph_retrieval::lm::LmParams::default(),
+    );
+    engine.seed_phrase_cache(loaded.phrases);
+
+    let qgrp = ShardServer::bind(&listen, Arc::new(engine), shard, want).unwrap_or_else(|e| {
+        eprintln!("error: shard {shard}: cannot bind {listen}: {e}");
+        std::process::exit(1);
+    });
+    let addr = qgrp.local_addr().unwrap_or_else(|e| {
+        eprintln!("error: shard {shard}: no local address: {e}");
+        std::process::exit(1);
+    });
+    // The announce is the child's only stdout line — the supervisor
+    // blocks on it; everything human-facing goes to stderr.
+    server::announce(&addr);
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "# qgx: shard {shard} serving {} ({num_docs} docs) on {addr}",
+        path.display()
+    );
+
+    // stdin EOF is the supervisor's drain signal: it outlives a wedged
+    // socket and fires even if the parent dies without cleanup (the
+    // pipe closes with it), so orphaned children exit on their own.
+    let shutdown = qgrp.shutdown_flag();
+    {
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            let stdin = std::io::stdin();
+            let mut line = String::new();
+            loop {
+                line.clear();
+                match stdin.lock().read_line(&mut line) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => continue,
+                }
+            }
+            shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+        });
+    }
+    #[cfg(unix)]
+    {
+        sig::install();
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || loop {
+            if sig::requested() {
+                shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(50));
+        });
+    }
+
+    if let Err(e) = qgrp.serve() {
+        eprintln!("error: shard {shard}: serve loop failed: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("# qgx: shard {shard} drained");
 }

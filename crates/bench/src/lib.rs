@@ -65,6 +65,9 @@ impl BenchRecord {
     /// Assemble a record from a finished run.
     pub fn new(config: &ExperimentConfig, build: &BuildStats, run: RunSummary) -> BenchRecord {
         BenchRecord {
+            // 7: shard processes (serve records grew shard_procs — the
+            //    count of supervised `qgx shard` children behind the
+            //    engine, 0 = in-process).
             // 6: networked serving (serve records grew listen_addr,
             //    shed/timeout counters, per-code failures, and the
             //    per-connection latency distribution). Additive —
@@ -79,7 +82,7 @@ impl BenchRecord {
             // 3: build breakdown (world/index build/write/load seconds,
             //    index_source) for the on-disk index cache.
             // 2: RunSummary gained ground-truth evaluation counters.
-            schema: 6,
+            schema: 7,
             num_queries: config.corpus.num_queries,
             num_topics: config.wiki.num_topics,
             articles_per_topic: config.wiki.articles_per_topic,
@@ -172,6 +175,11 @@ pub struct ServeSummary {
     /// always 1 for the monolithic engine), so records taken at
     /// different scatter settings stay distinguishable.
     pub shard_threads: usize,
+    /// Supervised `qgx shard` processes behind the served engine
+    /// (`--shard-procs`; 0 = the engine ran in this process), so
+    /// records taken across the process boundary stay distinguishable
+    /// from in-process ones even though the answers are byte-identical.
+    pub shard_procs: usize,
     /// End-to-end seconds spent serving (excludes world/index setup).
     pub total_seconds: f64,
     /// Queries per second over `total_seconds` (errors included — they
@@ -266,12 +274,13 @@ impl ServeRecord {
         serve: ServeSummary,
     ) -> ServeRecord {
         ServeRecord {
-            // Shares the BenchRecord schema counter (6: networked
+            // Shares the BenchRecord schema counter (7: shard
+            // processes — serve records grew shard_procs; 6: networked
             // serving — listen_addr, shed/timeouts/error_codes,
             // conn_latency; 5: expansion-cache counters + search_mode;
             // 4: shard fields + per-thread QPS; 3 introduced the build
             // breakdown these fields mirror).
-            schema: 6,
+            schema: 7,
             kind: "serve".to_string(),
             num_queries: workload_queries,
             num_topics: config.wiki.num_topics,
@@ -750,6 +759,7 @@ mod tests {
             top_k: 5,
             threads: 2,
             shard_threads: 1,
+            shard_procs: 0,
             total_seconds: 0.5,
             qps: 20.0,
             qps_per_thread: 10.0,
@@ -784,6 +794,7 @@ mod tests {
             "cache_hits",
             "cache_lookups",
             "cache_hit_rate",
+            "shard_procs",
             "\"shed\"",
             "\"timeouts\"",
             "error_codes",
@@ -805,7 +816,7 @@ mod tests {
     }
 
     #[test]
-    fn bench_record_schema_6_carries_build_breakdown() {
+    fn bench_record_schema_7_carries_build_breakdown() {
         use querygraph_core::cache::IndexSource;
         let build = BuildStats {
             world_seconds: 0.5,
@@ -819,7 +830,7 @@ mod tests {
         let exp = Experiment::build(&tiny_config());
         let (_, run) = exp.run_parallel_with_summary(2);
         let record = BenchRecord::new(&tiny_config(), &build, run);
-        assert_eq!(record.schema, 6);
+        assert_eq!(record.schema, 7);
         assert_eq!(record.index_source, "loaded");
         assert_eq!(record.shard_count, 1);
         assert!(record.shard_load_seconds.is_empty());

@@ -444,6 +444,9 @@ pub(crate) fn build_world(
                 });
                 (dir.join(&stem).display().to_string(), written)
             }
+            // Remote fleets are connected to, never built here;
+            // persistence belongs to the shard processes themselves.
+            AnyEngine::Remote(_) => ("remote".to_string(), Ok(())),
         };
         if let Err(e) = written {
             eprintln!("# index cache write {label} failed: {e} — serving from the in-memory build");

@@ -49,7 +49,9 @@ const CACHE_SHARDS: usize = 8;
 /// knobs but the same *effective* values (e.g. a request cap above the
 /// builder cap) share an entry, because their uncached responses are
 /// identical.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Keys are totally ordered (field declaration order, query text
+/// first) so eviction can break stamp ties deterministically.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct CacheKey {
     /// The query text as served (trimmed — exactly the `query` field
     /// of the response).
@@ -183,6 +185,11 @@ impl ExpansionCache {
             return compute();
         }
         self.lookups.fetch_add(1, Ordering::Relaxed);
+        // Touch stamps are draws from a shared u64 counter. Wrap-around
+        // is assumed unreachable, not handled: at 10^9 lookups/second
+        // the counter overflows after ~584 years, and a wrapped stamp
+        // would only misorder LRU eviction (a performance matter),
+        // never correctness — entries are still valid responses.
         let stamp = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
         let shard = &self.shards[Self::slot(key)];
 
@@ -201,9 +208,13 @@ impl ExpansionCache {
                 }
                 None => {
                     if map.len() >= self.per_shard_cap {
+                        // Stalest entry first; equal stamps (possible
+                        // only if the clock ever wrapped) fall back to
+                        // key order, so the victim never depends on
+                        // HashMap iteration order.
                         let victim = map
                             .iter()
-                            .min_by_key(|(_, e)| e.stamp)
+                            .min_by(|a, b| a.1.stamp.cmp(&b.1.stamp).then_with(|| a.0.cmp(b.0)))
                             .map(|(k, _)| k.clone());
                         if let Some(v) = victim {
                             map.remove(&v);
@@ -361,6 +372,52 @@ mod tests {
             .get_or_compute(&last, || panic!("latest key must be resident"))
             .unwrap();
         assert_eq!(cache.hits(), before + 1);
+    }
+
+    #[test]
+    fn equal_stamp_eviction_victims_are_chosen_in_key_order() {
+        // Stamps from the live clock are unique, so equal stamps can
+        // only arise after a (documented-unreachable) u64 wrap. Inject
+        // that state directly: three same-slot entries, all stamp 7.
+        let cache = ExpansionCache::new(CACHE_SHARDS); // 1 per shard
+        let mut same_slot: Vec<CacheKey> = Vec::new();
+        let target = ExpansionCache::slot(&key("probe-0"));
+        for i in 0.. {
+            let k = key(&format!("probe-{i}"));
+            if ExpansionCache::slot(&k) == target {
+                same_slot.push(k);
+            }
+            if same_slot.len() == 4 {
+                break;
+            }
+        }
+        {
+            let mut map = cache.shards[target].lock();
+            for k in &same_slot[..3] {
+                map.insert(
+                    k.clone(),
+                    Entry {
+                        stamp: 7,
+                        cell: Arc::new(Mutex::new(Some(response(&k.query)))),
+                    },
+                );
+            }
+        }
+        // The miss on the fourth key evicts exactly one victim: the
+        // smallest key in CacheKey order among the equal stamps.
+        cache
+            .get_or_compute(&same_slot[3], || Ok(response("fourth")))
+            .unwrap();
+        let expected_victim = same_slot[..3].iter().min().unwrap().clone();
+        let map = cache.shards[target].lock();
+        assert!(
+            !map.contains_key(&expected_victim),
+            "the smallest equal-stamp key must be the victim"
+        );
+        for k in same_slot[..3].iter().filter(|k| **k != expected_victim) {
+            assert!(map.contains_key(k), "non-victims must survive");
+        }
+        assert!(map.contains_key(&same_slot[3]));
     }
 
     #[test]

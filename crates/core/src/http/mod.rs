@@ -43,9 +43,6 @@ pub use server::{HttpServer, ServerConfig, ServerStats, StatzSnapshot};
 
 use crate::service::ServiceError;
 
-/// Seconds advertised in `Retry-After` on 408/503 answers.
-pub const RETRY_AFTER_SECONDS: u32 = 1;
-
 /// The HTTP status each [`ServiceError`] is answered with:
 /// caller errors are 4xx, server-side artifact failures 5xx, and the
 /// two overload shapes get their dedicated retryable statuses.

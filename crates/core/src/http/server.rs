@@ -15,15 +15,24 @@
 //! connections.
 
 use super::parser::{self, HttpLimits, ParseError, RequestHead};
-use super::{expand_error_body, protocol_error_body, status_for, RETRY_AFTER_SECONDS};
+use super::{expand_error_body, protocol_error_body, status_for};
 use crate::service::{Deadline, ExpansionRequest, QueryExpander, ServiceError};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Lock a stats/queue mutex, recovering from poison. A worker that
+/// panicked while holding one of these leaves the protected state at
+/// worst one sample or one counter bump short — never structurally
+/// corrupt — so serving must continue instead of cascading the panic
+/// into every worker that touches the same mutex afterwards.
+fn lock_recovered<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Everything the server needs to know before binding.
 #[derive(Debug, Clone)]
@@ -112,17 +121,14 @@ fn percentile(samples: &[f64], p: f64) -> f64 {
         return 0.0;
     }
     let mut sorted = samples.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    sorted.sort_by(f64::total_cmp);
     let r = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
     sorted[r.clamp(1, sorted.len()) - 1]
 }
 
 impl ServerStats {
     fn bump_code(&self, code: &str) {
-        *self
-            .error_codes
-            .lock()
-            .expect("stats lock")
+        *lock_recovered(&self.error_codes)
             .entry(code.to_string())
             .or_insert(0) += 1;
     }
@@ -167,24 +173,43 @@ impl ServerStats {
 
     /// Typed failures by wire code, copied out.
     pub fn error_codes(&self) -> BTreeMap<String, u64> {
-        self.error_codes.lock().expect("stats lock").clone()
+        lock_recovered(&self.error_codes).clone()
     }
 
     /// Per-request `/expand` service times (µs), copied out — the raw
     /// samples a `ServeRecord`'s latency summary is built from.
     pub fn request_latencies_us(&self) -> Vec<f64> {
-        self.request_us.lock().expect("stats lock").clone()
+        lock_recovered(&self.request_us).clone()
     }
 
     /// Per-connection lifetimes (µs), copied out.
     pub fn connection_lifetimes_us(&self) -> Vec<f64> {
-        self.connection_us.lock().expect("stats lock").clone()
+        lock_recovered(&self.connection_us).clone()
+    }
+
+    /// Test-only: poison the request-latency mutex by panicking a
+    /// thread that holds it, so the conformance suite can prove
+    /// workers recover ([`lock_recovered`]) instead of cascading.
+    #[doc(hidden)]
+    pub fn poison_request_latencies_for_test(&self) {
+        let result = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = self
+                        .request_us
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner);
+                    panic!("poisoning stats lock for tests");
+                })
+                .join()
+        });
+        assert!(result.is_err(), "the poisoning thread must panic");
     }
 
     /// A consistent-enough copy of all counters for `/statz`.
     pub fn snapshot(&self) -> StatzSnapshot {
-        let request_us = self.request_us.lock().expect("stats lock").clone();
-        let connection_us = self.connection_us.lock().expect("stats lock").clone();
+        let request_us = lock_recovered(&self.request_us).clone();
+        let connection_us = lock_recovered(&self.connection_us).clone();
         StatzSnapshot {
             connections: self.connections(),
             queries_served: self.queries_served(),
@@ -227,7 +252,7 @@ impl ConnQueue {
     /// Enqueue, or hand the connection back with the depth that caused
     /// the shed (the caller answers 503 on it).
     fn push(&self, conn: TcpStream, accepted: Instant) -> Result<(), (TcpStream, usize)> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = lock_recovered(&self.state);
         if state.conns.len() >= self.capacity {
             let depth = state.conns.len();
             return Err((conn, depth));
@@ -241,7 +266,7 @@ impl ConnQueue {
     /// Blocking pop; `None` means the server is draining and empty —
     /// the worker should exit.
     fn pop(&self) -> Option<(TcpStream, Instant)> {
-        let mut state = self.state.lock().expect("queue lock");
+        let mut state = lock_recovered(&self.state);
         loop {
             if let Some(conn) = state.conns.pop_front() {
                 return Some(conn);
@@ -249,18 +274,21 @@ impl ConnQueue {
             if state.draining {
                 return None;
             }
-            state = self.ready.wait(state).expect("queue lock");
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Stop blocking pops once the queue empties; wake every worker.
     fn begin_drain(&self) {
-        self.state.lock().expect("queue lock").draining = true;
+        lock_recovered(&self.state).draining = true;
         self.ready.notify_all();
     }
 
     fn draining(&self) -> bool {
-        self.state.lock().expect("queue lock").draining
+        lock_recovered(&self.state).draining
     }
 }
 
@@ -375,25 +403,28 @@ impl HttpServer {
                 // admission refusal (typed 408), not an idle peer —
                 // the silent-close path below is only for connections
                 // a worker picked up promptly and that never spoke.
-                self.stats.record_service_error(&deadline.timeout_error());
-                let body = protocol_error_body("timeout", &deadline.timeout_error().to_string());
-                let _ = self.respond(&mut stream, 408, &body, false, true, &deadline);
+                let timeout = deadline.timeout_error();
+                self.stats.record_service_error(&timeout);
+                let body = protocol_error_body("timeout", &timeout.to_string());
+                let retry = timeout.retry_after_seconds();
+                let _ = self.respond(&mut stream, 408, &body, false, retry, &deadline);
                 break;
             }
             let head = match self.read_head(&mut stream, &mut buf, &deadline, queue) {
                 ReadStep::Ready(head) => head,
                 ReadStep::Closed => break,
                 ReadStep::TimedOut => {
-                    self.stats.record_service_error(&deadline.timeout_error());
-                    let body =
-                        protocol_error_body("timeout", &deadline.timeout_error().to_string());
-                    let _ = self.respond(&mut stream, 408, &body, false, true, &deadline);
+                    let timeout = deadline.timeout_error();
+                    self.stats.record_service_error(&timeout);
+                    let body = protocol_error_body("timeout", &timeout.to_string());
+                    let retry = timeout.retry_after_seconds();
+                    let _ = self.respond(&mut stream, 408, &body, false, retry, &deadline);
                     break;
                 }
                 ReadStep::Protocol(e) => {
                     self.stats.record_protocol_error(&e);
                     let body = protocol_error_body(e.code(), &e.to_string());
-                    let _ = self.respond(&mut stream, e.status(), &body, false, false, &deadline);
+                    let _ = self.respond(&mut stream, e.status(), &body, false, None, &deadline);
                     break;
                 }
                 ReadStep::Io => break,
@@ -423,27 +454,24 @@ impl HttpServer {
                     }
                 }
                 BodyStep::TimedOut => {
-                    self.stats.record_service_error(&deadline.timeout_error());
-                    let body =
-                        protocol_error_body("timeout", &deadline.timeout_error().to_string());
-                    let _ = self.respond(&mut stream, 408, &body, false, true, &deadline);
+                    let timeout = deadline.timeout_error();
+                    self.stats.record_service_error(&timeout);
+                    let body = protocol_error_body("timeout", &timeout.to_string());
+                    let retry = timeout.retry_after_seconds();
+                    let _ = self.respond(&mut stream, 408, &body, false, retry, &deadline);
                     break;
                 }
                 BodyStep::Protocol(e) => {
                     self.stats.record_protocol_error(&e);
                     let body = protocol_error_body(e.code(), &e.to_string());
-                    let _ = self.respond(&mut stream, e.status(), &body, false, false, &deadline);
+                    let _ = self.respond(&mut stream, e.status(), &body, false, None, &deadline);
                     break;
                 }
                 BodyStep::Closed => break,
             }
         }
         graceful_close(&mut stream, Duration::from_millis(100));
-        self.stats
-            .connection_us
-            .lock()
-            .expect("stats lock")
-            .push(conn_start.elapsed().as_secs_f64() * 1e6);
+        lock_recovered(&self.stats.connection_us).push(conn_start.elapsed().as_secs_f64() * 1e6);
     }
 
     /// Read until a complete head is buffered, in ≤100 ms slices so
@@ -536,7 +564,7 @@ impl HttpServer {
                         self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
                         self.stats.bump_code("bad_request");
                         let body = protocol_error_body("bad_request", "body is not UTF-8");
-                        return self.respond(stream, 400, &body, keep_alive, false, deadline);
+                        return self.respond(stream, 400, &body, keep_alive, None, deadline);
                     }
                 };
                 let request: ExpansionRequest = match serde_json::from_str(text) {
@@ -546,24 +574,37 @@ impl HttpServer {
                         self.stats.bump_code("bad_request");
                         let body =
                             protocol_error_body("bad_request", &format!("bad request JSON: {e}"));
-                        return self.respond(stream, 400, &body, keep_alive, false, deadline);
+                        return self.respond(stream, 400, &body, keep_alive, None, deadline);
                     }
                 };
                 match expander.expand_deadlined(&request, *deadline) {
-                    Ok(response) => {
-                        self.stats.queries_served.fetch_add(1, Ordering::Relaxed);
-                        self.stats
-                            .request_us
-                            .lock()
-                            .expect("stats lock")
-                            .push(t0.elapsed().as_secs_f64() * 1e6);
-                        let body = serde_json::to_string(&response).expect("response serializes");
-                        self.respond(stream, 200, &body, keep_alive, false, deadline)
-                    }
+                    // Serialize before counting the query as served: a
+                    // response that cannot serialize is a server bug,
+                    // but it must cost one typed 500, not the worker.
+                    Ok(response) => match serde_json::to_string(&response) {
+                        Ok(body) => {
+                            self.stats.queries_served.fetch_add(1, Ordering::Relaxed);
+                            lock_recovered(&self.stats.request_us)
+                                .push(t0.elapsed().as_secs_f64() * 1e6);
+                            self.respond(stream, 200, &body, keep_alive, None, deadline)
+                        }
+                        Err(e) => {
+                            self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                            self.stats.bump_code("internal");
+                            let body = protocol_error_body(
+                                "internal",
+                                &format!("response serialization failed: {e}"),
+                            );
+                            self.respond(stream, 500, &body, keep_alive, None, deadline)
+                        }
+                    },
                     Err(error) => {
                         self.stats.record_service_error(&error);
                         let status = status_for(&error);
-                        let retry = error.retry_after_seconds().is_some();
+                        // The typed error owns its back-off hint: 408
+                        // and 503 advertise different Retry-After
+                        // values (see ServiceError::retry_after_seconds).
+                        let retry = error.retry_after_seconds();
                         let body = expand_error_body(&request.text, &error);
                         // A timed-out request gets its typed answer,
                         // then the connection closes: its read cursor
@@ -579,14 +620,20 @@ impl HttpServer {
                 "text/plain",
                 b"ok\n",
                 keep_alive,
-                false,
+                None,
                 deadline,
             ),
-            ("GET", "/statz") => {
-                let body =
-                    serde_json::to_string(&self.stats.snapshot()).expect("snapshot serializes");
-                self.respond(stream, 200, &body, keep_alive, false, deadline)
-            }
+            ("GET", "/statz") => match serde_json::to_string(&self.stats.snapshot()) {
+                Ok(body) => self.respond(stream, 200, &body, keep_alive, None, deadline),
+                Err(e) => {
+                    self.stats.bump_code("internal");
+                    let body = protocol_error_body(
+                        "internal",
+                        &format!("statz serialization failed: {e}"),
+                    );
+                    self.respond(stream, 500, &body, keep_alive, None, deadline)
+                }
+            },
             (_, "/expand") | (_, "/healthz") | (_, "/statz") => {
                 self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
                 self.stats.bump_code("method_not_allowed");
@@ -594,13 +641,13 @@ impl HttpServer {
                     "method_not_allowed",
                     &format!("{} is not served on {path}", head.method),
                 );
-                self.respond(stream, 405, &body, keep_alive, false, deadline)
+                self.respond(stream, 405, &body, keep_alive, None, deadline)
             }
             _ => {
                 self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
                 self.stats.bump_code("not_found");
                 let body = protocol_error_body("not_found", &format!("no endpoint at {path}"));
-                self.respond(stream, 404, &body, keep_alive, false, deadline)
+                self.respond(stream, 404, &body, keep_alive, None, deadline)
             }
         }
     }
@@ -613,7 +660,7 @@ impl HttpServer {
         status: u16,
         body: &str,
         keep_alive: bool,
-        retry_after: bool,
+        retry_after: Option<u32>,
         deadline: &Deadline,
     ) -> std::io::Result<()> {
         let mut owned = String::with_capacity(body.len() + 1);
@@ -638,7 +685,7 @@ impl HttpServer {
         content_type: &str,
         body: &[u8],
         keep_alive: bool,
-        retry_after: bool,
+        retry_after: Option<u32>,
         deadline: &Deadline,
     ) -> std::io::Result<()> {
         write_http_response(
@@ -728,7 +775,7 @@ pub(super) fn write_http_response(
     content_type: &str,
     body: &[u8],
     keep_alive: bool,
-    retry_after: bool,
+    retry_after: Option<u32>,
     deadline: &Deadline,
 ) -> std::io::Result<()> {
     let mut head = format!(
@@ -737,8 +784,8 @@ pub(super) fn write_http_response(
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
-    if retry_after {
-        head.push_str(&format!("Retry-After: {RETRY_AFTER_SECONDS}\r\n"));
+    if let Some(seconds) = retry_after {
+        head.push_str(&format!("Retry-After: {seconds}\r\n"));
     }
     head.push_str("\r\n");
     let timeout = deadline.remaining().max(Duration::from_millis(100));
@@ -789,7 +836,7 @@ pub(super) fn shed_connection(stream: &mut TcpStream, queue_depth: usize, deadli
         "application/json",
         body.as_bytes(),
         false,
-        true,
+        error.retry_after_seconds(),
         &d,
     );
     graceful_close(stream, Duration::from_millis(50));

@@ -58,6 +58,7 @@ use querygraph_retrieval::engine::SearchMode;
 use querygraph_retrieval::lm::LmParams;
 use querygraph_retrieval::ondisk::OndiskError;
 use querygraph_retrieval::query_lang::QueryNode;
+use querygraph_retrieval::sharded::ShardedError;
 use querygraph_wiki::synth::{generate, SynthWiki};
 use querygraph_wiki::{ArticleId, KnowledgeBase};
 use serde::{Deserialize, Serialize};
@@ -258,10 +259,16 @@ impl ServiceError {
 
     /// Seconds a client should wait before retrying, for the errors
     /// that are worth retrying at all (shed and timed-out requests).
-    /// The HTTP front-end renders this as a `Retry-After` header.
+    /// The HTTP front-end renders this value — *this* value, not a
+    /// fixed constant — as the `Retry-After` header, so the two
+    /// overload shapes give different back-off hints: a timed-out
+    /// request (408) can retry almost immediately (its budget simply
+    /// ran out), while a shed connection (503) means the queue is full
+    /// and piling back on one second later just re-sheds.
     pub fn retry_after_seconds(&self) -> Option<u32> {
         match self {
-            ServiceError::Timeout { .. } | ServiceError::Overloaded { .. } => Some(1),
+            ServiceError::Timeout { .. } => Some(1),
+            ServiceError::Overloaded { .. } => Some(2),
             _ => None,
         }
     }
@@ -868,6 +875,29 @@ impl<'w> QueryExpander<'w> {
         cache.get_or_compute(&key, || self.expand_uncached(request))
     }
 
+    /// Map a query-time scatter failure to the serving error space:
+    /// a failing shard becomes [`ServiceError::ArtifactShard`] naming
+    /// the shard and (for remote backends) its socket endpoint as the
+    /// "path"; a manifest-level failure becomes
+    /// [`ServiceError::ArtifactLoad`].
+    fn search_failure(engine: &dyn RetrievalBackend, error: ShardedError) -> ServiceError {
+        match error {
+            ShardedError::Shard { shard, source } => ServiceError::ArtifactShard {
+                path: PathBuf::from(
+                    engine
+                        .shard_endpoint(shard)
+                        .unwrap_or_else(|| format!("shard{shard}")),
+                ),
+                shard,
+                source,
+            },
+            ShardedError::Manifest(source) => ServiceError::ArtifactLoad {
+                path: PathBuf::from("shard-manifest"),
+                source,
+            },
+        }
+    }
+
     fn expand_uncached(
         &self,
         request: &ExpansionRequest,
@@ -901,8 +931,12 @@ impl<'w> QueryExpander<'w> {
             None | Some(0) => Vec::new(),
             Some(k) => {
                 let engine = self.engine.ok_or(ServiceError::NoEngine)?;
+                // The fallible form so a remote shard process dying
+                // mid-query surfaces as a typed 500 naming the shard
+                // and its endpoint, not as silently empty results.
                 engine
-                    .search_with(&query_node, k, self.search_mode)
+                    .try_search_with(&query_node, k, self.search_mode)
+                    .map_err(|e| Self::search_failure(engine, e))?
                     .into_iter()
                     .map(|h| RetrievedDoc {
                         doc: h.doc,
@@ -1515,13 +1549,14 @@ mod tests {
                 "overloaded",
             ]
         );
-        // Only shed/timed-out requests invite a retry.
+        // Only shed/timed-out requests invite a retry, and the two
+        // back-off hints deliberately differ: 408 retries fast, 503
+        // backs off harder (the queue is full).
         for sample in &samples {
             let retry = sample.retry_after_seconds();
             match sample {
-                ServiceError::Timeout { .. } | ServiceError::Overloaded { .. } => {
-                    assert_eq!(retry, Some(1));
-                }
+                ServiceError::Timeout { .. } => assert_eq!(retry, Some(1)),
+                ServiceError::Overloaded { .. } => assert_eq!(retry, Some(2)),
                 _ => assert_eq!(retry, None),
             }
         }

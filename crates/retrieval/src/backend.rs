@@ -32,7 +32,8 @@ use crate::engine::{PhraseInfo, SearchEngine, SearchHit, SearchMode};
 use crate::index::InvertedIndex;
 use crate::lm::LmParams;
 use crate::query_lang::QueryNode;
-use crate::sharded::ShardedEngine;
+use crate::remote::RemoteEngine;
+use crate::sharded::{ShardedEngine, ShardedError};
 use std::sync::Arc;
 
 /// The scoring/retrieval surface consumed by the workspace, the
@@ -72,6 +73,29 @@ pub trait RetrievalBackend: Send + Sync {
     fn search_with(&self, query: &QueryNode, k: usize, mode: SearchMode) -> Vec<SearchHit> {
         let _ = mode;
         self.search(query, k)
+    }
+
+    /// Fallible form of [`RetrievalBackend::search_with`] for backends
+    /// whose shards can fail at query time (remote shard processes).
+    /// The typed error names the failing shard so the serving facade
+    /// can surface it as `ServiceError::ArtifactShard`. In-process
+    /// backends never fail: the default wraps `search_with`.
+    fn try_search_with(
+        &self,
+        query: &QueryNode,
+        k: usize,
+        mode: SearchMode,
+    ) -> Result<Vec<SearchHit>, ShardedError> {
+        Ok(self.search_with(query, k, mode))
+    }
+
+    /// Where shard `shard` physically lives, when the backend knows —
+    /// a socket address for remote shard processes, `None` for
+    /// in-process backends (the error path then falls back to the
+    /// segment path).
+    fn shard_endpoint(&self, shard: usize) -> Option<String> {
+        let _ = shard;
+        None
     }
 
     /// Number of physical shards behind this backend (1 = monolithic).
@@ -133,6 +157,9 @@ pub enum AnyEngine {
     Mono(SearchEngine),
     /// N doc-partitioned shards behind deterministic scatter-gather.
     Sharded(ShardedEngine),
+    /// N shard *processes* behind QGRP scatter-gather
+    /// ([`crate::remote`]).
+    Remote(RemoteEngine),
 }
 
 impl AnyEngine {
@@ -141,6 +168,7 @@ impl AnyEngine {
         match self {
             AnyEngine::Mono(e) => e,
             AnyEngine::Sharded(e) => e,
+            AnyEngine::Remote(e) => e,
         }
     }
 
@@ -148,15 +176,15 @@ impl AnyEngine {
     pub fn as_mono(&self) -> Option<&SearchEngine> {
         match self {
             AnyEngine::Mono(e) => Some(e),
-            AnyEngine::Sharded(_) => None,
+            _ => None,
         }
     }
 
     /// The sharded engine, when this is one.
     pub fn as_sharded(&self) -> Option<&ShardedEngine> {
         match self {
-            AnyEngine::Mono(_) => None,
             AnyEngine::Sharded(e) => Some(e),
+            _ => None,
         }
     }
 
@@ -219,6 +247,19 @@ impl RetrievalBackend for AnyEngine {
 
     fn search_with(&self, query: &QueryNode, k: usize, mode: SearchMode) -> Vec<SearchHit> {
         self.backend().search_with(query, k, mode)
+    }
+
+    fn try_search_with(
+        &self,
+        query: &QueryNode,
+        k: usize,
+        mode: SearchMode,
+    ) -> Result<Vec<SearchHit>, ShardedError> {
+        self.backend().try_search_with(query, k, mode)
+    }
+
+    fn shard_endpoint(&self, shard: usize) -> Option<String> {
+        self.backend().shard_endpoint(shard)
     }
 
     fn shard_count(&self) -> usize {

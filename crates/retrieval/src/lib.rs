@@ -25,6 +25,10 @@
 //! * [`sharded`] — [`sharded::ShardedEngine`]: N doc-partitioned shards
 //!   behind deterministic scatter-gather, plus the segmented artifact
 //!   (manifest + independently checksummed per-shard `QGIX` segments).
+//! * [`remote`] — shards as separate *processes*: the QGRP binary RPC
+//!   protocol, [`remote::ShardServer`] (one segment on a local socket),
+//!   and [`remote::RemoteEngine`] (scatter-gather over shard processes,
+//!   byte-identical to the in-process engine).
 //! * [`par`] — the deterministic work-stealing [`par::parallel_map`]
 //!   runner (shared with `core::pipeline`, which re-exports it).
 //! * [`mmap`] — opt-in read-only file mapping behind
@@ -67,6 +71,7 @@ pub mod par;
 pub mod phrase;
 pub mod postings;
 pub mod query_lang;
+pub mod remote;
 pub mod sharded;
 pub mod stats;
 pub mod topk;
@@ -79,5 +84,6 @@ pub use metrics::{average_quality, precision_at, EVAL_CUTOFFS};
 pub use ondisk::{ArtifactSource, LoadedIndex, OndiskError};
 pub use par::parallel_map;
 pub use query_lang::{parse, QueryNode};
+pub use remote::{RemoteEngine, RemoteShard, ShardServer};
 pub use sharded::{ShardedEngine, ShardedError};
 pub use workspace::{LeafId, ScoreWorkspace};

@@ -1,0 +1,308 @@
+//! Shards as separate processes: the QGRP binary RPC protocol and both
+//! of its ends.
+//!
+//! * [`proto`] — the length-prefixed, checksummed frame format and
+//!   payload codec (`QGRP` magic, version, request id, op, status,
+//!   bounded payload, FNV-1a trailer).
+//! * [`server`] — [`ShardServer`]: serve one `QGIX` segment on a local
+//!   socket (`qgx shard` wraps it in a process).
+//! * [`client`] — [`RemoteShard`] (one shard's RPC client) and
+//!   [`RemoteEngine`] (scatter-gather over N shard processes behind the
+//!   [`RetrievalBackend`](crate::backend::RetrievalBackend) surface).
+//!
+//! The headline property, tested here at N ∈ {1, 2, 3, 7} and on
+//! random worlds: a fleet of shard processes answers **byte-
+//! identically** to the in-process [`crate::sharded::ShardedEngine`]
+//! (and hence to the monolithic engine). The mechanism is shared code
+//! plus exact wire statistics — both layouts score through
+//! [`crate::sharded::shard_topk`], and every global input crosses the
+//! socket as integer counts or f64 bit patterns, never re-derived
+//! floats. See `DESIGN.md` §13.
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{HelloInfo, RemoteEngine, RemoteShard};
+pub use server::ShardServer;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::RetrievalBackend;
+    use crate::engine::{SearchEngine, SearchMode};
+    use crate::index::IndexBuilder;
+    use crate::lm::LmParams;
+    use crate::query_lang::parse;
+    use crate::sharded::{doc_ranges, segment_fingerprint, ShardedEngine, ShardedError};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    const DOCS: [&str; 7] = [
+        "a gondola on the grand canal of venice",
+        "the grand hotel beside a small canal",
+        "",
+        "venice has many bridges and one grand canal",
+        "completely unrelated text about mountains",
+        "gondola gondola gondola",
+        "the grand canal venice gondola rides",
+    ];
+
+    const QUERIES: [&str; 7] = [
+        "#1(grand canal)",
+        "#combine(#1(grand canal) venice)",
+        "#combine(gondola venice #1(small canal))",
+        "#weight(0.9 venice 0.1 canal)",
+        "the",
+        "#combine(zzzz gondola)",
+        "#1(zz yy)",
+    ];
+
+    fn shard_engines(docs: &[&str], n: usize) -> Vec<SearchEngine> {
+        doc_ranges(docs.len(), n)
+            .into_iter()
+            .map(|range| {
+                let mut b = IndexBuilder::new();
+                for d in &docs[range] {
+                    b.add_document(d);
+                }
+                SearchEngine::new(b.build())
+            })
+            .collect()
+    }
+
+    /// A running loopback fleet: N `ShardServer`s on ephemeral ports,
+    /// each on its own thread, torn down on drop.
+    struct Fleet {
+        addrs: Vec<String>,
+        fingerprint: u64,
+        shutdowns: Vec<Arc<AtomicBool>>,
+        handles: Vec<std::thread::JoinHandle<()>>,
+    }
+
+    impl Fleet {
+        fn boot(docs: &[&str], n: usize, fingerprint: u64) -> Fleet {
+            let mut addrs = Vec::new();
+            let mut shutdowns = Vec::new();
+            let mut handles = Vec::new();
+            for (i, engine) in shard_engines(docs, n).into_iter().enumerate() {
+                let server = ShardServer::bind(
+                    "127.0.0.1:0",
+                    Arc::new(engine),
+                    i,
+                    segment_fingerprint(fingerprint, i),
+                )
+                .expect("bind loopback");
+                addrs.push(server.local_addr().expect("bound addr").to_string());
+                shutdowns.push(server.shutdown_flag());
+                handles.push(std::thread::spawn(move || {
+                    server.serve().expect("serve");
+                }));
+            }
+            Fleet {
+                addrs,
+                fingerprint,
+                shutdowns,
+                handles,
+            }
+        }
+
+        fn engine(&self) -> RemoteEngine {
+            RemoteEngine::connect(&self.addrs, LmParams::default(), self.fingerprint)
+                .expect("connect fleet")
+        }
+    }
+
+    impl Drop for Fleet {
+        fn drop(&mut self) {
+            for s in &self.shutdowns {
+                s.store(true, Ordering::SeqCst);
+            }
+            for h in self.handles.drain(..) {
+                h.join().expect("server thread");
+            }
+        }
+    }
+
+    fn mono(docs: &[&str]) -> SearchEngine {
+        let mut b = IndexBuilder::new();
+        for d in docs {
+            b.add_document(d);
+        }
+        SearchEngine::new(b.build())
+    }
+
+    #[test]
+    fn remote_search_is_bit_identical_to_in_process() {
+        let m = mono(&DOCS);
+        for n in [1, 2, 3, 7] {
+            let fleet = Fleet::boot(&DOCS, n, 0xFEED + n as u64);
+            let remote = fleet.engine();
+            let sharded = ShardedEngine::from_shards(shard_engines(&DOCS, n), LmParams::default());
+            for q in QUERIES {
+                let q = parse(q).unwrap();
+                for k in [0, 1, 3, 20] {
+                    let r = remote.try_search_with(&q, k, SearchMode::Exact).unwrap();
+                    assert_eq!(
+                        r,
+                        sharded.search_with(&q, k, SearchMode::Exact),
+                        "remote vs sharded at {n} shards, k={k}, query {q:?}"
+                    );
+                    assert_eq!(
+                        r,
+                        m.search_with(&q, k, SearchMode::Exact),
+                        "remote vs mono at {n} shards, k={k}, query {q:?}"
+                    );
+                    let pruned = remote.try_search_with(&q, k, SearchMode::Pruned).unwrap();
+                    assert_eq!(
+                        pruned,
+                        sharded.search_with(&q, k, SearchMode::Pruned),
+                        "pruned remote vs sharded at {n} shards, k={k}, query {q:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn remote_stats_phrases_and_doc_len_match_in_process() {
+        let m = mono(&DOCS);
+        for n in [1, 2, 3, 7] {
+            let fleet = Fleet::boot(&DOCS, n, 7 * n as u64 + 1);
+            let remote = fleet.engine();
+            assert_eq!(remote.num_docs(), m.index().num_docs());
+            assert_eq!(
+                RetrievalBackend::total_tokens(&remote),
+                m.index().total_tokens()
+            );
+            assert_eq!(
+                RetrievalBackend::epsilon_prob(&remote).to_bits(),
+                m.index().epsilon_prob().to_bits(),
+                "epsilon must be bit-identical at {n} shards"
+            );
+            for doc in 0..DOCS.len() as u32 {
+                assert_eq!(
+                    RetrievalBackend::doc_len(&remote, doc),
+                    m.index().doc_len(doc)
+                );
+            }
+            for phrase in [
+                vec!["grand".to_string(), "canal".to_string()],
+                vec!["gondola".to_string()],
+                vec!["zzzz".to_string()],
+            ] {
+                let a = RetrievalBackend::resolve_phrase(&m, &phrase);
+                let b = remote.resolve_phrase(&phrase);
+                assert_eq!(a.hits, b.hits, "{phrase:?} hits at {n} shards");
+                assert_eq!(
+                    a.collection_prob.to_bits(),
+                    b.collection_prob.to_bits(),
+                    "{phrase:?} prob at {n} shards"
+                );
+                let again = remote.resolve_phrase(&phrase);
+                assert!(Arc::ptr_eq(&b, &again), "global cache must memoize");
+            }
+            assert_eq!(remote.shard_count(), n);
+            assert!(remote.shard_endpoint(0).is_some());
+            assert!(remote.phrase_cache_len() >= 1);
+        }
+    }
+
+    #[test]
+    fn wrong_fingerprint_is_typed_per_shard() {
+        let fleet = Fleet::boot(&DOCS, 2, 111);
+        match RemoteEngine::connect(&fleet.addrs, LmParams::default(), 999) {
+            Err(ShardedError::Shard { shard: 0, source }) => {
+                assert!(
+                    matches!(source, crate::ondisk::OndiskError::MetaMismatch { .. }),
+                    "{source:?}"
+                );
+            }
+            Err(other) => panic!("expected shard-0 MetaMismatch, got {other:?}"),
+            Ok(_) => panic!("expected shard-0 MetaMismatch, got a connected engine"),
+        }
+    }
+
+    #[test]
+    fn dead_shard_surfaces_as_typed_error_naming_it() {
+        let fleet = Fleet::boot(&DOCS, 3, 42);
+        let remote = fleet.engine();
+        // Kill shard 1 out from under the engine.
+        fleet.shutdowns[1].store(true, Ordering::SeqCst);
+        // Wait for the server thread to actually wind down.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        let q = parse("#combine(grand venice)").unwrap();
+        match remote.try_search_with(&q, 5, SearchMode::Exact) {
+            Err(ShardedError::Shard { shard: 1, source }) => {
+                let text = source.to_string();
+                assert!(
+                    text.contains(fleet.addrs[1].as_str()),
+                    "error must name the endpoint: {text}"
+                );
+            }
+            other => panic!("expected shard-1 error, got {other:?}"),
+        }
+        // The infallible facade degrades to empty instead of panicking.
+        assert!(remote.search_with(&q, 5, SearchMode::Exact).is_empty());
+    }
+
+    #[test]
+    fn shutdown_op_drains_the_server() {
+        let fleet = Fleet::boot(&DOCS, 1, 5);
+        let shard = RemoteShard::connect(&fleet.addrs[0], 5, std::time::Duration::from_millis(20))
+            .expect("connect");
+        shard.shutdown().expect("shutdown acked");
+        // The serve loop observes the flag and exits; Drop joins it.
+    }
+
+    proptest::proptest! {
+        /// Process-boundary equivalence on random worlds at the pinned
+        /// shard counts {1, 2, 3, 7}.
+        #[test]
+        fn remote_equals_in_process_on_random_worlds(
+            docs in proptest::collection::vec(
+                proptest::collection::vec(0u8..6, 0..16),
+                1..12,
+            ),
+            npick in 0usize..4,
+            qpick in 0u8..6,
+        ) {
+            const VOCAB: [&str; 6] =
+                ["alpha", "beta", "gamma", "delta", "beta gamma", "alpha beta"];
+            let texts: Vec<String> = docs
+                .iter()
+                .map(|d| {
+                    d.iter()
+                        .map(|&x| VOCAB[x as usize])
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .collect();
+            let refs: Vec<&str> = texts.iter().map(String::as_str).collect();
+            let n = [1usize, 2, 3, 7][npick];
+            let fleet = Fleet::boot(&refs, n, 0xC0FFEE + n as u64);
+            let remote = fleet.engine();
+            let sharded = ShardedEngine::from_shards(
+                shard_engines(&refs, n),
+                LmParams::default(),
+            );
+            let queries = [
+                "#combine(alpha beta)",
+                "#1(beta gamma)",
+                "#weight(0.7 alpha 0.3 #1(alpha beta))",
+                "#combine(#1(gamma delta) delta)",
+                "delta",
+                "#combine(alpha #1(beta gamma) zeta)",
+            ];
+            let q = parse(queries[qpick as usize % queries.len()]).unwrap();
+            for mode in [SearchMode::Exact, SearchMode::Pruned] {
+                let r = remote.try_search_with(&q, 10, mode).unwrap();
+                proptest::prop_assert_eq!(
+                    r,
+                    sharded.search_with(&q, 10, mode),
+                    "mode {:?} at {} shards", mode, n
+                );
+            }
+        }
+    }
+}

@@ -67,7 +67,7 @@ use crate::engine::{
     flatten_specs, phrase_cache_slot, LeafSpec, PhraseInfo, SearchEngine, SearchMode,
     MAX_PRUNED_LEAVES,
 };
-use crate::index::{epsilon_for, TermBound};
+use crate::index::{epsilon_for, InvertedIndex, TermBound};
 use crate::lm::{log_belief_with_floor, LmParams};
 use crate::ondisk::{
     encode_index, fnv1a, load_index_with, write_atomic, ArtifactSource, LoadedIndex, OndiskError,
@@ -339,6 +339,177 @@ struct GlobalLeaf {
     per_shard_tf: Vec<HashMap<u32, u32>>,
 }
 
+/// One query leaf as a single shard sees it: the flattened weight, the
+/// **global** collection probability, and this shard's local `doc → tf`
+/// map. Both the in-process [`ShardedEngine`] scatter and the
+/// shard-process RPC server ([`crate::remote`]) score through the same
+/// [`shard_topk`] over these views — there is exactly one per-shard
+/// scoring implementation, so the two physical layouts are
+/// bit-identical by construction rather than by parallel maintenance.
+pub(crate) struct ShardLeafView<'a> {
+    /// Flattened query weight (from the shared `flatten_specs` pass).
+    pub(crate) weight: f64,
+    /// Global collection probability (global cf / global tokens).
+    pub(crate) collection_prob: f64,
+    /// This shard's local-doc-id → tf map for the leaf.
+    pub(crate) tf: &'a HashMap<u32, u32>,
+}
+
+/// Score one shard's candidates into a top-k heap keyed by global doc
+/// id (`base` + local doc). Holds the single mode gate both physical
+/// layouts share: `Pruned` applies only while the leaf count fits the
+/// pruning bitmask, otherwise exact scoring runs.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn shard_topk(
+    engine: &SearchEngine,
+    base: u32,
+    specs: &[(f64, LeafSpec<'_>)],
+    views: &[ShardLeafView<'_>],
+    params: LmParams,
+    epsilon: f64,
+    k: usize,
+    mode: SearchMode,
+) -> TopK {
+    match mode {
+        SearchMode::Pruned if views.len() <= MAX_PRUNED_LEAVES => {
+            shard_pruned_topk(engine, base, specs, views, params, epsilon, k)
+        }
+        _ => shard_exact_topk(engine, base, views, params, epsilon, k),
+    }
+}
+
+/// One shard's exhaustive candidate scoring — the float-op sequence the
+/// byte-identity contract pins (global smoothing inputs, local
+/// candidates, heap keyed by global doc id).
+fn shard_exact_topk(
+    engine: &SearchEngine,
+    base: u32,
+    views: &[ShardLeafView<'_>],
+    params: LmParams,
+    epsilon: f64,
+    k: usize,
+) -> TopK {
+    let mut candidates: Vec<u32> = views.iter().flat_map(|v| v.tf.keys().copied()).collect();
+    candidates.sort_unstable();
+    candidates.dedup();
+    let mut topk = TopK::new(k);
+    for doc in candidates {
+        let len = engine.index().doc_len(doc);
+        let mut score = 0.0;
+        for view in views {
+            let tf = view.tf.get(&doc).copied().unwrap_or(0);
+            score +=
+                view.weight * log_belief_with_floor(params, epsilon, tf, len, view.collection_prob);
+        }
+        topk.push(base + doc, score);
+    }
+    topk
+}
+
+/// One shard's MaxScore-style top-k: the monolithic engine's pruned
+/// loop with shard-local bounds and global smoothing inputs. Candidates
+/// are visited in descending upper-bound order and the loop stops once
+/// the heap is full and the next bound falls below the floor; the bound
+/// is bitwise-conservative (see `SearchEngine::pruned_topk`), so the
+/// shard's heap — and hence any merge over it — is bit-identical to
+/// exact mode.
+fn shard_pruned_topk(
+    engine: &SearchEngine,
+    base: u32,
+    specs: &[(f64, LeafSpec<'_>)],
+    views: &[ShardLeafView<'_>],
+    params: LmParams,
+    epsilon: f64,
+    k: usize,
+) -> TopK {
+    let bounds: Vec<(f64, f64)> = specs
+        .iter()
+        .zip(views)
+        .map(|((_, spec), view)| shard_leaf_bounds(engine.index(), spec, view, params, epsilon))
+        .collect();
+    let mut masks: HashMap<u32, u64> = HashMap::new();
+    for (i, view) in views.iter().enumerate() {
+        for &doc in view.tf.keys() {
+            *masks.entry(doc).or_insert(0) |= 1u64 << i;
+        }
+    }
+    let candidates: Vec<(f64, u32)> = masks
+        .iter()
+        .map(|(&doc, &mask)| {
+            let mut ub = 0.0;
+            for (i, &(matched, background)) in bounds.iter().enumerate() {
+                ub += if mask & (1u64 << i) != 0 {
+                    matched
+                } else {
+                    background
+                };
+            }
+            (ub, doc)
+        })
+        .collect();
+    // Heapify instead of sorting: same visit order, O(n) up front
+    // (see `SearchEngine::pruned_topk`).
+    let mut heap = BoundHeap::from_candidates(candidates);
+    let mut topk = TopK::new(k);
+    while let Some((ub, doc)) = heap.pop() {
+        if let Some(floor) = topk.floor() {
+            if ub < floor.score {
+                break; // bounds descend: nothing later can qualify
+            }
+        }
+        let len = engine.index().doc_len(doc);
+        let mut score = 0.0;
+        for view in views {
+            let tf = view.tf.get(&doc).copied().unwrap_or(0);
+            score +=
+                view.weight * log_belief_with_floor(params, epsilon, tf, len, view.collection_prob);
+        }
+        topk.push(base + doc, score);
+    }
+    topk
+}
+
+/// Per-leaf `(matched, background)` bounds valid for one shard's
+/// documents: term leaves read the shard index's [`TermBound`] (from
+/// its segment's BOUNDS section), phrase leaves derive theirs from the
+/// shard's resolved hits; the collection probability and epsilon stay
+/// global, exactly as in scoring.
+fn shard_leaf_bounds(
+    index: &InvertedIndex,
+    spec: &LeafSpec<'_>,
+    view: &ShardLeafView<'_>,
+    params: LmParams,
+    epsilon: f64,
+) -> (f64, f64) {
+    let background = view.weight
+        * log_belief_with_floor(
+            params,
+            epsilon,
+            0,
+            index.min_doc_len(),
+            view.collection_prob,
+        );
+    let bound = match spec {
+        LeafSpec::Term(t) => index.term_id(t).map(|tid| index.term_bound(tid)),
+        LeafSpec::Phrase(_) => {
+            let mut b = TermBound::EMPTY;
+            for (&doc, &tf) in view.tf {
+                b.max_tf = b.max_tf.max(tf);
+                b.min_len = b.min_len.min(index.doc_len(doc));
+            }
+            Some(b.normalized())
+        }
+    };
+    let matched = match bound {
+        Some(b) if b.max_tf > 0 => {
+            view.weight
+                * log_belief_with_floor(params, epsilon, b.max_tf, b.min_len, view.collection_prob)
+        }
+        _ => background,
+    };
+    (matched, background)
+}
+
 /// N doc-partitioned shards behind one
 /// [`RetrievalBackend`](crate::backend::RetrievalBackend) surface.
 ///
@@ -506,16 +677,29 @@ impl ShardedEngine {
         let epsilon = self.epsilon_prob();
 
         // Scatter: each shard scores its own candidate union into a
-        // local top-k heap under the (score, global doc id) total order.
+        // local top-k heap under the (score, global doc id) total order,
+        // through the one shared per-shard scorer ([`shard_topk`]).
         let per_shard: Vec<Vec<Scored>> =
             parallel_map(self.shards.len(), self.search_threads, |si| {
-                let topk = match mode {
-                    SearchMode::Pruned if leaves.len() <= MAX_PRUNED_LEAVES => {
-                        self.shard_pruned_topk(si, &specs, &leaves, epsilon, k)
-                    }
-                    _ => self.shard_exact_topk(si, &leaves, epsilon, k),
-                };
-                topk.into_sorted()
+                let views: Vec<ShardLeafView<'_>> = leaves
+                    .iter()
+                    .map(|l| ShardLeafView {
+                        weight: l.weight,
+                        collection_prob: l.collection_prob,
+                        tf: &l.per_shard_tf[si],
+                    })
+                    .collect();
+                shard_topk(
+                    &self.shards[si],
+                    self.doc_bases[si],
+                    &specs,
+                    &views,
+                    self.params,
+                    epsilon,
+                    k,
+                    mode,
+                )
+                .into_sorted()
             });
 
         // Gather: merge under the same total order and keep k. Every
@@ -573,144 +757,6 @@ impl ShardedEngine {
                 }
             }
         }
-    }
-
-    /// Shard `si`'s exhaustive candidate scoring — the float-op
-    /// sequence the byte-identity contract pins (global smoothing
-    /// inputs, local candidates, heap keyed by global doc id).
-    fn shard_exact_topk(&self, si: usize, leaves: &[GlobalLeaf], epsilon: f64, k: usize) -> TopK {
-        let engine = &self.shards[si];
-        let base = self.doc_bases[si];
-        let mut candidates: Vec<u32> = leaves
-            .iter()
-            .flat_map(|l| l.per_shard_tf[si].keys().copied())
-            .collect();
-        candidates.sort_unstable();
-        candidates.dedup();
-        let mut topk = TopK::new(k);
-        for doc in candidates {
-            let len = engine.index().doc_len(doc);
-            let mut score = 0.0;
-            for leaf in leaves {
-                let tf = leaf.per_shard_tf[si].get(&doc).copied().unwrap_or(0);
-                score += leaf.weight
-                    * log_belief_with_floor(self.params, epsilon, tf, len, leaf.collection_prob);
-            }
-            topk.push(base + doc, score);
-        }
-        topk
-    }
-
-    /// Shard `si`'s MaxScore-style top-k: the monolithic engine's
-    /// pruned loop with shard-local bounds and global smoothing inputs.
-    /// Candidates are visited in descending upper-bound order and the
-    /// loop stops once the heap is full and the next bound falls below
-    /// the floor; the bound is bitwise-conservative (see
-    /// `SearchEngine::pruned_topk`), so the shard's heap — and hence
-    /// the merge — is bit-identical to exact mode.
-    fn shard_pruned_topk(
-        &self,
-        si: usize,
-        specs: &[(f64, LeafSpec<'_>)],
-        leaves: &[GlobalLeaf],
-        epsilon: f64,
-        k: usize,
-    ) -> TopK {
-        let engine = &self.shards[si];
-        let base = self.doc_bases[si];
-        let bounds: Vec<(f64, f64)> = specs
-            .iter()
-            .zip(leaves)
-            .map(|((_, spec), leaf)| self.shard_leaf_bounds(si, spec, leaf, epsilon))
-            .collect();
-        let mut masks: HashMap<u32, u64> = HashMap::new();
-        for (i, leaf) in leaves.iter().enumerate() {
-            for &doc in leaf.per_shard_tf[si].keys() {
-                *masks.entry(doc).or_insert(0) |= 1u64 << i;
-            }
-        }
-        let candidates: Vec<(f64, u32)> = masks
-            .iter()
-            .map(|(&doc, &mask)| {
-                let mut ub = 0.0;
-                for (i, &(matched, background)) in bounds.iter().enumerate() {
-                    ub += if mask & (1u64 << i) != 0 {
-                        matched
-                    } else {
-                        background
-                    };
-                }
-                (ub, doc)
-            })
-            .collect();
-        // Heapify instead of sorting: same visit order, O(n) up front
-        // (see `SearchEngine::pruned_topk`).
-        let mut heap = BoundHeap::from_candidates(candidates);
-        let mut topk = TopK::new(k);
-        while let Some((ub, doc)) = heap.pop() {
-            if let Some(floor) = topk.floor() {
-                if ub < floor.score {
-                    break; // bounds descend: nothing later can qualify
-                }
-            }
-            let len = engine.index().doc_len(doc);
-            let mut score = 0.0;
-            for leaf in leaves {
-                let tf = leaf.per_shard_tf[si].get(&doc).copied().unwrap_or(0);
-                score += leaf.weight
-                    * log_belief_with_floor(self.params, epsilon, tf, len, leaf.collection_prob);
-            }
-            topk.push(base + doc, score);
-        }
-        topk
-    }
-
-    /// Per-leaf `(matched, background)` bounds valid for shard `si`'s
-    /// documents: term leaves read the shard index's [`TermBound`]
-    /// (from its segment's BOUNDS section), phrase leaves derive theirs
-    /// from the shard's resolved hits; the collection probability and
-    /// epsilon stay global, exactly as in scoring.
-    fn shard_leaf_bounds(
-        &self,
-        si: usize,
-        spec: &LeafSpec<'_>,
-        leaf: &GlobalLeaf,
-        epsilon: f64,
-    ) -> (f64, f64) {
-        let index = self.shards[si].index();
-        let background = leaf.weight
-            * log_belief_with_floor(
-                self.params,
-                epsilon,
-                0,
-                index.min_doc_len(),
-                leaf.collection_prob,
-            );
-        let bound = match spec {
-            LeafSpec::Term(t) => index.term_id(t).map(|tid| index.term_bound(tid)),
-            LeafSpec::Phrase(_) => {
-                let mut b = TermBound::EMPTY;
-                for (&doc, &tf) in &leaf.per_shard_tf[si] {
-                    b.max_tf = b.max_tf.max(tf);
-                    b.min_len = b.min_len.min(index.doc_len(doc));
-                }
-                Some(b.normalized())
-            }
-        };
-        let matched = match bound {
-            Some(b) if b.max_tf > 0 => {
-                leaf.weight
-                    * log_belief_with_floor(
-                        self.params,
-                        epsilon,
-                        b.max_tf,
-                        b.min_len,
-                        leaf.collection_prob,
-                    )
-            }
-            _ => background,
-        };
-        (matched, background)
     }
 
     /// Resolve (and cache) one phrase globally: per-shard hits re-based

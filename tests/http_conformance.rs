@@ -403,12 +403,107 @@ fn full_queue_sheds_at_the_edge_with_503_retry_after() {
                 .collect::<Vec<_>>()
         );
         for response in &shed {
-            assert!(response.contains("Retry-After: 1"), "{response}");
+            // Overloaded advertises its own (longer) back-off hint.
+            assert!(response.contains("Retry-After: 2"), "{response}");
             assert!(response.contains("\"code\":\"overloaded\""), "{response}");
         }
         assert!(server.stats().shed() >= 1);
         drop(hold_a);
         drop(hold_b);
+    });
+}
+
+#[test]
+fn retry_after_carries_each_typed_errors_own_backoff_hint() {
+    use querygraph::core::service::{Deadline, ServiceError};
+    // The hints come from the typed errors themselves, not a fixed
+    // server-side constant — and the two overload shapes differ.
+    let timeout_hint = Deadline::after(Duration::from_millis(1))
+        .timeout_error()
+        .retry_after_seconds()
+        .expect("408 is retryable");
+    let overload_hint = ServiceError::Overloaded { queue_depth: 1 }
+        .retry_after_seconds()
+        .expect("503 is retryable");
+    assert_ne!(
+        timeout_hint, overload_hint,
+        "408 and 503 must advertise different back-off hints"
+    );
+    let config = ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        deadline: Duration::from_millis(300),
+        ..ServerConfig::default()
+    };
+    with_server(config, |addr, _| {
+        // 408: trickle a partial head past the deadline.
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        stream.write_all(b"POST /exp").expect("partial write");
+        let mut out = Vec::new();
+        stream.read_to_end(&mut out).expect("read");
+        let response = String::from_utf8_lossy(&out);
+        assert!(response.starts_with("HTTP/1.1 408"), "{response}");
+        assert!(
+            response.contains(&format!("Retry-After: {timeout_hint}\r\n")),
+            "408 must carry the Timeout error's own hint: {response}"
+        );
+
+        // 503: pin the single worker and the one queue slot, probe
+        // until a connection is shed at the edge.
+        let _hold_a = TcpStream::connect(addr).expect("connect");
+        let _hold_b = TcpStream::connect(addr).expect("connect");
+        let mut shed = None;
+        for _ in 0..16 {
+            let r = raw_exchange(addr, b"GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+            if r.starts_with("HTTP/1.1 503") {
+                shed = Some(r);
+                break;
+            }
+        }
+        let shed = shed.expect("a probe against the pinned server must be shed");
+        assert!(
+            shed.contains(&format!("Retry-After: {overload_hint}\r\n")),
+            "503 must carry the Overloaded error's own hint: {shed}"
+        );
+    });
+}
+
+#[test]
+fn workers_survive_a_poisoned_stats_lock() {
+    let world = ServingWorld::open(&ExperimentConfig::tiny(), None);
+    let expander = world.expander();
+    let article = world.wiki.kb.main_articles().next().expect("articles");
+    let query = world.wiki.kb.title(article).to_string();
+    let config = ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    };
+    run_with_expander(&expander, config, |addr, server| {
+        // Poison the request-latency mutex the success path pushes
+        // into. Before the recovery fix every worker panicked on its
+        // first 200 and the pool died; now the lock is recovered.
+        server.stats().poison_request_latencies_for_test();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let query = &query;
+                scope.spawn(move || {
+                    for _ in 0..5 {
+                        let response = post_expand(addr, query);
+                        assert_eq!(response.status, 200, "{}", response.body_text());
+                    }
+                });
+            }
+        });
+        assert_eq!(server.stats().queries_served(), 20);
+        // `/statz` reads the poisoned mutex too — and still answers.
+        let statz = http::get(addr, "/statz", Duration::from_secs(10)).expect("statz");
+        assert_eq!(statz.status, 200);
+        let snapshot: StatzSnapshot =
+            serde_json::from_str(statz.body_text().trim()).expect("snapshot parses");
+        assert_eq!(snapshot.queries_served, 20);
     });
 }
 
