@@ -53,6 +53,11 @@ pub struct BenchDiff {
     /// seconds, QPS, latency percentiles. Same tolerance rules as
     /// `build_stages` — pipeline-run records simply have no serve rows.
     pub serve_stages: Vec<StageDiff>,
+    /// Ingest measurements (schema-8 `ingest` records from
+    /// `qgx ingest`/`qgx compact`): docs/sec, compaction wall, swap
+    /// pause. Same tolerance rules — run/serve records have no ingest
+    /// rows.
+    pub ingest_stages: Vec<StageDiff>,
     /// Per-stage seconds, in baseline-then-new order.
     pub stages: Vec<StageDiff>,
 }
@@ -108,6 +113,7 @@ impl BenchDiff {
             .iter()
             .chain(&self.build_stages)
             .chain(&self.serve_stages)
+            .chain(&self.ingest_stages)
             .chain([&self.build, &self.wall])
     }
 }
@@ -248,6 +254,37 @@ pub fn diff_records(baseline: &Value, candidate: &Value) -> BenchDiff {
     })
     .collect();
 
+    // Schema-8 ingest records: nested under `ingest`. Rows appear only
+    // when either side has them, so older baselines diff tolerantly.
+    let ingest_stages = [
+        ("ingest_seconds", &["ingest", "ingest_seconds"][..]),
+        ("ingest_docs_per_second", &["ingest", "docs_per_second"][..]),
+        (
+            "ingest_peak_buffer_bytes",
+            &["ingest", "peak_buffer_bytes"][..],
+        ),
+        (
+            "ingest_compaction_seconds",
+            &["ingest", "compaction_seconds"][..],
+        ),
+        ("ingest_swap_pause_us", &["ingest", "swap_pause_us"][..]),
+        (
+            "ingest_segments_after",
+            &["ingest", "segments_after_compaction"][..],
+        ),
+    ]
+    .iter()
+    .filter_map(|(name, path)| {
+        let base = get_path_f64(baseline, path);
+        let cand = get_path_f64(candidate, path);
+        (base.is_some() || cand.is_some()).then(|| StageDiff {
+            name: name.to_string(),
+            base,
+            cand,
+        })
+    })
+    .collect();
+
     let run_f64 = |record: &Value, key: &str| get(record, "run").and_then(|r| get_f64(r, key));
     BenchDiff {
         wall: StageDiff {
@@ -262,6 +299,7 @@ pub fn diff_records(baseline: &Value, candidate: &Value) -> BenchDiff {
         },
         build_stages,
         serve_stages,
+        ingest_stages,
         stages,
     }
 }
@@ -532,6 +570,62 @@ mod tests {
     fn run_records_have_no_serve_rows() {
         let diff = diff_records(&record(0.32, 0.29), &record(0.16, 0.07));
         assert!(diff.serve_stages.is_empty());
+        assert!(diff.ingest_stages.is_empty());
+    }
+
+    fn ingest_record(dps: f64, compaction: f64) -> Value {
+        parse_record(&format!(
+            r#"{{"schema":8,"kind":"ingest","num_queries":6,"num_topics":60,
+                "ingest":{{"docs_ingested":237434,"batches":12,
+                    "ingest_seconds":20.0,"docs_per_second":{dps},
+                    "peak_buffer_bytes":70000,
+                    "segments_before_compaction":12,
+                    "segments_after_compaction":4,
+                    "compaction_seconds":{compaction},
+                    "swap_pause_us":150.0,"generation":13}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn schema8_ingest_records_diff_and_tolerate_old_baselines() {
+        // Old run baseline vs ingest candidate: ingest rows appear with
+        // a dashed baseline side, never an error.
+        let diff = diff_records(&record(0.32, 0.29), &ingest_record(11_000.0, 2.5));
+        let dps = diff
+            .ingest_stages
+            .iter()
+            .find(|d| d.name == "ingest_docs_per_second")
+            .unwrap();
+        assert_eq!(dps.base, None);
+        assert_eq!(dps.cand, Some(11_000.0));
+        assert_eq!(dps.pct_delta(), None, "half-missing row cannot gate");
+        // Ingest vs ingest: real deltas, rendered in both formats.
+        let diff = diff_records(&ingest_record(10_000.0, 3.0), &ingest_record(12_000.0, 2.0));
+        let dps = diff
+            .ingest_stages
+            .iter()
+            .find(|d| d.name == "ingest_docs_per_second")
+            .unwrap();
+        assert!((dps.pct_delta().unwrap() - 20.0).abs() < 1e-9);
+        let comp = diff
+            .ingest_stages
+            .iter()
+            .find(|d| d.name == "ingest_compaction_seconds")
+            .unwrap();
+        assert_eq!(comp.abs_delta(), Some(-1.0));
+        assert!(diff
+            .render_markdown()
+            .contains("| `ingest_swap_pause_us` |"));
+        // Ingest records carry no pipeline wall clock — no false gate.
+        assert_eq!(diff.wall_regression_pct(), 0.0);
+        // The history table renders the record kind tolerantly.
+        let md = render_history(&[(
+            "BENCH_ingest.json".to_string(),
+            ingest_record(11_000.0, 2.5),
+        )]);
+        assert!(md.contains("ingest"));
+        assert!(md.contains('8'));
     }
 
     #[test]

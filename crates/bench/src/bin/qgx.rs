@@ -1,19 +1,24 @@
 //! `qgx` — the query-expansion server, now with a socket.
 //!
-//! Four subcommands over one world-boot path:
+//! Seven subcommands over one world-boot path:
 //!
 //! ```text
-//! qgx serve  --listen <addr>  [world flags] [--workers n] [--queue n]
-//!            [--deadline-ms n] [--keep-alive n] [--shard-procs n]
-//!            [--bench-out path]
-//! qgx replay [world flags] [--queries f | --seed-queries] [--repeat n]
-//!            [--zipf s] [--threads n] [--deadline-ms n] [--json]
-//!            [--shard-procs n] [--bench-out path]
-//! qgx client --connect <addr> [--healthz | --statz | --flood n |
-//!            --query text | --queries f | --seed-queries [tier flags]]
-//!            [--repeat n] [--top-k k] [--max-features n] [--timeout-ms n]
-//! qgx shard  --dir <dir> --stem <stem> --shard <i> --fingerprint <fp>
-//!            [--listen <addr>] [--mmap]
+//! qgx serve   --listen <addr>  [world flags] [--workers n] [--queue n]
+//!             [--deadline-ms n] [--keep-alive n] [--shard-procs n]
+//!             [--bench-out path]
+//! qgx replay  [world flags] [--queries f | --seed-queries] [--repeat n]
+//!             [--zipf s] [--threads n] [--deadline-ms n] [--json]
+//!             [--shard-procs n] [--bench-out path]
+//! qgx client  --connect <addr> [--healthz | --statz | --flood n |
+//!             --query text | --queries f | --seed-queries [tier flags]]
+//!             [--repeat n] [--top-k k] [--max-features n] [--timeout-ms n]
+//! qgx shard   --shard <i> --fingerprint <fp> [--listen <addr>] [--mmap]
+//!             (--dir <dir> --stem <stem> | --segstore <dir> --seq <s>)
+//! qgx dump    --out <path> [tier flags] [--skip n] [--docs n]
+//! qgx ingest  --dump <path> --segstore <dir> [tier flags]
+//!             [--batch-docs n] [--compact n] [--bench-out path]
+//! qgx compact --segstore <dir> [tier flags] [--shards n]
+//!             [--bench-out path]
 //! ```
 //!
 //! * `serve` binds the `core::http` HTTP/1.1 front-end over the loaded
@@ -43,7 +48,21 @@
 //!   --shard-procs N` and `replay --shard-procs N` supervise N of these
 //!   children and scatter-gather across them through
 //!   `retrieval::remote::RemoteEngine` — byte-identical to the
-//!   in-process `--shards N` engine over the same artifact.
+//!   in-process `--shards N` engine over the same artifact. With
+//!   `--segstore <dir> --seq <s>` it serves one segment-store segment
+//!   instead (seq-keyed fingerprint pinning).
+//!
+//! * `dump` / `ingest` / `compact` are the streaming build path
+//!   (DESIGN.md §14): `dump` writes a tier's corpus as an XML dump
+//!   (optionally a `--skip/--docs` slice, so a dump can arrive in
+//!   batches); `ingest` streams a dump through
+//!   `corpus::ingest::DumpStream` in bounded memory, freezing every
+//!   `--batch-docs` documents into one `QGIX` segment of a `QGSS`
+//!   segment store; `compact` merges the live segments into `--shards`
+//!   balanced ones. `serve --segstore <dir>` / `replay --segstore
+//!   <dir>` serve the store's current generation and (serve only)
+//!   watch the manifest, hot-swapping the engine onto each newly
+//!   published generation with zero downtime.
 //!
 //! **Deprecated alias:** invoking `qgx` with bare flags (no
 //! subcommand) warns once on stderr and behaves exactly like
@@ -56,8 +75,8 @@
 //! `--prune`, `--expansion-cache <n>`.
 
 use querygraph_bench::{
-    flag_f64, flag_operand, flag_usize, CliOptions, LatencySummary, ServeRecord, ServeSummary,
-    ZipfSampler,
+    flag_f64, flag_operand, flag_usize, CliOptions, IngestRecord, IngestSummary, LatencySummary,
+    ServeRecord, ServeSummary, ZipfSampler,
 };
 use querygraph_core::expcache::ExpansionCache;
 use querygraph_core::http::{self, HttpServer, ServerConfig};
@@ -73,11 +92,13 @@ use std::time::{Duration, Instant};
 
 /// Flags selecting and tuning the served world, shared by `serve` and
 /// `replay` (each subcommand adds its own on top).
-const WORLD_FLAGS: [(&str, bool); 11] = [
+const WORLD_FLAGS: [(&str, bool); 13] = [
     ("--tiny", false),
     ("--quick", false),
     ("--stress", false),
+    ("--track", false),
     ("--index-cache", true),
+    ("--segstore", true),
     ("--shards", true),
     ("--shard-threads", true),
     ("--mmap", false),
@@ -111,16 +132,51 @@ const SERVE_FLAGS: [(&str, bool); 8] = [
     ("--bench-out", true),
 ];
 
-const SHARD_FLAGS: [(&str, bool); 6] = [
+const SHARD_FLAGS: [(&str, bool); 8] = [
     ("--dir", true),
     ("--stem", true),
+    ("--segstore", true),
+    ("--seq", true),
     ("--shard", true),
     ("--fingerprint", true),
     ("--listen", true),
     ("--mmap", false),
 ];
 
-const CLIENT_FLAGS: [(&str, bool); 14] = [
+const DUMP_FLAGS: [(&str, bool); 7] = [
+    ("--tiny", false),
+    ("--quick", false),
+    ("--stress", false),
+    ("--track", false),
+    ("--out", true),
+    ("--skip", true),
+    ("--docs", true),
+];
+
+const INGEST_FLAGS: [(&str, bool); 9] = [
+    ("--tiny", false),
+    ("--quick", false),
+    ("--stress", false),
+    ("--track", false),
+    ("--dump", true),
+    ("--segstore", true),
+    ("--batch-docs", true),
+    ("--compact", true),
+    ("--bench-out", true),
+];
+
+const COMPACT_FLAGS: [(&str, bool); 8] = [
+    ("--tiny", false),
+    ("--quick", false),
+    ("--stress", false),
+    ("--track", false),
+    ("--segstore", true),
+    ("--shards", true),
+    ("--mmap", false),
+    ("--bench-out", true),
+];
+
+const CLIENT_FLAGS: [(&str, bool); 15] = [
     ("--connect", true),
     ("--timeout-ms", true),
     ("--healthz", false),
@@ -135,6 +191,7 @@ const CLIENT_FLAGS: [(&str, bool); 14] = [
     ("--tiny", false),
     ("--quick", false),
     ("--stress", false),
+    ("--track", false),
 ];
 
 /// Reject unrecognized `--flags` (operand values are skipped) — a
@@ -169,6 +226,9 @@ fn main() {
         Some("replay") => run_replay(&without_subcommand(&args)),
         Some("client") => run_client(&without_subcommand(&args)),
         Some("shard") => run_shard(&without_subcommand(&args)),
+        Some("dump") => run_dump(&without_subcommand(&args)),
+        Some("ingest") => run_ingest(&without_subcommand(&args)),
+        Some("compact") => run_compact(&without_subcommand(&args)),
         Some(flag) if flag.starts_with("--") => {
             // The pre-subcommand CLI: bare flags meant what `replay`
             // means now. One warning, then identical behaviour.
@@ -184,7 +244,10 @@ fn main() {
             run_replay(&args);
         }
         Some(other) => {
-            eprintln!("error: unknown subcommand {other:?} (serve | replay | client | shard)");
+            eprintln!(
+                "error: unknown subcommand {other:?} \
+                 (serve | replay | client | shard | dump | ingest | compact)"
+            );
             std::process::exit(2);
         }
     }
@@ -288,8 +351,10 @@ fn boot_world(
         }
         // Never booted here: a remote fleet replaces the engine only
         // *after* boot (see `spawn_shard_procs`), which recomputes the
-        // effective scatter width itself.
-        querygraph_retrieval::backend::AnyEngine::Remote(_) => 1,
+        // effective scatter width itself; a reloadable engine is
+        // installed only by the segstore serve path, after boot too.
+        querygraph_retrieval::backend::AnyEngine::Remote(_)
+        | querygraph_retrieval::backend::AnyEngine::Reloadable(_) => 1,
     };
     eprintln!(
         "# qgx: {} articles, index {} x{} shard(s) (world {:.3}s, build {:.3}s, load {:.3}s); \
@@ -338,7 +403,7 @@ impl ShardFleet {
             loop {
                 match child.try_wait() {
                     Ok(Some(status)) => {
-                        eprintln!("# qgx: shard {shard} exited ({status})");
+                        log_line(&format!("# qgx: shard {shard} exited ({status})"));
                         break;
                     }
                     Ok(None) if Instant::now() < deadline => {
@@ -354,6 +419,17 @@ impl ShardFleet {
             }
         }
     }
+}
+
+/// Log one line to stderr in a single `write` syscall. Supervisor and
+/// shard children share the stderr fd; `eprintln!` issues one write
+/// per format fragment, so concurrent boot announcements can
+/// byte-interleave unless each line goes out whole.
+fn log_line(line: &str) {
+    let mut buf = String::with_capacity(line.len() + 1);
+    buf.push_str(line);
+    buf.push('\n');
+    let _ = std::io::stderr().write_all(buf.as_bytes());
 }
 
 /// Boot-failure cleanup: kill and reap every child spawned so far.
@@ -444,10 +520,10 @@ fn spawn_shard_procs(
             kill_children(&mut children);
             std::process::exit(1);
         };
-        eprintln!(
+        log_line(&format!(
             "# qgx: shard {shard} pid {} listening on {addr}",
             child.id()
-        );
+        ));
         addrs.push(addr);
         children.push(child);
     }
@@ -501,6 +577,391 @@ fn teardown_fleet(fleet: Option<ShardFleet>, world: &ServingWorld) {
     }
 }
 
+// ------------------------------------------------- segment-store serving
+
+/// What `serve`/`replay --segstore <dir>` keep next to the world: the
+/// store's identity plus a handle on the hot-swappable engine slot.
+struct SegstoreBoot {
+    dir: std::path::PathBuf,
+    /// The store (= world-configuration) fingerprint.
+    fingerprint: u64,
+    /// The manifest observed at boot.
+    manifest: querygraph_retrieval::segstore::Manifest,
+    /// A second handle on the slot `world.engine` reads through; the
+    /// watcher thread (and `--shard-procs` boot) swap through this one.
+    reloadable: querygraph_retrieval::backend::ReloadableEngine,
+}
+
+fn segstore_source(cli: &CliOptions) -> querygraph_retrieval::ondisk::ArtifactSource {
+    if cli.mmap {
+        querygraph_retrieval::ondisk::ArtifactSource::Mmap
+    } else {
+        querygraph_retrieval::ondisk::ArtifactSource::Read
+    }
+}
+
+/// Boot a [`ServingWorld`] from a `QGSS` segment store: synthesize the
+/// wiki only (expansion needs the knowledge graph; the corpus text
+/// already lives in the segments), load the current generation, and
+/// install it behind a [`ReloadableEngine`] whose cache epoch is the
+/// generation fingerprint — so hot swaps invalidate the expansion
+/// cache exactly when the document set changes.
+fn boot_segstore_world(
+    cli: &CliOptions,
+    ex: &ExpanderOptions,
+    dir: &std::path::Path,
+) -> (ServingWorld, SegstoreBoot) {
+    use querygraph_retrieval::backend::{AnyEngine, ReloadableEngine};
+    use querygraph_retrieval::segstore;
+
+    let config = cli.config();
+    if cli.index_cache.is_some() || cli.shards.is_some() {
+        eprintln!("error: --segstore is its own index source; drop --index-cache/--shards");
+        std::process::exit(2);
+    }
+    let fingerprint = querygraph_core::cache::config_fingerprint(&config);
+    let t_world = Instant::now();
+    let wiki = querygraph_wiki::synth::generate(&config.wiki);
+    let world_seconds = t_world.elapsed().as_secs_f64();
+
+    let t_load = Instant::now();
+    let generation = match segstore::load_generation(dir, fingerprint, segstore_source(cli)) {
+        Ok(Some(generation)) => generation,
+        Ok(None) => {
+            eprintln!(
+                "error: segment store {} has never published — run `qgx ingest` first",
+                dir.display()
+            );
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: segment store {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    let manifest = generation.manifest.clone();
+    let lm = querygraph_retrieval::lm::LmParams::default();
+    let mut engine =
+        querygraph_retrieval::sharded::ShardedEngine::from_shards(generation.into_engines(lm), lm);
+    engine.set_search_threads(ex.shard_threads);
+    let index_load_seconds = t_load.elapsed().as_secs_f64();
+
+    let epoch = manifest.generation_fingerprint();
+    let reloadable = ReloadableEngine::new(AnyEngine::Sharded(engine), epoch);
+    let stats = querygraph_core::cache::BuildStats {
+        world_seconds,
+        index_build_seconds: 0.0,
+        index_write_seconds: 0.0,
+        index_load_seconds,
+        index_source: querygraph_core::cache::IndexSource::Loaded,
+        shard_count: manifest.segments.len(),
+        shard_load_seconds: Vec::new(),
+    };
+    let world = ServingWorld {
+        wiki,
+        engine: AnyEngine::Reloadable(reloadable.clone()),
+        config,
+        stats,
+    };
+    eprintln!(
+        "# qgx: {} articles, segstore generation {} ({} docs, {} segment(s)) \
+         (world {world_seconds:.3}s, load {index_load_seconds:.3}s); \
+         strategy {}, top-k {}, search {}, cache {}",
+        world.wiki.kb.num_articles(),
+        manifest.generation,
+        manifest.total_docs(),
+        manifest.segments.len(),
+        ex.strategy.name(),
+        ex.top_k,
+        ex.search_mode().name(),
+        ex.expansion_cache
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "off".to_string()),
+    );
+    (
+        world,
+        SegstoreBoot {
+            dir: dir.to_path_buf(),
+            fingerprint,
+            manifest,
+            reloadable,
+        },
+    )
+}
+
+/// Spawn one `qgx shard --segstore --seq` child per live segment of
+/// `manifest` and connect a [`RemoteEngine`] across them with seq-keyed
+/// fingerprint pinning. Unlike [`spawn_shard_procs`] this returns an
+/// error instead of exiting: the live-reload watcher must keep serving
+/// the old generation when a new fleet fails to come up.
+fn spawn_segstore_fleet(
+    dir: &std::path::Path,
+    store_fp: u64,
+    manifest: &querygraph_retrieval::segstore::Manifest,
+    shard_threads: usize,
+    mmap: bool,
+) -> Result<(ShardFleet, querygraph_retrieval::remote::RemoteEngine), String> {
+    use std::process::{Command, Stdio};
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate the qgx binary: {e}"))?;
+    let mut children: Vec<std::process::Child> = Vec::with_capacity(manifest.segments.len());
+    let mut addrs: Vec<String> = Vec::with_capacity(manifest.segments.len());
+    for (slot, seg) in manifest.segments.iter().enumerate() {
+        let mut command = Command::new(&exe);
+        command
+            .arg("shard")
+            .arg("--segstore")
+            .arg(dir)
+            .arg("--seq")
+            .arg(seg.seq.to_string())
+            .arg("--shard")
+            .arg(slot.to_string())
+            .arg("--fingerprint")
+            .arg(format!("{store_fp:016x}"))
+            .arg("--listen")
+            .arg("127.0.0.1:0")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped());
+        if mmap {
+            command.arg("--mmap");
+        }
+        let mut child = match command.spawn() {
+            Ok(child) => child,
+            Err(e) => {
+                kill_children(&mut children);
+                return Err(format!("cannot spawn segment {}: {e}", seg.seq));
+            }
+        };
+        let stdout = child.stdout.take().expect("piped child stdout");
+        let mut line = String::new();
+        let read = std::io::BufReader::new(stdout).read_line(&mut line);
+        let addr = match read {
+            Ok(len) if len > 0 => querygraph_retrieval::remote::server::parse_announce(line.trim()),
+            _ => None,
+        };
+        let Some(addr) = addr else {
+            children.push(child);
+            kill_children(&mut children);
+            return Err(format!(
+                "segment {} did not announce a QGRP address (got {:?})",
+                seg.seq,
+                line.trim()
+            ));
+        };
+        log_line(&format!(
+            "# qgx: segment {} (slot {slot}) pid {} listening on {addr}",
+            seg.seq,
+            child.id()
+        ));
+        addrs.push(addr);
+        children.push(child);
+    }
+    let expected: Vec<u64> = manifest
+        .segments
+        .iter()
+        .map(|s| querygraph_retrieval::segstore::segment_fp(store_fp, s.seq))
+        .collect();
+    match querygraph_retrieval::remote::RemoteEngine::connect_with_fingerprints(
+        &addrs,
+        querygraph_retrieval::lm::LmParams::default(),
+        &expected,
+    ) {
+        Ok(remote) => Ok((
+            ShardFleet { children },
+            remote.with_search_threads(shard_threads),
+        )),
+        Err(e) => {
+            kill_children(&mut children);
+            Err(format!("cannot connect to the segment fleet: {e}"))
+        }
+    }
+}
+
+/// `--shard-procs` over a segment store: one child per live segment,
+/// swapped into the reloadable slot. The epoch is unchanged — same
+/// generation, byte-identical answers — so warmed expansion-cache
+/// entries stay valid. Exits on boot failure, like `spawn_shard_procs`.
+fn maybe_segstore_fleet(
+    boot: &SegstoreBoot,
+    shard_procs: Option<usize>,
+    ex: &ExpanderOptions,
+    mmap: bool,
+) -> Option<ShardFleet> {
+    let n = shard_procs?;
+    if n != boot.manifest.segments.len() {
+        eprintln!(
+            "error: --shard-procs {n} but the live generation has {} segment(s) — \
+             `qgx compact --shards {n}` reshapes it",
+            boot.manifest.segments.len()
+        );
+        std::process::exit(2);
+    }
+    match spawn_segstore_fleet(
+        &boot.dir,
+        boot.fingerprint,
+        &boot.manifest,
+        ex.shard_threads,
+        mmap,
+    ) {
+        Ok((fleet, remote)) => {
+            boot.reloadable.swap(
+                querygraph_retrieval::backend::AnyEngine::Remote(remote),
+                boot.reloadable.epoch(),
+            );
+            Some(fleet)
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Shut a segstore fleet down once serving is over: QGRP `Shutdown`
+/// through the current generation's remote engine, then the stdin-EOF
+/// drain path.
+fn teardown_segstore(boot: &SegstoreBoot, fleet: Option<ShardFleet>) {
+    if let Some(fleet) = fleet {
+        if let querygraph_retrieval::backend::AnyEngine::Remote(remote) =
+            &boot.reloadable.snapshot().engine
+        {
+            remote.shutdown_all();
+        }
+        fleet.drain();
+    }
+}
+
+/// Retire a replaced generation: wait for its in-flight queries to
+/// finish (after the swap, only they hold extra `Arc`s on it), then
+/// shut down and drain its shard fleet, if any.
+fn retire_generation(
+    old: Arc<querygraph_retrieval::backend::EngineGeneration>,
+    old_fleet: Option<ShardFleet>,
+) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while Arc::strong_count(&old) > 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    if let querygraph_retrieval::backend::AnyEngine::Remote(remote) = &old.engine {
+        remote.shutdown_all();
+    }
+    drop(old);
+    if let Some(fleet) = old_fleet {
+        fleet.drain();
+    }
+}
+
+/// The live-reload watcher behind `qgx serve --segstore`: poll the
+/// manifest and, when a new generation appears, build its engine **off
+/// the serving path** (load segments / spawn a fleet first), then swap
+/// it into the reloadable slot — the only serving-visible pause is the
+/// swap itself, one mutex-guarded pointer replace. The replaced
+/// generation is retired only after its in-flight queries finish, so
+/// no request is dropped across the swap. Owns the fleet (when in
+/// `--shard-procs` mode) for its whole lifetime; on shutdown it drains
+/// whichever fleet is current.
+fn spawn_segstore_watcher(
+    boot: SegstoreBoot,
+    initial_fleet: Option<ShardFleet>,
+    shard_threads: usize,
+    mmap: bool,
+    shutdown: Arc<std::sync::atomic::AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    use querygraph_retrieval::backend::AnyEngine;
+    use querygraph_retrieval::segstore;
+    use std::sync::atomic::Ordering;
+
+    std::thread::spawn(move || {
+        let lm = querygraph_retrieval::lm::LmParams::default();
+        let source = if mmap {
+            querygraph_retrieval::ondisk::ArtifactSource::Mmap
+        } else {
+            querygraph_retrieval::ondisk::ArtifactSource::Read
+        };
+        let fleet_mode = initial_fleet.is_some();
+        let mut fleet = initial_fleet;
+        let mut current = boot.reloadable.epoch();
+        while !shutdown.load(Ordering::SeqCst) {
+            std::thread::sleep(Duration::from_millis(300));
+            let manifest = match segstore::read_manifest(&boot.dir, boot.fingerprint) {
+                Ok(Some(manifest)) => manifest,
+                Ok(None) => continue,
+                Err(e) => {
+                    eprintln!("# qgx: segstore watch: {e}");
+                    continue;
+                }
+            };
+            let epoch = manifest.generation_fingerprint();
+            if epoch == current {
+                continue;
+            }
+            let t_load = Instant::now();
+            let (engine, new_fleet) = if fleet_mode {
+                match spawn_segstore_fleet(
+                    &boot.dir,
+                    boot.fingerprint,
+                    &manifest,
+                    shard_threads,
+                    mmap,
+                ) {
+                    Ok((new_fleet, remote)) => (AnyEngine::Remote(remote), Some(new_fleet)),
+                    Err(e) => {
+                        eprintln!(
+                            "# qgx: generation {} fleet failed ({e}); \
+                             still serving the previous one",
+                            manifest.generation
+                        );
+                        continue;
+                    }
+                }
+            } else {
+                match segstore::load_generation(&boot.dir, boot.fingerprint, source) {
+                    Ok(Some(generation))
+                        if generation.manifest.generation_fingerprint() == epoch =>
+                    {
+                        let mut engine = querygraph_retrieval::sharded::ShardedEngine::from_shards(
+                            generation.into_engines(lm),
+                            lm,
+                        );
+                        engine.set_search_threads(shard_threads);
+                        (AnyEngine::Sharded(engine), None)
+                    }
+                    // Raced another publish (or an unpublish we cannot
+                    // serve); the next tick observes the settled state.
+                    Ok(_) => continue,
+                    Err(e) => {
+                        eprintln!(
+                            "# qgx: generation {} load failed ({e}); \
+                             still serving the previous one",
+                            manifest.generation
+                        );
+                        continue;
+                    }
+                }
+            };
+            let load_seconds = t_load.elapsed().as_secs_f64();
+            let t_swap = Instant::now();
+            let old = boot.reloadable.swap(engine, epoch);
+            let pause_us = t_swap.elapsed().as_secs_f64() * 1e6;
+            current = epoch;
+            eprintln!(
+                "# qgx: serving generation {} ({} docs, {} segment(s)) — \
+                 prepared off-path in {load_seconds:.3}s, swap pause {pause_us:.0}µs",
+                manifest.generation,
+                manifest.total_docs(),
+                manifest.segments.len()
+            );
+            let old_fleet = std::mem::replace(&mut fleet, new_fleet);
+            retire_generation(old, old_fleet);
+        }
+        if let Some(fleet) = fleet {
+            if let AnyEngine::Remote(remote) = &boot.reloadable.snapshot().engine {
+                remote.shutdown_all();
+            }
+            fleet.drain();
+        }
+    })
+}
+
 // ---------------------------------------------------------------- serve
 
 /// SIGTERM/SIGINT notification: the handler only flips an atomic; a
@@ -544,9 +1005,21 @@ fn run_serve(args: &[String]) {
     let deadline_ms = flag_usize(args, "--deadline-ms").unwrap_or(2000).max(1);
     let keep_alive = flag_usize(args, "--keep-alive").unwrap_or(100).max(1);
 
-    let (mut world, _, in_process_width) = boot_world(&cli, &ex, false);
-    let (fleet, effective_shard_threads) =
-        maybe_shard_procs(args, &cli, &ex, &mut world, in_process_width);
+    let segstore_dir = flag_operand(args, "--segstore").map(std::path::PathBuf::from);
+    let shard_procs_flag = flag_usize(args, "--shard-procs").filter(|&n| n > 0);
+    let (world, segstore, mut fleet, effective_shard_threads) = match &segstore_dir {
+        Some(dir) => {
+            let (world, boot) = boot_segstore_world(&cli, &ex, dir);
+            let fleet = maybe_segstore_fleet(&boot, shard_procs_flag, &ex, cli.mmap);
+            let width = ex.shard_threads.min(boot.manifest.segments.len()).max(1);
+            (world, Some(boot), fleet, width)
+        }
+        None => {
+            let (mut world, _, in_process_width) = boot_world(&cli, &ex, false);
+            let (fleet, width) = maybe_shard_procs(args, &cli, &ex, &mut world, in_process_width);
+            (world, None, fleet, width)
+        }
+    };
     let shard_procs = fleet.as_ref().map(|f| f.children.len()).unwrap_or(0);
     let cache = expansion_cache(&ex);
     let expander = world.expander_from(&ex.builder(&cache));
@@ -582,6 +1055,17 @@ fn run_serve(args: &[String]) {
             std::thread::sleep(Duration::from_millis(50));
         });
     }
+    // In segstore mode the watcher owns the fleet (it may replace it on
+    // a live reload), so the post-serve teardown below sees `None`.
+    let watcher = segstore.map(|boot| {
+        spawn_segstore_watcher(
+            boot,
+            fleet.take(),
+            ex.shard_threads,
+            cli.mmap,
+            Arc::clone(&shutdown),
+        )
+    });
 
     let stats = server.stats();
     let t_serve = Instant::now();
@@ -592,6 +1076,9 @@ fn run_serve(args: &[String]) {
     drop(shutdown);
     let total_seconds = t_serve.elapsed().as_secs_f64();
     drop(expander);
+    if let Some(watcher) = watcher {
+        let _ = watcher.join();
+    }
     teardown_fleet(fleet, &world);
 
     let served = stats.queries_served() as usize;
@@ -682,9 +1169,25 @@ fn run_replay(args: &[String]) {
     }
 
     let config = cli.config();
-    let (mut world, seed_corpus, in_process_width) = boot_world(&cli, &ex, seed_queries);
-    let (fleet, effective_shard_threads) =
-        maybe_shard_procs(args, &cli, &ex, &mut world, in_process_width);
+    let segstore_dir = flag_operand(args, "--segstore").map(std::path::PathBuf::from);
+    let shard_procs_flag = flag_usize(args, "--shard-procs").filter(|&n| n > 0);
+    let (world, seed_corpus, segstore, fleet, effective_shard_threads) = match &segstore_dir {
+        Some(dir) => {
+            let (world, boot) = boot_segstore_world(&cli, &ex, dir);
+            let fleet = maybe_segstore_fleet(&boot, shard_procs_flag, &ex, cli.mmap);
+            // The tier's query set is derived from the same seeds the
+            // ingested corpus came from; docs live in the segments.
+            let seed_corpus = seed_queries
+                .then(|| querygraph_corpus::synth::generate_corpus(&world.wiki, &config.corpus));
+            let width = ex.shard_threads.min(boot.manifest.segments.len()).max(1);
+            (world, seed_corpus, Some(boot), fleet, width)
+        }
+        None => {
+            let (mut world, seed_corpus, in_process_width) = boot_world(&cli, &ex, seed_queries);
+            let (fleet, width) = maybe_shard_procs(args, &cli, &ex, &mut world, in_process_width);
+            (world, seed_corpus, None, fleet, width)
+        }
+    };
     let shard_procs = fleet.as_ref().map(|f| f.children.len()).unwrap_or(0);
     let cache = expansion_cache(&ex);
     let expander = world.expander_from(&ex.builder(&cache));
@@ -793,7 +1296,10 @@ fn run_replay(args: &[String]) {
     }
 
     let total_seconds = t_serve.elapsed().as_secs_f64();
-    teardown_fleet(fleet, &world);
+    match &segstore {
+        Some(boot) => teardown_segstore(boot, fleet),
+        None => teardown_fleet(fleet, &world),
+    }
     let answered = tally.served + tally.failures;
     let latency = LatencySummary::of(&latencies_us);
     let qps = answered as f64 / total_seconds.max(1e-9);
@@ -1094,7 +1600,7 @@ fn run_client(args: &[String]) {
 /// child launched without its identity must refuse, not guess.
 fn require_flag(args: &[String], name: &str) -> String {
     flag_operand(args, name).unwrap_or_else(|| {
-        eprintln!("error: qgx shard requires {name} <value>");
+        eprintln!("error: this subcommand requires {name} <value>");
         std::process::exit(2);
     })
 }
@@ -1109,8 +1615,30 @@ fn run_shard(args: &[String]) {
     use querygraph_retrieval::sharded::{segment_file, segment_fingerprint};
 
     reject_unknown_flags(args, &SHARD_FLAGS, "shard");
-    let dir = require_flag(args, "--dir");
-    let stem = require_flag(args, "--stem");
+    // Two segment layouts behind one serving loop: the slot-keyed
+    // `QGSM` sharded artifact (`--dir/--stem`) and the seq-keyed `QGSS`
+    // segment store (`--segstore/--seq`). Resolve the layout flags
+    // before the identity flags so a bare `qgx shard --dir …` hears
+    // about its missing `--stem` first.
+    enum Layout {
+        Store { dir: String, seq: u64 },
+        Sharded { dir: String, stem: String },
+    }
+    let layout = match flag_operand(args, "--segstore") {
+        Some(dir) => {
+            let seq = require_flag(args, "--seq");
+            let seq: u64 = seq.parse().unwrap_or_else(|_| {
+                eprintln!("error: --seq must be a segment sequence number, got {seq:?}");
+                std::process::exit(2);
+            });
+            Layout::Store { dir, seq }
+        }
+        None => {
+            let dir = require_flag(args, "--dir");
+            let stem = require_flag(args, "--stem");
+            Layout::Sharded { dir, stem }
+        }
+    };
     let shard = require_flag(args, "--shard");
     let shard: usize = shard.parse().unwrap_or_else(|_| {
         eprintln!("error: --shard must be a shard index, got {shard:?}");
@@ -1129,15 +1657,23 @@ fn run_shard(args: &[String]) {
         ArtifactSource::Read
     };
 
-    let path = std::path::Path::new(&dir).join(segment_file(&stem, shard));
+    let (path, want) = match layout {
+        Layout::Store { dir, seq } => (
+            std::path::Path::new(&dir).join(querygraph_retrieval::segstore::segment_file(seq)),
+            querygraph_retrieval::segstore::segment_fp(fingerprint, seq),
+        ),
+        Layout::Sharded { dir, stem } => (
+            std::path::Path::new(&dir).join(segment_file(&stem, shard)),
+            segment_fingerprint(fingerprint, shard),
+        ),
+    };
     let loaded = load_index_with(&path, source).unwrap_or_else(|e| {
         eprintln!("error: shard {shard}: cannot load {}: {e}", path.display());
         std::process::exit(1);
     });
-    // The same pinning the sharded loader enforces per slot: the
-    // segment must carry this manifest's per-shard fingerprint, so a
-    // mis-deployed or stale segment dies here, before it can answer.
-    let want = segment_fingerprint(fingerprint, shard);
+    // The same pinning the loaders enforce: the segment must carry the
+    // expected derived fingerprint, so a mis-deployed or stale segment
+    // dies here, before it can answer.
     if loaded.meta_fingerprint != want {
         eprintln!(
             "error: shard {shard}: segment fingerprint mismatch \
@@ -1165,10 +1701,10 @@ fn run_shard(args: &[String]) {
     // blocks on it; everything human-facing goes to stderr.
     server::announce(&addr);
     let _ = std::io::stdout().flush();
-    eprintln!(
+    log_line(&format!(
         "# qgx: shard {shard} serving {} ({num_docs} docs) on {addr}",
         path.display()
-    );
+    ));
 
     // stdin EOF is the supervisor's drain signal: it outlives a wedged
     // socket and fires even if the parent dies without cleanup (the
@@ -1206,5 +1742,263 @@ fn run_shard(args: &[String]) {
         eprintln!("error: shard {shard}: serve loop failed: {e}");
         std::process::exit(1);
     }
-    eprintln!("# qgx: shard {shard} drained");
+    log_line(&format!("# qgx: shard {shard} drained"));
+}
+
+// ------------------------------------------- dump / ingest / compact
+
+/// `qgx dump`: write a tier's synthetic corpus as a Wikipedia-format
+/// XML dump. `--skip`/`--docs` slice the corpus in document order, so
+/// a world can be dumped in batches and ingested incrementally — the
+/// live-swap path's test fixture.
+fn run_dump(args: &[String]) {
+    reject_unknown_flags(args, &DUMP_FLAGS, "dump");
+    let cli = CliOptions::from_vec(args);
+    let out = require_flag(args, "--out");
+    let skip = flag_usize(args, "--skip").unwrap_or(0);
+    let take = flag_usize(args, "--docs").unwrap_or(usize::MAX);
+
+    let config = cli.config();
+    let t = Instant::now();
+    let wiki = querygraph_wiki::synth::generate(&config.wiki);
+    let corpus = querygraph_corpus::synth::generate_corpus(&wiki, &config.corpus);
+    let total = corpus.corpus.len();
+    let mut writer = querygraph_corpus::ingest::DumpWriter::create(std::path::Path::new(&out))
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot create {out}: {e}");
+            std::process::exit(1);
+        });
+    for (_, doc) in corpus.corpus.iter().skip(skip).take(take) {
+        if let Err(e) = writer.write_doc(doc) {
+            eprintln!("error: cannot write {out}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let written = writer.docs_written();
+    if let Err(e) = writer.finish() {
+        eprintln!("error: cannot finish {out}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "# qgx: dumped {written} of {total} docs (skip {skip}) to {out} in {:.3}s",
+        t.elapsed().as_secs_f64()
+    );
+}
+
+/// Open the tier's segment store, pinned to the tier's world
+/// fingerprint.
+fn open_segstore(cli: &CliOptions, dir: &str) -> querygraph_retrieval::segstore::SegStore {
+    let fingerprint = querygraph_core::cache::config_fingerprint(&cli.config());
+    querygraph_retrieval::segstore::SegStore::open(std::path::Path::new(dir), fingerprint)
+        .unwrap_or_else(|e| {
+            eprintln!("error: segment store {dir}: {e}");
+            std::process::exit(1);
+        })
+}
+
+/// Compact the store into `shards` segments, measuring what a live
+/// server would feel: the compaction wall clock (all off the serving
+/// path) and the engine-swap pause (the only serving-visible moment —
+/// the new generation is fully loaded before the swap, exactly as the
+/// serve watcher does it). Returns
+/// `(compaction_seconds, swap_pause_us)`.
+fn compact_and_measure(
+    store: &mut querygraph_retrieval::segstore::SegStore,
+    shards: usize,
+    source: querygraph_retrieval::ondisk::ArtifactSource,
+) -> (f64, f64) {
+    use querygraph_retrieval::backend::{AnyEngine, ReloadableEngine};
+    use querygraph_retrieval::segstore;
+    use querygraph_retrieval::sharded::ShardedEngine;
+
+    let lm = querygraph_retrieval::lm::LmParams::default();
+    let fingerprint = store.manifest().fingerprint;
+    // Stand in for the live server: hold the pre-compaction generation
+    // in a reloadable slot so the swap we time is the real operation.
+    let serving = segstore::load_generation(store.dir(), fingerprint, source)
+        .ok()
+        .flatten()
+        .map(|generation| {
+            let epoch = generation.manifest.generation_fingerprint();
+            ReloadableEngine::new(
+                AnyEngine::Sharded(ShardedEngine::from_shards(generation.into_engines(lm), lm)),
+                epoch,
+            )
+        });
+
+    let t = Instant::now();
+    match segstore::compact(store, shards.max(1), source) {
+        Ok(Some(_)) => {}
+        Ok(None) => {
+            eprintln!("error: the store has never published — nothing to compact");
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("error: compaction failed: {e}");
+            std::process::exit(1);
+        }
+    }
+    let compaction_seconds = t.elapsed().as_secs_f64();
+
+    let mut swap_pause_us = 0.0;
+    if let Some(serving) = serving {
+        if let Ok(Some(generation)) = segstore::load_generation(store.dir(), fingerprint, source) {
+            let epoch = generation.manifest.generation_fingerprint();
+            let engine = ShardedEngine::from_shards(generation.into_engines(lm), lm);
+            let t = Instant::now();
+            let old = serving.swap(AnyEngine::Sharded(engine), epoch);
+            swap_pause_us = t.elapsed().as_secs_f64() * 1e6;
+            drop(old);
+        }
+    }
+    (compaction_seconds, swap_pause_us)
+}
+
+/// `qgx ingest`: stream a dump through [`DumpStream`] in bounded
+/// memory, freezing every `--batch-docs` documents into one committed
+/// `QGIX` segment. Never materializes the corpus: each document is
+/// tokenized into the in-progress batch builder and dropped. With
+/// `--compact n` the live set is merged into `n` segments afterwards.
+fn run_ingest(args: &[String]) {
+    reject_unknown_flags(args, &INGEST_FLAGS, "ingest");
+    let cli = CliOptions::from_vec(args);
+    let dump = require_flag(args, "--dump");
+    let dir = require_flag(args, "--segstore");
+    let batch_docs = flag_usize(args, "--batch-docs").unwrap_or(10_000).max(1);
+    let compact_to = flag_usize(args, "--compact");
+
+    let config = cli.config();
+    let mut store = open_segstore(&cli, &dir);
+    let generation_before = store.manifest().generation;
+    let mut stream = querygraph_corpus::ingest::DumpStream::from_path(std::path::Path::new(&dump))
+        .unwrap_or_else(|e| {
+            eprintln!("error: cannot open {dump}: {e}");
+            std::process::exit(1);
+        });
+
+    let t_ingest = Instant::now();
+    let mut builder = querygraph_retrieval::index::IndexBuilder::new();
+    let mut in_batch = 0usize;
+    let mut docs: u64 = 0;
+    let mut batches = 0usize;
+    let commit = |builder: &mut querygraph_retrieval::index::IndexBuilder,
+                  store: &mut querygraph_retrieval::segstore::SegStore| {
+        let full = std::mem::replace(builder, querygraph_retrieval::index::IndexBuilder::new());
+        let meta = store.commit_segment(&full.build()).unwrap_or_else(|e| {
+            eprintln!("error: cannot commit segment: {e}");
+            std::process::exit(1);
+        });
+        eprintln!(
+            "# qgx: committed segment {} ({} docs) — generation {}",
+            meta.seq,
+            meta.num_docs,
+            store.manifest().generation
+        );
+    };
+    for result in &mut stream {
+        let doc = result.unwrap_or_else(|e| {
+            eprintln!("error: {dump}: {e}");
+            std::process::exit(1);
+        });
+        builder.add_document(&querygraph_corpus::imageclef::linking_text(&doc));
+        in_batch += 1;
+        docs += 1;
+        if in_batch >= batch_docs {
+            commit(&mut builder, &mut store);
+            batches += 1;
+            in_batch = 0;
+        }
+    }
+    if in_batch > 0 {
+        commit(&mut builder, &mut store);
+        batches += 1;
+    }
+    let ingest_seconds = t_ingest.elapsed().as_secs_f64();
+    let docs_per_second = docs as f64 / ingest_seconds.max(1e-9);
+    let peak_buffer_bytes = stream.peak_buffer_bytes();
+    let segments_before_compaction = store.manifest().segments.len();
+    eprintln!(
+        "# qgx: ingested {docs} docs in {batches} batch(es) over {ingest_seconds:.3}s \
+         ({docs_per_second:.0} docs/s, peak stream buffer {peak_buffer_bytes} bytes); \
+         generation {} → {}, {segments_before_compaction} live segment(s)",
+        generation_before,
+        store.manifest().generation
+    );
+
+    let (mut compaction_seconds, mut swap_pause_us) = (0.0, 0.0);
+    if let Some(shards) = compact_to {
+        let (wall, pause) = compact_and_measure(&mut store, shards, segstore_source(&cli));
+        compaction_seconds = wall;
+        swap_pause_us = pause;
+        eprintln!(
+            "# qgx: compacted {segments_before_compaction} → {} segment(s) in \
+             {compaction_seconds:.3}s (swap pause {swap_pause_us:.0}µs)",
+            store.manifest().segments.len()
+        );
+    }
+
+    if let Some(path) = &cli.bench_out {
+        let record = IngestRecord::new(
+            &config,
+            IngestSummary {
+                docs_ingested: docs,
+                batches,
+                ingest_seconds,
+                docs_per_second,
+                peak_buffer_bytes,
+                segments_before_compaction,
+                segments_after_compaction: store.manifest().segments.len(),
+                compaction_seconds,
+                swap_pause_us,
+                generation: store.manifest().generation,
+            },
+        );
+        let json = serde_json::to_string_pretty(&record).expect("ingest record serializes");
+        std::fs::write(path, json).expect("write ingest record");
+        eprintln!("# wrote {path}");
+    }
+}
+
+/// `qgx compact`: merge the store's live segments into `--shards`
+/// balanced ones (default 1) and publish the new generation. A live
+/// `qgx serve --segstore` on the same store hot-swaps onto it.
+fn run_compact(args: &[String]) {
+    reject_unknown_flags(args, &COMPACT_FLAGS, "compact");
+    let cli = CliOptions::from_vec(args);
+    let dir = require_flag(args, "--segstore");
+    let shards = flag_usize(args, "--shards").unwrap_or(1).max(1);
+
+    let config = cli.config();
+    let mut store = open_segstore(&cli, &dir);
+    let segments_before = store.manifest().segments.len();
+    let (compaction_seconds, swap_pause_us) =
+        compact_and_measure(&mut store, shards, segstore_source(&cli));
+    eprintln!(
+        "# qgx: compacted {segments_before} → {} segment(s) ({} docs) in \
+         {compaction_seconds:.3}s (swap pause {swap_pause_us:.0}µs); generation {}",
+        store.manifest().segments.len(),
+        store.manifest().total_docs(),
+        store.manifest().generation
+    );
+
+    if let Some(path) = &cli.bench_out {
+        let record = IngestRecord::new(
+            &config,
+            IngestSummary {
+                docs_ingested: 0,
+                batches: 0,
+                ingest_seconds: 0.0,
+                docs_per_second: 0.0,
+                peak_buffer_bytes: 0,
+                segments_before_compaction: segments_before,
+                segments_after_compaction: store.manifest().segments.len(),
+                compaction_seconds,
+                swap_pause_us,
+                generation: store.manifest().generation,
+            },
+        );
+        let json = serde_json::to_string_pretty(&record).expect("ingest record serializes");
+        std::fs::write(path, json).expect("write ingest record");
+        eprintln!("# wrote {path}");
+    }
 }

@@ -65,6 +65,9 @@ impl BenchRecord {
     /// Assemble a record from a finished run.
     pub fn new(config: &ExperimentConfig, build: &BuildStats, run: RunSummary) -> BenchRecord {
         BenchRecord {
+            // 8: streaming ingest (a new "ingest" record kind carries
+            //    docs/sec, segment counts, compaction wall and swap
+            //    pause; run/serve records are unchanged in shape).
             // 7: shard processes (serve records grew shard_procs — the
             //    count of supervised `qgx shard` children behind the
             //    engine, 0 = in-process).
@@ -82,7 +85,7 @@ impl BenchRecord {
             // 3: build breakdown (world/index build/write/load seconds,
             //    index_source) for the on-disk index cache.
             // 2: RunSummary gained ground-truth evaluation counters.
-            schema: 7,
+            schema: 8,
             num_queries: config.corpus.num_queries,
             num_topics: config.wiki.num_topics,
             articles_per_topic: config.wiki.articles_per_topic,
@@ -274,13 +277,14 @@ impl ServeRecord {
         serve: ServeSummary,
     ) -> ServeRecord {
         ServeRecord {
-            // Shares the BenchRecord schema counter (7: shard
-            // processes — serve records grew shard_procs; 6: networked
-            // serving — listen_addr, shed/timeouts/error_codes,
-            // conn_latency; 5: expansion-cache counters + search_mode;
-            // 4: shard fields + per-thread QPS; 3 introduced the build
-            // breakdown these fields mirror).
-            schema: 7,
+            // Shares the BenchRecord schema counter (8: streaming
+            // ingest record kind; 7: shard processes — serve records
+            // grew shard_procs; 6: networked serving — listen_addr,
+            // shed/timeouts/error_codes, conn_latency; 5:
+            // expansion-cache counters + search_mode; 4: shard fields +
+            // per-thread QPS; 3 introduced the build breakdown these
+            // fields mirror).
+            schema: 8,
             kind: "serve".to_string(),
             num_queries: workload_queries,
             num_topics: config.wiki.num_topics,
@@ -297,6 +301,78 @@ impl ServeRecord {
             shard_load_seconds: build.shard_load_seconds.clone(),
             listen_addr: None,
             serve,
+        }
+    }
+}
+
+/// The ingest half of an [`IngestRecord`]: what `qgx ingest` /
+/// `qgx compact` measured over a segment store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestSummary {
+    /// Documents streamed out of the dump and indexed.
+    pub docs_ingested: u64,
+    /// Ingest batches committed (one segment + one generation each).
+    pub batches: usize,
+    /// Wall seconds spent streaming + indexing + committing.
+    pub ingest_seconds: f64,
+    /// `docs_ingested / ingest_seconds` (0.0 for an empty run).
+    pub docs_per_second: f64,
+    /// High-water mark of the streaming frame buffer, in bytes — the
+    /// bounded-memory claim, measured (`DumpStream::peak_buffer_bytes`).
+    pub peak_buffer_bytes: usize,
+    /// Live segments before compaction (equals after when no
+    /// compaction ran).
+    pub segments_before_compaction: usize,
+    /// Live segments after compaction.
+    pub segments_after_compaction: usize,
+    /// Wall seconds spent compacting (0.0 when no compaction ran).
+    pub compaction_seconds: f64,
+    /// Microseconds a live server paused queries while swapping onto a
+    /// new generation (0 when the run didn't swap a live engine).
+    pub swap_pause_us: f64,
+    /// The store generation this run left live.
+    pub generation: u64,
+}
+
+/// The bench record `qgx ingest`/`qgx compact` archive (committed as
+/// `BENCH_ingest.json`) — shares the [`BenchRecord`] schema counter and
+/// identification fields; `repro_bench_diff` reads the `ingest` section
+/// tolerantly (records without one simply have no ingest rows).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IngestRecord {
+    /// Record-format version (shared counter with [`BenchRecord`]).
+    pub schema: u32,
+    /// Record kind discriminator: always `"ingest"`.
+    pub kind: String,
+    /// Queries the workload tier configures (identification only; an
+    /// ingest run answers none).
+    pub num_queries: usize,
+    /// Topics in the synthetic Wikipedia.
+    pub num_topics: usize,
+    /// Articles per topic (the stress dial).
+    pub articles_per_topic: usize,
+    /// Synthetic-Wikipedia seed.
+    pub wiki_seed: u64,
+    /// Synthetic-corpus seed.
+    pub corpus_seed: u64,
+    /// The ingest measurements.
+    pub ingest: IngestSummary,
+}
+
+impl IngestRecord {
+    /// Assemble a record from a finished ingest/compact run.
+    pub fn new(config: &ExperimentConfig, ingest: IngestSummary) -> IngestRecord {
+        IngestRecord {
+            // 8 introduced this record kind (see BenchRecord::new's
+            // schema history).
+            schema: 8,
+            kind: "ingest".to_string(),
+            num_queries: config.corpus.num_queries,
+            num_topics: config.wiki.num_topics,
+            articles_per_topic: config.wiki.articles_per_topic,
+            wiki_seed: config.wiki.seed,
+            corpus_seed: config.corpus.seed,
+            ingest,
         }
     }
 }
@@ -401,6 +477,20 @@ pub fn stress_quick_config() -> ExperimentConfig {
     ExperimentConfig::stress_sampled(8)
 }
 
+/// The track-scale configuration (`--track`): the stress knowledge
+/// base over a ~237k-document corpus — the ImageCLEF 2011 Wikipedia
+/// track's size, and the tier `qgx ingest` exists for.
+pub fn track_config() -> ExperimentConfig {
+    ExperimentConfig::track()
+}
+
+/// `--track --quick`: the same ~237k-document world, but only 6 of the
+/// 60 queries analyzed, so CI can build and serve the track tier in its
+/// sampled lane.
+pub fn track_quick_config() -> ExperimentConfig {
+    ExperimentConfig::track_sampled(6)
+}
+
 /// Workload tiers selected by the shared CLI flags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Tier {
@@ -414,6 +504,10 @@ pub enum Tier {
     Stress,
     /// `--stress --quick` — stress world, sampled queries.
     StressQuick,
+    /// `--track` — the ~237k-document ingest tier.
+    Track,
+    /// `--track --quick` — track world, sampled queries.
+    TrackQuick,
 }
 
 impl Tier {
@@ -430,6 +524,8 @@ impl Tier {
             Tier::Paper => "BENCH_seed.json",
             Tier::Stress => "BENCH_stress.json",
             Tier::StressQuick => "BENCH_stress_quick.json",
+            Tier::Track => "BENCH_track.json",
+            Tier::TrackQuick => "BENCH_track_quick.json",
         }
     }
 
@@ -441,6 +537,8 @@ impl Tier {
             Tier::Paper => ExperimentConfig::default_paper(),
             Tier::Stress => stress_config(),
             Tier::StressQuick => stress_quick_config(),
+            Tier::Track => track_config(),
+            Tier::TrackQuick => track_quick_config(),
         }
     }
 }
@@ -554,11 +652,18 @@ impl CliOptions {
     pub fn from_vec(args: &[String]) -> CliOptions {
         let has = |flag: &str| args.iter().any(|a| a == flag);
         let operand = |flag: &'static str| flag_operand(args, flag);
-        let tier = match (has("--stress"), has("--quick"), has("--tiny")) {
-            (true, true, _) => Tier::StressQuick,
-            (true, false, _) => Tier::Stress,
-            (false, _, true) => Tier::Tiny,
-            (false, true, false) => Tier::Quick,
+        let tier = match (
+            has("--track"),
+            has("--stress"),
+            has("--quick"),
+            has("--tiny"),
+        ) {
+            (true, _, true, _) => Tier::TrackQuick,
+            (true, _, false, _) => Tier::Track,
+            (false, true, true, _) => Tier::StressQuick,
+            (false, true, false, _) => Tier::Stress,
+            (false, false, _, true) => Tier::Tiny,
+            (false, false, true, false) => Tier::Quick,
             _ => Tier::Paper,
         };
         CliOptions {
@@ -632,15 +737,33 @@ mod tests {
         assert_eq!(opts(&["--quick"]).tier, Tier::Quick);
         assert_eq!(opts(&["--stress"]).tier, Tier::Stress);
         assert_eq!(opts(&["--stress", "--quick"]).tier, Tier::StressQuick);
+        assert_eq!(opts(&["--track"]).tier, Tier::Track);
+        assert_eq!(opts(&["--track", "--quick"]).tier, Tier::TrackQuick);
         assert_eq!(Tier::Stress.default_bench_path(), "BENCH_stress.json");
         assert_eq!(Tier::Paper.default_bench_path(), "BENCH_seed.json");
+        assert_eq!(Tier::Track.default_bench_path(), "BENCH_track.json");
         // Sampled tiers must never default onto the committed anchors.
-        for tier in [Tier::Tiny, Tier::Quick, Tier::StressQuick] {
+        for tier in [Tier::Tiny, Tier::Quick, Tier::StressQuick, Tier::TrackQuick] {
             assert!(
-                !["BENCH_seed.json", "BENCH_stress.json"].contains(&tier.default_bench_path()),
+                !["BENCH_seed.json", "BENCH_stress.json", "BENCH_track.json"]
+                    .contains(&tier.default_bench_path()),
                 "{tier:?} would clobber a committed trajectory anchor"
             );
         }
+    }
+
+    #[test]
+    fn track_configs_are_consistent() {
+        for cfg in [track_config(), track_quick_config()] {
+            assert!(cfg.corpus.num_queries <= cfg.wiki.num_topics);
+            assert!(
+                cfg.corpus.noise_docs >= 200_000,
+                "track must be track-scale"
+            );
+        }
+        assert!(track_quick_config().corpus.num_queries < track_config().corpus.num_queries);
+        assert_eq!(Tier::Track.config(), track_config());
+        assert_eq!(Tier::TrackQuick.config(), track_quick_config());
     }
 
     #[test]
@@ -816,7 +939,42 @@ mod tests {
     }
 
     #[test]
-    fn bench_record_schema_7_carries_build_breakdown() {
+    fn ingest_record_round_trips_and_carries_measurements() {
+        let ingest = IngestSummary {
+            docs_ingested: 1000,
+            batches: 4,
+            ingest_seconds: 2.0,
+            docs_per_second: 500.0,
+            peak_buffer_bytes: 70_000,
+            segments_before_compaction: 4,
+            segments_after_compaction: 2,
+            compaction_seconds: 0.25,
+            swap_pause_us: 120.0,
+            generation: 5,
+        };
+        let record = IngestRecord::new(&tiny_config(), ingest);
+        assert_eq!(record.schema, 8);
+        assert_eq!(record.kind, "ingest");
+        let json = serde_json::to_string(&record).expect("record serializes");
+        for field in [
+            "\"ingest\"",
+            "docs_ingested",
+            "docs_per_second",
+            "peak_buffer_bytes",
+            "segments_before_compaction",
+            "segments_after_compaction",
+            "compaction_seconds",
+            "swap_pause_us",
+            "generation",
+        ] {
+            assert!(json.contains(field), "record missing {field}");
+        }
+        let back: IngestRecord = serde_json::from_str(&json).expect("record parses");
+        assert_eq!(back, record);
+    }
+
+    #[test]
+    fn bench_record_schema_8_carries_build_breakdown() {
         use querygraph_core::cache::IndexSource;
         let build = BuildStats {
             world_seconds: 0.5,
@@ -830,7 +988,7 @@ mod tests {
         let exp = Experiment::build(&tiny_config());
         let (_, run) = exp.run_parallel_with_summary(2);
         let record = BenchRecord::new(&tiny_config(), &build, run);
-        assert_eq!(record.schema, 7);
+        assert_eq!(record.schema, 8);
         assert_eq!(record.index_source, "loaded");
         assert_eq!(record.shard_count, 1);
         assert!(record.shard_load_seconds.is_empty());

@@ -447,6 +447,10 @@ pub(crate) fn build_world(
             // Remote fleets are connected to, never built here;
             // persistence belongs to the shard processes themselves.
             AnyEngine::Remote(_) => ("remote".to_string(), Ok(())),
+            // Reloadable engines wrap a generation that was already
+            // persisted by whoever published it (the segment store);
+            // re-persisting here would race the live manifest.
+            AnyEngine::Reloadable(_) => ("reloadable".to_string(), Ok(())),
         };
         if let Err(e) = written {
             eprintln!("# index cache write {label} failed: {e} — serving from the in-memory build");

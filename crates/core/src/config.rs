@@ -71,6 +71,29 @@ impl ExperimentConfig {
         cfg
     }
 
+    /// The **track**-scale configuration: the stress knowledge base
+    /// (100k+ articles) over a corpus the size of the real ImageCLEF
+    /// 2011 Wikipedia track — ~237k documents (the stress tier stops
+    /// at ~31k). This is the ingest tier: big enough that streaming,
+    /// segmented indexing is the only reasonable way to build it.
+    pub fn track() -> Self {
+        let mut cfg = Self::stress();
+        cfg.corpus.seed = 0x7AC4_0237;
+        // ≈ 235k noise docs + ~1.5k relevant/distractor docs ≈ the
+        // track's 237,434 images.
+        cfg.corpus.noise_docs = 235_000;
+        cfg
+    }
+
+    /// [`ExperimentConfig::track`] with `--quick`-style sampling: the
+    /// same ~237k-document world, only `queries` of the 60 queries
+    /// analyzed.
+    pub fn track_sampled(queries: usize) -> Self {
+        let mut cfg = Self::track();
+        cfg.corpus.num_queries = queries.min(cfg.wiki.num_topics);
+        cfg
+    }
+
     /// A miniature configuration for tests and doctests (< 1 s).
     pub fn tiny() -> Self {
         ExperimentConfig {
@@ -122,6 +145,24 @@ mod tests {
         let sampled = ExperimentConfig::stress_sampled(8);
         assert_eq!(sampled.corpus.num_queries, 8);
         assert_eq!(sampled.wiki, cfg.wiki, "sampling must not shrink the world");
+    }
+
+    #[test]
+    fn track_config_reaches_track_scale() {
+        let cfg = ExperimentConfig::track();
+        // The real track has ~237k documents; the tier must clear 200k
+        // even before relevant/distractor docs are counted.
+        assert!(cfg.corpus.noise_docs >= 200_000);
+        assert_eq!(cfg.wiki, ExperimentConfig::stress().wiki);
+        assert_ne!(
+            cfg.corpus.seed,
+            ExperimentConfig::stress().corpus.seed,
+            "track and stress artifacts must never satisfy each other's caches"
+        );
+        let sampled = ExperimentConfig::track_sampled(6);
+        assert_eq!(sampled.corpus.num_queries, 6);
+        assert_eq!(sampled.wiki, cfg.wiki, "sampling must not shrink the world");
+        assert_eq!(sampled.corpus.noise_docs, cfg.corpus.noise_docs);
     }
 
     #[test]

@@ -63,6 +63,15 @@ pub struct CacheKey {
     /// Search-mode name, so exact and pruned retrieval never share an
     /// entry (their scores are only pinned to 1e-9 of each other).
     pub mode: &'static str,
+    /// The engine's cache epoch ([`RetrievalBackend::cache_epoch`]):
+    /// 0 for static engines, the manifest generation for reloadable
+    /// ones. A live index swap bumps the epoch, so entries computed
+    /// against the old generation can never answer for the new one —
+    /// they simply stop being reachable and age out via LRU.
+    ///
+    /// [`RetrievalBackend::cache_epoch`]:
+    ///     querygraph_retrieval::backend::RetrievalBackend::cache_epoch
+    pub epoch: u64,
 }
 
 impl Hash for CacheKey {
@@ -71,6 +80,7 @@ impl Hash for CacheKey {
         self.max_features.hash(state);
         self.top_k.hash(state);
         self.mode.hash(state);
+        self.epoch.hash(state);
     }
 }
 
@@ -279,6 +289,7 @@ mod tests {
             max_features: None,
             top_k: 0,
             mode: "exact",
+            epoch: 0,
         }
     }
 
@@ -321,10 +332,12 @@ mod tests {
         b.top_k = 5;
         let mut c = key("venice");
         c.mode = "pruned";
-        for k in [&a, &b, &c] {
+        let mut d = key("venice");
+        d.epoch = 1;
+        for k in [&a, &b, &c, &d] {
             cache.get_or_compute(k, || Ok(response("venice"))).unwrap();
         }
-        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.len(), 4);
         assert_eq!(cache.hits(), 0);
     }
 

@@ -871,6 +871,11 @@ impl<'w> QueryExpander<'w> {
             // None and Some(0) both mean "no retrieval" — same response.
             top_k: request.top_k.or(self.default_top_k).unwrap_or(0),
             mode: self.search_mode.name(),
+            // A reloadable engine bumps its epoch on every live swap,
+            // so entries from the previous generation can never answer
+            // a post-swap request (offline expanders pin epoch 0 —
+            // there is nothing to go stale without an engine).
+            epoch: self.engine.map(|e| e.cache_epoch()).unwrap_or(0),
         };
         cache.get_or_compute(&key, || self.expand_uncached(request))
     }
@@ -1685,6 +1690,63 @@ mod tests {
         let hit = ex.expand_deadlined(&request, live).expect("hit serves");
         assert_eq!(hit, warm);
         assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn live_swap_invalidates_cached_expansions() {
+        use querygraph_retrieval::backend::ReloadableEngine;
+        // Two worlds over the same knowledge base whose retrieval
+        // answers differ (extra noise docs shift collection stats and
+        // scores), served through one reloadable engine.
+        let config_a = ExperimentConfig::tiny();
+        let mut config_b = config_a.clone();
+        config_b.corpus.noise_docs += 7;
+        let world_a = ServingWorld::open(&config_a, None);
+        let world_b = ServingWorld::open(&config_b, None);
+
+        let reloadable = ReloadableEngine::new(world_a.engine, 1);
+        let engine = AnyEngine::Reloadable(reloadable.clone());
+        let cache = Arc::new(ExpansionCache::new(64));
+        let cached = QueryExpander::builder()
+            .retrieve_top(10)
+            .expansion_cache(cache.clone())
+            .build(&world_a.wiki.kb, &engine);
+
+        let title = world_a
+            .wiki
+            .kb
+            .title(world_a.wiki.kb.main_articles().next().unwrap());
+        let request = ExpansionRequest::new(title);
+
+        assert_eq!(engine.cache_epoch(), 1);
+        let before = cached.expand(&request).expect("generation 1 serves");
+        assert_eq!(cached.expand(&request).unwrap(), before);
+        assert_eq!(cache.hits(), 1, "same generation repeats hit");
+
+        // The live swap: generation 2 replaces the engine between
+        // queries; the very next expansion must be computed against it,
+        // never served from the generation-1 cache entry.
+        reloadable.swap(world_b.engine, 2);
+        assert_eq!(engine.cache_epoch(), 2);
+        let after = cached.expand(&request).expect("generation 2 serves");
+        let expected = QueryExpander::builder()
+            .retrieve_top(10)
+            .build(&world_b.wiki.kb, &AnyEngine::Reloadable(reloadable.clone()))
+            .expand(&request)
+            .expect("uncached generation 2");
+        assert_eq!(after, expected, "post-swap answers come from the new index");
+        assert_ne!(
+            before.hits, after.hits,
+            "the two generations must be distinguishable for this test to mean anything"
+        );
+        assert_eq!(
+            cache.hits(),
+            1,
+            "the swap forces a recompute, not a stale hit"
+        );
+        // The new generation's entry memoizes normally.
+        assert_eq!(cached.expand(&request).unwrap(), after);
+        assert_eq!(cache.hits(), 2);
     }
 
     #[test]

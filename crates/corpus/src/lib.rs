@@ -41,6 +41,7 @@
 
 pub mod document;
 pub mod imageclef;
+pub mod ingest;
 pub mod qrels;
 pub mod query;
 pub mod synth;

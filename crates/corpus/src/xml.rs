@@ -37,6 +37,40 @@ fn err<T>(offset: usize, message: impl Into<String>) -> Result<T, XmlError> {
     })
 }
 
+/// Size limits enforced while tokenizing/parsing.
+///
+/// Real dumps are adversarial in boring ways: a missing `</description>`
+/// can fuse megabytes of following documents into one "text run", and a
+/// corrupted length field upstream can produce absurd attribute values.
+/// Limits turn those into typed [`XmlError`]s instead of unbounded
+/// allocations. The defaults are far above anything a well-formed
+/// ImageCLEF record produces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct XmlLimits {
+    /// Maximum byte length of one text run (or CDATA section).
+    pub max_text_bytes: usize,
+    /// Maximum byte length of one attribute value.
+    pub max_attr_bytes: usize,
+    /// Maximum byte length of a tag or attribute name.
+    pub max_name_bytes: usize,
+    /// Maximum number of attributes on one tag.
+    pub max_attrs: usize,
+    /// Maximum element nesting depth in [`parse_element_with`].
+    pub max_depth: usize,
+}
+
+impl Default for XmlLimits {
+    fn default() -> Self {
+        XmlLimits {
+            max_text_bytes: 4 << 20,
+            max_attr_bytes: 64 << 10,
+            max_name_bytes: 1 << 10,
+            max_attrs: 64,
+            max_depth: 64,
+        }
+    }
+}
+
 /// One XML token from the [`Tokenizer`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum XmlToken {
@@ -162,12 +196,22 @@ pub fn escape_attr(raw: &str) -> String {
 pub struct Tokenizer<'a> {
     input: &'a str,
     pos: usize,
+    limits: XmlLimits,
 }
 
 impl<'a> Tokenizer<'a> {
-    /// Tokenizer over `input`.
+    /// Tokenizer over `input` with default [`XmlLimits`].
     pub fn new(input: &'a str) -> Self {
-        Tokenizer { input, pos: 0 }
+        Tokenizer::with_limits(input, XmlLimits::default())
+    }
+
+    /// Tokenizer over `input` with explicit limits.
+    pub fn with_limits(input: &'a str, limits: XmlLimits) -> Self {
+        Tokenizer {
+            input,
+            pos: 0,
+            limits,
+        }
     }
 
     /// Current byte offset (for error reporting).
@@ -201,6 +245,15 @@ impl<'a> Tokenizer<'a> {
                     offset: self.pos,
                     message: "unterminated CDATA".into(),
                 })?;
+                if end > self.limits.max_text_bytes {
+                    return err(
+                        self.pos,
+                        format!(
+                            "CDATA section of {end} bytes exceeds limit of {}",
+                            self.limits.max_text_bytes
+                        ),
+                    );
+                }
                 let text = self.input[body_start..body_start + end].to_owned();
                 self.pos = body_start + end + 3;
                 return Ok(Some(XmlToken::Text(text)));
@@ -231,6 +284,16 @@ impl<'a> Tokenizer<'a> {
                 if name.is_empty() {
                     return err(self.pos, "empty end-tag name");
                 }
+                if name.len() > self.limits.max_name_bytes {
+                    return err(
+                        self.pos,
+                        format!(
+                            "end-tag name of {} bytes exceeds limit of {}",
+                            name.len(),
+                            self.limits.max_name_bytes
+                        ),
+                    );
+                }
                 self.pos += 2 + end + 1;
                 return Ok(Some(XmlToken::EndTag { name }));
             }
@@ -244,6 +307,16 @@ impl<'a> Tokenizer<'a> {
             self.pos += end;
             if raw.trim().is_empty() {
                 continue; // inter-tag whitespace
+            }
+            if raw.len() > self.limits.max_text_bytes {
+                return err(
+                    start_offset,
+                    format!(
+                        "text run of {} bytes exceeds limit of {}",
+                        raw.len(),
+                        self.limits.max_text_bytes
+                    ),
+                );
             }
             let decoded = decode_entities(raw).map_err(|e| XmlError {
                 offset: start_offset + e.offset,
@@ -272,14 +345,40 @@ impl<'a> Tokenizer<'a> {
         if name.is_empty() {
             return err(tag_start, "empty tag name");
         }
+        if name.len() > self.limits.max_name_bytes {
+            return err(
+                tag_start,
+                format!(
+                    "tag name of {} bytes exceeds limit of {}",
+                    name.len(),
+                    self.limits.max_name_bytes
+                ),
+            );
+        }
         let mut attrs = Vec::new();
         let mut attr_str = inner[name_end..].trim_start();
         while !attr_str.is_empty() {
+            if attrs.len() >= self.limits.max_attrs {
+                return err(
+                    tag_start,
+                    format!("more than {} attributes in <{name}>", self.limits.max_attrs),
+                );
+            }
             let eq = attr_str.find('=').ok_or(XmlError {
                 offset: tag_start,
                 message: format!("attribute without value in <{name}>"),
             })?;
             let key = attr_str[..eq].trim().to_owned();
+            if key.len() > self.limits.max_name_bytes {
+                return err(
+                    tag_start,
+                    format!(
+                        "attribute name of {} bytes exceeds limit of {}",
+                        key.len(),
+                        self.limits.max_name_bytes
+                    ),
+                );
+            }
             let after_eq = attr_str[eq + 1..].trim_start();
             let quote = after_eq.chars().next().ok_or(XmlError {
                 offset: tag_start,
@@ -293,6 +392,16 @@ impl<'a> Tokenizer<'a> {
                 message: "unterminated attribute value".into(),
             })?;
             let raw_val = &after_eq[1..1 + close];
+            if raw_val.len() > self.limits.max_attr_bytes {
+                return err(
+                    tag_start,
+                    format!(
+                        "attribute value of {} bytes exceeds limit of {}",
+                        raw_val.len(),
+                        self.limits.max_attr_bytes
+                    ),
+                );
+            }
             attrs.push((key, decode_entities(raw_val)?));
             attr_str = after_eq[1 + close + 1..].trim_start();
         }
@@ -374,14 +483,26 @@ impl Element {
     }
 }
 
-/// Parse a document with a single root element into that [`Element`].
+/// Parse a document with a single root element into that [`Element`],
+/// using default [`XmlLimits`].
 pub fn parse_element(input: &str) -> Result<Element, XmlError> {
-    let mut tok = Tokenizer::new(input);
+    parse_element_with(input, XmlLimits::default())
+}
+
+/// Parse a document with a single root element under explicit limits.
+pub fn parse_element_with(input: &str, limits: XmlLimits) -> Result<Element, XmlError> {
+    let mut tok = Tokenizer::with_limits(input, limits);
     let mut stack: Vec<Element> = Vec::new();
     let mut root: Option<Element> = None;
     while let Some(token) = tok.next()? {
         match token {
             XmlToken::StartTag { name, attrs } => {
+                if stack.len() >= limits.max_depth {
+                    return err(
+                        tok.offset(),
+                        format!("element nesting deeper than {}", limits.max_depth),
+                    );
+                }
                 stack.push(Element {
                     name,
                     attrs,
@@ -554,5 +675,124 @@ mod tests {
     fn unicode_text_survives() {
         let e = parse_element("<r>Bouches-du-Rhône — été</r>").unwrap();
         assert_eq!(e.text(), "Bouches-du-Rhône — été");
+    }
+
+    fn tight_limits() -> XmlLimits {
+        XmlLimits {
+            max_text_bytes: 16,
+            max_attr_bytes: 8,
+            max_name_bytes: 4,
+            max_attrs: 2,
+            max_depth: 3,
+        }
+    }
+
+    #[test]
+    fn oversized_fields_are_typed_errors() {
+        let l = tight_limits();
+        let text = format!("<r>{}</r>", "x".repeat(17));
+        assert!(parse_element_with(&text, l)
+            .unwrap_err()
+            .message
+            .contains("exceeds limit"));
+        let cdata = format!("<r><![CDATA[{}]]></r>", "x".repeat(17));
+        assert!(parse_element_with(&cdata, l)
+            .unwrap_err()
+            .message
+            .contains("exceeds limit"));
+        let attr = format!("<r a=\"{}\"/>", "x".repeat(9));
+        assert!(parse_element_with(&attr, l)
+            .unwrap_err()
+            .message
+            .contains("exceeds limit"));
+        let name = "<toolong/>";
+        assert!(parse_element_with(name, l)
+            .unwrap_err()
+            .message
+            .contains("exceeds limit"));
+        let end_name = "<r></toolongname>";
+        assert!(parse_element_with(end_name, l)
+            .unwrap_err()
+            .message
+            .contains("exceeds limit"));
+        let attrs = "<r a=\"1\" b=\"2\" c=\"3\"/>";
+        assert!(parse_element_with(attrs, l)
+            .unwrap_err()
+            .message
+            .contains("attributes"));
+        let deep = "<a><b><c><d>x</d></c></b></a>";
+        assert!(parse_element_with(deep, l)
+            .unwrap_err()
+            .message
+            .contains("nesting"));
+        // The same documents parse fine under default limits.
+        assert!(parse_element(&text).is_ok());
+        assert!(parse_element(deep).is_ok());
+    }
+
+    /// A representative document exercising every token kind.
+    fn fuzz_fixture() -> String {
+        concat!(
+            "<?xml version=\"1.0\" encoding=\"UTF-8\" ?>\n",
+            "<!-- leading comment -->\n",
+            "<image id=\"42\" file=\"caf\u{e9}.jpg\">\n",
+            "  <name>caf\u{e9} &amp; cr\u{e8}me.jpg</name>\n",
+            "  <text xml:lang=\"en\">\n",
+            "    <description>A &lt;tagged&gt; caption &#65;</description>\n",
+            "    <comment><![CDATA[raw < & > bytes]]></comment>\n",
+            "  </text>\n",
+            "  <license/>\n",
+            "</image>\n",
+        )
+        .to_string()
+    }
+
+    /// Truncating a valid document at every byte offset must yield
+    /// `Ok(_)` or a typed error — never a panic. Byte offsets inside a
+    /// multi-byte character are exercised via lossy decoding, matching
+    /// what a streaming reader would hand us.
+    #[test]
+    fn every_byte_truncation_never_panics() {
+        let doc = fuzz_fixture();
+        let bytes = doc.as_bytes();
+        for cut in 0..=bytes.len() {
+            let prefix = String::from_utf8_lossy(&bytes[..cut]);
+            let _ = parse_element(&prefix);
+            let mut tok = Tokenizer::new(&prefix);
+            while let Ok(Some(_)) = tok.next() {}
+        }
+    }
+
+    /// Corrupting any single byte to a metacharacter must also never
+    /// panic (unbalanced tags, stray '&', split entities, ...).
+    #[test]
+    fn single_byte_corruption_never_panics() {
+        let doc = fuzz_fixture();
+        for (i, _) in doc.char_indices() {
+            for junk in ['<', '>', '&', '"', '/'] {
+                let mut bad = String::with_capacity(doc.len());
+                for (j, c) in doc.char_indices() {
+                    bad.push(if j == i { junk } else { c });
+                }
+                let _ = parse_element(&bad);
+            }
+        }
+    }
+
+    #[test]
+    fn unbalanced_tags_are_typed_errors() {
+        for bad in [
+            "<a><b></b>",
+            "<a></b>",
+            "</a>",
+            "<a><b></a></b>",
+            "<a><![CDATA[x]]>",
+            "<a><!-- never closed",
+            "<a b=\"unterminated",
+            "<a b=unquoted/>",
+        ] {
+            let e = parse_element(bad).unwrap_err();
+            assert!(!e.message.is_empty(), "{bad:?} should be a typed error");
+        }
     }
 }

@@ -72,6 +72,7 @@ pub mod phrase;
 pub mod postings;
 pub mod query_lang;
 pub mod remote;
+pub mod segstore;
 pub mod sharded;
 pub mod stats;
 pub mod topk;
@@ -85,5 +86,6 @@ pub use ondisk::{ArtifactSource, LoadedIndex, OndiskError};
 pub use par::parallel_map;
 pub use query_lang::{parse, QueryNode};
 pub use remote::{RemoteEngine, RemoteShard, ShardServer};
+pub use segstore::{SegStore, SegStoreError};
 pub use sharded::{ShardedEngine, ShardedError};
 pub use workspace::{LeafId, ScoreWorkspace};

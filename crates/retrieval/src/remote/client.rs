@@ -317,7 +317,28 @@ impl RemoteEngine {
         params: LmParams,
         manifest_fingerprint: u64,
     ) -> Result<RemoteEngine, ShardedError> {
+        let expected: Vec<u64> = (0..addrs.len())
+            .map(|i| segment_fingerprint(manifest_fingerprint, i))
+            .collect();
+        Self::connect_with_fingerprints(addrs, params, &expected)
+    }
+
+    /// [`RemoteEngine::connect`] with an explicit per-slot expected
+    /// fingerprint instead of the `QGSM` slot-keyed derivation — the
+    /// segment-store fleet path, whose segments embed seq-keyed
+    /// fingerprints ([`crate::segstore::segment_fp`]) that the
+    /// coordinator knows from the manifest it loaded.
+    pub fn connect_with_fingerprints(
+        addrs: &[String],
+        params: LmParams,
+        expected: &[u64],
+    ) -> Result<RemoteEngine, ShardedError> {
         assert!(!addrs.is_empty(), "remote engine needs >= 1 shard");
+        assert_eq!(
+            addrs.len(),
+            expected.len(),
+            "one expected fingerprint per shard address"
+        );
         let mut shards = Vec::with_capacity(addrs.len());
         let mut doc_bases = Vec::with_capacity(addrs.len());
         let mut next = 0u64;
@@ -326,7 +347,7 @@ impl RemoteEngine {
             let shard = RemoteShard::connect(addr, 40, Duration::from_millis(50))
                 .map_err(|e| wire_error(i, addr, e))?;
             let info = shard.hello().map_err(|e| wire_error(i, addr, e))?;
-            let want = segment_fingerprint(manifest_fingerprint, i);
+            let want = expected[i];
             if info.fingerprint != want {
                 return Err(ShardedError::Shard {
                     shard: i,
