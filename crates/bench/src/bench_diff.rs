@@ -58,6 +58,12 @@ pub struct BenchDiff {
     /// pause. Same tolerance rules — run/serve records have no ingest
     /// rows.
     pub ingest_stages: Vec<StageDiff>,
+    /// Open-loop load measurements (schema-9 `load` records from
+    /// `qgx bench`): offered rate, goodput, and tail latency at the
+    /// ladder's last step. Same tolerance rules — other record kinds
+    /// have no load rows, and the `load_p99_us` row feeds the CI SLO
+    /// gate ([`BenchDiff::load_p99_regression_pct`]).
+    pub load_stages: Vec<StageDiff>,
     /// Per-stage seconds, in baseline-then-new order.
     pub stages: Vec<StageDiff>,
 }
@@ -67,6 +73,17 @@ impl BenchDiff {
     /// record lacks the field.
     pub fn wall_regression_pct(&self) -> f64 {
         self.wall.pct_delta().unwrap_or(0.0)
+    }
+
+    /// `load.p99_us` percent change (positive = slower tail) — the
+    /// `load-smoke` SLO gate quantity. 0 when either record lacks the
+    /// field (a run/serve baseline cannot gate a load candidate).
+    pub fn load_p99_regression_pct(&self) -> f64 {
+        self.load_stages
+            .iter()
+            .find(|d| d.name == "load_p99_us")
+            .and_then(StageDiff::pct_delta)
+            .unwrap_or(0.0)
     }
 
     /// Render as an aligned text table for terminals and CI logs.
@@ -114,6 +131,7 @@ impl BenchDiff {
             .chain(&self.build_stages)
             .chain(&self.serve_stages)
             .chain(&self.ingest_stages)
+            .chain(&self.load_stages)
             .chain([&self.build, &self.wall])
     }
 }
@@ -285,6 +303,28 @@ pub fn diff_records(baseline: &Value, candidate: &Value) -> BenchDiff {
     })
     .collect();
 
+    // Schema-9 load records: the ladder's last-step headline numbers,
+    // lifted to fixed paths under `load`. Rows appear only when either
+    // side has them, so run/serve/ingest baselines diff tolerantly.
+    let load_stages = [
+        ("load_offered_rps", &["load", "offered_rps"][..]),
+        ("load_goodput_qps", &["load", "goodput_qps"][..]),
+        ("load_p50_us", &["load", "p50_us"][..]),
+        ("load_p99_us", &["load", "p99_us"][..]),
+        ("load_p999_us", &["load", "p999_us"][..]),
+    ]
+    .iter()
+    .filter_map(|(name, path)| {
+        let base = get_path_f64(baseline, path);
+        let cand = get_path_f64(candidate, path);
+        (base.is_some() || cand.is_some()).then(|| StageDiff {
+            name: name.to_string(),
+            base,
+            cand,
+        })
+    })
+    .collect();
+
     let run_f64 = |record: &Value, key: &str| get(record, "run").and_then(|r| get_f64(r, key));
     BenchDiff {
         wall: StageDiff {
@@ -300,6 +340,7 @@ pub fn diff_records(baseline: &Value, candidate: &Value) -> BenchDiff {
         build_stages,
         serve_stages,
         ingest_stages,
+        load_stages,
         stages,
     }
 }
@@ -352,9 +393,20 @@ pub fn render_history(records: &[(String, Value)]) -> String {
             fmt_opt(get_f64(record, "build_seconds")),
             fmt_opt(get_path_f64(record, &["run", "wall_seconds"])),
             fmt_opt(stage("ground_truth")),
-            fmt_opt(get_path_f64(record, &["serve", "latency", "p50_us"])),
-            fmt_opt(get_path_f64(record, &["serve", "latency", "p99_us"])),
-            fmt_opt(get_path_f64(record, &["serve", "qps"])),
+            // Load records (schema 9) report the same columns from
+            // their ladder's last step; goodput stands in for QPS.
+            fmt_opt(
+                get_path_f64(record, &["serve", "latency", "p50_us"])
+                    .or_else(|| get_path_f64(record, &["load", "p50_us"])),
+            ),
+            fmt_opt(
+                get_path_f64(record, &["serve", "latency", "p99_us"])
+                    .or_else(|| get_path_f64(record, &["load", "p99_us"])),
+            ),
+            fmt_opt(
+                get_path_f64(record, &["serve", "qps"])
+                    .or_else(|| get_path_f64(record, &["load", "goodput_qps"])),
+            ),
         ));
     }
     out
@@ -626,6 +678,56 @@ mod tests {
         )]);
         assert!(md.contains("ingest"));
         assert!(md.contains('8'));
+    }
+
+    fn load_record(p99: f64, goodput: f64) -> Value {
+        parse_record(&format!(
+            r#"{{"schema":9,"kind":"load","num_queries":32,"num_topics":60,
+                "load":{{"conns":4,"workers":4,"zipf":0.0,"seed":12648430,
+                    "warmup_passes":1,"latency_mode":"histogram",
+                    "offered_rps":400.0,"goodput_qps":{goodput},
+                    "p50_us":1200.0,"p99_us":{p99},"p999_us":9000.0,
+                    "steps":[]}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn schema9_load_records_diff_and_gate_on_p99() {
+        // Old run baseline vs load candidate: load rows appear with a
+        // dashed baseline side and the gate stays silent.
+        let diff = diff_records(&record(0.32, 0.29), &load_record(5000.0, 380.0));
+        let p99 = diff
+            .load_stages
+            .iter()
+            .find(|d| d.name == "load_p99_us")
+            .unwrap();
+        assert_eq!(p99.base, None);
+        assert_eq!(p99.cand, Some(5000.0));
+        assert_eq!(
+            diff.load_p99_regression_pct(),
+            0.0,
+            "no SLO gate without a load baseline"
+        );
+        // Load vs load: real deltas drive the SLO gate.
+        let diff = diff_records(&load_record(4000.0, 390.0), &load_record(5000.0, 380.0));
+        assert_eq!(diff.load_stages.len(), 5);
+        assert!((diff.load_p99_regression_pct() - 25.0).abs() < 1e-9);
+        let goodput = diff
+            .load_stages
+            .iter()
+            .find(|d| d.name == "load_goodput_qps")
+            .unwrap();
+        assert_eq!(goodput.abs_delta(), Some(-10.0));
+        assert!(diff.render_markdown().contains("| `load_p99_us` |"));
+        // Run/serve records grow no phantom load rows.
+        let old = diff_records(&record(0.32, 0.29), &serve_record(3000.0, 300.0));
+        assert!(old.load_stages.is_empty());
+        // The history table renders load records in the shared columns.
+        let md = render_history(&[("BENCH_load.json".to_string(), load_record(5000.0, 380.0))]);
+        assert!(md.contains("load"));
+        assert!(md.contains("5000.0000"), "p99 column from load path");
+        assert!(md.contains("380.0000"), "QPS column from goodput");
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! `qgx` — the query-expansion server, now with a socket.
 //!
-//! Seven subcommands over one world-boot path:
+//! Eight subcommands over one world-boot path:
 //!
 //! ```text
 //! qgx serve   --listen <addr>  [world flags] [--workers n] [--queue n]
 //!             [--deadline-ms n] [--keep-alive n] [--shard-procs n]
 //!             [--bench-out path]
+//! qgx bench   [world flags | --connect <addr> --queries f]
+//!             [--rps a,b,c] [--duration-s s] [--conns n] [--zipf s]
+//!             [--seed n] [--warmup-passes n] [--workers n] [--queue n]
+//!             [--deadline-ms n] [--bench-out path]
 //! qgx replay  [world flags] [--queries f | --seed-queries] [--repeat n]
 //!             [--zipf s] [--threads n] [--deadline-ms n] [--json]
 //!             [--shard-procs n] [--bench-out path]
@@ -28,6 +32,23 @@
 //!   in-flight queries before exit. `--bench-out` archives a schema-7
 //!   `ServeRecord` (listen address, shed/timeout counters, per-code
 //!   failures, per-connection p99) after the drain.
+//! * `bench` is the **open-loop** load harness (ROADMAP item 5): a
+//!   Poisson arrival generator fires requests at each `--rps` ladder
+//!   step for `--duration-s` seconds regardless of how fast the server
+//!   answers, over `--conns` client connections, with a
+//!   Zipf(`--zipf`)-mixed query pool — so queueing delay and tail
+//!   latency are *measured* (from each request's scheduled arrival,
+//!   wrk2-style) instead of hidden the way closed-loop replay hides
+//!   them. By default it boots the tier's world and serves it on an
+//!   ephemeral port with `--workers` workers; `--connect <addr>
+//!   --queries <file>` drives an already-running server instead.
+//!   `--warmup-passes 0` (the default) measures a cold expansion
+//!   cache; ≥ 1 pre-touches the pool. The ladder is a deterministic
+//!   function of `--seed`. `--bench-out` archives a schema-9
+//!   `LoadRecord` (kind `"load"`, committed as `BENCH_load.json` for
+//!   the seed tier) whose headline p50/p99/p99.9 and
+//!   goodput-vs-offered-load come from the constant-memory log-bucketed
+//!   histogram.
 //! * `replay` is the former bare-flag behaviour: serve a stdin, file,
 //!   or seed workload **in process** and report latency percentiles
 //!   and QPS. `--deadline-ms` applies the same typed per-request
@@ -59,8 +80,8 @@
 //!   `corpus::ingest::DumpStream` in bounded memory, freezing every
 //!   `--batch-docs` documents into one `QGIX` segment of a `QGSS`
 //!   segment store; `compact` merges the live segments into `--shards`
-//!   balanced ones. `serve --segstore <dir>` / `replay --segstore
-//!   <dir>` serve the store's current generation and (serve only)
+//!   balanced ones. `serve --segstore <dir>` and `replay --segstore`
+//!   serve the store's current generation and (serve only)
 //!   watch the manifest, hot-swapping the engine onto each newly
 //!   published generation with zero downtime.
 //!
@@ -75,8 +96,8 @@
 //! `--prune`, `--expansion-cache <n>`.
 
 use querygraph_bench::{
-    flag_f64, flag_operand, flag_usize, CliOptions, IngestRecord, IngestSummary, LatencySummary,
-    ServeRecord, ServeSummary, ZipfSampler,
+    flag_f64, flag_operand, flag_usize, load_plan, CliOptions, IngestRecord, IngestSummary,
+    LatencySummary, LoadRecord, LoadStep, LoadSummary, ServeRecord, ServeSummary, ZipfSampler,
 };
 use querygraph_core::expcache::ExpansionCache;
 use querygraph_core::http::{self, HttpServer, ServerConfig};
@@ -129,6 +150,23 @@ const SERVE_FLAGS: [(&str, bool); 8] = [
     ("--keep-alive", true),
     ("--expansion-cache", true),
     ("--shard-procs", true),
+    ("--bench-out", true),
+];
+
+const BENCH_FLAGS: [(&str, bool); 14] = [
+    ("--connect", true),
+    ("--expansion-cache", true),
+    ("--rps", true),
+    ("--duration-s", true),
+    ("--conns", true),
+    ("--zipf", true),
+    ("--seed", true),
+    ("--warmup-passes", true),
+    ("--queries", true),
+    ("--seed-queries", false),
+    ("--workers", true),
+    ("--queue", true),
+    ("--deadline-ms", true),
     ("--bench-out", true),
 ];
 
@@ -223,6 +261,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     match args.get(1).map(String::as_str) {
         Some("serve") => run_serve(&without_subcommand(&args)),
+        Some("bench") => run_bench(&without_subcommand(&args)),
         Some("replay") => run_replay(&without_subcommand(&args)),
         Some("client") => run_client(&without_subcommand(&args)),
         Some("shard") => run_shard(&without_subcommand(&args)),
@@ -246,14 +285,14 @@ fn main() {
         Some(other) => {
             eprintln!(
                 "error: unknown subcommand {other:?} \
-                 (serve | replay | client | shard | dump | ingest | compact)"
+                 (serve | bench | replay | client | shard | dump | ingest | compact)"
             );
             std::process::exit(2);
         }
     }
 }
 
-/// Drop argv[1] (the subcommand) so flag parsing sees only flags.
+/// Drop `argv[1]` (the subcommand) so flag parsing sees only flags.
 fn without_subcommand(args: &[String]) -> Vec<String> {
     let mut out = vec![args[0].clone()];
     out.extend_from_slice(&args[2..]);
@@ -442,7 +481,7 @@ fn kill_children(children: &mut [std::process::Child]) {
 
 /// Spawn `n` `qgx shard` children over the segmented artifact the
 /// in-process boot just built/validated, wait for each one's stdout
-/// announce line, and connect a [`RemoteEngine`] across them. Exits
+/// announce line, and connect a `RemoteEngine` across them. Exits
 /// (after killing any children already spawned) rather than serving
 /// with a partial fleet.
 fn spawn_shard_procs(
@@ -544,7 +583,7 @@ fn spawn_shard_procs(
 }
 
 /// Parse `--shard-procs` and, when present, replace `world.engine`
-/// with a [`RemoteEngine`] over `n` freshly spawned shard children.
+/// with a `RemoteEngine` over `n` freshly spawned shard children.
 /// Must run before the expander borrows the world. Returns the fleet
 /// (drain it after serving) and the effective scatter width.
 fn maybe_shard_procs(
@@ -603,7 +642,7 @@ fn segstore_source(cli: &CliOptions) -> querygraph_retrieval::ondisk::ArtifactSo
 /// Boot a [`ServingWorld`] from a `QGSS` segment store: synthesize the
 /// wiki only (expansion needs the knowledge graph; the corpus text
 /// already lives in the segments), load the current generation, and
-/// install it behind a [`ReloadableEngine`] whose cache epoch is the
+/// install it behind a `ReloadableEngine` whose cache epoch is the
 /// generation fingerprint — so hot swaps invalidate the expansion
 /// cache exactly when the document set changes.
 fn boot_segstore_world(
@@ -690,7 +729,7 @@ fn boot_segstore_world(
 }
 
 /// Spawn one `qgx shard --segstore --seq` child per live segment of
-/// `manifest` and connect a [`RemoteEngine`] across them with seq-keyed
+/// `manifest` and connect a `RemoteEngine` across them with seq-keyed
 /// fingerprint pinning. Unlike [`spawn_shard_procs`] this returns an
 /// error instead of exiting: the live-reload watcher must keep serving
 /// the old generation when a new fleet fails to come up.
@@ -1084,8 +1123,11 @@ fn run_serve(args: &[String]) {
     let served = stats.queries_served() as usize;
     let failures = stats.failures() as usize;
     let answered = served + failures;
-    let latency = LatencySummary::of(&stats.request_latencies_us());
-    let conn_latency = LatencySummary::of(&stats.connection_lifetimes_us());
+    // Serving stats live in constant-memory log-bucketed histograms
+    // (a multi-hour serve cannot grow an exact sample Vec unboundedly);
+    // the record says so via latency_mode: "histogram".
+    let latency = LatencySummary::from_histogram(&stats.request_latency());
+    let conn_latency = LatencySummary::from_histogram(&stats.connection_latency());
     let qps = answered as f64 / total_seconds.max(1e-9);
     eprintln!(
         "# served {answered} queries ({failures} typed errors, {} shed, {} timeouts) \
@@ -1130,6 +1172,7 @@ fn run_serve(args: &[String]) {
                 shed: stats.shed(),
                 timeouts: stats.timeouts(),
                 error_codes: stats.error_codes(),
+                latency_mode: "histogram".to_string(),
                 latency,
                 conn_latency: Some(conn_latency),
             },
@@ -1137,6 +1180,307 @@ fn run_serve(args: &[String]) {
         record.listen_addr = Some(addr);
         let json = serde_json::to_string_pretty(&record).expect("serve record serializes");
         std::fs::write(path, json).expect("write serve record");
+        eprintln!("# wrote {path}");
+    }
+}
+
+// ---------------------------------------------------------------- bench
+
+fn run_bench(args: &[String]) {
+    // `--segstore` boots through a different path `bench` does not
+    // wire; reject it rather than silently serving the wrong world.
+    let known: Vec<(&str, bool)> = WORLD_FLAGS
+        .iter()
+        .filter(|(name, _)| *name != "--segstore")
+        .chain(&BENCH_FLAGS)
+        .copied()
+        .collect();
+    reject_unknown_flags(args, &known, "bench");
+    let cli = CliOptions::from_vec(args);
+    let ex = ExpanderOptions::from_args(args);
+    let connect = flag_operand(args, "--connect");
+    let rps_ladder: Vec<f64> = flag_operand(args, "--rps")
+        .unwrap_or_else(|| "100,200,400".to_string())
+        .split(',')
+        .map(|s| {
+            let v: f64 = s.trim().parse().unwrap_or_else(|_| {
+                eprintln!("error: --rps takes a comma-separated list of rates, got {s:?}");
+                std::process::exit(2);
+            });
+            if !(v > 0.0 && v.is_finite()) {
+                eprintln!("error: --rps rates must be positive, got {v}");
+                std::process::exit(2);
+            }
+            v
+        })
+        .collect();
+    let duration_s = flag_f64(args, "--duration-s").unwrap_or(2.0);
+    if !(duration_s > 0.0 && duration_s.is_finite()) {
+        eprintln!("error: --duration-s must be positive, got {duration_s}");
+        std::process::exit(2);
+    }
+    let conns = flag_usize(args, "--conns").unwrap_or(4).max(1);
+    let zipf = flag_f64(args, "--zipf").unwrap_or(0.0);
+    if !(zipf >= 0.0 && zipf.is_finite()) {
+        eprintln!("error: --zipf exponent must be a finite number ≥ 0, got {zipf}");
+        std::process::exit(2);
+    }
+    let seed = flag_usize(args, "--seed").unwrap_or(0xC0FFEE) as u64;
+    let warmup_passes = flag_usize(args, "--warmup-passes").unwrap_or(0);
+    let workers = flag_usize(args, "--workers").unwrap_or(4).max(1);
+    let queue_depth = flag_usize(args, "--queue").unwrap_or(128).max(1);
+    let deadline_ms = flag_usize(args, "--deadline-ms").unwrap_or(2000).max(1);
+    let deadline = Duration::from_millis(deadline_ms as u64);
+    let queries_file = flag_operand(args, "--queries");
+    if queries_file.is_some() && args.iter().any(|a| a == "--seed-queries") {
+        eprintln!("error: --queries and --seed-queries are mutually exclusive");
+        std::process::exit(2);
+    }
+    let config = cli.config();
+
+    if let Some(addr) = connect {
+        // External server: the pool must come from a file — there is
+        // no booted world to derive seed queries from, and the remote
+        // worker count is unknown (recorded as 0).
+        let pool = match &queries_file {
+            Some(path) => read_query_file(path),
+            None => {
+                eprintln!("error: qgx bench --connect requires --queries <file>");
+                std::process::exit(2);
+            }
+        };
+        if pool.is_empty() {
+            eprintln!("error: empty workload");
+            std::process::exit(2);
+        }
+        eprintln!(
+            "# qgx bench: driving {addr} ({} queries in pool)",
+            pool.len()
+        );
+        let steps = drive_ladder(
+            &addr,
+            &pool,
+            &rps_ladder,
+            duration_s,
+            conns,
+            zipf,
+            seed,
+            warmup_passes,
+            deadline,
+        );
+        let summary = LoadSummary::new(steps, conns, 0, zipf, seed, warmup_passes);
+        write_load_record(&cli, &config, pool.len(), summary, Some(addr));
+        return;
+    }
+
+    let (world, seed_corpus, _) = boot_world(&cli, &ex, queries_file.is_none());
+    let pool: Vec<String> = match &queries_file {
+        Some(path) => read_query_file(path),
+        None => seed_corpus
+            .expect("boot_world returns the corpus when seed queries are wanted")
+            .queries
+            .queries
+            .iter()
+            .map(|q| q.keywords.clone())
+            .collect(),
+    };
+    if pool.is_empty() {
+        eprintln!("error: empty workload");
+        std::process::exit(2);
+    }
+    let cache = expansion_cache(&ex);
+    let expander = world.expander_from(&ex.builder(&cache));
+    let server = HttpServer::bind(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_depth,
+        deadline,
+        keep_alive_requests: 100,
+        limits: http::HttpLimits::default(),
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("error: cannot bind an ephemeral port: {e}");
+        std::process::exit(1);
+    });
+    let addr = server
+        .local_addr()
+        .expect("bound server has an address")
+        .to_string();
+    eprintln!(
+        "# qgx bench: serving on {addr} ({workers} workers, queue {queue_depth}, \
+         deadline {deadline_ms} ms); pool {} queries, ladder {rps_ladder:?} rps × {duration_s}s, \
+         {conns} conns, zipf {zipf}, seed {seed:#x}, warm-up {warmup_passes}",
+        pool.len(),
+    );
+    let shutdown = server.shutdown_flag();
+    let mut steps = Vec::new();
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(|| server.serve(&expander));
+        steps = drive_ladder(
+            &addr,
+            &pool,
+            &rps_ladder,
+            duration_s,
+            conns,
+            zipf,
+            seed,
+            warmup_passes,
+            deadline,
+        );
+        shutdown.store(true, std::sync::atomic::Ordering::SeqCst);
+        let _ = handle.join();
+    });
+    if let Some(cache) = &cache {
+        eprintln!(
+            "# expansion cache: {}/{} hits ({:.1}%)",
+            cache.hits(),
+            cache.lookups(),
+            100.0 * cache.hit_rate()
+        );
+    }
+    let summary = LoadSummary::new(steps, conns, workers, zipf, seed, warmup_passes);
+    write_load_record(&cli, &config, pool.len(), summary, Some(addr));
+}
+
+/// Run the open-loop ladder against a live server at `addr`. Each step
+/// precomputes its deterministic (arrival, query) plan, then `conns`
+/// threads race a shared cursor through it: every request waits for
+/// its scheduled instant, fires, and records latency **from the
+/// scheduled arrival** — time a request spent waiting behind a slow
+/// server counts against the tail (no coordinated omission).
+#[allow(clippy::too_many_arguments)]
+fn drive_ladder(
+    addr: &str,
+    pool: &[String],
+    ladder: &[f64],
+    duration_s: f64,
+    conns: usize,
+    zipf: f64,
+    seed: u64,
+    warmup_passes: usize,
+    deadline: Duration,
+) -> Vec<LoadStep> {
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    // One serialized request body per pool entry, reused by every step.
+    let bodies: Vec<String> = pool
+        .iter()
+        .map(|text| {
+            serde_json::to_string(&ExpansionRequest::new(text.clone())).expect("request serializes")
+        })
+        .collect();
+    // The client waits out the server's worst case (deadline + write
+    // grace) rather than racing it.
+    let client_timeout = deadline.max(Duration::from_secs(1)) * 2;
+    for pass in 1..=warmup_passes {
+        for body in &bodies {
+            let _ = http::post_json(addr, "/expand", body, client_timeout);
+        }
+        eprintln!("# qgx bench: warm-up pass {pass}/{warmup_passes} done");
+    }
+    let mut steps = Vec::new();
+    for (si, &rps) in ladder.iter().enumerate() {
+        // Per-step sub-seed: steps draw independent schedules while
+        // the whole ladder stays a pure function of --seed.
+        let plan = load_plan(
+            rps,
+            duration_s,
+            pool.len(),
+            zipf,
+            seed.wrapping_add(si as u64),
+        );
+        let cursor = AtomicUsize::new(0);
+        let hist = querygraph_core::LatencyHistogram::default();
+        let completed = AtomicU64::new(0);
+        let failures = AtomicU64::new(0);
+        let shed = AtomicU64::new(0);
+        let timeouts = AtomicU64::new(0);
+        let start = Instant::now();
+        std::thread::scope(|scope| {
+            for _ in 0..conns {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(arrival_us, qidx)) = plan.get(i) else {
+                        break;
+                    };
+                    let scheduled = Duration::from_micros(arrival_us);
+                    let now = start.elapsed();
+                    if scheduled > now {
+                        std::thread::sleep(scheduled - now);
+                    }
+                    let outcome = http::post_json(addr, "/expand", &bodies[qidx], client_timeout);
+                    let lat_us = start.elapsed().saturating_sub(scheduled).as_secs_f64() * 1e6;
+                    hist.record(lat_us);
+                    match outcome {
+                        Ok(r) if r.status == 200 => {
+                            completed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(r) => {
+                            // failures counts every non-200; shed and
+                            // timeouts are its typed subsets.
+                            failures.fetch_add(1, Ordering::Relaxed);
+                            if r.status == 503 {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            if r.status == 408 {
+                                timeouts.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        Err(_) => {
+                            failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        let wall = start.elapsed().as_secs_f64();
+        let snap = hist.snapshot();
+        let step = LoadStep {
+            offered_rps: rps,
+            duration_seconds: duration_s,
+            sent: plan.len() as u64,
+            completed: completed.load(Ordering::Relaxed),
+            failures: failures.load(Ordering::Relaxed),
+            shed: shed.load(Ordering::Relaxed),
+            timeouts: timeouts.load(Ordering::Relaxed),
+            goodput_qps: completed.load(Ordering::Relaxed) as f64 / wall.max(1e-9),
+            p50_us: snap.percentile_us(50.0),
+            p99_us: snap.percentile_us(99.0),
+            p999_us: snap.percentile_us(99.9),
+            max_us: snap.max_us(),
+            mean_us: snap.mean_us(),
+        };
+        eprintln!(
+            "# qgx bench: offered {:.0} rps → goodput {:.0} q/s; p50 {:.0}µs p99 {:.0}µs \
+             p99.9 {:.0}µs ({} sent, {} failures, {} shed, {} timeouts)",
+            step.offered_rps,
+            step.goodput_qps,
+            step.p50_us,
+            step.p99_us,
+            step.p999_us,
+            step.sent,
+            step.failures,
+            step.shed,
+            step.timeouts,
+        );
+        steps.push(step);
+    }
+    steps
+}
+
+/// Archive the ladder record (written only with `--bench-out`, like
+/// every other subcommand's record).
+fn write_load_record(
+    cli: &CliOptions,
+    config: &querygraph_core::ExperimentConfig,
+    pool_queries: usize,
+    summary: LoadSummary,
+    addr: Option<String>,
+) {
+    if let Some(path) = &cli.bench_out {
+        let mut record = LoadRecord::new(config, pool_queries, summary);
+        record.listen_addr = addr;
+        let json = serde_json::to_string_pretty(&record).expect("load record serializes");
+        std::fs::write(path, json).expect("write load record");
         eprintln!("# wrote {path}");
     }
 }
@@ -1352,6 +1696,9 @@ fn run_replay(args: &[String]) {
                 shed: 0,
                 timeouts: tally.timeouts,
                 error_codes: tally.error_codes,
+                // Replay keeps every raw sample (bounded workload):
+                // exact nearest-rank percentiles.
+                latency_mode: "exact".to_string(),
                 latency,
                 conn_latency: None,
             },
@@ -1854,7 +2201,7 @@ fn compact_and_measure(
     (compaction_seconds, swap_pause_us)
 }
 
-/// `qgx ingest`: stream a dump through [`DumpStream`] in bounded
+/// `qgx ingest`: stream a dump through `DumpStream` in bounded
 /// memory, freezing every `--batch-docs` documents into one committed
 /// `QGIX` segment. Never materializes the corpus: each document is
 /// tokenized into the in-progress batch builder and dropped. With

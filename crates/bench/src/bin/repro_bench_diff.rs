@@ -3,7 +3,8 @@
 //!
 //! ```text
 //! cargo run --release -p querygraph-bench --bin repro_bench_diff -- \
-//!     <baseline.json> <candidate.json> [--fail-over <pct>] [--markdown]
+//!     <baseline.json> <candidate.json> [--fail-over <pct>] \
+//!     [--fail-p99-over <pct>] [--markdown]
 //! cargo run --release -p querygraph-bench --bin repro_bench_diff -- \
 //!     --history <record.json>...
 //! ```
@@ -12,7 +13,10 @@
 //! and `wall_seconds`. With `--fail-over <pct>`, exits non-zero when
 //! the candidate's pipeline `wall_seconds` regressed by more than
 //! `<pct>` percent over the baseline — the CI job's failure condition.
-//! `--markdown` emits a GitHub-flavored table for `$GITHUB_STEP_SUMMARY`.
+//! With `--fail-p99-over <pct>`, exits non-zero when a schema-9 load
+//! record's `load.p99_us` regressed past the threshold — the
+//! `load-smoke` SLO gate. `--markdown` emits a GitHub-flavored table
+//! for `$GITHUB_STEP_SUMMARY`.
 //!
 //! With `--history`, every positional path is a committed bench record
 //! (`BENCH_seed.json`, `BENCH_stress.json`, `BENCH_serve.json`, …) and
@@ -25,7 +29,7 @@ use querygraph_bench::bench_diff::{diff_records, parse_record, render_history};
 fn usage() -> ! {
     eprintln!(
         "usage: repro_bench_diff <baseline.json> <candidate.json> \
-         [--fail-over <pct>] [--markdown]\n\
+         [--fail-over <pct>] [--fail-p99-over <pct>] [--markdown]\n\
          \x20      repro_bench_diff --history <record.json>..."
     );
     std::process::exit(2);
@@ -35,6 +39,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths: Vec<&str> = Vec::new();
     let mut fail_over: Option<f64> = None;
+    let mut fail_p99_over: Option<f64> = None;
     let mut markdown = false;
     let mut history = false;
     let mut it = args.iter();
@@ -42,6 +47,10 @@ fn main() {
         match arg.as_str() {
             "--fail-over" => match it.next().map(|v| v.parse::<f64>()) {
                 Some(Ok(pct)) => fail_over = Some(pct),
+                _ => usage(),
+            },
+            "--fail-p99-over" => match it.next().map(|v| v.parse::<f64>()) {
+                Some(Ok(pct)) => fail_p99_over = Some(pct),
                 _ => usage(),
             },
             "--markdown" => markdown = true,
@@ -67,7 +76,7 @@ fn main() {
     if history {
         // `--history` is a different mode, not a modifier: combining it
         // with the two-record gate flags would silently skip the gate.
-        if paths.is_empty() || fail_over.is_some() || markdown {
+        if paths.is_empty() || fail_over.is_some() || fail_p99_over.is_some() || markdown {
             usage();
         }
         let records: Vec<(String, _)> = paths
@@ -108,6 +117,30 @@ fn main() {
         }
         let msg =
             format!("wall_seconds change {regression:+.1}% within threshold {threshold:+.1}%");
+        if markdown {
+            println!("\n**OK** — {msg}");
+        }
+        eprintln!("OK: {msg}");
+    }
+
+    // The load-smoke SLO gate: tail-latency regression on a schema-9
+    // load record. Missing fields (non-load records) read as 0% and
+    // pass, so the flag is safe to leave on in mixed CI matrices.
+    let p99_regression = diff.load_p99_regression_pct();
+    if let Some(threshold) = fail_p99_over {
+        if p99_regression > threshold {
+            let msg = format!(
+                "load p99_us regressed {p99_regression:+.1}% (SLO threshold {threshold:+.1}%)"
+            );
+            if markdown {
+                println!("\n**FAIL** — {msg}");
+            }
+            eprintln!("FAIL: {msg}");
+            std::process::exit(1);
+        }
+        let msg = format!(
+            "load p99_us change {p99_regression:+.1}% within SLO threshold {threshold:+.1}%"
+        );
         if markdown {
             println!("\n**OK** — {msg}");
         }

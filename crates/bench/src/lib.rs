@@ -65,6 +65,11 @@ impl BenchRecord {
     /// Assemble a record from a finished run.
     pub fn new(config: &ExperimentConfig, build: &BuildStats, run: RunSummary) -> BenchRecord {
         BenchRecord {
+            // 9: open-loop load harness (a new "load" record kind
+            //    carries the offered-RPS ladder with goodput and
+            //    histogram-mode tail percentiles; serve records grew
+            //    latency_mode saying whether exact samples or the
+            //    log-bucketed histogram produced their numbers).
             // 8: streaming ingest (a new "ingest" record kind carries
             //    docs/sec, segment counts, compaction wall and swap
             //    pause; run/serve records are unchanged in shape).
@@ -85,7 +90,7 @@ impl BenchRecord {
             // 3: build breakdown (world/index build/write/load seconds,
             //    index_source) for the on-disk index cache.
             // 2: RunSummary gained ground-truth evaluation counters.
-            schema: 8,
+            schema: 9,
             num_queries: config.corpus.num_queries,
             num_topics: config.wiki.num_topics,
             articles_per_topic: config.wiki.articles_per_topic,
@@ -150,6 +155,20 @@ impl LatencySummary {
         }
     }
 
+    /// Summarize a serving-side histogram snapshot (the
+    /// constant-memory `latency_mode: "histogram"` path): percentiles
+    /// are bucket upper bounds (≤ +9.1% of exact, never below); max
+    /// and mean are exact.
+    pub fn from_histogram(snap: &querygraph_core::HistogramSnapshot) -> LatencySummary {
+        LatencySummary {
+            p50_us: snap.percentile_us(50.0),
+            p90_us: snap.percentile_us(90.0),
+            p99_us: snap.percentile_us(99.0),
+            max_us: snap.max_us(),
+            mean_us: snap.mean_us(),
+        }
+    }
+
     /// One-line human rendering.
     pub fn render(&self) -> String {
         format!(
@@ -208,6 +227,13 @@ pub struct ServeSummary {
     /// Typed failures by wire code (`ServiceError::code` /
     /// `ParseError::code` values; empty when nothing failed).
     pub error_codes: std::collections::BTreeMap<String, u64>,
+    /// How `latency` (and `conn_latency`) were computed: `"exact"` —
+    /// nearest-rank percentiles over every raw sample (the bounded
+    /// replay tiers) — or `"histogram"` — the log-bucketed
+    /// constant-memory histogram long `qgx serve` runs record into,
+    /// whose percentiles are bucket upper bounds (≤ +9.1% of exact,
+    /// never below).
+    pub latency_mode: String,
     /// Per-query latency distribution.
     pub latency: LatencySummary,
     /// Per-connection lifetime distribution (networked serving only;
@@ -277,14 +303,15 @@ impl ServeRecord {
         serve: ServeSummary,
     ) -> ServeRecord {
         ServeRecord {
-            // Shares the BenchRecord schema counter (8: streaming
-            // ingest record kind; 7: shard processes — serve records
-            // grew shard_procs; 6: networked serving — listen_addr,
+            // Shares the BenchRecord schema counter (9: latency_mode +
+            // the "load" record kind; 8: streaming ingest record kind;
+            // 7: shard processes — serve records grew shard_procs; 6:
+            // networked serving — listen_addr,
             // shed/timeouts/error_codes, conn_latency; 5:
             // expansion-cache counters + search_mode; 4: shard fields +
             // per-thread QPS; 3 introduced the build breakdown these
             // fields mirror).
-            schema: 8,
+            schema: 9,
             kind: "serve".to_string(),
             num_queries: workload_queries,
             num_topics: config.wiki.num_topics,
@@ -364,8 +391,8 @@ impl IngestRecord {
     pub fn new(config: &ExperimentConfig, ingest: IngestSummary) -> IngestRecord {
         IngestRecord {
             // 8 introduced this record kind (see BenchRecord::new's
-            // schema history).
-            schema: 8,
+            // schema history); 9 changed nothing about its shape.
+            schema: 9,
             kind: "ingest".to_string(),
             num_queries: config.corpus.num_queries,
             num_topics: config.wiki.num_topics,
@@ -374,6 +401,210 @@ impl IngestRecord {
             corpus_seed: config.corpus.seed,
             ingest,
         }
+    }
+}
+
+/// One offered-load step of `qgx bench`'s open-loop ladder: the
+/// arrival generator fired `sent` requests at `offered_rps` regardless
+/// of how fast the server answered (open loop — queueing delay counts
+/// against latency, which is the whole point), and these are the
+/// outcomes. Latency numbers come from the log-bucketed histogram
+/// (`latency_mode` on the summary), measured from each request's
+/// **scheduled** arrival, so coordinated omission cannot flatter the
+/// tail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadStep {
+    /// Arrival rate the generator offered (requests/second).
+    pub offered_rps: f64,
+    /// Seconds the step was scheduled to run.
+    pub duration_seconds: f64,
+    /// Requests the generator sent.
+    pub sent: u64,
+    /// Requests answered 200.
+    pub completed: u64,
+    /// Requests answered with any non-200 (typed errors included).
+    pub failures: u64,
+    /// Requests shed at the edge (503 `overloaded`).
+    pub shed: u64,
+    /// Requests refused on deadline (408 `timeout`).
+    pub timeouts: u64,
+    /// Successful answers per second of actual step wall time — the
+    /// goodput the ladder plots against `offered_rps`.
+    pub goodput_qps: f64,
+    /// Median latency from scheduled arrival, microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// 99.9th-percentile latency, microseconds.
+    pub p999_us: f64,
+    /// Worst observed latency, microseconds (exact).
+    pub max_us: f64,
+    /// Mean latency, microseconds (exact).
+    pub mean_us: f64,
+}
+
+/// The measurement half of a [`LoadRecord`]: the whole ladder plus
+/// top-level copies of the **last** step's headline numbers, so
+/// schema-tolerant diffing (`repro_bench_diff`) and the CI SLO gate
+/// can address them with fixed paths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadSummary {
+    /// The ladder, in the order the steps ran.
+    pub steps: Vec<LoadStep>,
+    /// Client connections driving the open loop.
+    pub conns: usize,
+    /// HTTP workers serving it.
+    pub workers: usize,
+    /// Zipf exponent of the query mix (0 = uniform).
+    pub zipf: f64,
+    /// Generator seed — same seed, same arrival schedule and query
+    /// sequence.
+    pub seed: u64,
+    /// Warm-up passes over the query pool before the ladder (0 = cold
+    /// cache).
+    pub warmup_passes: usize,
+    /// Always `"histogram"` for the open-loop harness (see
+    /// [`ServeSummary::latency_mode`]).
+    pub latency_mode: String,
+    /// Last step's offered rate (the headline operating point).
+    pub offered_rps: f64,
+    /// Last step's goodput.
+    pub goodput_qps: f64,
+    /// Last step's median latency, microseconds.
+    pub p50_us: f64,
+    /// Last step's 99th-percentile latency, microseconds.
+    pub p99_us: f64,
+    /// Last step's 99.9th-percentile latency, microseconds.
+    pub p999_us: f64,
+}
+
+impl LoadSummary {
+    /// Assemble a summary from a finished ladder, lifting the last
+    /// step's headline numbers to the top level.
+    pub fn new(
+        steps: Vec<LoadStep>,
+        conns: usize,
+        workers: usize,
+        zipf: f64,
+        seed: u64,
+        warmup_passes: usize,
+    ) -> LoadSummary {
+        let last = steps.last().cloned().unwrap_or(LoadStep {
+            offered_rps: 0.0,
+            duration_seconds: 0.0,
+            sent: 0,
+            completed: 0,
+            failures: 0,
+            shed: 0,
+            timeouts: 0,
+            goodput_qps: 0.0,
+            p50_us: 0.0,
+            p99_us: 0.0,
+            p999_us: 0.0,
+            max_us: 0.0,
+            mean_us: 0.0,
+        });
+        LoadSummary {
+            steps,
+            conns,
+            workers,
+            zipf,
+            seed,
+            warmup_passes,
+            latency_mode: "histogram".to_string(),
+            offered_rps: last.offered_rps,
+            goodput_qps: last.goodput_qps,
+            p50_us: last.p50_us,
+            p99_us: last.p99_us,
+            p999_us: last.p999_us,
+        }
+    }
+}
+
+/// The bench record `qgx bench` archives (committed as
+/// `BENCH_load.json` for the seed tier) — shares the [`BenchRecord`]
+/// schema counter and identification fields; `repro_bench_diff` reads
+/// the `load` section tolerantly (records without one simply have no
+/// load rows).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoadRecord {
+    /// Record-format version (shared counter with [`BenchRecord`]).
+    pub schema: u32,
+    /// Record kind discriminator: always `"load"`.
+    pub kind: String,
+    /// Queries in the pool the Zipf/uniform mix draws from.
+    pub num_queries: usize,
+    /// Topics in the synthetic Wikipedia.
+    pub num_topics: usize,
+    /// Articles per topic (the stress dial).
+    pub articles_per_topic: usize,
+    /// Synthetic-Wikipedia seed.
+    pub wiki_seed: u64,
+    /// Synthetic-corpus seed.
+    pub corpus_seed: u64,
+    /// The socket address the ladder drove.
+    pub listen_addr: Option<String>,
+    /// The load measurements.
+    pub load: LoadSummary,
+}
+
+impl LoadRecord {
+    /// Assemble a record from a finished ladder. `pool_queries` is the
+    /// size of the query pool the mix sampled.
+    pub fn new(config: &ExperimentConfig, pool_queries: usize, load: LoadSummary) -> LoadRecord {
+        LoadRecord {
+            // 9 introduced this record kind (see BenchRecord::new's
+            // schema history).
+            schema: 9,
+            kind: "load".to_string(),
+            num_queries: pool_queries,
+            num_topics: config.wiki.num_topics,
+            articles_per_topic: config.wiki.articles_per_topic,
+            wiki_seed: config.wiki.seed,
+            corpus_seed: config.corpus.seed,
+            listen_addr: None,
+            load,
+        }
+    }
+}
+
+/// The deterministic plan of one open-loop ladder step: for each
+/// request, its scheduled arrival offset (µs from the step start) and
+/// the query-pool index it sends. Arrivals are a Poisson process at
+/// `rps` (exponential inter-arrival gaps via inverse-CDF over the
+/// seeded generator); query indices are Zipf(`zipf`)-distributed over
+/// `0..pool` (`zipf = 0` = uniform). Same `(rps, duration, pool, zipf,
+/// seed)` → byte-identical plan, which is what makes a `qgx bench`
+/// ladder replayable.
+pub fn load_plan(
+    rps: f64,
+    duration_seconds: f64,
+    pool: usize,
+    zipf: f64,
+    seed: u64,
+) -> Vec<(u64, usize)> {
+    use rand::{Rng, SeedableRng};
+    assert!(rps > 0.0 && rps.is_finite(), "offered RPS must be positive");
+    assert!(
+        duration_seconds > 0.0 && duration_seconds.is_finite(),
+        "step duration must be positive"
+    );
+    // Distinct streams for gaps and queries so changing the pool or
+    // exponent never perturbs the arrival schedule.
+    let mut gaps = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut mix = ZipfSampler::new(pool, zipf, seed ^ 0x9E37_79B9_7F4A_7C15);
+    let horizon_us = duration_seconds * 1e6;
+    let mean_gap_us = 1e6 / rps;
+    let mut t_us = 0.0f64;
+    let mut plan = Vec::with_capacity((rps * duration_seconds) as usize + 1);
+    loop {
+        // Exponential gap: -ln(1-u) * mean, u uniform in [0,1).
+        let u: f64 = gaps.gen_range(0.0..1.0);
+        t_us += -(1.0 - u).ln() * mean_gap_us;
+        if t_us >= horizon_us {
+            return plan;
+        }
+        plan.push((t_us as u64, mix.sample()));
     }
 }
 
@@ -893,6 +1124,7 @@ mod tests {
             shed: 3,
             timeouts: 2,
             error_codes,
+            latency_mode: "exact".to_string(),
             latency: LatencySummary::of(&[100.0, 200.0]),
             conn_latency: Some(LatencySummary::of(&[150.0, 300.0])),
         };
@@ -922,6 +1154,8 @@ mod tests {
             "\"timeouts\"",
             "error_codes",
             "no_linked_entities",
+            "latency_mode",
+            "\"exact\"",
             "listen_addr",
             "conn_latency",
         ] {
@@ -939,6 +1173,103 @@ mod tests {
     }
 
     #[test]
+    fn load_plan_is_deterministic_for_a_seed() {
+        // The `qgx bench --seed` contract: same seed, same arrival
+        // schedule AND same query sequence.
+        let a = load_plan(500.0, 2.0, 12, 1.1, 0xFEED);
+        let b = load_plan(500.0, 2.0, 12, 1.1, 0xFEED);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        // A different seed reshuffles both components.
+        let c = load_plan(500.0, 2.0, 12, 1.1, 0xFEED + 1);
+        assert_ne!(a, c);
+        // Changing only the query mix leaves the arrival schedule
+        // untouched (separate generator streams).
+        let d = load_plan(500.0, 2.0, 12, 0.0, 0xFEED);
+        assert_eq!(
+            a.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+            d.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn load_plan_matches_offered_rate_and_pool() {
+        let rps = 1000.0;
+        let secs = 4.0;
+        let plan = load_plan(rps, secs, 5, 0.0, 42);
+        // Poisson count over 4s at 1000/s: mean 4000, sd ~63. A ±20%
+        // band is ~12 sigma — effectively deterministic given the
+        // fixed seed, but robust to generator evolution.
+        let n = plan.len() as f64;
+        assert!(
+            (rps * secs * 0.8..rps * secs * 1.2).contains(&n),
+            "arrival count {n} is far from the offered rate"
+        );
+        let mut last = 0;
+        for &(t, q) in &plan {
+            assert!(t < (secs * 1e6) as u64, "arrival past the horizon");
+            assert!(t >= last, "arrivals must be sorted");
+            assert!(q < 5, "query index out of pool");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn load_record_round_trips_and_lifts_last_step() {
+        let step = |rps: f64, p99: f64| LoadStep {
+            offered_rps: rps,
+            duration_seconds: 2.0,
+            sent: 100,
+            completed: 98,
+            failures: 2,
+            shed: 1,
+            timeouts: 1,
+            goodput_qps: rps * 0.98,
+            p50_us: 800.0,
+            p99_us: p99,
+            p999_us: p99 * 2.0,
+            max_us: p99 * 3.0,
+            mean_us: 900.0,
+        };
+        let summary = LoadSummary::new(
+            vec![step(100.0, 4000.0), step(200.0, 9000.0)],
+            4,
+            8,
+            1.1,
+            0xBEEF,
+            1,
+        );
+        // The headline numbers are the last (highest-load) step's.
+        assert_eq!(summary.offered_rps, 200.0);
+        assert_eq!(summary.p99_us, 9000.0);
+        assert_eq!(summary.latency_mode, "histogram");
+        let record = LoadRecord::new(&tiny_config(), 12, summary);
+        assert_eq!(record.schema, 9);
+        assert_eq!(record.kind, "load");
+        assert_eq!(record.num_queries, 12);
+        let json = serde_json::to_string(&record).expect("record serializes");
+        for field in [
+            "\"load\"",
+            "offered_rps",
+            "goodput_qps",
+            "p999_us",
+            "\"steps\"",
+            "warmup_passes",
+            "latency_mode",
+            "\"zipf\"",
+            "\"seed\"",
+        ] {
+            assert!(json.contains(field), "record missing {field}");
+        }
+        let back: LoadRecord = serde_json::from_str(&json).expect("record parses");
+        assert_eq!(back, record);
+        // An empty ladder still summarizes (all-zero headline).
+        let empty = LoadSummary::new(Vec::new(), 1, 1, 0.0, 0, 0);
+        assert_eq!(empty.p99_us, 0.0);
+        assert_eq!(empty.goodput_qps, 0.0);
+    }
+
+    #[test]
     fn ingest_record_round_trips_and_carries_measurements() {
         let ingest = IngestSummary {
             docs_ingested: 1000,
@@ -953,7 +1284,7 @@ mod tests {
             generation: 5,
         };
         let record = IngestRecord::new(&tiny_config(), ingest);
-        assert_eq!(record.schema, 8);
+        assert_eq!(record.schema, 9);
         assert_eq!(record.kind, "ingest");
         let json = serde_json::to_string(&record).expect("record serializes");
         for field in [
@@ -974,7 +1305,7 @@ mod tests {
     }
 
     #[test]
-    fn bench_record_schema_8_carries_build_breakdown() {
+    fn bench_record_schema_9_carries_build_breakdown() {
         use querygraph_core::cache::IndexSource;
         let build = BuildStats {
             world_seconds: 0.5,
@@ -988,7 +1319,7 @@ mod tests {
         let exp = Experiment::build(&tiny_config());
         let (_, run) = exp.run_parallel_with_summary(2);
         let record = BenchRecord::new(&tiny_config(), &build, run);
-        assert_eq!(record.schema, 8);
+        assert_eq!(record.schema, 9);
         assert_eq!(record.index_source, "loaded");
         assert_eq!(record.shard_count, 1);
         assert!(record.shard_load_seconds.is_empty());

@@ -58,6 +58,17 @@ macro_rules! impl_range_strategy {
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
 
+/// Uniform `f64` in `[start, end)` — the shape real proptest offers
+/// for float parameters (only the half-open form; the rand shim has
+/// no inclusive float sampling, and properties over continuous
+/// parameters never need one).
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
 impl<A: Strategy, B: Strategy> Strategy for (A, B) {
     type Value = (A::Value, B::Value);
     fn sample(&self, rng: &mut TestRng) -> Self::Value {
@@ -249,6 +260,16 @@ mod tests {
             for (a, b) in &items {
                 proptest::prop_assert!(*a < 4 && *b < 100);
             }
+        }
+
+        #[test]
+        fn float_ranges_stay_in_bounds(
+            x in 0.5f64..3.25,
+            y in -2.0f64..2.0,
+        ) {
+            proptest::prop_assert!((0.5..3.25).contains(&x));
+            proptest::prop_assert!((-2.0..2.0).contains(&y));
+            proptest::prop_assert!(x.is_finite() && y.is_finite());
         }
 
         #[test]

@@ -17,6 +17,15 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     Ok(out)
 }
 
+/// Serialize `value` as compact JSON **appended** to `out`, reusing
+/// the buffer's capacity — the allocation-free variant of
+/// [`to_string`] for callers (the HTTP serving hot path) that hold a
+/// per-worker scratch `String`.
+pub fn to_string_into<T: Serialize + ?Sized>(value: &T, out: &mut String) -> Result<(), Error> {
+    write_value(out, &value.to_value(), None, 0);
+    Ok(())
+}
+
 /// Serialize `value` to a pretty JSON string (two-space indent).
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
@@ -400,6 +409,20 @@ mod tests {
         assert_eq!(from_str::<u32>("3").unwrap(), 3);
         assert_eq!(from_str::<f64>("1.5").unwrap(), 1.5);
         assert_eq!(from_str::<String>("\"hi\"").unwrap(), "hi");
+    }
+
+    #[test]
+    fn to_string_into_appends_and_matches_to_string() {
+        let v = vec![(String::from("a"), [1.0f64, 2.0, 3.0, 4.0])];
+        let mut out = String::from("prefix:");
+        to_string_into(&v, &mut out).unwrap();
+        assert_eq!(out, format!("prefix:{}", to_string(&v).unwrap()));
+        // Reuse keeps capacity: clear, serialize again, same bytes.
+        let cap = out.capacity();
+        out.clear();
+        to_string_into(&v, &mut out).unwrap();
+        assert_eq!(out, to_string(&v).unwrap());
+        assert_eq!(out.capacity(), cap);
     }
 
     #[test]

@@ -485,4 +485,55 @@ mod tests {
         assert_eq!(cache.lookups(), 8);
         assert_eq!(cache.hits(), 7);
     }
+
+    #[test]
+    fn single_flight_does_not_serialize_distinct_keys() {
+        // Two leaders computing *different* keys must be in flight at
+        // the same time: a leader holds only its own cell's lock while
+        // computing (the shard lock is released), so single-flight
+        // dedup of identical queries must not serialize the rest of
+        // the mix. Each closure waits until BOTH computations have
+        // started; if the cache held a shard- or cache-wide lock
+        // during compute, neither could see the other and both would
+        // time out.
+        use std::sync::atomic::AtomicUsize;
+        use std::time::{Duration, Instant};
+        let cache = Arc::new(ExpansionCache::new(16));
+        let started = Arc::new(AtomicUsize::new(0));
+        let wait_for_both = |started: &AtomicUsize| {
+            started.fetch_add(1, Ordering::SeqCst);
+            let t0 = Instant::now();
+            while started.load(Ordering::SeqCst) < 2 {
+                if t0.elapsed() > Duration::from_secs(5) {
+                    return false; // fail the test, don't hang it
+                }
+                std::thread::yield_now();
+            }
+            true
+        };
+        let threads: Vec<_> = ["left", "right"]
+            .into_iter()
+            .map(|q| {
+                let cache = cache.clone();
+                let started = started.clone();
+                std::thread::spawn(move || {
+                    let mut overlapped = false;
+                    let got = cache
+                        .get_or_compute(&key(q), || {
+                            overlapped = wait_for_both(&started);
+                            Ok(response(q))
+                        })
+                        .unwrap();
+                    assert_eq!(got, response(q));
+                    overlapped
+                })
+            })
+            .collect();
+        for t in threads {
+            assert!(
+                t.join().unwrap(),
+                "distinct keys must compute concurrently, not serialize"
+            );
+        }
+    }
 }

@@ -90,6 +90,27 @@ pub enum ParseError {
 }
 
 impl ParseError {
+    /// Every code [`ParseError::code`] can produce, in variant
+    /// declaration order (the protocol half of the closed wire-code
+    /// universe; [`ServiceError::CODES`] is the service half). The
+    /// server's lock-free per-code counters enumerate exactly this
+    /// union, so adding a variant without extending the list is a
+    /// test-time error, never a silently dropped counter.
+    ///
+    /// [`ServiceError::CODES`]: crate::service::ServiceError::CODES
+    pub const CODES: [&'static str; 10] = [
+        "request_line_too_long",
+        "head_too_large",
+        "too_many_headers",
+        "malformed_request_line",
+        "unsupported_version",
+        "malformed_header",
+        "bad_content_length",
+        "body_too_large",
+        "unsupported_transfer_encoding",
+        "length_required",
+    ];
+
     /// The HTTP status this rejection is answered with.
     pub fn status(&self) -> u16 {
         match self {
@@ -336,6 +357,31 @@ mod tests {
 
     fn parse(bytes: &[u8]) -> Result<Option<RequestHead>, ParseError> {
         parse_head(bytes, &HttpLimits::default())
+    }
+
+    #[test]
+    fn codes_list_matches_every_variant_in_order() {
+        let samples = [
+            ParseError::RequestLineTooLong { limit: 1 },
+            ParseError::HeadTooLarge { limit: 1 },
+            ParseError::TooManyHeaders { limit: 1 },
+            ParseError::MalformedRequestLine,
+            ParseError::UnsupportedVersion {
+                version: "HTTP/0.9".to_string(),
+            },
+            ParseError::MalformedHeader,
+            ParseError::BadContentLength,
+            ParseError::BodyTooLarge {
+                declared: 2,
+                limit: 1,
+            },
+            ParseError::UnsupportedTransferEncoding,
+            ParseError::LengthRequired,
+        ];
+        assert_eq!(samples.len(), ParseError::CODES.len());
+        for (sample, &code) in samples.iter().zip(ParseError::CODES.iter()) {
+            assert_eq!(sample.code(), code, "CODES order must match variants");
+        }
     }
 
     #[test]

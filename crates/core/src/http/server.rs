@@ -16,6 +16,7 @@
 
 use super::parser::{self, HttpLimits, ParseError, RequestHead};
 use super::{expand_error_body, protocol_error_body, status_for};
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
 use crate::service::{Deadline, ExpansionRequest, QueryExpander, ServiceError};
 use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, VecDeque};
@@ -25,13 +26,91 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-/// Lock a stats/queue mutex, recovering from poison. A worker that
-/// panicked while holding one of these leaves the protected state at
-/// worst one sample or one counter bump short — never structurally
-/// corrupt — so serving must continue instead of cascading the panic
-/// into every worker that touches the same mutex afterwards.
+/// Lock a queue mutex, recovering from poison. A worker that panicked
+/// while holding it leaves the queue state at worst one connection
+/// short — never structurally corrupt — so serving must continue
+/// instead of cascading the panic into every worker that touches the
+/// same mutex afterwards. (Stats need no recovery: every counter,
+/// per-code tally, and latency histogram is lock-free.)
 fn lock_recovered<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The closed universe of wire codes the serving path can count: every
+/// [`ServiceError::code`], every [`ParseError::code`], and the
+/// server-local rejections minted in this module. Listing them lets
+/// the per-code failure counters be a fixed array of `AtomicU64`s —
+/// bumped lock-free on the hot path — instead of a mutex-guarded map;
+/// a tripwire test pins the list against both `CODES` constants, so a
+/// new error variant cannot silently lose its counter.
+const WIRE_CODES: [&str; 24] = [
+    // ServiceError::CODES (typed /expand failures).
+    "empty_query",
+    "no_linked_entities",
+    "no_engine",
+    "artifact_missing",
+    "artifact_load",
+    "artifact_shard",
+    "artifact_fingerprint",
+    "artifact_stale",
+    "timeout",
+    "overloaded",
+    // ParseError::CODES (protocol rejections).
+    "request_line_too_long",
+    "head_too_large",
+    "too_many_headers",
+    "malformed_request_line",
+    "unsupported_version",
+    "malformed_header",
+    "bad_content_length",
+    "body_too_large",
+    "unsupported_transfer_encoding",
+    "length_required",
+    // Server-local codes (router + body decoding + serialization).
+    "bad_request",
+    "internal",
+    "method_not_allowed",
+    "not_found",
+];
+
+/// Lock-free per-code failure tallies over [`WIRE_CODES`].
+struct CodeCounters {
+    counts: [AtomicU64; WIRE_CODES.len()],
+}
+
+impl Default for CodeCounters {
+    fn default() -> CodeCounters {
+        CodeCounters {
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl std::fmt::Debug for CodeCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_map().entries(self.nonzero()).finish()
+    }
+}
+
+impl CodeCounters {
+    fn bump(&self, code: &str) {
+        match WIRE_CODES.iter().position(|&c| c == code) {
+            Some(i) => {
+                self.counts[i].fetch_add(1, Ordering::Relaxed);
+            }
+            None => debug_assert!(false, "wire code {code:?} missing from WIRE_CODES"),
+        }
+    }
+
+    fn nonzero(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        WIRE_CODES
+            .iter()
+            .zip(self.counts.iter())
+            .filter_map(|(&code, n)| {
+                let n = n.load(Ordering::Relaxed);
+                (n > 0).then_some((code, n))
+            })
+    }
 }
 
 /// Everything the server needs to know before binding.
@@ -69,8 +148,13 @@ impl Default for ServerConfig {
 }
 
 /// Live serving counters, shared between workers and observers.
-/// Everything is monotonic; [`ServerStats::snapshot`] is safe to call
-/// from any thread at any time (the `/statz` endpoint does).
+/// Everything is monotonic and **lock-free**: scalar counters and the
+/// per-code tallies are atomics, and the latency distributions are
+/// log-bucketed [`LatencyHistogram`]s (constant memory over any run
+/// length, one relaxed `fetch_add` per sample) — so concurrent workers
+/// never serialize on a stats mutex and [`ServerStats::snapshot`] is
+/// safe to call from any thread at any time (the `/statz` endpoint
+/// does).
 #[derive(Debug, Default)]
 pub struct ServerStats {
     connections: AtomicU64,
@@ -79,9 +163,9 @@ pub struct ServerStats {
     shed: AtomicU64,
     timeouts: AtomicU64,
     bad_requests: AtomicU64,
-    error_codes: Mutex<BTreeMap<String, u64>>,
-    request_us: Mutex<Vec<f64>>,
-    connection_us: Mutex<Vec<f64>>,
+    error_codes: CodeCounters,
+    request_us: LatencyHistogram,
+    connection_us: LatencyHistogram,
 }
 
 /// What `/statz` serves: the serve-side counters of a `ServeRecord`,
@@ -115,22 +199,9 @@ pub struct StatzSnapshot {
     pub conn_p99_us: f64,
 }
 
-/// Nearest-rank percentile over unsorted samples (0 when empty).
-fn percentile(samples: &[f64], p: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
-    }
-    let mut sorted = samples.to_vec();
-    sorted.sort_by(f64::total_cmp);
-    let r = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[r.clamp(1, sorted.len()) - 1]
-}
-
 impl ServerStats {
     fn bump_code(&self, code: &str) {
-        *lock_recovered(&self.error_codes)
-            .entry(code.to_string())
-            .or_insert(0) += 1;
+        self.error_codes.bump(code);
     }
 
     fn record_service_error(&self, error: &ServiceError) {
@@ -171,45 +242,31 @@ impl ServerStats {
         self.timeouts.load(Ordering::Relaxed)
     }
 
-    /// Typed failures by wire code, copied out.
+    /// Typed failures by wire code, copied out (codes never bumped are
+    /// absent — exactly the map the old mutex-guarded implementation
+    /// accumulated, so the `/statz` wire format is unchanged).
     pub fn error_codes(&self) -> BTreeMap<String, u64> {
-        lock_recovered(&self.error_codes).clone()
+        self.error_codes
+            .nonzero()
+            .map(|(code, n)| (code.to_string(), n))
+            .collect()
     }
 
-    /// Per-request `/expand` service times (µs), copied out — the raw
-    /// samples a `ServeRecord`'s latency summary is built from.
-    pub fn request_latencies_us(&self) -> Vec<f64> {
-        lock_recovered(&self.request_us).clone()
+    /// The `/expand` service-time distribution (µs), copied out — what
+    /// a `ServeRecord`'s histogram-mode latency summary is built from.
+    pub fn request_latency(&self) -> HistogramSnapshot {
+        self.request_us.snapshot()
     }
 
-    /// Per-connection lifetimes (µs), copied out.
-    pub fn connection_lifetimes_us(&self) -> Vec<f64> {
-        lock_recovered(&self.connection_us).clone()
-    }
-
-    /// Test-only: poison the request-latency mutex by panicking a
-    /// thread that holds it, so the conformance suite can prove
-    /// workers recover ([`lock_recovered`]) instead of cascading.
-    #[doc(hidden)]
-    pub fn poison_request_latencies_for_test(&self) {
-        let result = std::thread::scope(|scope| {
-            scope
-                .spawn(|| {
-                    let _guard = self
-                        .request_us
-                        .lock()
-                        .unwrap_or_else(PoisonError::into_inner);
-                    panic!("poisoning stats lock for tests");
-                })
-                .join()
-        });
-        assert!(result.is_err(), "the poisoning thread must panic");
+    /// The connection-lifetime distribution (µs), copied out.
+    pub fn connection_latency(&self) -> HistogramSnapshot {
+        self.connection_us.snapshot()
     }
 
     /// A consistent-enough copy of all counters for `/statz`.
     pub fn snapshot(&self) -> StatzSnapshot {
-        let request_us = lock_recovered(&self.request_us).clone();
-        let connection_us = lock_recovered(&self.connection_us).clone();
+        let request = self.request_us.snapshot();
+        let connection = self.connection_us.snapshot();
         StatzSnapshot {
             connections: self.connections(),
             queries_served: self.queries_served(),
@@ -218,9 +275,9 @@ impl ServerStats {
             timeouts: self.timeouts(),
             bad_requests: self.bad_requests.load(Ordering::Relaxed),
             error_codes: self.error_codes(),
-            p50_us: percentile(&request_us, 50.0),
-            p99_us: percentile(&request_us, 99.0),
-            conn_p99_us: percentile(&connection_us, 99.0),
+            p50_us: request.percentile_us(50.0),
+            p99_us: request.percentile_us(99.0),
+            conn_p99_us: connection.percentile_us(99.0),
         }
     }
 }
@@ -292,6 +349,35 @@ impl ConnQueue {
     }
 }
 
+/// Per-worker reusable buffers. Each worker thread owns exactly one,
+/// created once at spawn and threaded through every connection it
+/// serves, so steady-state serving performs near-zero allocation per
+/// request: request bytes accumulate in `read`, the response is staged
+/// in [`ResponseScratch`], and all three buffers keep their capacity
+/// across requests.
+#[derive(Default)]
+struct WorkerScratch {
+    /// Buffered request bytes for the connection being served
+    /// (head + body + any pipelined follow-up bytes).
+    read: Vec<u8>,
+    /// Response staging buffers.
+    response: ResponseScratch,
+}
+
+/// The two response buffers: the JSON body is serialized into `body`,
+/// then head + body are assembled in `wire` and written with a single
+/// `write_all` — same bytes on the socket as the old two-write path,
+/// but no per-response `String`/`Vec` allocations.
+#[derive(Default)]
+struct ResponseScratch {
+    /// The response body being staged (gains the trailing newline for
+    /// JSON responses).
+    body: String,
+    /// The full wire image of the response (status line, headers,
+    /// body).
+    wire: Vec<u8>,
+}
+
 /// The bound server: call [`HttpServer::serve`] to run it.
 pub struct HttpServer {
     listener: TcpListener,
@@ -341,8 +427,9 @@ impl HttpServer {
             for _ in 0..self.config.workers.max(1) {
                 let queue = &queue;
                 scope.spawn(move || {
+                    let mut scratch = WorkerScratch::default();
                     while let Some((stream, accepted)) = queue.pop() {
-                        self.handle_connection(stream, accepted, expander, queue);
+                        self.handle_connection(stream, accepted, expander, queue, &mut scratch);
                     }
                 });
             }
@@ -386,10 +473,17 @@ impl HttpServer {
         accepted: Instant,
         expander: &QueryExpander<'_>,
         queue: &ConnQueue,
+        scratch: &mut WorkerScratch,
     ) {
         let _ = stream.set_nodelay(true);
         let conn_start = accepted;
-        let mut buf: Vec<u8> = Vec::new();
+        // Split the scratch so the read buffer and the response
+        // buffers can be borrowed independently below.
+        let WorkerScratch {
+            read: buf,
+            response,
+        } = scratch;
+        buf.clear();
         for exchange in 0..self.config.keep_alive_requests.max(1) {
             // The first request's clock started at accept (queue wait
             // counts); keep-alive follow-ups get a fresh budget.
@@ -407,10 +501,10 @@ impl HttpServer {
                 self.stats.record_service_error(&timeout);
                 let body = protocol_error_body("timeout", &timeout.to_string());
                 let retry = timeout.retry_after_seconds();
-                let _ = self.respond(&mut stream, 408, &body, false, retry, &deadline);
+                let _ = self.respond(&mut stream, 408, &body, false, retry, &deadline, response);
                 break;
             }
-            let head = match self.read_head(&mut stream, &mut buf, &deadline, queue) {
+            let head = match self.read_head(&mut stream, buf, &deadline, queue) {
                 ReadStep::Ready(head) => head,
                 ReadStep::Closed => break,
                 ReadStep::TimedOut => {
@@ -418,33 +512,43 @@ impl HttpServer {
                     self.stats.record_service_error(&timeout);
                     let body = protocol_error_body("timeout", &timeout.to_string());
                     let retry = timeout.retry_after_seconds();
-                    let _ = self.respond(&mut stream, 408, &body, false, retry, &deadline);
+                    let _ =
+                        self.respond(&mut stream, 408, &body, false, retry, &deadline, response);
                     break;
                 }
                 ReadStep::Protocol(e) => {
                     self.stats.record_protocol_error(&e);
                     let body = protocol_error_body(e.code(), &e.to_string());
-                    let _ = self.respond(&mut stream, e.status(), &body, false, None, &deadline);
+                    let _ = self.respond(
+                        &mut stream,
+                        e.status(),
+                        &body,
+                        false,
+                        None,
+                        &deadline,
+                        response,
+                    );
                     break;
                 }
                 ReadStep::Io => break,
             };
-            match self.read_body(&mut stream, &mut buf, &head, &deadline) {
-                BodyStep::Ready(body) => {
+            match self.read_body(&mut stream, buf, &head, &deadline) {
+                BodyStep::Ready(body_len) => {
                     // Decide keep-alive only once the request is fully
                     // read: a drain that began while the body trickled
                     // in must advertise `Connection: close`.
                     let keep_alive = head.keep_alive()
                         && exchange + 1 < self.config.keep_alive_requests
                         && !queue.draining();
-                    let consumed = head.head_len + body.len();
+                    let consumed = head.head_len + body_len;
                     let ok = self.handle_request(
                         &mut stream,
                         &head,
-                        &body,
+                        &buf[head.head_len..consumed],
                         expander,
                         &deadline,
                         keep_alive,
+                        response,
                     );
                     // Drop the exchange's bytes; pipelined bytes of the
                     // next request stay buffered.
@@ -458,20 +562,31 @@ impl HttpServer {
                     self.stats.record_service_error(&timeout);
                     let body = protocol_error_body("timeout", &timeout.to_string());
                     let retry = timeout.retry_after_seconds();
-                    let _ = self.respond(&mut stream, 408, &body, false, retry, &deadline);
+                    let _ =
+                        self.respond(&mut stream, 408, &body, false, retry, &deadline, response);
                     break;
                 }
                 BodyStep::Protocol(e) => {
                     self.stats.record_protocol_error(&e);
                     let body = protocol_error_body(e.code(), &e.to_string());
-                    let _ = self.respond(&mut stream, e.status(), &body, false, None, &deadline);
+                    let _ = self.respond(
+                        &mut stream,
+                        e.status(),
+                        &body,
+                        false,
+                        None,
+                        &deadline,
+                        response,
+                    );
                     break;
                 }
                 BodyStep::Closed => break,
             }
         }
         graceful_close(&mut stream, Duration::from_millis(100));
-        lock_recovered(&self.stats.connection_us).push(conn_start.elapsed().as_secs_f64() * 1e6);
+        self.stats
+            .connection_us
+            .record(conn_start.elapsed().as_secs_f64() * 1e6);
     }
 
     /// Read until a complete head is buffered, in ≤100 ms slices so
@@ -513,7 +628,9 @@ impl HttpServer {
         }
     }
 
-    /// Read the declared body; returns it as owned bytes.
+    /// Read the declared body; on success the body sits in `buf` right
+    /// after the head and its length is returned (no copy — the caller
+    /// slices `buf`).
     fn read_body(
         &self,
         stream: &mut TcpStream,
@@ -541,10 +658,11 @@ impl HttpServer {
                 SliceStep::Io => return BodyStep::Closed,
             }
         }
-        BodyStep::Ready(buf[head.head_len..want].to_vec())
+        BodyStep::Ready(length)
     }
 
     /// Route one parsed request and write its response.
+    #[allow(clippy::too_many_arguments)]
     fn handle_request(
         &self,
         stream: &mut TcpStream,
@@ -553,6 +671,7 @@ impl HttpServer {
         expander: &QueryExpander<'_>,
         deadline: &Deadline,
         keep_alive: bool,
+        rs: &mut ResponseScratch,
     ) -> std::io::Result<()> {
         let path = head.target.split('?').next().unwrap_or("");
         match (head.method.as_str(), path) {
@@ -564,7 +683,7 @@ impl HttpServer {
                         self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
                         self.stats.bump_code("bad_request");
                         let body = protocol_error_body("bad_request", "body is not UTF-8");
-                        return self.respond(stream, 400, &body, keep_alive, None, deadline);
+                        return self.respond(stream, 400, &body, keep_alive, None, deadline, rs);
                     }
                 };
                 let request: ExpansionRequest = match serde_json::from_str(text) {
@@ -574,30 +693,34 @@ impl HttpServer {
                         self.stats.bump_code("bad_request");
                         let body =
                             protocol_error_body("bad_request", &format!("bad request JSON: {e}"));
-                        return self.respond(stream, 400, &body, keep_alive, None, deadline);
+                        return self.respond(stream, 400, &body, keep_alive, None, deadline, rs);
                     }
                 };
                 match expander.expand_deadlined(&request, *deadline) {
                     // Serialize before counting the query as served: a
                     // response that cannot serialize is a server bug,
                     // but it must cost one typed 500, not the worker.
-                    Ok(response) => match serde_json::to_string(&response) {
-                        Ok(body) => {
-                            self.stats.queries_served.fetch_add(1, Ordering::Relaxed);
-                            lock_recovered(&self.stats.request_us)
-                                .push(t0.elapsed().as_secs_f64() * 1e6);
-                            self.respond(stream, 200, &body, keep_alive, None, deadline)
+                    Ok(response) => {
+                        rs.body.clear();
+                        match serde_json::to_string_into(&response, &mut rs.body) {
+                            Ok(()) => {
+                                self.stats.queries_served.fetch_add(1, Ordering::Relaxed);
+                                self.stats
+                                    .request_us
+                                    .record(t0.elapsed().as_secs_f64() * 1e6);
+                                self.respond_staged(stream, 200, keep_alive, None, deadline, rs)
+                            }
+                            Err(e) => {
+                                self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                                self.stats.bump_code("internal");
+                                let body = protocol_error_body(
+                                    "internal",
+                                    &format!("response serialization failed: {e}"),
+                                );
+                                self.respond(stream, 500, &body, keep_alive, None, deadline, rs)
+                            }
                         }
-                        Err(e) => {
-                            self.stats.failures.fetch_add(1, Ordering::Relaxed);
-                            self.stats.bump_code("internal");
-                            let body = protocol_error_body(
-                                "internal",
-                                &format!("response serialization failed: {e}"),
-                            );
-                            self.respond(stream, 500, &body, keep_alive, None, deadline)
-                        }
-                    },
+                    }
                     Err(error) => {
                         self.stats.record_service_error(&error);
                         let status = status_for(&error);
@@ -610,11 +733,11 @@ impl HttpServer {
                         // then the connection closes: its read cursor
                         // can no longer be trusted.
                         let keep = keep_alive && status != 408;
-                        self.respond(stream, status, &body, keep, retry, deadline)
+                        self.respond(stream, status, &body, keep, retry, deadline, rs)
                     }
                 }
             }
-            ("GET", "/healthz") => self.respond_raw(
+            ("GET", "/healthz") => write_http_response(
                 stream,
                 200,
                 "text/plain",
@@ -622,18 +745,22 @@ impl HttpServer {
                 keep_alive,
                 None,
                 deadline,
+                &mut rs.wire,
             ),
-            ("GET", "/statz") => match serde_json::to_string(&self.stats.snapshot()) {
-                Ok(body) => self.respond(stream, 200, &body, keep_alive, None, deadline),
-                Err(e) => {
-                    self.stats.bump_code("internal");
-                    let body = protocol_error_body(
-                        "internal",
-                        &format!("statz serialization failed: {e}"),
-                    );
-                    self.respond(stream, 500, &body, keep_alive, None, deadline)
+            ("GET", "/statz") => {
+                rs.body.clear();
+                match serde_json::to_string_into(&self.stats.snapshot(), &mut rs.body) {
+                    Ok(()) => self.respond_staged(stream, 200, keep_alive, None, deadline, rs),
+                    Err(e) => {
+                        self.stats.bump_code("internal");
+                        let body = protocol_error_body(
+                            "internal",
+                            &format!("statz serialization failed: {e}"),
+                        );
+                        self.respond(stream, 500, &body, keep_alive, None, deadline, rs)
+                    }
                 }
-            },
+            }
             (_, "/expand") | (_, "/healthz") | (_, "/statz") => {
                 self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
                 self.stats.bump_code("method_not_allowed");
@@ -641,19 +768,19 @@ impl HttpServer {
                     "method_not_allowed",
                     &format!("{} is not served on {path}", head.method),
                 );
-                self.respond(stream, 405, &body, keep_alive, None, deadline)
+                self.respond(stream, 405, &body, keep_alive, None, deadline, rs)
             }
             _ => {
                 self.stats.bad_requests.fetch_add(1, Ordering::Relaxed);
                 self.stats.bump_code("not_found");
                 let body = protocol_error_body("not_found", &format!("no endpoint at {path}"));
-                self.respond(stream, 404, &body, keep_alive, None, deadline)
+                self.respond(stream, 404, &body, keep_alive, None, deadline, rs)
             }
         }
     }
 
-    /// Write a JSON response (body gains a trailing newline so socket
-    /// payloads are byte-identical to `qgx replay --json` lines).
+    /// Stage `body` in the scratch and write it as a JSON response.
+    #[allow(clippy::too_many_arguments)]
     fn respond(
         &self,
         stream: &mut TcpStream,
@@ -662,40 +789,35 @@ impl HttpServer {
         keep_alive: bool,
         retry_after: Option<u32>,
         deadline: &Deadline,
+        rs: &mut ResponseScratch,
     ) -> std::io::Result<()> {
-        let mut owned = String::with_capacity(body.len() + 1);
-        owned.push_str(body);
-        owned.push('\n');
-        self.respond_raw(
-            stream,
-            status,
-            "application/json",
-            owned.as_bytes(),
-            keep_alive,
-            retry_after,
-            deadline,
-        )
+        rs.body.clear();
+        rs.body.push_str(body);
+        self.respond_staged(stream, status, keep_alive, retry_after, deadline, rs)
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn respond_raw(
+    /// Write the JSON response already staged in `rs.body` (it gains a
+    /// trailing newline so socket payloads are byte-identical to
+    /// `qgx replay --json` lines).
+    fn respond_staged(
         &self,
         stream: &mut TcpStream,
         status: u16,
-        content_type: &str,
-        body: &[u8],
         keep_alive: bool,
         retry_after: Option<u32>,
         deadline: &Deadline,
+        rs: &mut ResponseScratch,
     ) -> std::io::Result<()> {
+        rs.body.push('\n');
         write_http_response(
             stream,
             status,
-            content_type,
-            body,
+            "application/json",
+            rs.body.as_bytes(),
             keep_alive,
             retry_after,
             deadline,
+            &mut rs.wire,
         )
     }
 }
@@ -741,7 +863,8 @@ enum ReadStep {
 }
 
 enum BodyStep {
-    Ready(Vec<u8>),
+    /// Body fully buffered; the payload carries its length.
+    Ready(usize),
     Protocol(ParseError),
     TimedOut,
     Closed,
@@ -766,9 +889,13 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Serialize and send one response. Write timeout is the deadline
-/// remainder (at least 100 ms), so an unread response cannot park a
-/// worker forever.
+/// Serialize and send one response. The full wire image (status line,
+/// headers, body) is assembled in `out` — a reusable per-worker buffer
+/// — and written with a single `write_all`, so the bytes on the socket
+/// are unchanged but the syscall count and per-response allocations
+/// drop. Write timeout is the deadline remainder (at least 100 ms), so
+/// an unread response cannot park a worker forever.
+#[allow(clippy::too_many_arguments)]
 pub(super) fn write_http_response(
     stream: &mut TcpStream,
     status: u16,
@@ -777,21 +904,24 @@ pub(super) fn write_http_response(
     keep_alive: bool,
     retry_after: Option<u32>,
     deadline: &Deadline,
+    out: &mut Vec<u8>,
 ) -> std::io::Result<()> {
-    let mut head = format!(
+    out.clear();
+    write!(
+        out,
         "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         reason(status),
         body.len(),
         if keep_alive { "keep-alive" } else { "close" },
-    );
+    )?;
     if let Some(seconds) = retry_after {
-        head.push_str(&format!("Retry-After: {seconds}\r\n"));
+        write!(out, "Retry-After: {seconds}\r\n")?;
     }
-    head.push_str("\r\n");
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
     let timeout = deadline.remaining().max(Duration::from_millis(100));
     stream.set_write_timeout(Some(timeout))?;
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body)?;
+    stream.write_all(out)?;
     stream.flush()
 }
 
@@ -830,6 +960,8 @@ pub(super) fn shed_connection(stream: &mut TcpStream, queue_depth: usize, deadli
     let mut body = protocol_error_body(error.code(), &error.to_string());
     body.push('\n');
     let d = Deadline::after(deadline.min(Duration::from_millis(200)));
+    // Cold path (runs on the accept thread): a throwaway wire buffer
+    // is fine here.
     let _ = write_http_response(
         stream,
         503,
@@ -838,6 +970,7 @@ pub(super) fn shed_connection(stream: &mut TcpStream, queue_depth: usize, deadli
         false,
         error.retry_after_seconds(),
         &d,
+        &mut Vec::new(),
     );
     graceful_close(stream, Duration::from_millis(50));
 }

@@ -63,6 +63,7 @@ pub mod expansion;
 pub mod expcache;
 pub mod experiment;
 pub mod ground_truth;
+pub mod histogram;
 pub mod http;
 pub mod pipeline;
 pub mod query_graph;
@@ -72,6 +73,7 @@ pub mod tables;
 pub use cache::{BuildStats, IndexSource};
 pub use expcache::ExpansionCache;
 pub use experiment::{Experiment, ExperimentConfig, Report};
+pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use http::{HttpServer, ServerConfig};
 pub use pipeline::{PipelineCtx, RunSummary, Stage, StageTimings};
 pub use query_graph::QueryGraph;

@@ -15,7 +15,7 @@
 //! identically** to the in-process [`crate::sharded::ShardedEngine`]
 //! (and hence to the monolithic engine). The mechanism is shared code
 //! plus exact wire statistics — both layouts score through
-//! [`crate::sharded::shard_topk`], and every global input crosses the
+//! `crate::sharded::shard_topk`, and every global input crosses the
 //! socket as integer counts or f64 bit patterns, never re-derived
 //! floats. See `DESIGN.md` §13.
 

@@ -7,7 +7,7 @@
 //! surface. All *global* inputs — μ, the smoothing floor, per-leaf
 //! collection probabilities, the shard's global doc-id base — arrive
 //! bit-exactly on the wire with each [`Op::ScoreTopK`]; scoring runs
-//! through the same [`crate::sharded::shard_topk`] the in-process
+//! through the same `crate::sharded::shard_topk` the in-process
 //! [`crate::sharded::ShardedEngine`] scatter uses, so a fleet of shard
 //! processes is byte-identical to the in-process engine by shared code,
 //! not by parallel implementation.
